@@ -1,0 +1,132 @@
+//! Criterion benches over the matching algorithms: one group per paper
+//! table/figure mechanism, plus the ablations DESIGN.md calls out.
+//!
+//! These are *micro* benches on reduced instances (the full parameter
+//! sweeps live in the `repro_*` binaries); they answer "which knob costs
+//! what" rather than regenerate the figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use evematch_core::{
+    AdvancedHeuristic, BoundKind, EntropyMatcher, ExactMatcher, IterativeMatcher, MatchContext,
+    PatternSetBuilder, SimpleHeuristic,
+};
+use evematch_datagen::{datasets, Dataset};
+use evematch_eval::project_dataset;
+
+fn context(ds: &Dataset) -> MatchContext {
+    MatchContext::new(
+        ds.pair.log1.clone(),
+        ds.pair.log2.clone(),
+        PatternSetBuilder::new()
+            .vertices()
+            .edges()
+            .complex_all(ds.patterns.iter().cloned()),
+    )
+    .expect("generated pairs satisfy |V1| ≤ |V2|")
+}
+
+/// Figure 7b/7c mechanism: exact search cost under the simple vs tight
+/// bound, growing event counts.
+fn bench_exact_bounds(c: &mut Criterion) {
+    let ds = datasets::real_like_sized(300, 300, 11);
+    let mut group = c.benchmark_group("exact_bound");
+    group.sample_size(10);
+    for events in [5usize, 6, 7, 8] {
+        let proj = project_dataset(&ds, events);
+        let ctx = context(&proj);
+        for (name, bound) in [("simple", BoundKind::Simple), ("tight", BoundKind::Tight)] {
+            group.bench_with_input(BenchmarkId::new(name, events), &ctx, |b, ctx| {
+                b.iter(|| {
+                    let out = ExactMatcher::new(bound).solve(black_box(ctx)).unwrap();
+                    black_box(out.score)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Figure 9b mechanism: heuristics at the full event count.
+fn bench_heuristics(c: &mut Criterion) {
+    let ds = datasets::real_like_sized(300, 300, 11);
+    let ctx = context(&ds);
+    let mut group = c.benchmark_group("heuristic");
+    group.sample_size(10);
+    group.bench_function("simple", |b| {
+        b.iter(|| black_box(SimpleHeuristic::new(BoundKind::Tight).solve(black_box(&ctx))).score)
+    });
+    group.bench_function("advanced", |b| {
+        b.iter(|| {
+            black_box(AdvancedHeuristic::new(BoundKind::Tight).solve(black_box(&ctx))).score
+        })
+    });
+    group.finish();
+}
+
+/// Baseline costs on the same instance (Figure 9b/12b context).
+fn bench_baselines(c: &mut Criterion) {
+    let ds = datasets::real_like_sized(300, 300, 11);
+    let ctx = context(&ds);
+    let mut group = c.benchmark_group("baseline");
+    group.bench_function("iterative", |b| {
+        b.iter(|| black_box(IterativeMatcher::new().solve(black_box(&ctx))).score)
+    });
+    group.bench_function("entropy", |b| {
+        b.iter(|| black_box(EntropyMatcher::new().solve(black_box(&ctx))).score)
+    });
+    group.finish();
+}
+
+/// DESIGN.md ablation: what each advanced-heuristic stage (estimated-score
+/// sharpening, pattern-score refinement) costs on the synthetic data where
+/// they matter.
+fn bench_ablation_advanced(c: &mut Criterion) {
+    let ds = datasets::larger_synthetic(2, 200, 19);
+    let ctx = context(&ds);
+    let mut group = c.benchmark_group("ablation_advanced");
+    group.sample_size(10);
+    for (name, sharpen, refine) in [
+        ("raw_alg3", false, false),
+        ("sharpen_only", true, false),
+        ("refine_only", false, true),
+        ("full", true, true),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = AdvancedHeuristic::new(BoundKind::Tight)
+                    .with_sharpening(sharpen)
+                    .with_refinement(refine)
+                    .solve(black_box(&ctx));
+                black_box(out.score)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The adversarial running-example instance end to end, both bounds.
+fn bench_example_instance(c: &mut Criterion) {
+    let ds = datasets::fig1_like();
+    let ctx = context(&ds);
+    let mut group = c.benchmark_group("fig1_instance");
+    for (name, bound) in [("simple", BoundKind::Simple), ("tight", BoundKind::Tight)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(ExactMatcher::new(bound).solve(black_box(&ctx)).unwrap()).score
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_bounds,
+    bench_heuristics,
+    bench_baselines,
+    bench_ablation_advanced,
+    bench_example_instance
+);
+criterion_main!(benches);

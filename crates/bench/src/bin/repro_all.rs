@@ -1,0 +1,42 @@
+//! Regenerates every table and figure of the paper's evaluation in one go.
+//!
+//! Equivalent to running `repro_table3`, `repro_fig7` … `repro_fig12`,
+//! `repro_table4` in sequence; see `evematch-bench`'s crate docs for the
+//! environment knobs. A full-fidelity pass (3,000 / 10,000 traces, three
+//! seeds) takes a while; set `EVEMATCH_TRACES`, `EVEMATCH_FIG12_TRACES`
+//! and `EVEMATCH_TABLE4_RUNS` lower for a quick pass.
+
+use evematch_eval::experiments;
+
+fn main() {
+    let cfg = evematch_bench::sweep_config();
+    eprintln!(
+        "reproduction pass: seeds {:?}, {} traces, workers {}",
+        cfg.seeds, cfg.traces, cfg.workers
+    );
+
+    let seed = cfg.seeds.first().copied().unwrap_or(11);
+    evematch_bench::emit(&experiments::table3(seed), "table3");
+
+    evematch_bench::emit_figure(&experiments::fig7(&cfg), "fig7");
+    evematch_bench::emit_figure(&experiments::fig8(&cfg), "fig8");
+    evematch_bench::emit_figure(&experiments::fig9(&cfg), "fig9");
+    evematch_bench::emit_figure(&experiments::fig10(&cfg), "fig10");
+
+    let modules: usize = std::env::var("EVEMATCH_FIG12_MODULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    evematch_bench::emit_figure(
+        &experiments::fig12(&cfg, evematch_bench::fig12_traces(), modules),
+        "fig12",
+    );
+
+    let runs: usize = std::env::var("EVEMATCH_TABLE4_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    evematch_bench::emit(&experiments::table4(runs, 0xE7E), "table4");
+
+    eprintln!("done; CSVs in {}", evematch_bench::out_dir().display());
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 12: all approaches on the larger synthetic data,
+//! 10..=100 events.
+//!
+//! The exhaustive methods (Vertex+Edge and the exact pattern matchers) run
+//! under the configured budget and report did-not-finish (`—`) once the
+//! event count defeats them — the paper observes the same beyond 20 events.
+
+fn main() {
+    let cfg = evematch_bench::sweep_config();
+    let traces = evematch_bench::fig12_traces();
+    let max_modules: usize = std::env::var("EVEMATCH_FIG12_MODULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    eprintln!(
+        "Figure 12 sweep: seeds {:?}, {traces} traces, up to {} events",
+        cfg.seeds,
+        max_modules * 10
+    );
+    let fig = evematch_eval::experiments::fig12(&cfg, traces, max_modules);
+    evematch_bench::emit_figure(&fig, "fig12");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 (see evematch-eval::experiments::fig7).
+
+fn main() {
+    let cfg = evematch_bench::sweep_config();
+    eprintln!("Figure 7 sweep: seeds {:?}, {} traces, limits {:?}", cfg.seeds, cfg.traces, cfg.limits);
+    let fig = evematch_eval::experiments::fig7(&cfg);
+    evematch_bench::emit_figure(&fig, "fig7");
+}

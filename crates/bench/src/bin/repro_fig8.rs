@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 (see evematch-eval::experiments::fig8).
+
+fn main() {
+    let cfg = evematch_bench::sweep_config();
+    eprintln!("Figure 8 sweep: seeds {:?}, {} traces, limits {:?}", cfg.seeds, cfg.traces, cfg.limits);
+    let fig = evematch_eval::experiments::fig8(&cfg);
+    evematch_bench::emit_figure(&fig, "fig8");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 3: characteristics of the three datasets.
+
+fn main() {
+    let seed = std::env::var("EVEMATCH_SEEDS")
+        .ok()
+        .and_then(|s| s.split(',').next().and_then(|x| x.trim().parse().ok()))
+        .unwrap_or(11);
+    let t = evematch_eval::experiments::table3(seed);
+    evematch_bench::emit(&t, "table3");
+}

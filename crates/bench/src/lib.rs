@@ -1,0 +1,85 @@
+//! Shared plumbing for the `repro_*` binaries and criterion benches.
+//!
+//! Every `repro_*` binary regenerates one table or figure of the paper's
+//! Section 6: it prints the panels to stdout and writes CSV files under
+//! `results/`. Knobs (all optional, read from the environment):
+//!
+//! * `EVEMATCH_SEEDS` — comma-separated dataset seeds (default `11,23,37`);
+//! * `EVEMATCH_TRACES` — trace count for the fixed-trace figures
+//!   (default 3000; lower it for a quick pass);
+//! * `EVEMATCH_FIG12_TRACES` — trace count for Figure 12 (default 10000);
+//! * `EVEMATCH_WORKERS` — sweep worker threads (default: all cores; use 1
+//!   for the most faithful timings);
+//! * `EVEMATCH_LIMIT_SECS` / `EVEMATCH_LIMIT_PROCESSED` — per-run budget
+//!   for the exhaustive methods (defaults 60s / 2,000,000 mappings), after
+//!   which a configuration is reported as did-not-finish, like the paper's
+//!   Figure 12 beyond 20 events;
+//! * `EVEMATCH_OUT` — output directory (default `results`).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use evematch_core::SearchLimits;
+use evematch_eval::experiments::{FigureResult, SweepConfig};
+use evematch_eval::Table;
+
+/// Reads an env var into a parsed value, with a default.
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The sweep configuration derived from the environment.
+pub fn sweep_config() -> SweepConfig {
+    let seeds: Vec<u64> = std::env::var("EVEMATCH_SEEDS")
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![11, 23, 37]);
+    SweepConfig {
+        seeds,
+        limits: SearchLimits {
+            max_processed: Some(env_or("EVEMATCH_LIMIT_PROCESSED", 2_000_000u64)),
+            max_duration: Some(Duration::from_secs(env_or("EVEMATCH_LIMIT_SECS", 60u64))),
+        },
+        workers: env_or(
+            "EVEMATCH_WORKERS",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ),
+        traces: env_or("EVEMATCH_TRACES", 3000usize),
+    }
+}
+
+/// Trace count for Figure 12.
+pub fn fig12_traces() -> usize {
+    env_or("EVEMATCH_FIG12_TRACES", 10_000usize)
+}
+
+/// The output directory (created on demand).
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(std::env::var("EVEMATCH_OUT").unwrap_or_else(|_| "results".into()));
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Prints a table and writes it as `<stem>.csv` under the output dir.
+pub fn emit(table: &Table, stem: &str) {
+    println!("{table}");
+    let path = out_dir().join(format!("{stem}.csv"));
+    let file = std::fs::File::create(&path).expect("create csv");
+    table.write_csv(file).expect("write csv");
+    eprintln!("wrote {}", path.display());
+}
+
+/// Prints and saves all three panels of a figure.
+pub fn emit_figure(fig: &FigureResult, stem: &str) {
+    emit(&fig.f_measure, &format!("{stem}a_fmeasure"));
+    emit(&fig.time, &format!("{stem}b_time"));
+    emit(&fig.processed, &format!("{stem}c_processed"));
+}

@@ -1,0 +1,25 @@
+//! Baseline matchers the paper compares against (Section 6).
+//!
+//! * **Vertex** and **Vertex+Edge** [7] are not separate engines: vertices
+//!   and dependency edges are special patterns (Section 2.2), so these
+//!   baselines are the [`ExactMatcher`](crate::ExactMatcher) — or either
+//!   heuristic — run on a [`PatternSetBuilder`](crate::PatternSetBuilder)
+//!   restricted to `.vertices()` or `.vertices().edges()`.
+//! * **Iterative** [16] propagates vertex similarities along dependency
+//!   edges to a fixpoint and then assigns optimally ([`IterativeMatcher`]).
+//! * **Entropy-only** [7] compares events solely by the entropy of their
+//!   per-trace occurrence, ignoring structure ([`EntropyMatcher`]).
+
+mod entropy;
+mod iterative;
+
+pub use entropy::EntropyMatcher;
+pub use iterative::{IterativeConfig, IterativeMatcher};
+
+/// Propagated similarity with the default iterative configuration (used by
+/// the advanced heuristic's estimated-score sharpening).
+pub(crate) fn propagated_similarity_default(
+    ctx: &crate::context::MatchContext,
+) -> Vec<Vec<f64>> {
+    iterative::propagated_similarity(ctx, &IterativeConfig::default())
+}

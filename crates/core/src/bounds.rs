@@ -1,0 +1,405 @@
+//! Upper bounds `Δ(p, U)` on pattern contributions (Problem 2; Sections 3.3
+//! and 4, Algorithm 2, Table 2).
+//!
+//! `d(p) = 1 − |f1 − f2| / (f1 + f2)` is increasing in `f2` on `[0, f1]`,
+//! so any cap `F ≥ f2(M'(p))` valid for *every* completion `M'` of the
+//! current partial mapping yields the admissible bound
+//!
+//! ```text
+//! Δ = 1 − (f1 − min(F, f1)) / (f1 + min(F, f1))   (= 1 when F ≥ f1)
+//! ```
+//!
+//! The caps, in increasing order of sharpness:
+//!
+//! * **size rule** — more unmapped pattern events than unused targets ⇒
+//!   `Δ = 0` (both bound kinds);
+//! * **vertex caps** — a matching trace contains every mapped event, so
+//!   `f2 ≤ f(x)` for each already-fixed image `x`, and `f2 ≤ f_n(U2)` (the
+//!   best unused vertex frequency) while any event is unfixed — Table 2
+//!   case 1, sharpened to a *minimum* over fixed images;
+//! * **edge-group caps** — every allowed order realizes one ordered pair
+//!   from each *required edge group* of the pattern
+//!   ([`evematch_pattern::edge_groups`]), so `f2 ≤ Σ_{(a,b) ∈ G} cap(a→b)`
+//!   for each group `G`, where `cap(a→b)` is the exact mapped edge
+//!   frequency when both ends are fixed (possibly 0 — subsuming the
+//!   pattern-existence pruning inside `h`), the best edge from/to the fixed
+//!   end otherwise, and the best unused-to-unused edge frequency `f_e(U2)`
+//!   when neither end is fixed. Table 2's `f_e`, `k!·f_e` and `ω(p)·f_e`
+//!   cases are the fully-unfixed specializations (with `k(k−1) ≤ k!` and
+//!   per-boundary sums `≤ ω(p)`, i.e. never looser).
+
+use evematch_eventlog::{DepGraph, EventId};
+use evematch_pattern::EvaluatedPattern;
+
+use crate::mapping::Mapping;
+
+/// Which `h` bounding function the search uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// Section 3.3: `Δ = 1` per remaining pattern (after the size rule).
+    /// Cheap but loose.
+    Simple,
+    /// Section 4 / Table 2 in structure-aware form. Tighter, still without
+    /// any subgraph-isomorphism step.
+    Tight,
+}
+
+/// Per-search-node precomputation shared by all patterns' bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundPrecomp {
+    /// `f_n(U2)`: highest vertex frequency among unused targets.
+    pub fn_u2: f64,
+    /// `f_e(U2)`: highest edge frequency with both endpoints unused
+    /// (self-loops excluded — pattern events are distinct).
+    pub fe_u2: f64,
+    /// `|U2|`.
+    pub unused: usize,
+}
+
+impl BoundPrecomp {
+    /// Scans the unused targets of `m` once (`O(|V2| + |E2|)`).
+    pub fn new(m: &Mapping, dep2: &DepGraph) -> Self {
+        debug_assert_eq!(
+            m.target_len(),
+            dep2.event_count(),
+            "mapping targets and dependency graph must cover the same V2"
+        );
+        let n2 = m.target_len();
+        let mut fn_u2 = 0.0f64;
+        let mut unused = 0;
+        for v in (0..n2 as u32).map(EventId) {
+            if !m.is_used(v) {
+                unused += 1;
+                fn_u2 = fn_u2.max(dep2.vertex_freq(v));
+            }
+        }
+        let mut fe_u2 = 0.0f64;
+        for (a, b) in dep2.edges() {
+            if a != b && !m.is_used(a) && !m.is_used(b) {
+                fe_u2 = fe_u2.max(dep2.edge_freq(a, b));
+            }
+        }
+        BoundPrecomp {
+            fn_u2,
+            fe_u2,
+            unused,
+        }
+    }
+}
+
+/// Computes `Δ(p)` for pattern `ep` under the partial mapping `m`: an upper
+/// bound of `d(p)` over every completion of `m`.
+pub fn upper_bound_partial(
+    kind: BoundKind,
+    ep: &EvaluatedPattern,
+    m: &Mapping,
+    dep2: &DepGraph,
+    pre: &BoundPrecomp,
+) -> f64 {
+    // Trivial tightest case: not enough unused targets for the pattern's
+    // unfixed events.
+    let unfixed = ep.events.iter().filter(|&&e| !m.is_mapped(e)).count();
+    if unfixed > pre.unused {
+        return 0.0;
+    }
+    match kind {
+        BoundKind::Simple => 1.0,
+        BoundKind::Tight => {
+            let f1 = ep.freq;
+            if f1 == 0.0 {
+                // sim(0, f2) = 0 for every f2.
+                return 0.0;
+            }
+            // Vertex caps.
+            let mut cap = f64::INFINITY;
+            for &e in &ep.events {
+                match m.get(e) {
+                    Some(x) => cap = cap.min(dep2.vertex_freq(x)),
+                    None => cap = cap.min(pre.fn_u2),
+                }
+                if cap == 0.0 {
+                    return 0.0;
+                }
+            }
+            // Edge-group caps.
+            for group in &ep.edge_groups {
+                let mut gsum = 0.0;
+                for &(a, b) in group {
+                    gsum += edge_cap(a, b, m, dep2, pre);
+                    if gsum >= cap {
+                        break; // this group cannot tighten further
+                    }
+                }
+                cap = cap.min(gsum);
+                if cap == 0.0 {
+                    return 0.0;
+                }
+            }
+            if cap >= f1 {
+                1.0
+            } else {
+                1.0 - (f1 - cap) / (f1 + cap)
+            }
+        }
+    }
+}
+
+/// Best possible mapped frequency of the pattern edge `a -> b` given the
+/// fixed images of `m`.
+fn edge_cap(a: EventId, b: EventId, m: &Mapping, dep2: &DepGraph, pre: &BoundPrecomp) -> f64 {
+    match (m.get(a), m.get(b)) {
+        (Some(x), Some(y)) => dep2.edge_freq(x, y),
+        (Some(x), None) => {
+            // b's image is some unused target.
+            let mut best = 0.0f64;
+            for &s in dep2.graph().successors(x.0) {
+                let s = EventId(s);
+                if s != x && !m.is_used(s) {
+                    best = best.max(dep2.edge_freq(x, s));
+                }
+            }
+            best
+        }
+        (None, Some(y)) => {
+            let mut best = 0.0f64;
+            for &p in dep2.graph().predecessors(y.0) {
+                let p = EventId(p);
+                if p != y && !m.is_used(p) {
+                    best = best.max(dep2.edge_freq(p, y));
+                }
+            }
+            best
+        }
+        (None, None) => pre.fe_u2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evematch_eventlog::{EventLog, LogBuilder};
+    use evematch_pattern::{EvaluatedPattern, Pattern};
+
+    fn ev(i: u32) -> EventId {
+        EventId(i)
+    }
+
+    /// L2 target: vertices x(0) y(1) z(2) w(3); edges x->y (1/4),
+    /// y->z (2/4), w->x (1/4); vertex freqs all 0.5.
+    fn l2() -> EventLog {
+        let mut b = LogBuilder::new();
+        b.push_named_trace(["x", "y", "z"]);
+        b.push_named_trace(["y", "z"]);
+        b.push_named_trace(["w"]);
+        b.push_named_trace(["w", "x"]);
+        b.build()
+    }
+
+    /// Evaluates a pattern on an L1 where it matches every trace (f1 = 1).
+    fn full_freq(p: Pattern, traces: &[&[&str]]) -> EvaluatedPattern {
+        let mut b = LogBuilder::new();
+        for t in traces {
+            b.push_named_trace(t.iter().copied());
+        }
+        let l1 = b.build();
+        let idx = l1.trace_index();
+        let ep = EvaluatedPattern::new(p, &l1, &idx);
+        assert!(ep.freq > 0.0);
+        ep
+    }
+
+    fn empty_mapping() -> Mapping {
+        Mapping::empty(4, 4)
+    }
+
+    #[test]
+    fn size_rule_dominates_everything() {
+        let ep = full_freq(
+            Pattern::seq_of_events([ev(0), ev(1), ev(2)]).unwrap(),
+            &[&["A", "B", "C"]],
+        );
+        let dep2 = l2().dep_graph();
+        // Use up 2 of 4 targets: only 2 unused for a 3-event pattern.
+        let m = Mapping::from_pairs(4, 4, [(ev(3), ev(0)), (ev(0), ev(1))]);
+        // Note event 0 of the pattern IS mapped; unfixed = {1, 2} = 2 ≤ 2,
+        // so shrink further.
+        let m2 = {
+            let mut m = m.clone();
+            m.insert(ev(1), ev(2));
+            m
+        };
+        let pre = BoundPrecomp::new(&m2, &dep2);
+        assert_eq!(pre.unused, 1);
+        // Pattern has unfixed = {2}: 1 ≤ 1 — not pruned by size.
+        assert!(upper_bound_partial(BoundKind::Tight, &ep, &m2, &dep2, &pre) >= 0.0);
+        // A fully-unmapped 3-event pattern with only 2 unused targets is
+        // pruned, under both bound kinds. (Target side: a 3-event log.)
+        let ep_other = full_freq(
+            Pattern::seq_of_events([ev(1), ev(2), ev(3)]).unwrap(),
+            &[&["A", "B", "C", "D"]],
+        );
+        let mut small = LogBuilder::new();
+        small.push_named_trace(["x", "y", "z"]);
+        let dep_small = small.build().dep_graph();
+        let m3 = Mapping::from_pairs(4, 3, [(ev(0), ev(0))]);
+        let pre3 = BoundPrecomp::new(&m3, &dep_small);
+        assert_eq!(pre3.unused, 2);
+        assert_eq!(
+            upper_bound_partial(BoundKind::Simple, &ep_other, &m3, &dep_small, &pre3),
+            0.0
+        );
+        assert_eq!(
+            upper_bound_partial(BoundKind::Tight, &ep_other, &m3, &dep_small, &pre3),
+            0.0
+        );
+    }
+
+    #[test]
+    fn simple_bound_is_one() {
+        let ep = full_freq(Pattern::event(0), &[&["A"]]);
+        let dep2 = l2().dep_graph();
+        let m = empty_mapping();
+        let pre = BoundPrecomp::new(&m, &dep2);
+        assert_eq!(upper_bound_partial(BoundKind::Simple, &ep, &m, &dep2, &pre), 1.0);
+    }
+
+    #[test]
+    fn vertex_pattern_uses_unused_max_frequency() {
+        let ep = full_freq(Pattern::event(0), &[&["A"]]); // f1 = 1.0
+        let dep2 = l2().dep_graph();
+        let m = empty_mapping();
+        let pre = BoundPrecomp::new(&m, &dep2);
+        // All vertex freqs are 0.5 -> cap 0.5 < f1 = 1.
+        let b = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);
+        let expect = 1.0 - (1.0 - 0.5) / (1.0 + 0.5);
+        assert!((b - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seq_pattern_caps_by_best_unused_edge() {
+        let ep = full_freq(
+            Pattern::seq_of_events([ev(0), ev(1)]).unwrap(),
+            &[&["A", "B"], &["A", "B"]],
+        );
+        let dep2 = l2().dep_graph();
+        let m = empty_mapping();
+        let pre = BoundPrecomp::new(&m, &dep2);
+        // Best edge anywhere: y->z at 0.5.
+        let b = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);
+        let expect = 1.0 - (1.0 - 0.5) / (1.0 + 0.5);
+        assert!((b - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_source_restricts_the_edge_cap() {
+        // SEQ(A, B) with A already mapped to w: B's image must be a
+        // successor of w among unused targets — only w->x at 0.25.
+        let ep = full_freq(
+            Pattern::seq_of_events([ev(0), ev(1)]).unwrap(),
+            &[&["A", "B"]],
+        );
+        let dep2 = l2().dep_graph();
+        let m = Mapping::from_pairs(4, 4, [(ev(0), ev(3))]); // A -> w
+        let pre = BoundPrecomp::new(&m, &dep2);
+        let b = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);
+        let expect = 1.0 - (1.0 - 0.25) / (1.0 + 0.25);
+        assert!((b - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_ends_fixed_gives_exact_edge_frequency_even_zero() {
+        let ep = full_freq(
+            Pattern::seq_of_events([ev(0), ev(1)]).unwrap(),
+            &[&["A", "B"]],
+        );
+        let dep2 = l2().dep_graph();
+        // A -> z, B -> w: edge z->w has frequency 0 -> Δ = 0. The whole
+        // subtree is pruned by h, without a subgraph-isomorphism step.
+        let m = Mapping::from_pairs(4, 4, [(ev(0), ev(2)), (ev(1), ev(3))]);
+        let pre = BoundPrecomp::new(&m, &dep2);
+        assert_eq!(
+            upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre),
+            0.0
+        );
+        // A -> y, B -> z: edge y->z at 0.5 -> positive bound.
+        let m = Mapping::from_pairs(4, 4, [(ev(0), ev(1)), (ev(1), ev(2))]);
+        let pre = BoundPrecomp::new(&m, &dep2);
+        let b = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);
+        assert!((b - (1.0 - 0.5 / 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_pattern_sums_the_cross_group() {
+        // AND(A, B) fully unfixed: group {AB, BA} -> cap = 2·f_e = 1.0 ≥
+        // f1, but the vertex cap 0.5 still applies.
+        let ep = full_freq(
+            Pattern::and_of_events([ev(0), ev(1)]).unwrap(),
+            &[&["A", "B"], &["B", "A"]],
+        );
+        let dep2 = l2().dep_graph();
+        let m = empty_mapping();
+        let pre = BoundPrecomp::new(&m, &dep2);
+        let b = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);
+        let expect = 1.0 - (1.0 - 0.5) / (1.0 + 0.5);
+        assert!((b - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_pattern_minimizes_over_boundaries() {
+        // SEQ(A, AND(B, C), D), f1 = 1, fully unfixed: groups of sizes
+        // 2, 2, 2 -> per-group cap 2·f_e = 1.0; vertex cap 0.5 wins.
+        let p = Pattern::seq(vec![
+            Pattern::event(0),
+            Pattern::and(vec![Pattern::event(1), Pattern::event(2)]).unwrap(),
+            Pattern::event(3),
+        ])
+        .unwrap();
+        let ep = full_freq(p, &[&["A", "B", "C", "D"], &["A", "C", "B", "D"]]);
+        let dep2 = l2().dep_graph();
+        let m = empty_mapping();
+        let pre = BoundPrecomp::new(&m, &dep2);
+        let b = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);
+        let expect = 1.0 - (1.0 - 0.5) / (1.0 + 0.5);
+        assert!((b - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_f1_bounds_to_zero() {
+        let mut b = LogBuilder::new();
+        b.push_named_trace(["A", "B"]);
+        let l1 = b.build();
+        let idx = l1.trace_index();
+        let ep = EvaluatedPattern::new(
+            Pattern::seq_of_events([ev(1), ev(0)]).unwrap(),
+            &l1,
+            &idx,
+        );
+        assert_eq!(ep.freq, 0.0);
+        let dep2 = l2().dep_graph();
+        let m = empty_mapping();
+        let pre = BoundPrecomp::new(&m, &dep2);
+        assert_eq!(
+            upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre),
+            0.0
+        );
+    }
+
+    #[test]
+    fn tight_never_exceeds_simple() {
+        let p = Pattern::seq(vec![
+            Pattern::event(0),
+            Pattern::and(vec![Pattern::event(1), Pattern::event(2)]).unwrap(),
+        ])
+        .unwrap();
+        let ep = full_freq(p, &[&["A", "B", "C"], &["A", "C", "B"]]);
+        let dep2 = l2().dep_graph();
+        for pairs in [vec![], vec![(ev(0), ev(1))], vec![(ev(0), ev(1)), (ev(3), ev(0))]] {
+            let m = Mapping::from_pairs(4, 4, pairs);
+            let pre = BoundPrecomp::new(&m, &dep2);
+            let t = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);
+            let s = upper_bound_partial(BoundKind::Simple, &ep, &m, &dep2, &pre);
+            assert!(t <= s + 1e-12);
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+}

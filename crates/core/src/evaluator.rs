@@ -1,0 +1,267 @@
+//! Evaluation of pattern contributions `d(p)` under (partial) mappings,
+//! with memoization and Proposition-3 existence pruning.
+
+use std::collections::HashMap;
+
+use evematch_eventlog::EventId;
+use evematch_pattern::{is_realizable, pattern_support};
+
+use crate::context::MatchContext;
+use crate::mapping::Mapping;
+use crate::score::sim;
+
+/// Counters describing how much work an evaluator did — these feed the
+/// "processed mappings" and pruning plots (Figures 7c, 8c, 9c, 10c).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Mapped-pattern frequency evaluations that scanned the log.
+    pub log_scans: u64,
+    /// Evaluations answered by the memo cache.
+    pub cache_hits: u64,
+    /// Evaluations answered `0` by the Proposition-3 existence check
+    /// without touching the log.
+    pub existence_pruned: u64,
+}
+
+/// Evaluates `d(p) = 1 − |f1(p) − f2(M(p))| / (f1(p) + f2(M(p)))` for the
+/// patterns of a [`MatchContext`] under concrete event images.
+///
+/// One evaluator is owned by one solver run; its memo cache is keyed by
+/// `(pattern, image tuple)`, so re-visiting the same partial assignment on a
+/// different search branch is free. Single-event and single-edge patterns
+/// bypass the cache entirely — their frequencies come straight from the
+/// dependency graph of `L2`.
+pub struct Evaluator<'a> {
+    ctx: &'a MatchContext,
+    cache: HashMap<(u32, Box<[EventId]>), u32>,
+    /// Work counters for this run.
+    pub stats: EvalStats,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates a fresh evaluator (empty cache, zeroed counters).
+    pub fn new(ctx: &'a MatchContext) -> Self {
+        Evaluator {
+            ctx,
+            cache: HashMap::new(),
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The context this evaluator works on.
+    pub fn context(&self) -> &'a MatchContext {
+        self.ctx
+    }
+
+    /// The images of pattern `p_idx`'s (sorted) events under `m`, or `None`
+    /// while any of them is unmapped.
+    pub fn images_under(&self, p_idx: usize, m: &Mapping) -> Option<Vec<EventId>> {
+        self.ctx.patterns()[p_idx]
+            .events
+            .iter()
+            .map(|&e| m.get(e))
+            .collect()
+    }
+
+    /// `d(p)` under `m`, or `None` while the pattern is not fully mapped.
+    pub fn d(&mut self, p_idx: usize, m: &Mapping) -> Option<f64> {
+        let images = self.images_under(p_idx, m)?;
+        Some(self.d_with_images(p_idx, &images))
+    }
+
+    /// `d(p)` given explicit images (aligned with the pattern's sorted
+    /// event list).
+    pub fn d_with_images(&mut self, p_idx: usize, images: &[EventId]) -> f64 {
+        let f1 = self.ctx.patterns()[p_idx].freq;
+        let support2 = self.mapped_support(p_idx, images);
+        let n2 = self.ctx.log2().len();
+        let f2 = if n2 == 0 {
+            0.0
+        } else {
+            support2 as f64 / n2 as f64
+        };
+        sim(f1, f2)
+    }
+
+    /// Unnormalized support of the mapped pattern `M(p)` in `L2`.
+    pub fn mapped_support(&mut self, p_idx: usize, images: &[EventId]) -> u32 {
+        let ep = &self.ctx.patterns()[p_idx];
+        debug_assert_eq!(images.len(), ep.events.len());
+        let dep2 = self.ctx.dep2();
+        // Fast paths: vertex and edge special patterns (the bulk of P) read
+        // straight off the dependency graph.
+        match images {
+            [only] if ep.size() == 1 => return dep2.vertex_support(*only),
+            [_, _] if ep.graph.edge_count() == 1 => {
+                let (a, b) = ep
+                    .graph
+                    .edges_global()
+                    .next()
+                    .expect("edge pattern has one edge");
+                let ia = self.image_of(ep, a, images);
+                let ib = self.image_of(ep, b, images);
+                return dep2.edge_support(ia, ib);
+            }
+            _ => {}
+        }
+        let key = (p_idx as u32, images.to_vec().into_boxed_slice());
+        if let Some(&support) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return support;
+        }
+        let mapped = ep
+            .pattern
+            .map_events(&|e| self.image_of(ep, e, images));
+        // Proposition 3 (sound form): if no allowed order of the mapped
+        // pattern can be realized along dependency edges of G2, no trace of
+        // L2 matches it — skip the log scan.
+        let support = if !is_realizable(&mapped, &|a, b| dep2.has_edge(a, b)) {
+            self.stats.existence_pruned += 1;
+            0
+        } else {
+            self.stats.log_scans += 1;
+            pattern_support(&mapped, self.ctx.log2(), self.ctx.index2()) as u32
+        };
+        self.cache.insert(key, support);
+        support
+    }
+
+    #[inline]
+    fn image_of(
+        &self,
+        ep: &evematch_pattern::EvaluatedPattern,
+        e: EventId,
+        images: &[EventId],
+    ) -> EventId {
+        let pos = ep
+            .events
+            .binary_search(&e)
+            .expect("event belongs to the pattern");
+        images[pos]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PatternSetBuilder;
+    use evematch_eventlog::LogBuilder;
+    use evematch_pattern::Pattern;
+
+    /// L1: A (B‖C) D, both orders; L2: w (x‖y) z but only the x-before-y
+    /// order, plus one noise trace.
+    fn ctx() -> MatchContext {
+        let mut b1 = LogBuilder::new();
+        b1.push_named_trace(["A", "B", "C", "D"]);
+        b1.push_named_trace(["A", "C", "B", "D"]);
+        let mut b2 = LogBuilder::new();
+        b2.push_named_trace(["w", "x", "y", "z"]);
+        b2.push_named_trace(["w", "z"]);
+        let p1 = Pattern::seq(vec![
+            Pattern::event(0),
+            Pattern::and(vec![Pattern::event(1), Pattern::event(2)]).unwrap(),
+            Pattern::event(3),
+        ])
+        .unwrap();
+        MatchContext::new(
+            b1.build(),
+            b2.build(),
+            PatternSetBuilder::new().vertices().edges().complex(p1),
+        )
+        .unwrap()
+    }
+
+    fn identity(n1: usize, n2: usize) -> Mapping {
+        Mapping::from_pairs(
+            n1,
+            n2,
+            (0..n1 as u32).map(|i| (EventId(i), EventId(i))),
+        )
+    }
+
+    #[test]
+    fn vertex_pattern_fast_path() {
+        let c = ctx();
+        let mut ev = Evaluator::new(&c);
+        // Pattern 0 is the vertex pattern for A; map A -> w (freq 1.0 both).
+        let d = ev.d_with_images(0, &[EventId(0)]);
+        assert!((d - 1.0).abs() < 1e-12);
+        // Map A -> x (f2 = 0.5): sim(1.0, 0.5) = 1 - 0.5/1.5.
+        let d = ev.d_with_images(0, &[EventId(1)]);
+        assert!((d - (1.0 - 0.5 / 1.5)).abs() < 1e-12);
+        // Fast paths never touch the cache or the log.
+        assert_eq!(ev.stats.log_scans, 0);
+        assert_eq!(ev.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn complex_pattern_is_counted_and_cached() {
+        let c = ctx();
+        let p1_idx = c.patterns().len() - 1;
+        let mut ev = Evaluator::new(&c);
+        // Identity mapping: p1 -> SEQ(w, AND(x, y), z); L2 has one matching
+        // trace of two, so f2 = 0.5, f1 = 1.0.
+        let images: Vec<EventId> = (0..4).map(EventId).collect();
+        let d = ev.d_with_images(p1_idx, &images);
+        assert!((d - sim(1.0, 0.5)).abs() < 1e-12);
+        assert_eq!(ev.stats.log_scans, 1);
+        let _ = ev.d_with_images(p1_idx, &images);
+        assert_eq!(ev.stats.cache_hits, 1);
+        assert_eq!(ev.stats.log_scans, 1);
+    }
+
+    #[test]
+    fn existence_pruning_skips_log_scan() {
+        let c = ctx();
+        let p1_idx = c.patterns().len() - 1;
+        let mut ev = Evaluator::new(&c);
+        // Map A->z, B->x, C->y, D->w: SEQ(z, AND(x,y), w) needs edge z->x
+        // or z->y in G2 — absent, so the pattern cannot be realized.
+        let images = vec![EventId(3), EventId(1), EventId(2), EventId(0)];
+        let d = ev.d_with_images(p1_idx, &images);
+        assert_eq!(d, 0.0);
+        assert_eq!(ev.stats.existence_pruned, 1);
+        assert_eq!(ev.stats.log_scans, 0);
+    }
+
+    #[test]
+    fn d_returns_none_for_incomplete_mapping() {
+        let c = ctx();
+        let p1_idx = c.patterns().len() - 1;
+        let mut ev = Evaluator::new(&c);
+        let mut m = Mapping::empty(c.n1(), c.n2());
+        m.insert(EventId(0), EventId(0));
+        assert_eq!(ev.d(p1_idx, &m), None);
+        // Vertex pattern of A is complete.
+        assert!(ev.d(0, &m).is_some());
+        let full = identity(c.n1(), c.n2());
+        assert!(ev.d(p1_idx, &full).is_some());
+    }
+
+    #[test]
+    fn edge_pattern_fast_path_respects_direction() {
+        let c = ctx();
+        // Find the SEQ(B, C) edge pattern (B->C edge exists in L1).
+        let idx = c
+            .patterns()
+            .iter()
+            .position(|ep| {
+                ep.size() == 2
+                    && ep.graph.edge_count() == 1
+                    && ep.events == vec![EventId(1), EventId(2)]
+                    && ep
+                        .graph
+                        .edges_global()
+                        .next()
+                        .is_some_and(|(a, b)| a == EventId(1) && b == EventId(2))
+            })
+            .expect("edge pattern B->C exists");
+        let mut ev = Evaluator::new(&c);
+        // B -> x, C -> y: edge x->y occurs in 1 of 2 traces.
+        let s = ev.mapped_support(idx, &[EventId(1), EventId(2)]);
+        assert_eq!(s, 1);
+        // B -> y, C -> x: edge y->x never occurs.
+        let s = ev.mapped_support(idx, &[EventId(2), EventId(1)]);
+        assert_eq!(s, 0);
+    }
+}

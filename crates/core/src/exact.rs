@@ -1,0 +1,418 @@
+//! The exact A\* event-matching search (Algorithm 1).
+//!
+//! Each search-tree node is a partial mapping `(M, U1, U2)` scored by
+//! `g + h`: `g` is the pattern normal distance already realized by the
+//! fully-mapped patterns, `h` an admissible upper bound on what the
+//! remaining patterns can still contribute ([`BoundKind`]). Nodes expand in
+//! a fixed event order — the unmapped `V1` event involved in the most
+//! patterns first (Section 3.1) — so completed patterns appear, and prune,
+//! as early as possible. `g` is computed incrementally from the parent via
+//! the inverted pattern index (`P_new`, Section 3.2.1), and mapped-pattern
+//! frequencies go through the [`Evaluator`]'s Proposition-3 existence check
+//! and memo cache.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::bounds::BoundKind;
+use crate::context::MatchContext;
+use crate::evaluator::{EvalStats, Evaluator};
+use crate::mapping::Mapping;
+use crate::score::heuristic_bound;
+
+/// Resource limits for a search run. The exact search is factorial in the
+/// worst case (Theorem 1), so experiment harnesses set these to mark a
+/// configuration as "did not finish" — exactly how the paper reports the
+/// Exact and Vertex+Edge methods beyond 20 events in Figure 12.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchLimits {
+    /// Abort after this many processed (generated) mappings.
+    pub max_processed: Option<u64>,
+    /// Abort after this much wall-clock time.
+    pub max_duration: Option<Duration>,
+}
+
+impl SearchLimits {
+    /// No limits.
+    pub const UNLIMITED: SearchLimits = SearchLimits {
+        max_processed: None,
+        max_duration: None,
+    };
+}
+
+/// Work counters of one solver run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Mappings `M'` created in Line 7 of Algorithm 1 (resp. candidate
+    /// augmentations `M_ij` in Line 6 of Algorithm 3) — the quantity plotted
+    /// in Figures 7c, 8c, 9c and 10c.
+    pub processed_mappings: u64,
+    /// Tree nodes actually visited (popped with the maximum `g + h`).
+    pub visited_nodes: u64,
+    /// Pattern-evaluation counters.
+    pub eval: EvalStats,
+}
+
+/// A finished matching: the mapping, its pattern normal distance, and the
+/// work it took.
+#[derive(Clone, Debug)]
+pub struct MatchOutcome {
+    /// The (complete) event mapping found.
+    pub mapping: Mapping,
+    /// Its pattern normal distance `D^N(M)`.
+    pub score: f64,
+    /// Work counters.
+    pub stats: SearchStats,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+/// Why a search did not produce a mapping.
+#[derive(Clone, Debug)]
+pub enum SearchError {
+    /// A [`SearchLimits`] threshold was hit; counters up to that point are
+    /// attached.
+    LimitExceeded {
+        /// Work done before giving up.
+        stats: SearchStats,
+        /// Wall-clock time spent before giving up.
+        elapsed: Duration,
+    },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::LimitExceeded { stats, elapsed } => write!(
+                f,
+                "search limit exceeded after {} processed mappings in {:.2?}",
+                stats.processed_mappings, elapsed
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// The exact matcher: A\* over partial mappings, guaranteed to return a
+/// mapping maximizing the pattern normal distance (given admissible bounds,
+/// which both [`BoundKind`]s are).
+#[derive(Clone, Copy, Debug)]
+pub struct ExactMatcher {
+    /// Which `h` bound prunes the search (the paper's Pattern-Simple vs
+    /// Pattern-Tight).
+    pub bound: BoundKind,
+    /// Resource limits.
+    pub limits: SearchLimits,
+}
+
+impl ExactMatcher {
+    /// An unlimited exact matcher with the given bound.
+    pub fn new(bound: BoundKind) -> Self {
+        ExactMatcher {
+            bound,
+            limits: SearchLimits::UNLIMITED,
+        }
+    }
+
+    /// Sets resource limits.
+    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Runs Algorithm 1 on `ctx`.
+    pub fn solve(&self, ctx: &MatchContext) -> Result<MatchOutcome, SearchError> {
+        let start = Instant::now();
+        let mut eval = Evaluator::new(ctx);
+        let n1 = ctx.n1();
+        let order = ctx.pattern_index().expansion_order();
+        debug_assert_eq!(order.len(), n1);
+        let mut stats = SearchStats::default();
+
+        let root_mapping = Mapping::empty(n1, ctx.n2());
+        let root_h = heuristic_bound(&mut eval, &root_mapping, self.bound);
+        let mut queue: BinaryHeap<Node> = BinaryHeap::new();
+        let mut seq = 0u64;
+        queue.push(Node {
+            f: root_h,
+            seq,
+            depth: 0,
+            g: 0.0,
+            mapping: root_mapping,
+        });
+
+        while let Some(node) = queue.pop() {
+            stats.visited_nodes += 1;
+            if node.depth as usize == n1 {
+                stats.eval = eval.stats;
+                return Ok(MatchOutcome {
+                    score: node.g,
+                    mapping: node.mapping,
+                    stats,
+                    elapsed: start.elapsed(),
+                });
+            }
+            let a = order[node.depth as usize];
+            for b in node.mapping.unused_targets() {
+                if self.exceeded(&stats, start) {
+                    stats.eval = eval.stats;
+                    return Err(SearchError::LimitExceeded {
+                        stats,
+                        elapsed: start.elapsed(),
+                    });
+                }
+                stats.processed_mappings += 1;
+                let mut child = node.mapping.clone();
+                child.insert(a, b);
+                let mut g = node.g;
+                for p_idx in ctx
+                    .pattern_index()
+                    .newly_completed(a, |e| child.is_mapped(e))
+                {
+                    let images = eval
+                        .images_under(p_idx, &child)
+                        .expect("newly completed pattern is fully mapped");
+                    g += eval.d_with_images(p_idx, &images);
+                }
+                let h = heuristic_bound(&mut eval, &child, self.bound);
+                seq += 1;
+                queue.push(Node {
+                    f: g + h,
+                    seq,
+                    depth: node.depth + 1,
+                    g,
+                    mapping: child,
+                });
+            }
+        }
+        // n1 > 0 guarantees children exist at every level (n1 ≤ n2), so the
+        // queue only drains for the trivial empty problem handled above by
+        // the root node having depth 0 == n1.
+        unreachable!("A* queue drained without reaching a complete mapping")
+    }
+
+    fn exceeded(&self, stats: &SearchStats, start: Instant) -> bool {
+        if let Some(max) = self.limits.max_processed {
+            if stats.processed_mappings >= max {
+                return true;
+            }
+        }
+        if let Some(max) = self.limits.max_duration {
+            // Clock reads are cheap relative to a child evaluation; check
+            // every 64 expansions to stay cheaper still.
+            if stats.processed_mappings % 64 == 0 && start.elapsed() >= max {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A search-tree node ordered by `f = g + h` (max-heap), ties broken toward
+/// the earliest-created node for determinism.
+struct Node {
+    f: f64,
+    seq: u64,
+    depth: u32,
+    g: f64,
+    mapping: Mapping,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // f ascending, then seq descending: BinaryHeap pops the max, i.e.
+        // the highest f; among equals, the smallest seq (earliest created).
+        self.f
+            .total_cmp(&other.f)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PatternSetBuilder;
+    use crate::score::pattern_normal_distance;
+    use evematch_eventlog::{EventLog, LogBuilder};
+    use evematch_pattern::Pattern;
+
+    use evematch_eventlog::EventId;
+
+    fn ev(i: u32) -> EventId {
+        EventId(i)
+    }
+
+    /// L1 over {A,B,C}, L2 over {x,y,z} — isomorphic logs where identity
+    /// (by interning order) is the unique best mapping.
+    fn isomorphic_logs() -> (EventLog, EventLog) {
+        let mut b1 = LogBuilder::new();
+        b1.push_named_trace(["A", "B", "C"]);
+        b1.push_named_trace(["A", "B", "C"]);
+        b1.push_named_trace(["A", "B"]);
+        let mut b2 = LogBuilder::new();
+        b2.push_named_trace(["x", "y", "z"]);
+        b2.push_named_trace(["x", "y", "z"]);
+        b2.push_named_trace(["x", "y"]);
+        (b1.build(), b2.build())
+    }
+
+    fn exhaustive_best(ctx: &MatchContext) -> f64 {
+        // Brute force over all injective mappings (tiny n only).
+        fn go(ctx: &MatchContext, m: &mut Mapping, v1: usize, best: &mut f64) {
+            if v1 == ctx.n1() {
+                *best = best.max(pattern_normal_distance(ctx, m));
+                return;
+            }
+            for b in m.unused_targets() {
+                m.insert(ev(v1 as u32), b);
+                go(ctx, m, v1 + 1, best);
+                m.remove(ev(v1 as u32));
+            }
+        }
+        let mut m = Mapping::empty(ctx.n1(), ctx.n2());
+        let mut best = f64::NEG_INFINITY;
+        go(ctx, &mut m, 0, &mut best);
+        best
+    }
+
+    #[test]
+    fn finds_the_identity_mapping_on_isomorphic_logs() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx =
+            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        for bound in [BoundKind::Simple, BoundKind::Tight] {
+            let out = ExactMatcher::new(bound).solve(&ctx).unwrap();
+            assert!(out.mapping.is_complete());
+            for i in 0..3u32 {
+                assert_eq!(out.mapping.get(ev(i)), Some(ev(i)), "bound {bound:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_matches_pattern_normal_distance() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx =
+            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let recomputed = pattern_normal_distance(&ctx, &out.mapping);
+        assert!((out.score - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_bounds_reach_the_exhaustive_optimum() {
+        // Heterogeneous little logs with an AND composite.
+        let mut b1 = LogBuilder::new();
+        b1.push_named_trace(["A", "B", "C", "D"]);
+        b1.push_named_trace(["A", "C", "B", "D"]);
+        b1.push_named_trace(["A", "B", "D"]);
+        let mut b2 = LogBuilder::new();
+        b2.push_named_trace(["p", "q", "r", "s"]);
+        b2.push_named_trace(["p", "r", "q", "s"]);
+        b2.push_named_trace(["p", "q", "s"]);
+        let pat = Pattern::seq(vec![
+            Pattern::event(0),
+            Pattern::and(vec![Pattern::event(1), Pattern::event(2)]).unwrap(),
+            Pattern::event(3),
+        ])
+        .unwrap();
+        let ctx = MatchContext::new(
+            b1.build(),
+            b2.build(),
+            PatternSetBuilder::new().vertices().edges().complex(pat),
+        )
+        .unwrap();
+        let best = exhaustive_best(&ctx);
+        for bound in [BoundKind::Simple, BoundKind::Tight] {
+            let out = ExactMatcher::new(bound).solve(&ctx).unwrap();
+            assert!(
+                (out.score - best).abs() < 1e-9,
+                "bound {bound:?}: got {} want {best}",
+                out.score
+            );
+        }
+    }
+
+    #[test]
+    fn tight_bound_processes_no_more_mappings_than_simple() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx =
+            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let simple = ExactMatcher::new(BoundKind::Simple).solve(&ctx).unwrap();
+        let tight = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        assert!(tight.stats.processed_mappings <= simple.stats.processed_mappings);
+        assert!((tight.score - simple.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_source_vocabulary_is_supported() {
+        let mut b1 = LogBuilder::new();
+        b1.push_named_trace(["A", "B"]);
+        let mut b2 = LogBuilder::new();
+        b2.push_named_trace(["x", "y", "z"]);
+        b2.push_named_trace(["x", "y"]);
+        let ctx = MatchContext::new(
+            b1.build(),
+            b2.build(),
+            PatternSetBuilder::new().vertices().edges(),
+        )
+        .unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        assert_eq!(out.mapping.len(), 2);
+        // A -> x, B -> y maximizes both vertex and edge similarity.
+        assert_eq!(out.mapping.get(ev(0)), Some(ev(0)));
+        assert_eq!(out.mapping.get(ev(1)), Some(ev(1)));
+    }
+
+    #[test]
+    fn empty_source_returns_empty_mapping() {
+        let l1 = LogBuilder::new().build();
+        let mut b2 = LogBuilder::new();
+        b2.push_named_trace(["x"]);
+        let ctx =
+            MatchContext::new(l1, b2.build(), PatternSetBuilder::new().vertices()).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        assert!(out.mapping.is_empty());
+        assert_eq!(out.score, 0.0);
+    }
+
+    #[test]
+    fn limit_exceeded_is_reported() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx =
+            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let limited = ExactMatcher::new(BoundKind::Simple).with_limits(SearchLimits {
+            max_processed: Some(1),
+            max_duration: None,
+        });
+        let err = limited.solve(&ctx).unwrap_err();
+        let SearchError::LimitExceeded { stats, .. } = err;
+        assert_eq!(stats.processed_mappings, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx =
+            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let a = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let b = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.stats.processed_mappings, b.stats.processed_mappings);
+    }
+}

@@ -1,0 +1,18 @@
+//! The heuristic matchers of Section 5.
+//!
+//! * [`SimpleHeuristic`] — the strawman sketched at the start of Section 5:
+//!   follow the A\* expansion order but keep only the single child with the
+//!   best `g + h` at every step. Fast, but each decision is local and an
+//!   early mistake is frozen forever.
+//! * [`AdvancedHeuristic`] — Algorithms 3 and 4: a Kuhn–Munkres primal–dual
+//!   skeleton over the *estimated scores* θ (Equation 2) whose candidate
+//!   augmenting paths are re-scored with the true pattern bounds `g + h`,
+//!   giving both a global view and the ability to revise earlier pairs via
+//!   alternating paths. Returns the optimum for vertex-only pattern sets
+//!   (Proposition 6).
+
+mod advanced;
+mod simple;
+
+pub use advanced::AdvancedHeuristic;
+pub use simple::SimpleHeuristic;

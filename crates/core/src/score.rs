@@ -1,0 +1,217 @@
+//! Matching scores: normal distance (Definition 2) and pattern normal
+//! distance (Definition 5).
+
+use evematch_eventlog::DepGraph;
+
+use crate::bounds::{upper_bound_partial, BoundKind, BoundPrecomp};
+use crate::context::MatchContext;
+use crate::evaluator::Evaluator;
+use crate::mapping::Mapping;
+
+/// Frequency similarity `1 − |f1 − f2| / (f1 + f2)` — one summand of the
+/// normal distance.
+///
+/// The both-zero case is defined as `0`: an event pair (or pattern) absent
+/// from both logs carries no evidence, so it contributes nothing. (With any
+/// other convention the vertex+edge sums of the paper's Example 3 do not
+/// come out; only pairs present in at least one log are counted, and a pair
+/// present in exactly one contributes `1 − f/f = 0` anyway.)
+#[inline]
+pub fn sim(f1: f64, f2: f64) -> f64 {
+    debug_assert!(f1 >= 0.0 && f2 >= 0.0);
+    let total = f1 + f2;
+    if total == 0.0 {
+        0.0
+    } else {
+        1.0 - (f1 - f2).abs() / total
+    }
+}
+
+/// Normal distance in **vertex form** (Definition 2 with `v1 = v2`): the
+/// summed similarity of individual event frequencies under `m`.
+pub fn normal_distance_vertex(dep1: &DepGraph, dep2: &DepGraph, m: &Mapping) -> f64 {
+    m.pairs()
+        .map(|(a, b)| sim(dep1.vertex_freq(a), dep2.vertex_freq(b)))
+        .sum()
+}
+
+/// Normal distance in **vertex+edge form** (Definition 2): vertex terms
+/// plus the similarity of consecutive-pair frequencies for every mapped
+/// event pair.
+///
+/// Pairs with zero frequency on both sides contribute `0` (see [`sim`]), so
+/// only edges present in `G1` need to be enumerated; an edge present only
+/// in `G2` contributes `1 − f/f = 0` as well.
+pub fn normal_distance_vertex_edge(dep1: &DepGraph, dep2: &DepGraph, m: &Mapping) -> f64 {
+    let mut total = normal_distance_vertex(dep1, dep2, m);
+    for (a1, b1) in dep1.edges() {
+        if a1 == b1 {
+            // The diagonal of Definition 2 is the vertex term, already
+            // summed above; a self-loop *edge* has no SEQ-pattern analogue.
+            continue;
+        }
+        if let (Some(a2), Some(b2)) = (m.get(a1), m.get(b1)) {
+            total += sim(dep1.edge_freq(a1, b1), dep2.edge_freq(a2, b2));
+        }
+    }
+    total
+}
+
+/// Pattern normal distance `D^N(M) = Σ_p d(p)` (Definition 5) of a complete
+/// or partial mapping: patterns with unmapped events contribute nothing.
+pub fn pattern_normal_distance(ctx: &MatchContext, m: &Mapping) -> f64 {
+    let mut eval = Evaluator::new(ctx);
+    (0..ctx.patterns().len())
+        .filter_map(|i| eval.d(i, m))
+        .sum()
+}
+
+/// The `g` and `h` of a partial mapping (Section 3.1): `g` is the realized
+/// pattern normal distance over fully-mapped patterns; `h` is the summed
+/// upper bound `Δ(p, U)` over the remaining patterns, where each pattern's
+/// allowed image set `U` is the union of its already-fixed images and the
+/// unused targets `U2`.
+pub fn score_partial(
+    eval: &mut Evaluator<'_>,
+    m: &Mapping,
+    bound: BoundKind,
+) -> (f64, f64) {
+    let ctx = eval.context();
+    let mut g = 0.0;
+    for i in 0..ctx.patterns().len() {
+        if let Some(images) = eval.images_under(i, m) {
+            g += eval.d_with_images(i, &images);
+        }
+    }
+    let h = heuristic_bound(eval, m, bound);
+    (g, h)
+}
+
+/// The `h` of a partial mapping alone: `Σ Δ(p)` over patterns with at
+/// least one unmapped event (Sections 3.3 and 4). Used by the A\* search,
+/// which tracks `g` incrementally and only needs `h` per child.
+pub fn heuristic_bound(eval: &mut Evaluator<'_>, m: &Mapping, bound: BoundKind) -> f64 {
+    let ctx = eval.context();
+    let pre = BoundPrecomp::new(m, ctx.dep2());
+    let mut h = 0.0;
+    for ep in ctx.patterns() {
+        if ep.events.iter().all(|&e| m.is_mapped(e)) {
+            continue; // fully mapped: contributes to g, not h
+        }
+        h += upper_bound_partial(bound, ep, m, ctx.dep2(), &pre);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PatternSetBuilder;
+    use evematch_eventlog::{EventId, EventLog, LogBuilder};
+    use evematch_pattern::Pattern;
+
+    fn ev(i: u32) -> EventId {
+        EventId(i)
+    }
+
+    fn logs() -> (EventLog, EventLog) {
+        let mut b1 = LogBuilder::new();
+        b1.push_named_trace(["A", "B", "C"]);
+        b1.push_named_trace(["A", "B"]);
+        let mut b2 = LogBuilder::new();
+        b2.push_named_trace(["x", "y", "z"]);
+        b2.push_named_trace(["x", "y"]);
+        (b1.build(), b2.build())
+    }
+
+    #[test]
+    fn sim_basic_properties() {
+        assert_eq!(sim(0.0, 0.0), 0.0);
+        assert_eq!(sim(1.0, 1.0), 1.0);
+        assert_eq!(sim(1.0, 0.0), 0.0);
+        assert_eq!(sim(0.0, 0.7), 0.0);
+        // Paper's Example 3: sim(1.0, 0.9) = 1 - 0.1/1.9 ≈ 0.947.
+        assert!((sim(1.0, 0.9) - 0.947_368_421).abs() < 1e-6);
+        // Symmetry.
+        assert_eq!(sim(0.3, 0.8), sim(0.8, 0.3));
+    }
+
+    #[test]
+    fn vertex_distance_of_identity_like_mapping() {
+        let (l1, l2) = logs();
+        let (d1, d2) = (l1.dep_graph(), l2.dep_graph());
+        let m = Mapping::from_pairs(3, 3, [(ev(0), ev(0)), (ev(1), ev(1)), (ev(2), ev(2))]);
+        // A~x: sim(1,1)=1; B~y: sim(1,1)=1; C~z: sim(0.5,0.5)=1.
+        assert!((normal_distance_vertex(&d1, &d2, &m) - 3.0).abs() < 1e-12);
+        // Swap B and C images: sim(1,0.5) twice + 1.
+        let m2 = Mapping::from_pairs(3, 3, [(ev(0), ev(0)), (ev(1), ev(2)), (ev(2), ev(1))]);
+        let expect = 1.0 + 2.0 * sim(1.0, 0.5);
+        assert!((normal_distance_vertex(&d1, &d2, &m2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_edge_distance_adds_edge_terms() {
+        let (l1, l2) = logs();
+        let (d1, d2) = (l1.dep_graph(), l2.dep_graph());
+        let m = Mapping::from_pairs(3, 3, [(ev(0), ev(0)), (ev(1), ev(1)), (ev(2), ev(2))]);
+        // Edges in G1: A->B (1.0), B->C (0.5); images x->y (1.0), y->z (0.5).
+        assert!((normal_distance_vertex_edge(&d1, &d2, &m) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_mapping_counts_only_mapped_pairs() {
+        let (l1, l2) = logs();
+        let (d1, d2) = (l1.dep_graph(), l2.dep_graph());
+        let m = Mapping::from_pairs(3, 3, [(ev(0), ev(0))]);
+        assert!((normal_distance_vertex_edge(&d1, &d2, &m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_distance_equals_vertex_edge_for_special_patterns() {
+        let (l1, l2) = logs();
+        let (d1, d2) = (l1.dep_graph(), l2.dep_graph());
+        let ctx =
+            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        for pairs in [
+            vec![(ev(0), ev(0)), (ev(1), ev(1)), (ev(2), ev(2))],
+            vec![(ev(0), ev(2)), (ev(1), ev(0)), (ev(2), ev(1))],
+            vec![(ev(0), ev(1)), (ev(1), ev(2)), (ev(2), ev(0))],
+        ] {
+            let m = Mapping::from_pairs(3, 3, pairs);
+            let via_patterns = pattern_normal_distance(&ctx, &m);
+            let direct = normal_distance_vertex_edge(&d1, &d2, &m);
+            assert!(
+                (via_patterns - direct).abs() < 1e-9,
+                "pattern-based {via_patterns} vs direct {direct} for {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_partial_g_plus_h_bounds_complete_scores() {
+        let (l1, l2) = logs();
+        let p = Pattern::seq_of_events([ev(0), ev(1), ev(2)]).unwrap();
+        let ctx = MatchContext::new(
+            l1,
+            l2,
+            PatternSetBuilder::new().vertices().edges().complex(p),
+        )
+        .unwrap();
+        let partial = Mapping::from_pairs(3, 3, [(ev(0), ev(0))]);
+        for bound in [BoundKind::Simple, BoundKind::Tight] {
+            let mut eval = Evaluator::new(&ctx);
+            let (g, h) = score_partial(&mut eval, &partial, bound);
+            // Any completion's true score must be ≤ g + h (admissibility).
+            for (b1, b2) in [(ev(1), ev(2)), (ev(2), ev(1))] {
+                let mut m = partial.clone();
+                m.insert(ev(1), b1);
+                m.insert(ev(2), b2);
+                let full = pattern_normal_distance(&ctx, &m);
+                assert!(
+                    full <= g + h + 1e-9,
+                    "bound {bound:?}: complete {full} > g+h {g}+{h}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Seed search for the running-example instance.
+//!
+//! Scans seeds of [`evematch_datagen::datasets::fig1_like_with_seed`] for
+//! one where the paper's Figure-1/Example-3/4 phenomenon holds exactly:
+//!
+//! * the exact Vertex+Edge optimum is a *wrong* mapping (frequency
+//!   coincidences mislead the structure-only objective), while
+//! * the exact Pattern optimum (vertices + edges + `SEQ(a, AND(b,c), d)`)
+//!   is the ground truth.
+//!
+//! Usage: `find-adversarial [max_seed]`. Prints every adversarial seed
+//! found; bake one into `datasets::FIG1_SEED`.
+
+use evematch_core::{BoundKind, ExactMatcher, MatchContext, PatternSetBuilder};
+use evematch_datagen::datasets::fig1_like_with_seed;
+
+fn main() {
+    let max_seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let mut found = 0;
+    for seed in 0..max_seed {
+        let ds = fig1_like_with_seed(seed);
+        let ve_ctx = MatchContext::new(
+            ds.pair.log1.clone(),
+            ds.pair.log2.clone(),
+            PatternSetBuilder::new().vertices().edges(),
+        )
+        .expect("|V1| <= |V2| by construction");
+        let pat_ctx = MatchContext::new(
+            ds.pair.log1.clone(),
+            ds.pair.log2.clone(),
+            PatternSetBuilder::new()
+                .vertices()
+                .edges()
+                .complex_all(ds.patterns.iter().cloned()),
+        )
+        .expect("|V1| <= |V2| by construction");
+        let solver = ExactMatcher::new(BoundKind::Tight);
+        let ve = solver.solve(&ve_ctx).expect("unlimited");
+        let pat = solver.solve(&pat_ctx).expect("unlimited");
+        let n = ds.pair.truth.len();
+        let ve_correct = ve.mapping.agreement_with(&ds.pair.truth);
+        let pat_correct = pat.mapping.agreement_with(&ds.pair.truth);
+        if std::env::var("VERBOSE").is_ok() {
+            println!("seed {seed}: ve {ve_correct}/{n}, pat {pat_correct}/{n}");
+        }
+        if pat_correct == n && ve_correct < n {
+            println!(
+                "seed {seed}: vertex+edge {ve_correct}/{n} correct, pattern {pat_correct}/{n} — ADVERSARIAL"
+            );
+            found += 1;
+        }
+    }
+    if found == 0 {
+        println!("no adversarial seed below {max_seed}; widen the search or loosen the generator");
+        std::process::exit(1);
+    }
+}

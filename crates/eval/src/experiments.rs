@@ -1,0 +1,456 @@
+//! Drivers that regenerate every table and figure of the paper's Section 6.
+//!
+//! Each `figN` function returns a [`FigureResult`] with three tables — the
+//! F-measure panel (a), the time panel (b) and the processed-mappings panel
+//! (c) — averaged over the configured seeds. `table3` and `table4`
+//! reproduce the dataset-characteristics and random-log tables. The
+//! `repro_*` binaries in `evematch-bench` print and save these.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use evematch_core::{Mapping, SearchLimits};
+use evematch_datagen::{datasets, Dataset};
+
+use crate::method::{Method, RunOutcome};
+use crate::project::{project_dataset, truncate_traces};
+use crate::report::Table;
+
+/// Sweep configuration shared by the figure drivers.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Seeds to average over (each seed generates an independent dataset).
+    pub seeds: Vec<u64>,
+    /// Resource limits for the exhaustive (exact) methods; heuristics and
+    /// polynomial baselines always run to completion.
+    pub limits: SearchLimits,
+    /// Worker threads for the grid (1 = fully sequential, most faithful
+    /// timings).
+    pub workers: usize,
+    /// Trace count for the fixed-trace sweeps (Figures 7 and 9; the paper
+    /// uses the full 3,000).
+    pub traces: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seeds: vec![11, 23, 37],
+            limits: SearchLimits {
+                max_processed: Some(2_000_000),
+                max_duration: Some(Duration::from_secs(60)),
+            },
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            traces: 3000,
+        }
+    }
+}
+
+/// The three panels of one figure.
+#[derive(Clone, Debug)]
+pub struct FigureResult {
+    /// Panel (a): F-measure per x-value and method.
+    pub f_measure: Table,
+    /// Panel (b): wall-clock seconds per x-value and method.
+    pub time: Table,
+    /// Panel (c): processed mappings per x-value and method.
+    pub processed: Table,
+}
+
+/// Aggregate of one (x, method) cell over the seeds.
+#[derive(Clone, Copy, Debug, Default)]
+struct Cell {
+    f_sum: f64,
+    secs_sum: f64,
+    processed_sum: u64,
+    finished: usize,
+    total: usize,
+}
+
+impl Cell {
+    fn add(&mut self, out: &RunOutcome) {
+        self.total += 1;
+        if out.finished() {
+            self.finished += 1;
+            self.f_sum += out.f_measure();
+            self.secs_sum += out.elapsed().as_secs_f64();
+            self.processed_sum += out.processed();
+        }
+    }
+
+    fn f_avg(&self) -> f64 {
+        if self.finished == 0 {
+            f64::NAN
+        } else {
+            self.f_sum / self.finished as f64
+        }
+    }
+
+    fn secs_avg(&self) -> f64 {
+        if self.finished == 0 {
+            f64::NAN
+        } else {
+            self.secs_sum / self.finished as f64
+        }
+    }
+
+    fn processed_avg(&self) -> u64 {
+        if self.finished == 0 {
+            u64::MAX
+        } else {
+            self.processed_sum / self.finished as u64
+        }
+    }
+}
+
+/// Runs the `xs × seeds × methods` grid and aggregates into the three
+/// panels. `make(x, seed)` produces the dataset for one cell.
+fn run_grid(
+    figure: &str,
+    x_label: &str,
+    xs: &[usize],
+    methods: &[Method],
+    cfg: &SweepConfig,
+    make: impl Fn(usize, u64) -> Dataset + Sync,
+) -> FigureResult {
+    let cells: Mutex<Vec<Vec<Cell>>> =
+        Mutex::new(vec![vec![Cell::default(); methods.len()]; xs.len()]);
+    let jobs: Vec<(usize, u64)> = xs
+        .iter()
+        .enumerate()
+        .flat_map(|(xi, _)| cfg.seeds.iter().map(move |&s| (xi, s)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = cfg.workers.clamp(1, jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(xi, seed)) = jobs.get(i) else {
+                    break;
+                };
+                let ds = make(xs[xi], seed);
+                for (mi, m) in methods.iter().enumerate() {
+                    let limits = if m.is_exact_search() {
+                        cfg.limits
+                    } else {
+                        SearchLimits::UNLIMITED
+                    };
+                    let out = m.run(&ds.pair, &ds.patterns, limits);
+                    cells.lock().expect("no panics hold the lock")[xi][mi].add(&out);
+                }
+            });
+        }
+    });
+    let cells = cells.into_inner().expect("threads joined");
+
+    let headers: Vec<&str> = std::iter::once(x_label)
+        .chain(methods.iter().map(|m| m.name()))
+        .collect();
+    let mut f_measure = Table::new(&format!("{figure}a: F-measure"), &headers);
+    let mut time = Table::new(&format!("{figure}b: time (s)"), &headers);
+    let mut processed = Table::new(&format!("{figure}c: processed mappings"), &headers);
+    for (xi, &x) in xs.iter().enumerate() {
+        let label = x.to_string();
+        f_measure.add_row(
+            std::iter::once(label.clone())
+                .chain(cells[xi].iter().map(|c| Table::fmt_f64(c.f_avg())))
+                .collect(),
+        );
+        time.add_row(
+            std::iter::once(label.clone())
+                .chain(cells[xi].iter().map(|c| Table::fmt_secs(c.secs_avg())))
+                .collect(),
+        );
+        processed.add_row(
+            std::iter::once(label)
+                .chain(cells[xi].iter().map(|c| Table::fmt_count(c.processed_avg())))
+                .collect(),
+        );
+    }
+    FigureResult {
+        f_measure,
+        time,
+        processed,
+    }
+}
+
+/// Methods compared in the exact-approach figures (7 and 8).
+pub const EXACT_FIGURE_METHODS: [Method; 5] = [
+    Method::Vertex,
+    Method::VertexEdge,
+    Method::Iterative,
+    Method::PatternSimple,
+    Method::PatternTight,
+];
+
+/// Methods compared in the heuristic figures (9 and 10). `Pattern-Tight`
+/// plays the paper's "Exact" role.
+pub const HEURISTIC_FIGURE_METHODS: [Method; 6] = [
+    Method::Vertex,
+    Method::VertexEdge,
+    Method::Iterative,
+    Method::PatternTight,
+    Method::HeuristicSimple,
+    Method::HeuristicAdvanced,
+];
+
+/// Methods compared on the larger synthetic data (Figure 12).
+pub const FIG12_METHODS: [Method; 7] = [
+    Method::Vertex,
+    Method::VertexEdge,
+    Method::Iterative,
+    Method::Entropy,
+    Method::PatternTight,
+    Method::HeuristicSimple,
+    Method::HeuristicAdvanced,
+];
+
+/// Figure 7: exact approaches over event-set sizes 2..=11 on the real-like
+/// dataset.
+pub fn fig7(cfg: &SweepConfig) -> FigureResult {
+    let xs: Vec<usize> = (2..=11).collect();
+    run_grid(
+        "Fig7",
+        "#events",
+        &xs,
+        &EXACT_FIGURE_METHODS,
+        cfg,
+        |x, seed| {
+            let ds = datasets::real_like_sized(cfg.traces, cfg.traces, seed);
+            project_dataset(&ds, x)
+        },
+    )
+}
+
+/// Figure 8: exact approaches over trace counts 500..=3,000 (full 11
+/// events).
+pub fn fig8(cfg: &SweepConfig) -> FigureResult {
+    let xs = [500, 1000, 1500, 2000, 2500, 3000];
+    run_grid(
+        "Fig8",
+        "#traces",
+        &xs,
+        &EXACT_FIGURE_METHODS,
+        cfg,
+        |y, seed| {
+            let ds = datasets::real_like_sized(3000, 3000, seed);
+            truncate_traces(&ds, y)
+        },
+    )
+}
+
+/// Figure 9: heuristic approaches over event-set sizes.
+pub fn fig9(cfg: &SweepConfig) -> FigureResult {
+    let xs: Vec<usize> = (2..=11).collect();
+    run_grid(
+        "Fig9",
+        "#events",
+        &xs,
+        &HEURISTIC_FIGURE_METHODS,
+        cfg,
+        |x, seed| {
+            let ds = datasets::real_like_sized(cfg.traces, cfg.traces, seed);
+            project_dataset(&ds, x)
+        },
+    )
+}
+
+/// Figure 10: heuristic approaches over trace counts.
+pub fn fig10(cfg: &SweepConfig) -> FigureResult {
+    let xs = [500, 1000, 1500, 2000, 2500, 3000];
+    run_grid(
+        "Fig10",
+        "#traces",
+        &xs,
+        &HEURISTIC_FIGURE_METHODS,
+        cfg,
+        |y, seed| {
+            let ds = datasets::real_like_sized(3000, 3000, seed);
+            truncate_traces(&ds, y)
+        },
+    )
+}
+
+/// Figure 12: all approaches on the larger synthetic data, 10..=100 events
+/// (1..=10 modules), `traces` traces per side.
+pub fn fig12(cfg: &SweepConfig, traces: usize, max_modules: usize) -> FigureResult {
+    let xs: Vec<usize> = (1..=max_modules).map(|m| m * 10).collect();
+    run_grid(
+        "Fig12",
+        "#events",
+        &xs,
+        &FIG12_METHODS,
+        cfg,
+        |x, seed| datasets::larger_synthetic(x / 10, traces, seed),
+    )
+}
+
+/// Table 3: dataset characteristics.
+pub fn table3(seed: u64) -> Table {
+    let mut t = Table::new(
+        "Table 3: characteristics of the logs",
+        &["dataset", "#traces", "#events", "#edges", "#patterns"],
+    );
+    let real = datasets::real_like(seed);
+    let synth = datasets::larger_synthetic(10, 10_000, seed);
+    let random = datasets::random_pair(4, 1000, seed);
+    for (name, log, patterns) in [
+        ("real-like", &real.pair.log1, real.patterns.len()),
+        ("synthetic", &synth.pair.log1, synth.patterns.len()),
+        ("random", &random.log1, 0),
+    ] {
+        let stats = log.stats();
+        t.add_row(vec![
+            name.to_owned(),
+            stats.traces.to_string(),
+            stats.events.to_string(),
+            stats.edges.to_string(),
+            patterns.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Methods compared in Table 4.
+pub const TABLE4_METHODS: [Method; 3] = [
+    Method::PatternTight,
+    Method::HeuristicSimple,
+    Method::HeuristicAdvanced,
+];
+
+/// Table 4: counts of returned mappings over `runs` random 4-event log
+/// pairs — no mapping should be clearly favoured.
+pub fn table4(runs: usize, base_seed: u64) -> Table {
+    let n = 4usize;
+    let perms = permutations(n);
+    let mut counts = vec![[0usize; TABLE4_METHODS.len()]; perms.len()];
+    for run in 0..runs {
+        let pair = datasets::random_pair(n, 1000, base_seed + run as u64);
+        for (mi, m) in TABLE4_METHODS.iter().enumerate() {
+            let out = m.run(&pair, &[], SearchLimits::UNLIMITED);
+            let RunOutcome::Finished { mapping, .. } = out else {
+                continue;
+            };
+            let idx = perms
+                .iter()
+                .position(|p| perm_matches(p, &mapping))
+                .expect("complete 4-event mapping is one of the 24");
+            counts[idx][mi] += 1;
+        }
+    }
+    let mut t = Table::new(
+        &format!("Table 4: returned mappings over {runs} random-log runs"),
+        &["mapping", "Exact", "Heuristic-Simple", "Heuristic-Advanced"],
+    );
+    for (p, row) in perms.iter().zip(&counts) {
+        let label = p
+            .iter()
+            .enumerate()
+            .map(|(a, &b)| format!("u{a}->v{b}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        t.add_row(vec![
+            label,
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string(),
+        ]);
+    }
+    t
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn go(n: usize, cur: &mut Vec<usize>, used: &mut Vec<bool>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..n {
+            if !used[v] {
+                used[v] = true;
+                cur.push(v);
+                go(n, cur, used, out);
+                cur.pop();
+                used[v] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(n, &mut Vec::new(), &mut vec![false; n], &mut out);
+    out
+}
+
+fn perm_matches(perm: &[usize], mapping: &Mapping) -> bool {
+    perm.iter().enumerate().all(|(a, &b)| {
+        mapping.get(evematch_eventlog::EventId(a as u32))
+            == Some(evematch_eventlog::EventId(b as u32))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            seeds: vec![11],
+            limits: SearchLimits {
+                max_processed: Some(200_000),
+                max_duration: Some(Duration::from_secs(20)),
+            },
+            workers: 2,
+            traces: 60,
+        }
+    }
+
+    #[test]
+    fn fig7_shape_and_sanity() {
+        let cfg = tiny_cfg();
+        let fig = fig7(&cfg);
+        assert_eq!(fig.f_measure.row_count(), 10);
+        assert_eq!(fig.time.row_count(), 10);
+        assert_eq!(fig.processed.row_count(), 10);
+        // At 8 events (row 6; the vertex-only search may blow its budget
+        // at full size), Pattern-Tight should be at least as accurate as
+        // Vertex (columns: 1=Vertex, .., 5=Pattern-Tight).
+        let vertex: f64 = fig.f_measure.cell(6, 1).parse().unwrap();
+        let tight: f64 = fig.f_measure.cell(6, 5).parse().unwrap();
+        assert!(tight >= vertex - 1e-9, "tight {tight} < vertex {vertex}");
+    }
+
+    #[test]
+    fn table3_shape() {
+        // Use small substitutes to keep the test fast: only assert shape
+        // via the real function on a tiny scale is too slow, so check the
+        // row/column layout of the full call lazily — generation itself is
+        // linear in traces and acceptable at reduced trace counts.
+        let t = table3(5);
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.cell(0, 2), "11");
+        assert_eq!(t.cell(1, 2), "100");
+        assert_eq!(t.cell(1, 4), "16");
+        assert_eq!(t.cell(2, 2), "4");
+    }
+
+    #[test]
+    fn table4_counts_sum_to_runs() {
+        let t = table4(6, 100);
+        assert_eq!(t.row_count(), 24);
+        for col in 1..=3 {
+            let sum: usize = (0..24)
+                .map(|r| t.cell(r, col).parse::<usize>().unwrap())
+                .sum();
+            assert_eq!(sum, 6, "column {col}");
+        }
+    }
+
+    #[test]
+    fn permutations_of_four() {
+        let p = permutations(4);
+        assert_eq!(p.len(), 24);
+        let mut dedup = p.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 24);
+    }
+}

@@ -1,0 +1,24 @@
+//! Evaluation harness for the `evematch` experiments (Section 6 of the
+//! paper).
+//!
+//! Provides the accuracy criteria (precision / recall / F-measure over
+//! event correspondences), a uniform [`Method`] registry covering every
+//! approach the paper compares (the pattern-based exact matchers with
+//! simple/tight bounds, both heuristics, and the Vertex, Vertex+Edge,
+//! Iterative and Entropy baselines), dataset projection utilities for the
+//! event-count and trace-count sweeps, plain-text/CSV tables, and the
+//! experiment drivers that regenerate each figure and table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod metrics;
+mod method;
+mod project;
+mod report;
+
+pub use metrics::MatchQuality;
+pub use method::{Method, RunOutcome, ALL_METHODS};
+pub use project::{project_dataset, truncate_traces};
+pub use report::Table;

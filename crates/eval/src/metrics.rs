@@ -1,0 +1,111 @@
+//! Accuracy criteria (Section 6, "Criteria").
+
+use evematch_core::Mapping;
+
+/// Precision, recall and F-measure of a found mapping against the ground
+/// truth:
+///
+/// ```text
+/// precision = |found ∩ truth| / |found|
+/// recall    = |found ∩ truth| / |truth|
+/// F         = 2 · precision · recall / (precision + recall)
+/// ```
+///
+/// Empty denominators yield 0 (an empty found/truth set has no correct
+/// pairs to speak of).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MatchQuality {
+    /// Fraction of found pairs that are correct.
+    pub precision: f64,
+    /// Fraction of true pairs that were found.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f_measure: f64,
+}
+
+impl MatchQuality {
+    /// Evaluates `found` against `truth`.
+    pub fn of(found: &Mapping, truth: &Mapping) -> Self {
+        let correct = found.agreement_with(truth) as f64;
+        let precision = safe_div(correct, found.len() as f64);
+        let recall = safe_div(correct, truth.len() as f64);
+        let f_measure = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        MatchQuality {
+            precision,
+            recall,
+            f_measure,
+        }
+    }
+
+    /// A zero-quality placeholder (used for methods that did not finish).
+    pub const ZERO: MatchQuality = MatchQuality {
+        precision: 0.0,
+        recall: 0.0,
+        f_measure: 0.0,
+    };
+}
+
+fn safe_div(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evematch_eventlog::EventId;
+
+    fn ev(i: u32) -> EventId {
+        EventId(i)
+    }
+
+    fn mapping(pairs: &[(u32, u32)]) -> Mapping {
+        Mapping::from_pairs(4, 4, pairs.iter().map(|&(a, b)| (ev(a), ev(b))))
+    }
+
+    #[test]
+    fn perfect_match() {
+        let truth = mapping(&[(0, 0), (1, 1), (2, 2)]);
+        let q = MatchQuality::of(&truth, &truth);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f_measure, 1.0);
+    }
+
+    #[test]
+    fn partial_match() {
+        let truth = mapping(&[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let found = mapping(&[(0, 0), (1, 2), (2, 1), (3, 3)]);
+        let q = MatchQuality::of(&found, &truth);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        assert_eq!(q.f_measure, 0.5);
+    }
+
+    #[test]
+    fn found_larger_than_truth() {
+        // Truth covers 2 events; found maps 4 (e.g. decoys got images).
+        let truth = mapping(&[(0, 0), (1, 1)]);
+        let found = mapping(&[(0, 0), (1, 1), (2, 3), (3, 2)]);
+        let q = MatchQuality::of(&found, &truth);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 1.0);
+        assert!((q.f_measure - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let empty = Mapping::empty(4, 4);
+        let some = mapping(&[(0, 0)]);
+        assert_eq!(MatchQuality::of(&empty, &some), MatchQuality::ZERO);
+        assert_eq!(MatchQuality::of(&some, &empty).recall, 0.0);
+        assert_eq!(MatchQuality::of(&empty, &empty), MatchQuality::ZERO);
+    }
+}

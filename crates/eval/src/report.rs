@@ -1,0 +1,162 @@
+//! Plain-text and CSV tables for experiment reports.
+
+use std::fmt;
+use std::io::Write;
+
+/// A simple column-aligned table. Rows are strings; numeric formatting is
+/// the caller's job (see [`Table::fmt_f64`] and friends).
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cell accessor (row, column), for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Formats a float with 3 decimals, or a dash for NaN (used for DNF).
+    pub fn fmt_f64(v: f64) -> String {
+        if v.is_nan() {
+            "—".to_owned()
+        } else {
+            format!("{v:.3}")
+        }
+    }
+
+    /// Formats a duration in adaptive units (µs/ms/s), dash for NaN.
+    pub fn fmt_secs(v: f64) -> String {
+        if v.is_nan() {
+            "—".to_owned()
+        } else if v < 1e-3 {
+            format!("{:.1}µs", v * 1e6)
+        } else if v < 1.0 {
+            format!("{:.2}ms", v * 1e3)
+        } else {
+            format!("{v:.2}s")
+        }
+    }
+
+    /// Formats a count, dash for `u64::MAX` (used for DNF).
+    pub fn fmt_count(v: u64) -> String {
+        if v == u64::MAX {
+            "—".to_owned()
+        } else {
+            v.to_string()
+        }
+    }
+
+    /// Writes the table as CSV (title as a comment line).
+    pub fn write_csv(&self, mut w: impl Write) -> std::io::Result<()> {
+        writeln!(w, "# {}", self.title)?;
+        writeln!(w, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(w, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>w$}", w = w)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["method", "F"]);
+        t.add_row(vec!["Vertex".into(), "0.500".into()]);
+        t.add_row(vec!["Pattern-Tight".into(), "1.000".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("Pattern-Tight"));
+        // Both value cells right-aligned to the same column.
+        let lines: Vec<&str> = s.lines().collect();
+        let c1 = lines[3].rfind("0.500").unwrap();
+        let c2 = lines[4].rfind("1.000").unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "# t\na,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(Table::fmt_f64(0.5), "0.500");
+        assert_eq!(Table::fmt_f64(f64::NAN), "—");
+        assert_eq!(Table::fmt_secs(0.0000005), "0.5µs");
+        assert_eq!(Table::fmt_secs(0.5), "500.00ms");
+        assert_eq!(Table::fmt_secs(2.0), "2.00s");
+        assert_eq!(Table::fmt_count(42), "42");
+        assert_eq!(Table::fmt_count(u64::MAX), "—");
+    }
+}

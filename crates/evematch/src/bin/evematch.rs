@@ -1,0 +1,203 @@
+//! `evematch` — match the event vocabularies of two heterogeneous logs.
+//!
+//! ```text
+//! USAGE:
+//!     evematch [OPTIONS] <LOG1> <LOG2>
+//!
+//! ARGS:
+//!     <LOG1>  source log (its events are mapped onto LOG2's)
+//!     <LOG2>  target log; must have at least as many events as LOG1
+//!
+//! OPTIONS:
+//!     --method <M>        exact | simple | advanced | vertex |
+//!                         vertex-edge | iterative | entropy
+//!                         (default: advanced)
+//!     --patterns <FILE>   declared complex patterns, one per line in the
+//!                         SEQ(a, AND(b, c), d) syntax over LOG1's
+//!                         vocabulary; # starts a comment
+//!     --format <F>        text | csv      (default: by file extension,
+//!                         falling back to text)
+//!     --bound <B>         simple | tight  (default: tight)
+//!     --limit-secs <N>    budget for the exact search (default: 60)
+//!     --quiet             print only the mapping lines
+//! ```
+//!
+//! Log formats: the whitespace text format (`evematch_eventlog::read_log`)
+//! or `case,activity` CSV (`read_csv_log`). The mapping is printed one
+//! `source<TAB>target` pair per line.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use evematch::prelude::*;
+
+struct Options {
+    method: String,
+    patterns: Option<String>,
+    format: Option<String>,
+    bound: BoundKind,
+    limit_secs: u64,
+    quiet: bool,
+    logs: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        method: "advanced".into(),
+        patterns: None,
+        format: None,
+        bound: BoundKind::Tight,
+        limit_secs: 60,
+        quiet: false,
+        logs: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--method" => opts.method = value("--method")?,
+            "--patterns" => opts.patterns = Some(value("--patterns")?),
+            "--format" => opts.format = Some(value("--format")?),
+            "--bound" => {
+                opts.bound = match value("--bound")?.as_str() {
+                    "simple" => BoundKind::Simple,
+                    "tight" => BoundKind::Tight,
+                    other => return Err(format!("unknown bound `{other}`")),
+                }
+            }
+            "--limit-secs" => {
+                opts.limit_secs = value("--limit-secs")?
+                    .parse()
+                    .map_err(|e| format!("--limit-secs: {e}"))?
+            }
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err("help".into());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            path => opts.logs.push(path.to_owned()),
+        }
+    }
+    if opts.logs.len() != 2 {
+        return Err(format!("expected 2 log paths, got {}", opts.logs.len()));
+    }
+    Ok(opts)
+}
+
+fn load_log(path: &str, format: Option<&str>) -> Result<EventLog, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let is_csv = match format {
+        Some("csv") => true,
+        Some("text") => false,
+        Some(other) => return Err(format!("unknown format `{other}`")),
+        None => path.ends_with(".csv"),
+    };
+    if is_csv {
+        read_csv_log(reader).map_err(|e| format!("{path}: {e}"))
+    } else {
+        read_log(reader).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_patterns(path: &str, log1: &EventLog) -> Result<Vec<Pattern>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(
+            parse_pattern(line, log1.events())
+                .map_err(|e| format!("{path}:{}: {e}", i + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let log1 = load_log(&opts.logs[0], opts.format.as_deref())?;
+    let log2 = load_log(&opts.logs[1], opts.format.as_deref())?;
+    let patterns = match &opts.patterns {
+        Some(path) => load_patterns(path, &log1)?,
+        None => Vec::new(),
+    };
+    if !opts.quiet {
+        eprintln!("L1: {}", log1.stats());
+        eprintln!("L2: {}", log2.stats());
+        eprintln!("declared patterns: {}", patterns.len());
+    }
+
+    let names1 = log1.clone();
+    let names2 = log2.clone();
+    let builder = match opts.method.as_str() {
+        "vertex" => PatternSetBuilder::new().vertices(),
+        "vertex-edge" | "iterative" | "entropy" => PatternSetBuilder::new().vertices().edges(),
+        _ => PatternSetBuilder::new()
+            .vertices()
+            .edges()
+            .complex_all(patterns.iter().cloned()),
+    };
+    let ctx = MatchContext::new(log1, log2, builder).map_err(|e| e.to_string())?;
+    let limits = SearchLimits {
+        max_processed: None,
+        max_duration: Some(Duration::from_secs(opts.limit_secs)),
+    };
+
+    let outcome = match opts.method.as_str() {
+        "exact" | "vertex" | "vertex-edge" => ExactMatcher::new(opts.bound)
+            .with_limits(limits)
+            .solve(&ctx)
+            .map_err(|e| e.to_string())?,
+        "simple" => SimpleHeuristic::new(opts.bound).solve(&ctx),
+        "advanced" => AdvancedHeuristic::new(opts.bound).solve(&ctx),
+        "iterative" => IterativeMatcher::new().solve(&ctx),
+        "entropy" => EntropyMatcher::new().solve(&ctx),
+        other => return Err(format!("unknown method `{other}`")),
+    };
+
+    for (a, b) in outcome.mapping.pairs() {
+        println!("{}\t{}", names1.events().name(a), names2.events().name(b));
+    }
+    if !opts.quiet {
+        eprintln!(
+            "pattern normal distance {:.4}; {} mappings processed in {:.2?}",
+            outcome.score, outcome.stats.processed_mappings, outcome.elapsed
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(opts) => match run(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: evematch [--method exact|simple|advanced|vertex|vertex-edge|iterative|entropy] \
+                 [--patterns FILE] [--format text|csv] [--bound simple|tight] \
+                 [--limit-secs N] [--quiet] LOG1 LOG2"
+            );
+            if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! CSV event-log interchange: one `(case, activity)` row per event.
+//!
+//! Real systems export event logs as flat tables — one row per event
+//! occurrence with a *case* (trace) identifier and an *activity* name,
+//! usually ordered by timestamp within a case. This module reads and
+//! writes that shape:
+//!
+//! ```csv
+//! case,activity
+//! order-1,ReceiveOrder
+//! order-1,Payment
+//! order-2,ReceiveOrder
+//! ```
+//!
+//! * The first line must be a header; the `case` and `activity` columns
+//!   are located by name (case-insensitive), so extra columns — e.g. a
+//!   timestamp — are tolerated and ignored.
+//! * Rows of one case need not be contiguous, but the order of rows
+//!   *within* a case defines the trace's event order (timestamps are the
+//!   exporter's responsibility, as in Definition 1 the model only
+//!   consumes order).
+//! * Traces appear in the output log in order of each case's first row.
+//! * Values may be double-quoted; quoted values may contain commas and
+//!   doubled quotes (`""`). Newlines inside values are not supported.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::log::{EventLog, LogBuilder};
+
+/// Errors raised while parsing CSV event logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvLogError {
+    /// An I/O error, carried as a message to keep the error type `Clone`.
+    Io(String),
+    /// The input is empty or the header is missing a required column.
+    MissingColumn {
+        /// The column that could not be located.
+        column: &'static str,
+    },
+    /// A data row has fewer fields than the header requires.
+    ShortRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields needed to cover the case/activity columns.
+        needed: usize,
+    },
+    /// A quoted field was not terminated before the end of the line.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvLogError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CsvLogError::MissingColumn { column } => {
+                write!(f, "header does not contain a `{column}` column")
+            }
+            CsvLogError::ShortRow { line, found, needed } => write!(
+                f,
+                "line {line}: row has {found} fields, needs at least {needed}"
+            ),
+            CsvLogError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvLogError {}
+
+impl From<std::io::Error> for CsvLogError {
+    fn from(e: std::io::Error) -> Self {
+        CsvLogError::Io(e.to_string())
+    }
+}
+
+/// Reads a CSV event log (header required; `case` and `activity` columns
+/// located by name).
+pub fn read_csv_log(reader: impl BufRead) -> Result<EventLog, CsvLogError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or(CsvLogError::MissingColumn { column: "case" })?;
+    let header = header?;
+    let cols = split_row(&header, 1)?;
+    let find = |name: &'static str| -> Result<usize, CsvLogError> {
+        cols.iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or(CsvLogError::MissingColumn { column: name })
+    };
+    let case_col = find("case")?;
+    let act_col = find("activity")?;
+    let needed = case_col.max(act_col) + 1;
+
+    // Collect events per case, preserving case first-appearance order.
+    let mut case_order: Vec<String> = Vec::new();
+    let mut per_case: std::collections::HashMap<String, Vec<String>> =
+        std::collections::HashMap::new();
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_row(&line, i + 1)?;
+        if fields.len() < needed {
+            return Err(CsvLogError::ShortRow {
+                line: i + 1,
+                found: fields.len(),
+                needed,
+            });
+        }
+        let case = fields[case_col].clone();
+        let activity = fields[act_col].clone();
+        per_case
+            .entry(case.clone())
+            .or_insert_with(|| {
+                case_order.push(case);
+                Vec::new()
+            })
+            .push(activity);
+    }
+
+    let mut builder = LogBuilder::new();
+    for case in &case_order {
+        builder.push_named_trace(per_case[case].iter().map(String::as_str));
+    }
+    Ok(builder.build())
+}
+
+/// Writes a log as CSV with synthetic case ids `t0, t1, …`.
+pub fn write_csv_log(log: &EventLog, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "case,activity")?;
+    for (i, trace) in log.traces().iter().enumerate() {
+        for &e in trace.events() {
+            writeln!(writer, "t{i},{}", quote(log.events().name(e)))?;
+        }
+    }
+    Ok(())
+}
+
+/// Quotes a field when it contains a comma or quote.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Splits one CSV row, honouring double-quoted fields.
+fn split_row(line: &str, line_no: usize) -> Result<Vec<String>, CsvLogError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvLogError::UnterminatedQuote { line: line_no });
+    }
+    fields.push(cur);
+    Ok(fields.into_iter().map(|f| f.trim().to_owned()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_basic_case_activity_rows() {
+        let csv = "case,activity\no1,Receive\no1,Pay\no2,Receive\no2,Ship\n";
+        let log = read_csv_log(csv.as_bytes()).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.traces()[0].len(), 2);
+        let receive = log.events().lookup("Receive").unwrap();
+        assert_eq!(log.vertex_support(receive), 2);
+    }
+
+    #[test]
+    fn interleaved_cases_are_grouped_in_first_seen_order() {
+        let csv = "case,activity\nB,x\nA,y\nB,z\nA,w\n";
+        let log = read_csv_log(csv.as_bytes()).unwrap();
+        assert_eq!(log.len(), 2);
+        // Case B appeared first.
+        let names: Vec<&str> = log.traces()[0]
+            .events()
+            .iter()
+            .map(|&e| log.events().name(e))
+            .collect();
+        assert_eq!(names, vec!["x", "z"]);
+    }
+
+    #[test]
+    fn extra_columns_and_case_insensitive_header() {
+        let csv = "timestamp,Case,Activity,actor\n1,o1,Receive,ann\n2,o1,Ship,bob\n";
+        let log = read_csv_log(csv.as_bytes()).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.traces()[0].len(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "case,activity\no1,\"Check, Inventory\"\no1,\"Say \"\"hi\"\"\"\n";
+        let log = read_csv_log(csv.as_bytes()).unwrap();
+        assert!(log.events().lookup("Check, Inventory").is_some());
+        assert!(log.events().lookup("Say \"hi\"").is_some());
+    }
+
+    #[test]
+    fn missing_columns_are_reported() {
+        let err = read_csv_log("id,activity\n1,x\n".as_bytes()).unwrap_err();
+        assert_eq!(err, CsvLogError::MissingColumn { column: "case" });
+        let err = read_csv_log("".as_bytes()).unwrap_err();
+        assert!(matches!(err, CsvLogError::MissingColumn { .. }));
+    }
+
+    #[test]
+    fn short_rows_are_reported_with_line_numbers() {
+        let err = read_csv_log("case,activity\no1\n".as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            CsvLogError::ShortRow {
+                line: 2,
+                found: 1,
+                needed: 2
+            }
+        );
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = read_csv_log("case,activity\no1,\"oops\n".as_bytes()).unwrap_err();
+        assert_eq!(err, CsvLogError::UnterminatedQuote { line: 2 });
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "case,activity\n\no1,x\n\n";
+        let log = read_csv_log(csv.as_bytes()).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut b = LogBuilder::new();
+        b.push_named_trace(["Receive", "Check, Inventory", "Ship"]);
+        b.push_named_trace(["Receive", "Cancel"]);
+        let log = b.build();
+        let mut buf = Vec::new();
+        write_csv_log(&log, &mut buf).unwrap();
+        let back = read_csv_log(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), log.len());
+        for (a, b) in log.traces().iter().zip(back.traces()) {
+            let na: Vec<&str> = a.events().iter().map(|&e| log.events().name(e)).collect();
+            let nb: Vec<&str> = b.events().iter().map(|&e| back.events().name(e)).collect();
+            assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn empty_log_writes_header_only() {
+        let log = LogBuilder::new().build();
+        let mut buf = Vec::new();
+        write_csv_log(&log, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "case,activity\n");
+        // And a header-only file reads back as an empty log.
+        let back = read_csv_log("case,activity\n".as_bytes()).unwrap();
+        assert!(back.is_empty());
+    }
+}

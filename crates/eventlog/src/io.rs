@@ -1,0 +1,220 @@
+//! Line-oriented text format for event logs.
+//!
+//! One trace per line, events separated by whitespace:
+//!
+//! ```text
+//! #! events: RO Payment CheckInventory ShipGoods
+//! # order-processing log, department 1
+//! RO Payment CheckInventory ShipGoods
+//! RO CheckInventory Payment ShipGoods
+//! ```
+//!
+//! `#`-prefixed lines are comments; `#!`-prefixed lines are directives. The
+//! `#! events:` directive pins the vocabulary and its interning order, so a
+//! written log reads back with identical event ids (matching algorithms
+//! break ties by id, so id stability makes results reproducible across
+//! round-trips). Without the directive, events intern in order of first
+//! occurrence.
+//!
+//! Blank lines are skipped; an *empty trace* is the literal marker
+//! `<empty>`. Event names may contain any non-whitespace characters —
+//! whitespace inside names is unrepresentable, and [`write_log`] rejects
+//! it.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::log::{EventLog, LogBuilder};
+
+/// Error raised while parsing the text log format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogParseError {
+    /// An I/O error, carried as a message to keep the error type `Clone`.
+    Io(String),
+    /// The `<empty>` marker was mixed with event names on one line.
+    MixedEmptyMarker {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for LogParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogParseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            LogParseError::MixedEmptyMarker { line } => write!(
+                f,
+                "line {line}: `<empty>` marker cannot be combined with event names"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogParseError {}
+
+impl From<std::io::Error> for LogParseError {
+    fn from(e: std::io::Error) -> Self {
+        LogParseError::Io(e.to_string())
+    }
+}
+
+/// Marker for an intentionally empty trace.
+const EMPTY_TRACE: &str = "<empty>";
+
+/// Vocabulary directive prefix.
+const EVENTS_DIRECTIVE: &str = "#! events:";
+
+/// Reads a log from the line-oriented text format.
+pub fn read_log(reader: impl BufRead) -> Result<EventLog, LogParseError> {
+    let mut builder = LogBuilder::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix(EVENTS_DIRECTIVE) {
+            for name in rest.split_whitespace() {
+                builder.intern(name);
+            }
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        if tokens.contains(&EMPTY_TRACE) {
+            if tokens.len() != 1 {
+                return Err(LogParseError::MixedEmptyMarker { line: i + 1 });
+            }
+            builder.push_named_trace(std::iter::empty::<&str>());
+        } else {
+            builder.push_named_trace(tokens);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes a log in the line-oriented text format, leading with the
+/// `#! events:` vocabulary directive so ids survive a round-trip.
+///
+/// Returns `InvalidInput` if any event name contains whitespace (such names
+/// are unrepresentable in a whitespace-separated format).
+pub fn write_log(log: &EventLog, mut writer: impl Write) -> std::io::Result<()> {
+    for name in log.events().names() {
+        if name.chars().any(char::is_whitespace) || name.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("event name {name:?} is not representable in the text format"),
+            ));
+        }
+    }
+    if !log.events().is_empty() {
+        write!(writer, "{EVENTS_DIRECTIVE}")?;
+        for name in log.events().names() {
+            write!(writer, " {name}")?;
+        }
+        writeln!(writer)?;
+    }
+    for trace in log.traces() {
+        if trace.is_empty() {
+            writeln!(writer, "{EMPTY_TRACE}")?;
+            continue;
+        }
+        let mut first = true;
+        for &e in trace.events() {
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{}", log.events().name(e))?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> EventLog {
+        read_log(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn parses_traces_and_skips_comments() {
+        let log = roundtrip("# hello\nA B C\n\nA C B\n");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.event_count(), 3);
+        assert_eq!(log.traces()[1].len(), 3);
+    }
+
+    #[test]
+    fn empty_marker_produces_empty_trace() {
+        let log = roundtrip("A\n<empty>\nB\n");
+        assert_eq!(log.len(), 3);
+        assert!(log.traces()[1].is_empty());
+    }
+
+    #[test]
+    fn mixed_empty_marker_is_an_error() {
+        let err = read_log("A <empty>\n".as_bytes()).unwrap_err();
+        assert_eq!(err, LogParseError::MixedEmptyMarker { line: 1 });
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let log = roundtrip("ship goods\npay check ship\n<empty>\n");
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let again = read_log(buf.as_slice()).unwrap();
+        assert_eq!(again.len(), log.len());
+        for (a, b) in log.traces().iter().zip(again.traces()) {
+            let names_a: Vec<_> = a.events().iter().map(|&e| log.events().name(e)).collect();
+            let names_b: Vec<_> = b
+                .events()
+                .iter()
+                .map(|&e| again.events().name(e))
+                .collect();
+            assert_eq!(names_a, names_b);
+        }
+    }
+
+    #[test]
+    fn events_directive_pins_interning_order() {
+        // Vocabulary declared z-first; traces mention a first.
+        let log = roundtrip("#! events: z a\na z\n");
+        assert_eq!(log.events().lookup("z"), Some(crate::EventId(0)));
+        assert_eq!(log.events().lookup("a"), Some(crate::EventId(1)));
+    }
+
+    #[test]
+    fn write_emits_directive_and_ids_survive() {
+        let mut b = crate::LogBuilder::new();
+        b.intern("late"); // id 0 but occurs last in the trace
+        b.push_named_trace(["early", "late"]);
+        let log = b.build();
+        let mut buf = Vec::new();
+        write_log(&log, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("#! events: late early\n"), "{text}");
+        let back = read_log(buf.as_slice()).unwrap();
+        assert_eq!(back.events().lookup("late"), Some(crate::EventId(0)));
+        assert_eq!(back.traces(), log.traces());
+    }
+
+    #[test]
+    fn whitespace_in_names_is_rejected_on_write() {
+        let mut b = crate::LogBuilder::new();
+        b.push_named_trace(["Check Inventory"]);
+        let log = b.build();
+        let err = write_log(&log, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn whitespace_variants_are_tolerated() {
+        let log = roundtrip("  A\t B  \n");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.traces()[0].len(), 2);
+    }
+}

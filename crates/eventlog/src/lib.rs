@@ -1,0 +1,40 @@
+//! Event-log substrate for the `evematch` workspace.
+//!
+//! This crate implements the data model of Section 2.1 of *Matching
+//! Heterogeneous Events with Patterns*:
+//!
+//! * an **event** is an interned, opaque name ([`EventId`], [`EventSet`]);
+//! * a **trace** is a finite sequence of events ordered by occurrence
+//!   ([`Trace`]);
+//! * an **event log** is a collection of traces ([`EventLog`]);
+//! * the **event dependency graph** (Definition 1) captures normalized
+//!   frequencies of events and of consecutive event pairs ([`DepGraph`]);
+//! * the **inverted trace index** `I_t` (Section 3.2.3) maps each event to
+//!   the traces containing it ([`TraceIndex`]), so pattern frequencies are
+//!   counted over `⋂ I_t(v)` instead of the whole log.
+//!
+//! Plus the supporting pieces the experiments need: projection onto event
+//! subsets and trace prefixes (how Figures 7–10 vary the event-set size and
+//! trace count), log statistics for Table 3, and a line-oriented text format
+//! for persisting logs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+mod depgraph;
+mod event;
+mod index;
+mod io;
+mod log;
+mod stats;
+mod trace;
+
+pub use csv::{read_csv_log, write_csv_log, CsvLogError};
+pub use depgraph::DepGraph;
+pub use event::{EventId, EventSet};
+pub use index::TraceIndex;
+pub use io::{read_log, write_log, LogParseError};
+pub use log::{EventLog, LogBuilder};
+pub use stats::LogStats;
+pub use trace::Trace;

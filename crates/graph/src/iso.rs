@@ -1,0 +1,289 @@
+//! Subgraph monomorphism search.
+//!
+//! A *monomorphism* from a pattern graph `P` to a target graph `G` is an
+//! injective vertex map `m` such that every edge `(u, v)` of `P` maps to an
+//! edge `(m(u), m(v))` of `G` (extra edges in `G` are allowed). This is the
+//! "subgraph isomorphism" notion used by the paper:
+//!
+//! * Proposition 3 prunes a pattern `p` when its graph form does not embed
+//!   into the event dependency graph;
+//! * Theorem 1 reduces subgraph isomorphism to optimal event matching with
+//!   edge patterns, which our executable reduction tests both ways.
+//!
+//! The search is a VF2-style backtracking over pattern vertices ordered by
+//! descending degree (most-constrained first), with forward/backward
+//! adjacency consistency checks at each extension. Graphs in this workspace
+//! are tiny (pattern graphs have ≤ ~8 vertices; dependency graphs ≤ a few
+//! hundred), so this simple engine is more than sufficient and keeps the
+//! implementation auditable.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Reusable monomorphism search between a fixed pattern and target graph.
+///
+/// Construct once with [`MonoSearch::new`], then call
+/// [`find`](MonoSearch::find) or [`enumerate`](MonoSearch::enumerate).
+pub struct MonoSearch<'a> {
+    pattern: &'a DiGraph,
+    target: &'a DiGraph,
+    /// Pattern vertices in matching order (most-constrained first).
+    order: Vec<NodeId>,
+}
+
+impl<'a> MonoSearch<'a> {
+    /// Prepares a search for embeddings of `pattern` into `target`.
+    pub fn new(pattern: &'a DiGraph, target: &'a DiGraph) -> Self {
+        let mut order: Vec<NodeId> = (0..pattern.node_count() as NodeId).collect();
+        // Most-constrained-first: try high-degree pattern vertices early so
+        // dead branches are pruned near the root. Prefer vertices adjacent
+        // to already-ordered ones to keep the partial map connected.
+        order.sort_by_key(|&v| {
+            std::cmp::Reverse(pattern.out_degree(v) + pattern.in_degree(v))
+        });
+        let order = connectivity_refine(pattern, order);
+        MonoSearch {
+            pattern,
+            target,
+            order,
+        }
+    }
+
+    /// Returns one monomorphism if any exists: `map[p] = t` assigns pattern
+    /// vertex `p` to target vertex `t`.
+    pub fn find(&self) -> Option<Vec<NodeId>> {
+        let mut out = None;
+        self.search(&mut |m| {
+            out = Some(m.to_vec());
+            false // stop after first hit
+        });
+        out
+    }
+
+    /// Invokes `visit` for every monomorphism, until `visit` returns `false`
+    /// or the space is exhausted. Returns the number of embeddings visited.
+    pub fn enumerate(&self, mut visit: impl FnMut(&[NodeId]) -> bool) -> usize {
+        let mut n = 0;
+        self.search(&mut |m| {
+            n += 1;
+            visit(m)
+        });
+        n
+    }
+
+    fn search(&self, visit: &mut dyn FnMut(&[NodeId]) -> bool) {
+        let np = self.pattern.node_count();
+        if np > self.target.node_count() {
+            return;
+        }
+        if np == 0 {
+            visit(&[]);
+            return;
+        }
+        let mut map: Vec<NodeId> = vec![NodeId::MAX; np];
+        let mut used: Vec<bool> = vec![false; self.target.node_count()];
+        self.extend(0, &mut map, &mut used, visit);
+    }
+
+    /// Depth-first extension; returns `false` when the caller asked to stop.
+    fn extend(
+        &self,
+        depth: usize,
+        map: &mut [NodeId],
+        used: &mut [bool],
+        visit: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> bool {
+        if depth == self.order.len() {
+            return visit(map);
+        }
+        let p = self.order[depth];
+        'cand: for t in 0..self.target.node_count() as NodeId {
+            if used[t as usize] {
+                continue;
+            }
+            // Degree filter: the image must support the pattern vertex.
+            if self.target.out_degree(t) < self.pattern.out_degree(p)
+                || self.target.in_degree(t) < self.pattern.in_degree(p)
+            {
+                continue;
+            }
+            // Self-loop consistency.
+            if self.pattern.has_edge(p, p) && !self.target.has_edge(t, t) {
+                continue;
+            }
+            // Consistency with already-mapped neighbours.
+            for &q in self.pattern.successors(p) {
+                if q == p {
+                    continue;
+                }
+                let mq = map[q as usize];
+                if mq != NodeId::MAX && !self.target.has_edge(t, mq) {
+                    continue 'cand;
+                }
+            }
+            for &q in self.pattern.predecessors(p) {
+                if q == p {
+                    continue;
+                }
+                let mq = map[q as usize];
+                if mq != NodeId::MAX && !self.target.has_edge(mq, t) {
+                    continue 'cand;
+                }
+            }
+            map[p as usize] = t;
+            used[t as usize] = true;
+            let keep_going = self.extend(depth + 1, map, used, visit);
+            map[p as usize] = NodeId::MAX;
+            used[t as usize] = false;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Reorders `order` so each vertex (after the first) is adjacent to an
+/// earlier one when possible, preserving the degree-based priority among
+/// eligible vertices. Connected partial maps prune far better.
+fn connectivity_refine(g: &DiGraph, order: Vec<NodeId>) -> Vec<NodeId> {
+    let n = order.len();
+    let mut remaining = order;
+    let mut out = Vec::with_capacity(n);
+    let mut in_out = vec![false; g.node_count()];
+    while !remaining.is_empty() {
+        let pos = remaining
+            .iter()
+            .position(|&v| {
+                out.is_empty()
+                    || g.successors(v).iter().any(|&u| in_out[u as usize])
+                    || g.predecessors(v).iter().any(|&u| in_out[u as usize])
+            })
+            .unwrap_or(0);
+        let v = remaining.remove(pos);
+        in_out[v as usize] = true;
+        out.push(v);
+    }
+    out
+}
+
+/// Returns one embedding of `pattern` into `target` if any exists.
+pub fn find_monomorphism(pattern: &DiGraph, target: &DiGraph) -> Option<Vec<NodeId>> {
+    MonoSearch::new(pattern, target).find()
+}
+
+/// Whether `pattern` embeds into `target` (injective, edge preserving).
+pub fn is_subgraph_monomorphic(pattern: &DiGraph, target: &DiGraph) -> bool {
+    find_monomorphism(pattern, target).is_some()
+}
+
+/// Collects up to `limit` embeddings of `pattern` into `target`.
+pub fn enumerate_monomorphisms(
+    pattern: &DiGraph,
+    target: &DiGraph,
+    limit: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    MonoSearch::new(pattern, target).enumerate(|m| {
+        out.push(m.to_vec());
+        out.len() < limit
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> DiGraph {
+        DiGraph::from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)))
+    }
+
+    fn cycle(n: usize) -> DiGraph {
+        DiGraph::from_edges(n, (0..n as NodeId).map(|i| (i, (i + 1) % n as NodeId)))
+    }
+
+    #[test]
+    fn path_embeds_in_longer_path() {
+        assert!(is_subgraph_monomorphic(&path(3), &path(5)));
+        assert!(!is_subgraph_monomorphic(&path(5), &path(3)));
+    }
+
+    #[test]
+    fn path_embeds_in_cycle_but_not_vice_versa() {
+        assert!(is_subgraph_monomorphic(&path(4), &cycle(4)));
+        assert!(!is_subgraph_monomorphic(&cycle(4), &path(4)));
+    }
+
+    #[test]
+    fn found_map_is_a_valid_monomorphism() {
+        let p = DiGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let t = DiGraph::from_edges(5, [(4, 3), (3, 1), (4, 1), (0, 4)]);
+        let m = find_monomorphism(&p, &t).expect("triangle-ish DAG embeds");
+        for (u, v) in p.edges() {
+            assert!(t.has_edge(m[u as usize], m[v as usize]));
+        }
+        let mut images = m.clone();
+        images.sort_unstable();
+        images.dedup();
+        assert_eq!(images.len(), m.len(), "map must be injective");
+    }
+
+    #[test]
+    fn direction_matters() {
+        let p = DiGraph::from_edges(2, [(0, 1)]);
+        let t = DiGraph::from_edges(2, [(1, 0)]);
+        // 0->1 embeds as m(0)=1, m(1)=0.
+        assert!(is_subgraph_monomorphic(&p, &t));
+        let t2 = DiGraph::from_edges(2, []);
+        assert!(!is_subgraph_monomorphic(&p, &t2));
+    }
+
+    #[test]
+    fn self_loop_requires_self_loop() {
+        let p = DiGraph::from_edges(1, [(0, 0)]);
+        let no_loop = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let with_loop = DiGraph::from_edges(3, [(0, 1), (2, 2)]);
+        assert!(!is_subgraph_monomorphic(&p, &no_loop));
+        let m = find_monomorphism(&p, &with_loop).unwrap();
+        assert_eq!(m, vec![2]);
+    }
+
+    #[test]
+    fn empty_pattern_always_embeds() {
+        let p = DiGraph::empty(0);
+        let t = path(3);
+        assert!(is_subgraph_monomorphic(&p, &t));
+    }
+
+    #[test]
+    fn bidirectional_pair_needs_two_cycle() {
+        // AND(B, C) graph form: B<->C.
+        let p = DiGraph::from_edges(2, [(0, 1), (1, 0)]);
+        let dag = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let with_two_cycle = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 1), (2, 3)]);
+        assert!(!is_subgraph_monomorphic(&p, &dag));
+        assert!(is_subgraph_monomorphic(&p, &with_two_cycle));
+    }
+
+    #[test]
+    fn enumerate_counts_all_embeddings_of_edge_into_triangle() {
+        let p = DiGraph::from_edges(2, [(0, 1)]);
+        let t = cycle(3);
+        let all = enumerate_monomorphisms(&p, &t, usize::MAX);
+        // Each of the 3 directed edges yields exactly one embedding.
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let p = DiGraph::from_edges(2, [(0, 1)]);
+        let t = cycle(5);
+        let some = enumerate_monomorphisms(&p, &t, 2);
+        assert_eq!(some.len(), 2);
+    }
+
+    #[test]
+    fn larger_pattern_than_target_fails_fast() {
+        assert!(!is_subgraph_monomorphic(&path(6), &path(4)));
+    }
+}

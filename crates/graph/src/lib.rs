@@ -1,0 +1,32 @@
+//! Directed-graph substrate for the `evematch` workspace.
+//!
+//! The matching framework of *Matching Heterogeneous Events with Patterns*
+//! manipulates three kinds of directed graphs:
+//!
+//! * **event dependency graphs** (Definition 1 of the paper) — built in
+//!   `evematch-eventlog` on top of [`DiGraph`];
+//! * **pattern graphs** — the graph form of SEQ/AND event patterns, built in
+//!   `evematch-pattern` on top of [`DiGraph`];
+//! * **reduction graphs** — arbitrary graphs used by the executable
+//!   NP-hardness reduction (Theorem 1), in `evematch-core`.
+//!
+//! This crate provides the shared structure: a compact adjacency-list
+//! [`DiGraph`], a backtracking subgraph-monomorphism search
+//! ([`find_monomorphism`], [`is_subgraph_monomorphic`]) used by the
+//! pattern-existence pruning (Proposition 3) and by the hardness reduction,
+//! and small path/ordering utilities.
+//!
+//! Vertices are dense `u32` indices (see [`NodeId`]); callers keep their own
+//! mapping from domain objects (events) to indices. All iteration orders are
+//! deterministic so that search results are reproducible run to run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digraph;
+mod iso;
+mod paths;
+
+pub use digraph::{DiGraph, DiGraphBuilder, EdgeIter, NodeId};
+pub use iso::{enumerate_monomorphisms, find_monomorphism, is_subgraph_monomorphic, MonoSearch};
+pub use paths::{has_hamiltonian_path, topological_order};

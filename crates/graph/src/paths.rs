@@ -1,0 +1,129 @@
+//! Small path and ordering utilities on [`DiGraph`].
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Returns a topological order of the vertices, or `None` if the graph has a
+/// directed cycle.
+///
+/// Pattern graphs with `AND` operators contain 2-cycles, so this is useful
+/// mainly for pure-`SEQ` patterns and for validating generator output.
+pub fn topological_order(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(v as NodeId)).collect();
+    // Self-loops make a vertex its own predecessor: always cyclic.
+    for v in 0..n as NodeId {
+        if g.has_edge(v, v) {
+            return None;
+        }
+    }
+    let mut queue: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| indeg[v as usize] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for &w in g.successors(v) {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Whether the graph contains a directed Hamiltonian path (visiting every
+/// vertex exactly once).
+///
+/// Uses the Held–Karp bitmask DP, `O(2^n · n^2)`; intended for the tiny
+/// graphs that arise as pattern graphs (`n ≤ ~20`). Panics if `n > 24` to
+/// guard against accidental misuse on dependency graphs.
+pub fn has_hamiltonian_path(g: &DiGraph) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    assert!(n <= 24, "hamiltonian check is exponential; n = {n} too large");
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    // reach[mask] = bitset of vertices at which a path covering `mask` can end.
+    let mut reach = vec![0u32; 1usize << n];
+    for v in 0..n {
+        reach[1usize << v] = 1 << v;
+    }
+    for mask in 1..=full {
+        let ends = reach[mask as usize];
+        if ends == 0 {
+            continue;
+        }
+        if mask == full {
+            return true;
+        }
+        let mut e = ends;
+        while e != 0 {
+            let v = e.trailing_zeros();
+            e &= e - 1;
+            for &w in g.successors(v) {
+                let bit = 1u32 << w;
+                if mask & bit == 0 {
+                    reach[(mask | bit) as usize] |= bit;
+                }
+            }
+        }
+    }
+    reach[full as usize] != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topo_order_of_dag() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_order(&g).unwrap();
+        let pos: Vec<usize> = (0..4)
+            .map(|v| order.iter().position(|&x| x == v).unwrap())
+            .collect();
+        for (u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize]);
+        }
+    }
+
+    #[test]
+    fn topo_order_rejects_cycle() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn topo_order_rejects_self_loop() {
+        let g = DiGraph::from_edges(2, [(0, 1), (1, 1)]);
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn hamiltonian_path_in_chain_and_not_in_star() {
+        let chain = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(has_hamiltonian_path(&chain));
+        // Out-star: 0 -> {1, 2, 3}; cannot visit two leaves consecutively.
+        let star = DiGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert!(!has_hamiltonian_path(&star));
+    }
+
+    #[test]
+    fn hamiltonian_path_in_and_pattern_graph() {
+        // AND(B, C) preceded by A: A->B, A->C, B<->C. Path A,B,C exists.
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2), (1, 2), (2, 1)]);
+        assert!(has_hamiltonian_path(&g));
+    }
+
+    #[test]
+    fn hamiltonian_trivial_cases() {
+        assert!(has_hamiltonian_path(&DiGraph::empty(0)));
+        assert!(has_hamiltonian_path(&DiGraph::empty(1)));
+        assert!(!has_hamiltonian_path(&DiGraph::empty(2)));
+    }
+}

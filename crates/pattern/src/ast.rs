@@ -1,0 +1,345 @@
+//! The SEQ/AND pattern AST (Definition 3).
+
+use std::fmt;
+
+use evematch_eventlog::{EventId, EventSet};
+
+/// A composite event pattern.
+///
+/// Invariants, established at construction and relied on everywhere else:
+///
+/// * operators have at least two children (singleton `SEQ`/`AND` are
+///   collapsed to their child by the smart constructors);
+/// * the events of a pattern are pairwise distinct (the paper forbids
+///   duplicates because distinct patterns could otherwise share a graph
+///   form, e.g. `SEQ(A,B,A,B)` vs `AND(A,B)`).
+///
+/// Build patterns with [`Pattern::event`], [`Pattern::seq`] and
+/// [`Pattern::and`], or parse them with
+/// [`parse_pattern`](crate::parse_pattern).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// A single event.
+    Event(EventId),
+    /// Sub-patterns occurring sequentially, in the given order.
+    Seq(Vec<Pattern>),
+    /// Sub-patterns occurring as contiguous blocks in any order.
+    And(Vec<Pattern>),
+}
+
+/// Errors from the smart constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// An operator was given no children.
+    EmptyOperator,
+    /// The same event appears more than once within the pattern.
+    DuplicateEvent(EventId),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::EmptyOperator => write!(f, "SEQ/AND requires at least one child"),
+            PatternError::DuplicateEvent(e) => {
+                write!(f, "event {e} occurs more than once in the pattern")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl Pattern {
+    /// The single-event pattern.
+    pub fn event(e: impl Into<EventId>) -> Pattern {
+        Pattern::Event(e.into())
+    }
+
+    /// `SEQ(children…)`. Collapses a singleton; rejects empty operators and
+    /// duplicated events.
+    pub fn seq(children: Vec<Pattern>) -> Result<Pattern, PatternError> {
+        Self::operator(children, Pattern::Seq)
+    }
+
+    /// `AND(children…)`. Collapses a singleton; rejects empty operators and
+    /// duplicated events.
+    pub fn and(children: Vec<Pattern>) -> Result<Pattern, PatternError> {
+        Self::operator(children, Pattern::And)
+    }
+
+    fn operator(
+        mut children: Vec<Pattern>,
+        make: fn(Vec<Pattern>) -> Pattern,
+    ) -> Result<Pattern, PatternError> {
+        match children.len() {
+            0 => Err(PatternError::EmptyOperator),
+            1 => Ok(children.pop().expect("len checked")),
+            _ => {
+                let p = make(children);
+                p.check_distinct()?;
+                Ok(p)
+            }
+        }
+    }
+
+    /// Convenience: `SEQ` of single events.
+    pub fn seq_of_events(events: impl IntoIterator<Item = EventId>) -> Result<Pattern, PatternError> {
+        Self::seq(events.into_iter().map(Pattern::Event).collect())
+    }
+
+    /// Convenience: `AND` of single events.
+    pub fn and_of_events(events: impl IntoIterator<Item = EventId>) -> Result<Pattern, PatternError> {
+        Self::and(events.into_iter().map(Pattern::Event).collect())
+    }
+
+    fn check_distinct(&self) -> Result<(), PatternError> {
+        let mut evs = Vec::new();
+        self.collect_events(&mut evs);
+        evs.sort_unstable();
+        for w in evs.windows(2) {
+            if w[0] == w[1] {
+                return Err(PatternError::DuplicateEvent(w[0]));
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_events(&self, out: &mut Vec<EventId>) {
+        match self {
+            Pattern::Event(e) => out.push(*e),
+            Pattern::Seq(ps) | Pattern::And(ps) => {
+                for p in ps {
+                    p.collect_events(out);
+                }
+            }
+        }
+    }
+
+    /// The events of the pattern, `V(p)`, sorted ascending.
+    pub fn events(&self) -> Vec<EventId> {
+        let mut evs = Vec::new();
+        self.collect_events(&mut evs);
+        evs.sort_unstable();
+        evs
+    }
+
+    /// Number of events, `|p|` in the paper's notation.
+    pub fn size(&self) -> usize {
+        match self {
+            Pattern::Event(_) => 1,
+            Pattern::Seq(ps) | Pattern::And(ps) => ps.iter().map(Pattern::size).sum(),
+        }
+    }
+
+    /// Whether the pattern is a single event (a *vertex pattern*).
+    pub fn is_vertex(&self) -> bool {
+        matches!(self, Pattern::Event(_))
+    }
+
+    /// Whether the pattern is a *simple SEQ*: `SEQ(v1, …, vk)` of single
+    /// events (Table 2, case 2). A single event also qualifies (k = 1).
+    pub fn is_simple_seq(&self) -> bool {
+        match self {
+            Pattern::Event(_) => true,
+            Pattern::Seq(ps) => ps.iter().all(Pattern::is_vertex),
+            Pattern::And(_) => false,
+        }
+    }
+
+    /// Whether the pattern is a *simple AND*: `AND(v1, …, vk)` of single
+    /// events (Table 2, case 3).
+    pub fn is_simple_and(&self) -> bool {
+        match self {
+            Pattern::And(ps) => ps.iter().all(Pattern::is_vertex),
+            _ => false,
+        }
+    }
+
+    /// Events that can begin a linearization of this pattern.
+    pub fn initials(&self) -> Vec<EventId> {
+        match self {
+            Pattern::Event(e) => vec![*e],
+            Pattern::Seq(ps) => ps[0].initials(),
+            Pattern::And(ps) => {
+                let mut out: Vec<EventId> = ps.iter().flat_map(Pattern::initials).collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Events that can end a linearization of this pattern.
+    pub fn finals(&self) -> Vec<EventId> {
+        match self {
+            Pattern::Event(e) => vec![*e],
+            Pattern::Seq(ps) => ps.last().expect("operators are non-empty").finals(),
+            Pattern::And(ps) => {
+                let mut out: Vec<EventId> = ps.iter().flat_map(Pattern::finals).collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Rewrites every event through `f`, preserving structure. This is how
+    /// a pattern `p` over `L1` becomes the corresponded pattern `M(p)` over
+    /// `L2` (Definition 5).
+    ///
+    /// The mapping is expected to be injective on `V(p)`; a non-injective
+    /// map would merge events and change the semantics, so it is rejected in
+    /// debug builds.
+    pub fn map_events(&self, f: &impl Fn(EventId) -> EventId) -> Pattern {
+        let mapped = self.map_events_unchecked(f);
+        debug_assert!(
+            {
+                let evs = mapped.events();
+                evs.windows(2).all(|w| w[0] != w[1])
+            },
+            "event mapping must be injective on the pattern's events"
+        );
+        mapped
+    }
+
+    fn map_events_unchecked(&self, f: &impl Fn(EventId) -> EventId) -> Pattern {
+        match self {
+            Pattern::Event(e) => Pattern::Event(f(*e)),
+            Pattern::Seq(ps) => {
+                Pattern::Seq(ps.iter().map(|p| p.map_events_unchecked(f)).collect())
+            }
+            Pattern::And(ps) => {
+                Pattern::And(ps.iter().map(|p| p.map_events_unchecked(f)).collect())
+            }
+        }
+    }
+
+    /// Renders the pattern with event names resolved against `events`.
+    pub fn display<'a>(&'a self, events: &'a EventSet) -> PatternDisplay<'a> {
+        PatternDisplay {
+            pattern: self,
+            events,
+        }
+    }
+}
+
+/// Helper returned by [`Pattern::display`].
+pub struct PatternDisplay<'a> {
+    pattern: &'a Pattern,
+    events: &'a EventSet,
+}
+
+impl fmt::Display for PatternDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &Pattern, ev: &EventSet, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match p {
+                Pattern::Event(e) => write!(f, "{}", ev.name(*e)),
+                Pattern::Seq(ps) | Pattern::And(ps) => {
+                    write!(f, "{}(", if matches!(p, Pattern::Seq(_)) { "SEQ" } else { "AND" })?;
+                    for (i, c) in ps.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        go(c, ev, f)?;
+                    }
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.pattern, self.events, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> Pattern {
+        Pattern::event(i)
+    }
+
+    #[test]
+    fn smart_constructors_collapse_singletons() {
+        let p = Pattern::seq(vec![e(0)]).unwrap();
+        assert_eq!(p, e(0));
+        let q = Pattern::and(vec![Pattern::seq(vec![e(1), e(2)]).unwrap()]).unwrap();
+        assert_eq!(q, Pattern::seq(vec![e(1), e(2)]).unwrap());
+    }
+
+    #[test]
+    fn empty_operator_rejected() {
+        assert_eq!(Pattern::seq(vec![]), Err(PatternError::EmptyOperator));
+        assert_eq!(Pattern::and(vec![]), Err(PatternError::EmptyOperator));
+    }
+
+    #[test]
+    fn duplicate_events_rejected() {
+        let err = Pattern::seq(vec![e(1), e(2), e(1)]).unwrap_err();
+        assert_eq!(err, PatternError::DuplicateEvent(EventId(1)));
+        // Nested duplicates are caught too.
+        let nested = Pattern::and(vec![Pattern::seq(vec![e(0), e(1)]).unwrap(), e(1)]);
+        assert_eq!(nested.unwrap_err(), PatternError::DuplicateEvent(EventId(1)));
+    }
+
+    #[test]
+    fn events_and_size() {
+        // SEQ(A, AND(B, C), D) — the paper's p1 with A=0, B=1, C=2, D=3.
+        let p = Pattern::seq(vec![
+            e(0),
+            Pattern::and(vec![e(1), e(2)]).unwrap(),
+            e(3),
+        ])
+        .unwrap();
+        assert_eq!(p.size(), 4);
+        assert_eq!(
+            p.events(),
+            vec![EventId(0), EventId(1), EventId(2), EventId(3)]
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert!(e(0).is_vertex());
+        assert!(e(0).is_simple_seq());
+        let seq = Pattern::seq_of_events([EventId(0), EventId(1)]).unwrap();
+        assert!(seq.is_simple_seq());
+        assert!(!seq.is_simple_and());
+        let and = Pattern::and_of_events([EventId(1), EventId(2)]).unwrap();
+        assert!(and.is_simple_and());
+        assert!(!and.is_simple_seq());
+        let nested = Pattern::seq(vec![e(0), and.clone()]).unwrap();
+        assert!(!nested.is_simple_seq());
+        assert!(!nested.is_simple_and());
+    }
+
+    #[test]
+    fn initials_and_finals() {
+        // SEQ(A, AND(B, C), D): starts with A, ends with D.
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
+        assert_eq!(p.initials(), vec![EventId(0)]);
+        assert_eq!(p.finals(), vec![EventId(3)]);
+        // AND(SEQ(a,b), c): can start with a or c; end with b or c.
+        let q = Pattern::and(vec![Pattern::seq(vec![e(0), e(1)]).unwrap(), e(2)]).unwrap();
+        assert_eq!(q.initials(), vec![EventId(0), EventId(2)]);
+        assert_eq!(q.finals(), vec![EventId(1), EventId(2)]);
+    }
+
+    #[test]
+    fn map_events_preserves_structure() {
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap()]).unwrap();
+        let m = p.map_events(&|ev| EventId(ev.0 + 10));
+        assert_eq!(
+            m,
+            Pattern::seq(vec![
+                e(10),
+                Pattern::and(vec![e(11), e(12)]).unwrap()
+            ])
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn display_with_names() {
+        let names = EventSet::from_names(["A", "B", "C", "D"]);
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
+        assert_eq!(p.display(&names).to_string(), "SEQ(A,AND(B,C),D)");
+    }
+}

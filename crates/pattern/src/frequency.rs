@@ -1,0 +1,177 @@
+//! Pattern frequency evaluation over event logs.
+//!
+//! `f(p)` (Section 2.2) is the number of traces matching `p` divided by
+//! `|L|`. Counting scans only the traces containing *all* of the pattern's
+//! events, obtained from the inverted trace index `I_t` (Section 3.2.3).
+
+use evematch_eventlog::{EventLog, TraceIndex};
+
+use crate::ast::Pattern;
+use crate::graph_form::{edge_groups, PatternGraph};
+use crate::matcher::trace_matches;
+
+/// Number of traces of `log` matching `p`, counted over `⋂ I_t(v)`.
+///
+/// `index` must have been built from `log` (debug-asserted via the event
+/// count).
+pub fn pattern_support(p: &Pattern, log: &EventLog, index: &TraceIndex) -> usize {
+    debug_assert_eq!(index.event_count(), log.event_count());
+    let events = p.events();
+    // A pattern mentioning an event outside the log's vocabulary can never
+    // match; guard so `traces_with` does not index out of bounds.
+    if events
+        .iter()
+        .any(|e| e.index() >= log.event_count())
+    {
+        return 0;
+    }
+    index
+        .traces_with_all(&events)
+        .into_iter()
+        .filter(|&t| trace_matches(p, &log.traces()[t as usize]))
+        .count()
+}
+
+/// Normalized frequency `f(p) = pattern_support / |L|`.
+pub fn pattern_freq(p: &Pattern, log: &EventLog, index: &TraceIndex) -> f64 {
+    if log.is_empty() {
+        0.0
+    } else {
+        pattern_support(p, log, index) as f64 / log.len() as f64
+    }
+}
+
+/// A pattern bundled with everything the matching algorithms repeatedly
+/// need: its sorted event set, graph form, Table-2 classification and its
+/// frequency in the *source* log `L1`.
+///
+/// Built once per pattern before the search starts; the A\* and heuristic
+/// engines then only evaluate *mapped* frequencies in `L2`.
+#[derive(Clone, Debug)]
+pub struct EvaluatedPattern {
+    /// The pattern itself.
+    pub pattern: Pattern,
+    /// `V(p)`, sorted ascending.
+    pub events: Vec<evematch_eventlog::EventId>,
+    /// Graph form (provides `ω(p)` and the edge list).
+    pub graph: PatternGraph,
+    /// Required edge groups (see [`crate::edge_groups`]) driving the
+    /// structure-aware frequency caps.
+    pub edge_groups: Vec<Vec<(evematch_eventlog::EventId, evematch_eventlog::EventId)>>,
+    /// Unnormalized support in `L1`.
+    pub support: usize,
+    /// Normalized frequency `f1(p)`.
+    pub freq: f64,
+}
+
+impl EvaluatedPattern {
+    /// Evaluates `pattern` against `log` (its `L1`).
+    pub fn new(pattern: Pattern, log: &EventLog, index: &TraceIndex) -> Self {
+        let support = pattern_support(&pattern, log, index);
+        let freq = if log.is_empty() {
+            0.0
+        } else {
+            support as f64 / log.len() as f64
+        };
+        EvaluatedPattern {
+            events: pattern.events(),
+            graph: PatternGraph::of(&pattern),
+            edge_groups: edge_groups(&pattern),
+            support,
+            freq,
+            pattern,
+        }
+    }
+
+    /// Number of events `|p|`.
+    pub fn size(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evematch_eventlog::{EventId, LogBuilder};
+
+    fn e(i: u32) -> Pattern {
+        Pattern::event(i)
+    }
+
+    /// 4 traces: A(B‖C)D twice as ABCD, once as ACBD, once without C.
+    fn log() -> EventLog {
+        let mut b = LogBuilder::new();
+        b.push_named_trace(["A", "B", "C", "D"]);
+        b.push_named_trace(["A", "C", "B", "D"]);
+        b.push_named_trace(["A", "B", "C", "D"]);
+        b.push_named_trace(["A", "B", "D"]);
+        b.build()
+    }
+
+    #[test]
+    fn vertex_pattern_frequency_matches_vertex_frequency() {
+        let l = log();
+        let idx = l.trace_index();
+        let c = l.events().lookup("C").unwrap();
+        assert_eq!(pattern_support(&Pattern::Event(c), &l, &idx), 3);
+        assert!((pattern_freq(&Pattern::Event(c), &l, &idx) - l.vertex_freq(c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_pattern_frequency_matches_edge_frequency() {
+        let l = log();
+        let idx = l.trace_index();
+        let a = l.events().lookup("A").unwrap();
+        let b = l.events().lookup("B").unwrap();
+        let p = Pattern::seq_of_events([a, b]).unwrap();
+        assert_eq!(pattern_support(&p, &l, &idx), 3);
+        assert!((pattern_freq(&p, &l, &idx) - l.edge_freq(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_p1_counts_both_orders() {
+        let l = log();
+        let idx = l.trace_index();
+        // SEQ(A, AND(B, C), D) matches ABCD and ACBD but not ABD.
+        let p = Pattern::seq(vec![
+            e(0),
+            Pattern::and(vec![e(1), e(2)]).unwrap(),
+            e(3),
+        ])
+        .unwrap();
+        assert_eq!(pattern_support(&p, &l, &idx), 3);
+        assert!((pattern_freq(&p, &l, &idx) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_vocabulary_pattern_has_zero_support() {
+        let l = log();
+        let idx = l.trace_index();
+        let p = Pattern::seq_of_events([EventId(0), EventId(99)]).unwrap();
+        assert_eq!(pattern_support(&p, &l, &idx), 0);
+    }
+
+    #[test]
+    fn empty_log_frequency_is_zero() {
+        let l = LogBuilder::new().build();
+        let idx = l.trace_index();
+        assert_eq!(pattern_freq(&e(0), &l, &idx), 0.0);
+    }
+
+    #[test]
+    fn evaluated_pattern_caches_everything() {
+        let l = log();
+        let idx = l.trace_index();
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
+        let ep = EvaluatedPattern::new(p.clone(), &l, &idx);
+        assert_eq!(ep.pattern, p);
+        assert_eq!(ep.size(), 4);
+        assert_eq!(ep.support, 3);
+        assert!((ep.freq - 0.75).abs() < 1e-12);
+        assert_eq!(ep.graph.edge_count(), 6);
+        assert_eq!(
+            ep.events,
+            vec![EventId(0), EventId(1), EventId(2), EventId(3)]
+        );
+    }
+}

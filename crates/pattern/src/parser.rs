@@ -1,0 +1,258 @@
+//! Text syntax for patterns: `SEQ(A, AND(B, C), D)`.
+//!
+//! Event names are resolved against an [`EventSet`]; names may contain any
+//! characters except `(`, `)` and `,` (surrounding whitespace is trimmed).
+//! Operator names are case-insensitive.
+
+use std::fmt;
+
+use evematch_eventlog::EventSet;
+
+use crate::ast::{Pattern, PatternError};
+
+/// Errors from [`parse_pattern`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsePatternError {
+    /// Unexpected character or structure at byte offset.
+    Syntax {
+        /// Byte offset into the input.
+        offset: usize,
+        /// Human-readable description.
+        expected: &'static str,
+    },
+    /// An event name not present in the vocabulary.
+    UnknownEvent(String),
+    /// The parsed structure violates a pattern invariant.
+    Invalid(PatternError),
+    /// Input continued after a complete pattern.
+    TrailingInput {
+        /// Byte offset of the first trailing character.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePatternError::Syntax { offset, expected } => {
+                write!(f, "syntax error at byte {offset}: expected {expected}")
+            }
+            ParsePatternError::UnknownEvent(name) => write!(f, "unknown event `{name}`"),
+            ParsePatternError::Invalid(e) => write!(f, "invalid pattern: {e}"),
+            ParsePatternError::TrailingInput { offset } => {
+                write!(f, "unexpected trailing input at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+impl From<PatternError> for ParsePatternError {
+    fn from(e: PatternError) -> Self {
+        ParsePatternError::Invalid(e)
+    }
+}
+
+/// Parses the `SEQ`/`AND` pattern syntax against the vocabulary `events`.
+pub fn parse_pattern(input: &str, events: &EventSet) -> Result<Pattern, ParsePatternError> {
+    let mut p = Parser {
+        input,
+        pos: 0,
+        events,
+    };
+    let pattern = p.pattern()?;
+    p.skip_ws();
+    if p.pos != input.len() {
+        return Err(ParsePatternError::TrailingInput { offset: p.pos });
+    }
+    Ok(pattern)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    events: &'a EventSet,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        let rest = &self.input[self.pos..];
+        self.pos += rest.len() - rest.trim_start().len();
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParsePatternError> {
+        self.skip_ws();
+        let start = self.pos;
+        let name = self.token()?;
+        self.skip_ws();
+        let is_op = matches!(self.peek(), Some('('));
+        if is_op {
+            let make: fn(Vec<Pattern>) -> Result<Pattern, PatternError> =
+                match name.to_ascii_uppercase().as_str() {
+                    "SEQ" => Pattern::seq,
+                    "AND" => Pattern::and,
+                    _ => {
+                        return Err(ParsePatternError::Syntax {
+                            offset: start,
+                            expected: "operator SEQ or AND before `(`",
+                        })
+                    }
+                };
+            self.pos += 1; // consume '('
+            let mut children = vec![self.pattern()?];
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                        children.push(self.pattern()?);
+                    }
+                    Some(')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => {
+                        return Err(ParsePatternError::Syntax {
+                            offset: self.pos,
+                            expected: "`,` or `)`",
+                        })
+                    }
+                }
+            }
+            Ok(make(children)?)
+        } else {
+            let id = self
+                .events
+                .lookup(&name)
+                .ok_or_else(|| ParsePatternError::UnknownEvent(name.clone()))?;
+            Ok(Pattern::Event(id))
+        }
+    }
+
+    /// Reads a name token: everything up to `(`, `)`, `,`, trimmed.
+    fn token(&mut self) -> Result<String, ParsePatternError> {
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| matches!(c, '(' | ')' | ','))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let raw = &rest[..end];
+        let name = raw.trim();
+        if name.is_empty() {
+            return Err(ParsePatternError::Syntax {
+                offset: self.pos,
+                expected: "an event name or operator",
+            });
+        }
+        self.pos += end;
+        Ok(name.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evematch_eventlog::EventId;
+
+    fn voc() -> EventSet {
+        EventSet::from_names(["A", "B", "C", "D", "Ship Goods"])
+    }
+
+    #[test]
+    fn parses_single_event() {
+        let p = parse_pattern("B", &voc()).unwrap();
+        assert_eq!(p, Pattern::Event(EventId(1)));
+    }
+
+    #[test]
+    fn parses_paper_p1() {
+        let p = parse_pattern("SEQ(A, AND(B, C), D)", &voc()).unwrap();
+        let expect = Pattern::seq(vec![
+            Pattern::event(0),
+            Pattern::and(vec![Pattern::event(1), Pattern::event(2)]).unwrap(),
+            Pattern::event(3),
+        ])
+        .unwrap();
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn operator_names_are_case_insensitive() {
+        let p = parse_pattern("seq(A, and(B, C))", &voc()).unwrap();
+        assert!(matches!(p, Pattern::Seq(_)));
+    }
+
+    #[test]
+    fn event_names_with_spaces() {
+        let p = parse_pattern("SEQ(Ship Goods, A)", &voc()).unwrap();
+        assert_eq!(
+            p,
+            Pattern::seq_of_events([EventId(4), EventId(0)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_event_is_reported_by_name() {
+        let err = parse_pattern("SEQ(A, FH)", &voc()).unwrap_err();
+        assert_eq!(err, ParsePatternError::UnknownEvent("FH".into()));
+    }
+
+    #[test]
+    fn unknown_operator_is_a_syntax_error() {
+        let err = parse_pattern("XOR(A, B)", &voc()).unwrap_err();
+        assert!(matches!(err, ParsePatternError::Syntax { .. }));
+        assert!(err.to_string().contains("SEQ or AND"));
+    }
+
+    #[test]
+    fn missing_closing_paren() {
+        let err = parse_pattern("SEQ(A, B", &voc()).unwrap_err();
+        assert!(matches!(err, ParsePatternError::Syntax { .. }));
+    }
+
+    #[test]
+    fn trailing_input_is_rejected() {
+        let err = parse_pattern("A B", &voc()).unwrap_err();
+        // "A B" is a single token (names may contain spaces) -> unknown.
+        assert_eq!(err, ParsePatternError::UnknownEvent("A B".into()));
+        let err = parse_pattern("SEQ(A,B) C", &voc()).unwrap_err();
+        assert!(matches!(err, ParsePatternError::TrailingInput { .. }));
+    }
+
+    #[test]
+    fn duplicate_events_surface_as_invalid() {
+        let err = parse_pattern("SEQ(A, A)", &voc()).unwrap_err();
+        assert_eq!(
+            err,
+            ParsePatternError::Invalid(PatternError::DuplicateEvent(EventId(0)))
+        );
+    }
+
+    #[test]
+    fn empty_child_is_a_syntax_error() {
+        let err = parse_pattern("SEQ(A, )", &voc()).unwrap_err();
+        assert!(matches!(err, ParsePatternError::Syntax { .. }));
+        let err = parse_pattern("", &voc()).unwrap_err();
+        assert!(matches!(err, ParsePatternError::Syntax { .. }));
+    }
+
+    #[test]
+    fn singleton_operator_collapses() {
+        let p = parse_pattern("SEQ(A)", &voc()).unwrap();
+        assert_eq!(p, Pattern::Event(EventId(0)));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let v = voc();
+        let p = parse_pattern("SEQ(A,AND(B,C),D)", &v).unwrap();
+        let shown = p.display(&v).to_string();
+        assert_eq!(parse_pattern(&shown, &v).unwrap(), p);
+    }
+}

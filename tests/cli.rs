@@ -1,0 +1,138 @@
+//! End-to-end tests of the `evematch` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_evematch"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("evematch-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const L1_TEXT: &str = "receive pay check ship\nreceive check pay ship\nreceive pay check ship\n";
+
+const L2_CSV: &str = "case,activity\n\
+a,K4\na,K1\na,K7\na,K2\n\
+b,K4\nb,K7\nb,K1\nb,K2\n\
+c,K4\nc,K1\nc,K7\nc,K2\n";
+
+#[test]
+fn matches_text_against_csv_with_patterns() {
+    let l1 = write_temp("l1.log", L1_TEXT);
+    let l2 = write_temp("l2.csv", L2_CSV);
+    let pats = write_temp("pats.txt", "# composite\nSEQ(receive, AND(pay, check), ship)\n");
+    let out = bin()
+        .args(["--method", "exact", "--patterns"])
+        .arg(&pats)
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The anchors are unambiguous; the concurrent pair is resolved by the
+    // matching interleaving bias (pay first 2/3 ↔ K1 first 2/3).
+    assert!(stdout.contains("receive\tK4"), "{stdout}");
+    assert!(stdout.contains("ship\tK2"), "{stdout}");
+    assert!(stdout.contains("pay\tK1"), "{stdout}");
+    assert!(stdout.contains("check\tK7"), "{stdout}");
+}
+
+#[test]
+fn every_method_flag_works() {
+    let l1 = write_temp("m1.log", L1_TEXT);
+    let l2 = write_temp("m2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    for method in [
+        "exact",
+        "simple",
+        "advanced",
+        "vertex",
+        "vertex-edge",
+        "iterative",
+        "entropy",
+    ] {
+        let out = bin()
+            .args(["--quiet", "--method", method])
+            .arg(&l1)
+            .arg(&l2)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "method {method}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert_eq!(stdout.lines().count(), 4, "method {method}: {stdout}");
+    }
+}
+
+#[test]
+fn quiet_suppresses_diagnostics() {
+    let l1 = write_temp("q1.log", L1_TEXT);
+    let l2 = write_temp("q2.log", "x y z w\nx z y w\nx y z w\n");
+    let out = bin()
+        .args(["--quiet"])
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(out.stderr.is_empty(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn missing_log_is_a_clean_error() {
+    let out = bin()
+        .args(["/nonexistent/a.log", "/nonexistent/b.log"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn wrong_arity_prints_usage() {
+    let out = bin().arg("only-one.log").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn bad_pattern_reports_file_and_line() {
+    let l1 = write_temp("p1.log", L1_TEXT);
+    let l2 = write_temp("p2.log", "x y z w\n");
+    let pats = write_temp("bad.txt", "SEQ(receive, nosuch)\n");
+    let out = bin()
+        .arg("--patterns")
+        .arg(&pats)
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bad.txt:1"), "{stderr}");
+    assert!(stderr.contains("nosuch"), "{stderr}");
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn source_larger_than_target_is_a_clean_error() {
+    let l1 = write_temp("big.log", "a b c d e\n");
+    let l2 = write_temp("small.log", "x y\n");
+    let out = bin().arg(&l1).arg(&l2).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("|V1|"), "{stderr}");
+}

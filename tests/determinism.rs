@@ -1,0 +1,59 @@
+//! Reproducibility: identical inputs produce identical outputs, across
+//! every generator and matcher.
+
+use evematch::prelude::*;
+
+#[test]
+fn generators_are_seed_deterministic() {
+    for seed in [1u64, 99] {
+        let a = datasets::real_like_sized(60, 60, seed);
+        let b = datasets::real_like_sized(60, 60, seed);
+        assert_eq!(a.pair.log1, b.pair.log1);
+        assert_eq!(a.pair.log2, b.pair.log2);
+        assert_eq!(a.pair.truth, b.pair.truth);
+        assert_eq!(a.patterns, b.patterns);
+        let s = datasets::larger_synthetic(2, 40, seed);
+        let t = datasets::larger_synthetic(2, 40, seed);
+        assert_eq!(s.pair.log2, t.pair.log2);
+        let r1 = datasets::random_pair(4, 50, seed);
+        let r2 = datasets::random_pair(4, 50, seed);
+        assert_eq!(r1.log1, r2.log1);
+        assert_eq!(r1.log2, r2.log2);
+    }
+}
+
+#[test]
+fn every_method_is_run_deterministic() {
+    let ds = datasets::real_like_sized(100, 100, 31);
+    for m in ALL_METHODS {
+        let a = m.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+        let b = m.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+        let (
+            RunOutcome::Finished {
+                mapping: ma,
+                score: sa,
+                processed: pa,
+                ..
+            },
+            RunOutcome::Finished {
+                mapping: mb,
+                score: sb,
+                processed: pb,
+                ..
+            },
+        ) = (&a, &b)
+        else {
+            panic!("{} did not finish", m.name());
+        };
+        assert_eq!(ma, mb, "{} mapping differs across runs", m.name());
+        assert_eq!(sa, sb, "{} score differs", m.name());
+        assert_eq!(pa, pb, "{} processed count differs", m.name());
+    }
+}
+
+#[test]
+fn distinct_seeds_change_the_data() {
+    let a = datasets::real_like_sized(60, 60, 1);
+    let b = datasets::real_like_sized(60, 60, 2);
+    assert_ne!(a.pair.log2, b.pair.log2);
+}
