@@ -41,7 +41,7 @@ fn bench_exact_bounds(c: &mut Criterion) {
                 b.iter(|| {
                     let out = ExactMatcher::new(bound).solve(black_box(ctx)).unwrap();
                     black_box(out.score)
-                })
+                });
             });
         }
     }
@@ -55,12 +55,10 @@ fn bench_heuristics(c: &mut Criterion) {
     let mut group = c.benchmark_group("heuristic");
     group.sample_size(10);
     group.bench_function("simple", |b| {
-        b.iter(|| black_box(SimpleHeuristic::new(BoundKind::Tight).solve(black_box(&ctx))).score)
+        b.iter(|| black_box(SimpleHeuristic::new(BoundKind::Tight).solve(black_box(&ctx))).score);
     });
     group.bench_function("advanced", |b| {
-        b.iter(|| {
-            black_box(AdvancedHeuristic::new(BoundKind::Tight).solve(black_box(&ctx))).score
-        })
+        b.iter(|| black_box(AdvancedHeuristic::new(BoundKind::Tight).solve(black_box(&ctx))).score);
     });
     group.finish();
 }
@@ -71,10 +69,10 @@ fn bench_baselines(c: &mut Criterion) {
     let ctx = context(&ds);
     let mut group = c.benchmark_group("baseline");
     group.bench_function("iterative", |b| {
-        b.iter(|| black_box(IterativeMatcher::new().solve(black_box(&ctx))).score)
+        b.iter(|| black_box(IterativeMatcher::new().solve(black_box(&ctx))).score);
     });
     group.bench_function("entropy", |b| {
-        b.iter(|| black_box(EntropyMatcher::new().solve(black_box(&ctx))).score)
+        b.iter(|| black_box(EntropyMatcher::new().solve(black_box(&ctx))).score);
     });
     group.finish();
 }
@@ -100,7 +98,7 @@ fn bench_ablation_advanced(c: &mut Criterion) {
                     .with_refinement(refine)
                     .solve(black_box(&ctx));
                 black_box(out.score)
-            })
+            });
         });
     }
     group.finish();
@@ -113,9 +111,7 @@ fn bench_example_instance(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_instance");
     for (name, bound) in [("simple", BoundKind::Simple), ("tight", BoundKind::Tight)] {
         group.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(ExactMatcher::new(bound).solve(black_box(&ctx)).unwrap()).score
-            })
+            b.iter(|| black_box(ExactMatcher::new(bound).solve(black_box(&ctx)).unwrap()).score);
         });
     }
     group.finish();

@@ -19,7 +19,7 @@ fn big_log() -> EventLog {
 fn bench_dep_graph(c: &mut Criterion) {
     let log = big_log();
     c.bench_function("dep_graph_3000_traces", |b| {
-        b.iter(|| black_box(black_box(&log).dep_graph().edge_count()))
+        b.iter(|| black_box(black_box(&log).dep_graph().edge_count()));
     });
 }
 
@@ -27,12 +27,12 @@ fn bench_dep_graph(c: &mut Criterion) {
 fn bench_trace_index(c: &mut Criterion) {
     let log = big_log();
     c.bench_function("trace_index_build", |b| {
-        b.iter(|| black_box(black_box(&log).trace_index().event_count()))
+        b.iter(|| black_box(black_box(&log).trace_index().event_count()));
     });
     let idx = log.trace_index();
     let events: Vec<_> = log.events().ids().take(4).collect();
     c.bench_function("trace_index_intersect4", |b| {
-        b.iter(|| black_box(idx.traces_with_all(black_box(&events))).len())
+        b.iter(|| black_box(idx.traces_with_all(black_box(&events))).len());
     });
 }
 
@@ -48,7 +48,7 @@ fn bench_pattern_frequency(c: &mut Criterion) {
         ("branch_composite", ds.patterns[1].clone()),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(pattern_support(black_box(&p), log, &idx)))
+            b.iter(|| black_box(pattern_support(black_box(&p), log, &idx)));
         });
     }
     group.finish();
@@ -67,7 +67,7 @@ fn bench_assignment(c: &mut Criterion) {
             })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
-            b.iter(|| black_box(max_weight_assignment(black_box(w))))
+            b.iter(|| black_box(max_weight_assignment(black_box(w))));
         });
     }
     group.finish();
@@ -80,7 +80,7 @@ fn bench_monomorphism(c: &mut Criterion) {
     let dep = ds.pair.log1.dep_graph();
     let pg = PatternGraph::of(&ds.patterns[0]);
     c.bench_function("monomorphism_pattern_into_dep", |b| {
-        b.iter(|| black_box(is_subgraph_monomorphic(pg.graph(), dep.graph())))
+        b.iter(|| black_box(is_subgraph_monomorphic(pg.graph(), dep.graph())));
     });
     // A harder instance: path into a dense-ish random graph.
     let path = DiGraph::from_edges(8, (0..7u32).map(|i| (i, i + 1)));
@@ -89,7 +89,7 @@ fn bench_monomorphism(c: &mut Criterion) {
         (0..24u32).flat_map(|i| [(i, (i * 7 + 3) % 24), (i, (i * 5 + 1) % 24)]),
     );
     c.bench_function("monomorphism_path8_into_host24", |b| {
-        b.iter(|| black_box(is_subgraph_monomorphic(&path, &host)))
+        b.iter(|| black_box(is_subgraph_monomorphic(&path, &host)));
     });
 }
 

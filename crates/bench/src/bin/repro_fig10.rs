@@ -2,7 +2,10 @@
 
 fn main() {
     let cfg = evematch_bench::sweep_config();
-    eprintln!("Figure 10 sweep: seeds {:?}, {} traces, limits {:?}", cfg.seeds, cfg.traces, cfg.limits);
+    eprintln!(
+        "Figure 10 sweep: seeds {:?}, {} traces, limits {:?}",
+        cfg.seeds, cfg.traces, cfg.limits
+    );
     let fig = evematch_eval::experiments::fig10(&cfg);
     evematch_bench::emit_figure(&fig, "fig10");
 }

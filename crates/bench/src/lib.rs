@@ -17,6 +17,7 @@
 //! * `EVEMATCH_OUT` — output directory (default `results`).
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -35,13 +36,10 @@ fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
 
 /// The sweep configuration derived from the environment.
 pub fn sweep_config() -> SweepConfig {
-    let seeds: Vec<u64> = std::env::var("EVEMATCH_SEEDS")
-        .map(|s| {
-            s.split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect()
-        })
-        .unwrap_or_else(|_| vec![11, 23, 37]);
+    let seeds: Vec<u64> = std::env::var("EVEMATCH_SEEDS").map_or_else(
+        |_| vec![11, 23, 37],
+        |s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+    );
     SweepConfig {
         seeds,
         limits: SearchLimits {
@@ -50,7 +48,7 @@ pub fn sweep_config() -> SweepConfig {
         },
         workers: env_or(
             "EVEMATCH_WORKERS",
-            std::thread::available_parallelism().map_or(1, |n| n.get()),
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         ),
         traces: env_or("EVEMATCH_TRACES", 3000usize),
     }

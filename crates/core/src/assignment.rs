@@ -206,14 +206,17 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for n in 1..=5 {
             for extra in 0..=1 {
                 let cols = n + extra;
-                let w: Vec<Vec<f64>> =
-                    (0..n).map(|_| (0..cols).map(|_| next()).collect()).collect();
+                let w: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..cols).map(|_| next()).collect())
+                    .collect();
                 let a = max_weight_assignment(&w);
                 assert!(is_injective(&a), "assignment must be injective");
                 let got = assignment_value(&w, &a);

@@ -107,12 +107,8 @@ mod tests {
         let mut b2 = LogBuilder::new();
         b2.push_named_trace(["x", "y"]);
         b2.push_named_trace(["y"]);
-        let ctx = MatchContext::new(
-            b1.build(),
-            b2.build(),
-            PatternSetBuilder::new().vertices(),
-        )
-        .unwrap();
+        let ctx =
+            MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().vertices()).unwrap();
         let out = EntropyMatcher::new().solve(&ctx);
         // B (freq 0.5, entropy ln2) should pair with x (freq 0.5).
         assert_eq!(out.mapping.get(ev(1)), Some(ev(0)));
@@ -146,12 +142,8 @@ mod tests {
         let mut b2 = LogBuilder::new();
         b2.push_named_trace(["x", "y", "z"]);
         b2.push_named_trace(["z"]);
-        let ctx = MatchContext::new(
-            b1.build(),
-            b2.build(),
-            PatternSetBuilder::new().vertices(),
-        )
-        .unwrap();
+        let ctx =
+            MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().vertices()).unwrap();
         let a = EntropyMatcher::new().solve(&ctx);
         let b = EntropyMatcher::new().solve(&ctx);
         assert_eq!(a.mapping, b.mapping);

@@ -18,8 +18,6 @@ pub use iterative::{IterativeConfig, IterativeMatcher};
 
 /// Propagated similarity with the default iterative configuration (used by
 /// the advanced heuristic's estimated-score sharpening).
-pub(crate) fn propagated_similarity_default(
-    ctx: &crate::context::MatchContext,
-) -> Vec<Vec<f64>> {
+pub(crate) fn propagated_similarity_default(ctx: &crate::context::MatchContext) -> Vec<Vec<f64>> {
     iterative::propagated_similarity(ctx, &IterativeConfig::default())
 }

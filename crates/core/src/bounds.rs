@@ -32,6 +32,7 @@ use evematch_eventlog::{DepGraph, EventId};
 use evematch_pattern::EvaluatedPattern;
 
 use crate::mapping::Mapping;
+use crate::score::float_ord;
 
 /// Which `h` bounding function the search uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -106,7 +107,7 @@ pub fn upper_bound_partial(
         BoundKind::Simple => 1.0,
         BoundKind::Tight => {
             let f1 = ep.freq;
-            if f1 == 0.0 {
+            if float_ord::is_zero(f1) {
                 // sim(0, f2) = 0 for every f2.
                 return 0.0;
             }
@@ -117,7 +118,7 @@ pub fn upper_bound_partial(
                     Some(x) => cap = cap.min(dep2.vertex_freq(x)),
                     None => cap = cap.min(pre.fn_u2),
                 }
-                if cap == 0.0 {
+                if float_ord::is_zero(cap) {
                     return 0.0;
                 }
             }
@@ -131,7 +132,7 @@ pub fn upper_bound_partial(
                     }
                 }
                 cap = cap.min(gsum);
-                if cap == 0.0 {
+                if float_ord::is_zero(cap) {
                     return 0.0;
                 }
             }
@@ -260,7 +261,10 @@ mod tests {
         let dep2 = l2().dep_graph();
         let m = empty_mapping();
         let pre = BoundPrecomp::new(&m, &dep2);
-        assert_eq!(upper_bound_partial(BoundKind::Simple, &ep, &m, &dep2, &pre), 1.0);
+        assert_eq!(
+            upper_bound_partial(BoundKind::Simple, &ep, &m, &dep2, &pre),
+            1.0
+        );
     }
 
     #[test]
@@ -369,11 +373,7 @@ mod tests {
         b.push_named_trace(["A", "B"]);
         let l1 = b.build();
         let idx = l1.trace_index();
-        let ep = EvaluatedPattern::new(
-            Pattern::seq_of_events([ev(1), ev(0)]).unwrap(),
-            &l1,
-            &idx,
-        );
+        let ep = EvaluatedPattern::new(Pattern::seq_of_events([ev(1), ev(0)]).unwrap(), &l1, &idx);
         assert_eq!(ep.freq, 0.0);
         let dep2 = l2().dep_graph();
         let m = empty_mapping();
@@ -393,7 +393,11 @@ mod tests {
         .unwrap();
         let ep = full_freq(p, &[&["A", "B", "C"], &["A", "C", "B"]]);
         let dep2 = l2().dep_graph();
-        for pairs in [vec![], vec![(ev(0), ev(1))], vec![(ev(0), ev(1)), (ev(3), ev(0))]] {
+        for pairs in [
+            vec![],
+            vec![(ev(0), ev(1))],
+            vec![(ev(0), ev(1)), (ev(3), ev(0))],
+        ] {
             let m = Mapping::from_pairs(4, 4, pairs);
             let pre = BoundPrecomp::new(&m, &dep2);
             let t = upper_bound_partial(BoundKind::Tight, &ep, &m, &dep2, &pre);

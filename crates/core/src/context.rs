@@ -94,11 +94,12 @@ impl PatternSetBuilder {
         }
         if self.edges {
             for (a, b) in dep1.edges() {
+                // a != b keeps the SEQ duplicate-free, so the constructor
+                // cannot fail; `if let` keeps this panic-free regardless.
                 if a != b {
-                    out.push(
-                        Pattern::seq_of_events([a, b])
-                            .expect("a != b, so the SEQ is duplicate-free"),
-                    );
+                    if let Ok(p) = Pattern::seq_of_events([a, b]) {
+                        out.push(p);
+                    }
                 }
             }
         }
@@ -237,8 +238,7 @@ mod tests {
     #[test]
     fn vertices_and_edges_materialize() {
         let (l1, l2) = small_logs();
-        let ctx =
-            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
         // 3 vertex patterns + edges {AB, BC, AC, CB} = 4.
         assert_eq!(ctx.patterns().len(), 7);
         assert_eq!(ctx.complex_count(), 0);
@@ -250,12 +250,8 @@ mod tests {
     fn complex_patterns_are_counted_separately() {
         let (l1, l2) = small_logs();
         let p = Pattern::and_of_events([EventId(1), EventId(2)]).unwrap();
-        let ctx = MatchContext::new(
-            l1,
-            l2,
-            PatternSetBuilder::new().vertices().complex(p),
-        )
-        .unwrap();
+        let ctx =
+            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().complex(p)).unwrap();
         assert_eq!(ctx.patterns().len(), 4);
         assert_eq!(ctx.complex_count(), 1);
         // The AND pattern matches both traces: f1 = 1.0.
@@ -287,8 +283,8 @@ mod tests {
         b1.push_named_trace(["A", "A", "B"]);
         let mut b2 = LogBuilder::new();
         b2.push_named_trace(["x", "x", "y"]);
-        let ctx = MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().edges())
-            .unwrap();
+        let ctx =
+            MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().edges()).unwrap();
         // Dependency edges: A->A (loop, skipped) and A->B.
         assert_eq!(ctx.patterns().len(), 1);
     }
@@ -296,8 +292,7 @@ mod tests {
     #[test]
     fn expansion_order_prefers_pattern_heavy_events() {
         let (l1, l2) = small_logs();
-        let ctx =
-            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
         let order = ctx.pattern_index().expansion_order();
         assert_eq!(order.len(), 3);
         // B and C each appear in 1 vertex + 3 edge patterns; A in 1 + 2.

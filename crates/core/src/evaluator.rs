@@ -1,7 +1,11 @@
 //! Evaluation of pattern contributions `d(p)` under (partial) mappings,
 //! with memoization and Proposition-3 existence pruning.
 
-use std::collections::HashMap;
+// The memo cache is only ever point-queried, but BTreeMap keeps the
+// deterministic crates hash-free outright (tidy lint no-hash-iter); keys
+// are a pattern index plus at most a handful of event ids, so ordered
+// lookups cost about the same as hashing the boxed slice.
+use std::collections::BTreeMap;
 
 use evematch_eventlog::EventId;
 use evematch_pattern::{is_realizable, pattern_support};
@@ -33,7 +37,7 @@ pub struct EvalStats {
 /// dependency graph of `L2`.
 pub struct Evaluator<'a> {
     ctx: &'a MatchContext,
-    cache: HashMap<(u32, Box<[EventId]>), u32>,
+    cache: BTreeMap<(u32, Box<[EventId]>), u32>,
     /// Work counters for this run.
     pub stats: EvalStats,
 }
@@ -43,7 +47,7 @@ impl<'a> Evaluator<'a> {
     pub fn new(ctx: &'a MatchContext) -> Self {
         Evaluator {
             ctx,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             stats: EvalStats::default(),
         }
     }
@@ -93,14 +97,14 @@ impl<'a> Evaluator<'a> {
         match images {
             [only] if ep.size() == 1 => return dep2.vertex_support(*only),
             [_, _] if ep.graph.edge_count() == 1 => {
-                let (a, b) = ep
-                    .graph
-                    .edges_global()
-                    .next()
-                    .expect("edge pattern has one edge");
-                let ia = self.image_of(ep, a, images);
-                let ib = self.image_of(ep, b, images);
-                return dep2.edge_support(ia, ib);
+                // edge_count() == 1 guarantees a first edge; if it were
+                // ever absent we fall through to the generic (correct,
+                // merely slower) log-scan path instead of panicking.
+                if let Some((a, b)) = ep.graph.edges_global().next() {
+                    let ia = self.image_of(ep, a, images);
+                    let ib = self.image_of(ep, b, images);
+                    return dep2.edge_support(ia, ib);
+                }
             }
             _ => {}
         }
@@ -109,9 +113,7 @@ impl<'a> Evaluator<'a> {
             self.stats.cache_hits += 1;
             return support;
         }
-        let mapped = ep
-            .pattern
-            .map_events(&|e| self.image_of(ep, e, images));
+        let mapped = ep.pattern.map_events(&|e| self.image_of(ep, e, images));
         // Proposition 3 (sound form): if no allowed order of the mapped
         // pattern can be realized along dependency edges of G2, no trace of
         // L2 matches it — skip the log scan.
@@ -136,6 +138,7 @@ impl<'a> Evaluator<'a> {
         let pos = ep
             .events
             .binary_search(&e)
+            // tidy-allow: no-panic -- e comes from ep's own pattern, and ep.events is exactly that pattern's sorted event list
             .expect("event belongs to the pattern");
         images[pos]
     }
@@ -172,11 +175,7 @@ mod tests {
     }
 
     fn identity(n1: usize, n2: usize) -> Mapping {
-        Mapping::from_pairs(
-            n1,
-            n2,
-            (0..n1 as u32).map(|i| (EventId(i), EventId(i))),
-        )
+        Mapping::from_pairs(n1, n2, (0..n1 as u32).map(|i| (EventId(i), EventId(i))))
     }
 
     #[test]

@@ -44,12 +44,11 @@ pub fn reduce(g1: &DiGraph, g2: &DiGraph) -> ReducedInstance {
     );
     let log1 = edges_to_log(g1, g2.edge_count());
     let log2 = edges_to_log(g2, g1.edge_count());
+    // Edges of a simple digraph connect distinct vertices, so the SEQ
+    // constructor cannot reject them; `filter_map` keeps this panic-free.
     let patterns = g1
         .edges()
-        .map(|(u, v)| {
-            Pattern::seq_of_events([EventId(u), EventId(v)])
-                .expect("graph edges connect distinct vertices")
-        })
+        .filter_map(|(u, v)| Pattern::seq_of_events([EventId(u), EventId(v)]).ok())
         .collect();
     ReducedInstance {
         log1,
@@ -82,12 +81,12 @@ fn edges_to_log(g: &DiGraph, other_edge_count: usize) -> EventLog {
 /// Whether `mapping` (a solution of the reduced instance) certifies an
 /// embedding of `g1` into `g2`: every `G1` edge must map onto a `G2` edge.
 pub fn certifies_embedding(g1: &DiGraph, g2: &DiGraph, mapping: &Mapping) -> bool {
-    g1.edges().all(|(u, v)| {
-        match (mapping.get(EventId(u)), mapping.get(EventId(v))) {
+    g1.edges().all(
+        |(u, v)| match (mapping.get(EventId(u)), mapping.get(EventId(v))) {
             (Some(mu), Some(mv)) => g2.has_edge(mu.0, mv.0),
             _ => false,
-        }
-    })
+        },
+    )
 }
 
 #[cfg(test)]

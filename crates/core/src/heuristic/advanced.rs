@@ -150,9 +150,7 @@ impl AdvancedHeuristic {
                         .sum();
                     let better = match best {
                         None => true,
-                        Some((bf, bq, _, _)) => {
-                            f > bf + EPS || (f > bf - EPS && q > bq + EPS)
-                        }
+                        Some((bf, bq, _, _)) => f > bf + EPS || (f > bf - EPS && q > bq + EPS),
                     };
                     if better {
                         best = Some((f, q, root, endpoint));
@@ -161,10 +159,12 @@ impl AdvancedHeuristic {
                 trees.push((root, tree));
             }
             let (_, _, root, endpoint) =
+                // tidy-allow: no-panic -- Proposition 5: a maximal alternating tree under a feasible labeling always exposes an augmenting path, so at least one candidate was recorded
                 best.expect("Proposition 5: every maximal tree has an augmenting path");
             let tree = trees
                 .into_iter()
                 .find_map(|(r, t)| (r == root).then_some(t))
+                // tidy-allow: no-panic -- root was taken from `best`, which is only set while pushing that root's tree into `trees`
                 .expect("winning root's tree was built");
             // Adopt the winning tree's labeling and commit its augmentation.
             l1 = tree.l1.clone();
@@ -218,6 +218,7 @@ fn local_refine(
     };
     let part_score = |eval: &mut Evaluator<'_>, m: &Mapping, ps: &[usize]| -> f64 {
         ps.iter()
+            // tidy-allow: no-panic -- every remove below is paired with an insert before part_score runs again, so m stays complete
             .map(|&p| eval.d(p, m).expect("mapping stays complete"))
             .sum()
     };
@@ -230,7 +231,7 @@ fn local_refine(
                 stats.processed_mappings += 1;
                 let ps = affected(a1, None);
                 let before = part_score(eval, mapping, &ps);
-                let old = mapping.remove(a1).expect("complete");
+                let old = take_image(mapping, a1);
                 mapping.insert(a1, u);
                 let after = part_score(eval, mapping, &ps);
                 if after > before + EPS {
@@ -247,10 +248,7 @@ fn local_refine(
                 stats.processed_mappings += 1;
                 let ps = affected(a1, Some(a2));
                 let before = part_score(eval, mapping, &ps);
-                let (b1, b2) = (
-                    mapping.remove(a1).expect("complete"),
-                    mapping.remove(a2).expect("complete"),
-                );
+                let (b1, b2) = (take_image(mapping, a1), take_image(mapping, a2));
                 mapping.insert(a1, b2);
                 mapping.insert(a2, b1);
                 let after = part_score(eval, mapping, &ps);
@@ -270,6 +268,14 @@ fn local_refine(
         }
     }
     score
+}
+
+/// Removes and returns the image of a source event the local search knows
+/// to be mapped (refinement starts from a complete mapping and re-inserts
+/// after every tentative remove).
+fn take_image(m: &mut Mapping, a: EventId) -> EventId {
+    // tidy-allow: no-panic -- callers in local_refine only remove currently-mapped sources and restore them before the next query
+    m.remove(a).expect("source is mapped")
 }
 
 /// The Equation-2 estimate matrix, with dummy zero rows up to `n`,
@@ -476,12 +482,8 @@ mod tests {
         b2.push_named_trace(["x", "y"]);
         b2.push_named_trace(["x", "z"]);
         b2.push_named_trace(["x"]);
-        let ctx = MatchContext::new(
-            b1.build(),
-            b2.build(),
-            PatternSetBuilder::new().vertices(),
-        )
-        .unwrap();
+        let ctx =
+            MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().vertices()).unwrap();
         let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
         let heur = AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx);
         assert!(
@@ -495,12 +497,7 @@ mod tests {
     #[test]
     fn complete_consistent_and_deterministic() {
         let (l1, l2) = logs();
-        let ctx = MatchContext::new(
-            l1,
-            l2,
-            PatternSetBuilder::new().vertices().edges(),
-        )
-        .unwrap();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
         let a = AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx);
         assert!(a.mapping.is_complete());
         let recomputed = pattern_normal_distance(&ctx, &a.mapping);
@@ -604,12 +601,7 @@ mod tests {
     #[test]
     fn refinement_never_lowers_the_score() {
         let (l1, l2) = logs();
-        let ctx = MatchContext::new(
-            l1,
-            l2,
-            PatternSetBuilder::new().vertices().edges(),
-        )
-        .unwrap();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
         let without = AdvancedHeuristic::new(BoundKind::Tight)
             .with_refinement(false)
             .solve(&ctx);
@@ -627,12 +619,8 @@ mod tests {
         let mut b2 = LogBuilder::new();
         b2.push_named_trace(["x", "y"]);
         b2.push_named_trace(["x"]);
-        let ctx = MatchContext::new(
-            b1.build(),
-            b2.build(),
-            PatternSetBuilder::new().vertices(),
-        )
-        .unwrap();
+        let ctx =
+            MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().vertices()).unwrap();
         let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
         let sharp = AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx);
         assert!((sharp.score - exact.score).abs() < 1e-9);
@@ -646,12 +634,8 @@ mod tests {
         let mut b2 = LogBuilder::new();
         b2.push_named_trace(["x", "y"]);
         b2.push_named_trace(["x"]);
-        let ctx = MatchContext::new(
-            b1.build(),
-            b2.build(),
-            PatternSetBuilder::new().vertices(),
-        )
-        .unwrap();
+        let ctx =
+            MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().vertices()).unwrap();
         let theta = estimated_scores(&ctx, 2, false);
         // θ(A, x) = sim(1, 1) = 1; θ(B, y) = sim(0.5, 0.5) = 1;
         // θ(A, y) = sim(1, 0.5) = θ(B, x).

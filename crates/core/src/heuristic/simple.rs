@@ -50,6 +50,7 @@ impl SimpleHeuristic {
                 {
                     let images = eval
                         .images_under(p_idx, &mapping)
+                        // tidy-allow: no-panic -- newly_completed only yields patterns whose events all satisfy mapping.is_mapped
                         .expect("completed pattern is fully mapped");
                     child_g += eval.d_with_images(p_idx, &images);
                 }
@@ -62,6 +63,7 @@ impl SimpleHeuristic {
                     best = Some((f, child_g, b));
                 }
             }
+            // tidy-allow: no-panic -- n1 ≤ n2 (checked at context construction) leaves an unused target at every greedy step
             let (_, child_g, b) = best.expect("n1 ≤ n2 guarantees an unused target");
             mapping.insert(a, b);
             g = child_g;

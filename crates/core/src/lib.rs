@@ -31,7 +31,7 @@
 //! * the executable **NP-hardness reduction** of Theorem 1 in [`hardness`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod assignment;
 mod baseline;

@@ -1,6 +1,8 @@
 //! Matching scores: normal distance (Definition 2) and pattern normal
 //! distance (Definition 5).
 
+pub mod float_ord;
+
 use evematch_eventlog::DepGraph;
 
 use crate::bounds::{upper_bound_partial, BoundKind, BoundPrecomp};
@@ -20,7 +22,7 @@ use crate::mapping::Mapping;
 pub fn sim(f1: f64, f2: f64) -> f64 {
     debug_assert!(f1 >= 0.0 && f2 >= 0.0);
     let total = f1 + f2;
-    if total == 0.0 {
+    if float_ord::is_zero(total) {
         0.0
     } else {
         1.0 - (f1 - f2).abs() / total
@@ -61,9 +63,7 @@ pub fn normal_distance_vertex_edge(dep1: &DepGraph, dep2: &DepGraph, m: &Mapping
 /// or partial mapping: patterns with unmapped events contribute nothing.
 pub fn pattern_normal_distance(ctx: &MatchContext, m: &Mapping) -> f64 {
     let mut eval = Evaluator::new(ctx);
-    (0..ctx.patterns().len())
-        .filter_map(|i| eval.d(i, m))
-        .sum()
+    (0..ctx.patterns().len()).filter_map(|i| eval.d(i, m)).sum()
 }
 
 /// The `g` and `h` of a partial mapping (Section 3.1): `g` is the realized
@@ -71,11 +71,7 @@ pub fn pattern_normal_distance(ctx: &MatchContext, m: &Mapping) -> f64 {
 /// upper bound `Δ(p, U)` over the remaining patterns, where each pattern's
 /// allowed image set `U` is the union of its already-fixed images and the
 /// unused targets `U2`.
-pub fn score_partial(
-    eval: &mut Evaluator<'_>,
-    m: &Mapping,
-    bound: BoundKind,
-) -> (f64, f64) {
+pub fn score_partial(eval: &mut Evaluator<'_>, m: &Mapping, bound: BoundKind) -> (f64, f64) {
     let ctx = eval.context();
     let mut g = 0.0;
     for i in 0..ctx.patterns().len() {
@@ -170,8 +166,7 @@ mod tests {
     fn pattern_distance_equals_vertex_edge_for_special_patterns() {
         let (l1, l2) = logs();
         let (d1, d2) = (l1.dep_graph(), l2.dep_graph());
-        let ctx =
-            MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
         for pairs in [
             vec![(ev(0), ev(0)), (ev(1), ev(1)), (ev(2), ev(2))],
             vec![(ev(0), ev(2)), (ev(1), ev(0)), (ev(2), ev(1))],

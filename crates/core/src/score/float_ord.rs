@@ -1,0 +1,98 @@
+//! The one place allowed to compare floats directly.
+//!
+//! Scores in this codebase are finite, non-negative sums of `sim` terms
+//! (each in `[0, 1]`), so float comparison is meaningful — but raw
+//! `==`/`!=`/`partial_cmp` scattered through matcher code is how
+//! NaN-poisoned tie-breaking and platform-dependent orderings sneak in.
+//! Tidy (lint `no-float-eq`, DESIGN.md §6) therefore bans the raw
+//! operators everywhere else; call these helpers instead, each of which
+//! documents exactly when the underlying exact comparison is correct.
+
+use std::cmp::Ordering;
+
+/// Total-order comparison of two scores (IEEE-754 `totalOrder`).
+///
+/// Unlike `partial_cmp`, this never returns `None`: `-0.0 < +0.0` and
+/// every NaN sorts to an end instead of silently equating, so sorts and
+/// heaps keyed on it are deterministic even if a NaN ever slips in.
+#[inline]
+#[must_use]
+pub fn total_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Whether a frequency or score is exactly zero (either sign).
+///
+/// The zero checks in this codebase are *provenance* tests, not epsilon
+/// tests: a frequency is a count scaled by a positive constant, and a
+/// score is a sum of non-negative terms, so the value is `±0.0` if and
+/// only if nothing was ever added to it. IEEE-754 addition of
+/// non-negative operands cannot round a positive sum down to zero, which
+/// makes the exact comparison correct — and an epsilon here would be
+/// *wrong*, treating tiny-but-real frequencies as absent.
+#[inline]
+#[must_use]
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Exact equality under the total order.
+///
+/// For the rare case where two scores must be recognized as identical
+/// (e.g. detecting an unchanged iteration fixpoint). Distinguishes
+/// `-0.0` from `+0.0` and equates a NaN only with its own bit pattern —
+/// callers that need "same value bucket" semantics get a deterministic
+/// answer either way.
+#[inline]
+#[must_use]
+pub fn total_eq(a: f64, b: f64) -> bool {
+    a.total_cmp(&b) == Ordering::Equal
+}
+
+/// The larger of two scores under [`total_cmp`].
+///
+/// `f64::max` ignores NaN operands (`max(NaN, x) = x`), which can mask a
+/// poisoned score; under the total order a NaN with the sign bit clear
+/// is *greater* than every real value, so it propagates and gets caught.
+#[inline]
+#[must_use]
+pub fn max(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cmp_orders_nan_and_zeros() {
+        assert_eq!(total_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(total_cmp(-0.0, 0.0), Ordering::Less);
+        assert_eq!(total_cmp(f64::NAN, f64::INFINITY), Ordering::Greater);
+    }
+
+    #[test]
+    fn is_zero_accepts_both_signs_and_rejects_tiny() {
+        assert!(is_zero(0.0));
+        assert!(is_zero(-0.0));
+        assert!(!is_zero(f64::MIN_POSITIVE));
+        assert!(!is_zero(f64::NAN));
+    }
+
+    #[test]
+    fn total_eq_distinguishes_zero_signs() {
+        assert!(total_eq(0.5, 0.5));
+        assert!(!total_eq(-0.0, 0.0));
+        assert!(total_eq(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn max_propagates_positive_nan() {
+        assert_eq!(max(1.0, 2.0), 2.0);
+        assert!(max(f64::NAN, 2.0).is_nan());
+    }
+}

@@ -74,11 +74,7 @@ pub struct LogPair {
 
 /// Simulates `model` twice — once as-is into `L1`, once renamed/jittered/
 /// extended into `L2` — returning the pair and the ground truth.
-pub fn heterogenize(
-    model: &ProcessModel,
-    cfg: &HeterogenizeConfig,
-    rng: &mut impl Rng,
-) -> LogPair {
+pub fn heterogenize(model: &ProcessModel, cfg: &HeterogenizeConfig, rng: &mut impl Rng) -> LogPair {
     let mut log1 = model.simulate(rng, cfg.traces1);
     if cfg.swap_noise > 0.0 {
         log1 = apply_swap_noise(&log1, cfg.swap_noise, rng);
@@ -167,7 +163,10 @@ fn jitter_block(block: &Block, jitter: f64, rng: &mut impl Rng) -> Block {
         ),
         Block::Optional(p, b) => {
             let f: f64 = rng.gen_range(1.0 - jitter..=1.0 + jitter);
-            Block::Optional((p * f).clamp(0.0, 1.0), Box::new(jitter_block(b, jitter, rng)))
+            Block::Optional(
+                (p * f).clamp(0.0, 1.0),
+                Box::new(jitter_block(b, jitter, rng)),
+            )
         }
     }
 }

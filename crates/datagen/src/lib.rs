@@ -21,7 +21,7 @@
 //!   [`datasets::random_pair`] (Table 4).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod datasets;
 mod heterogenize;

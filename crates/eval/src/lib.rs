@@ -10,15 +10,15 @@
 //! experiment drivers that regenerate each figure and table.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
-mod metrics;
 mod method;
+mod metrics;
 mod project;
 mod report;
 
-pub use metrics::MatchQuality;
 pub use method::{Method, RunOutcome, ALL_METHODS};
+pub use metrics::MatchQuality;
 pub use project::{project_dataset, truncate_traces};
 pub use report::Table;

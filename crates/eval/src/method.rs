@@ -3,8 +3,8 @@
 use std::time::{Duration, Instant};
 
 use evematch_core::{
-    AdvancedHeuristic, BoundKind, EntropyMatcher, ExactMatcher, IterativeMatcher, MatchContext,
-    Mapping, PatternSetBuilder, SearchError, SearchLimits, SimpleHeuristic,
+    AdvancedHeuristic, BoundKind, EntropyMatcher, ExactMatcher, IterativeMatcher, Mapping,
+    MatchContext, PatternSetBuilder, SearchError, SearchLimits, SimpleHeuristic,
 };
 use evematch_datagen::LogPair;
 use evematch_pattern::Pattern;
@@ -94,8 +94,9 @@ impl RunOutcome {
     /// Processed candidate mappings.
     pub fn processed(&self) -> u64 {
         match self {
-            RunOutcome::Finished { processed, .. }
-            | RunOutcome::DidNotFinish { processed, .. } => *processed,
+            RunOutcome::Finished { processed, .. } | RunOutcome::DidNotFinish { processed, .. } => {
+                *processed
+            }
         }
     }
 
@@ -156,6 +157,7 @@ impl Method {
             pair.log2.clone(),
             self.pattern_set(complex),
         )
+        // tidy-allow: no-panic -- every generator in datagen grows the vocabulary, so |V1| ≤ |V2| holds for all benchmark pairs
         .expect("log pairs satisfy |V1| ≤ |V2|");
         let result = match self {
             Method::Vertex | Method::VertexEdge | Method::PatternTight => {
@@ -169,9 +171,7 @@ impl Method {
             Method::Iterative => Ok(IterativeMatcher::new().solve(&ctx)),
             Method::Entropy => Ok(EntropyMatcher::new().solve(&ctx)),
             Method::HeuristicSimple => Ok(SimpleHeuristic::new(BoundKind::Tight).solve(&ctx)),
-            Method::HeuristicAdvanced => {
-                Ok(AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx))
-            }
+            Method::HeuristicAdvanced => Ok(AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx)),
         };
         match result {
             Ok(out) => RunOutcome::Finished {

@@ -1,5 +1,6 @@
 //! Accuracy criteria (Section 6, "Criteria").
 
+use evematch_core::score::float_ord;
 use evematch_core::Mapping;
 
 /// Precision, recall and F-measure of a found mapping against the ground
@@ -29,7 +30,7 @@ impl MatchQuality {
         let correct = found.agreement_with(truth) as f64;
         let precision = safe_div(correct, found.len() as f64);
         let recall = safe_div(correct, truth.len() as f64);
-        let f_measure = if precision + recall == 0.0 {
+        let f_measure = if float_ord::is_zero(precision + recall) {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
@@ -50,7 +51,7 @@ impl MatchQuality {
 }
 
 fn safe_div(num: f64, den: f64) -> f64 {
-    if den == 0.0 {
+    if float_ord::is_zero(den) {
         0.0
     } else {
         num / den

@@ -20,10 +20,7 @@ pub fn project_dataset(ds: &Dataset, x: usize) -> Dataset {
         .map(EventId)
         .collect();
     // L2 keeps the images of kept events plus every decoy (no pre-image).
-    let images: Vec<EventId> = keep1
-        .iter()
-        .filter_map(|&v| ds.pair.truth.get(v))
-        .collect();
+    let images: Vec<EventId> = keep1.iter().filter_map(|&v| ds.pair.truth.get(v)).collect();
     let mut keep2 = images.clone();
     for e in (0..ds.pair.log2.event_count() as u32).map(EventId) {
         if !ds.pair.truth.pairs().any(|(_, b)| b == e) {
@@ -37,17 +34,19 @@ pub fn project_dataset(ds: &Dataset, x: usize) -> Dataset {
     let truth = Mapping::from_pairs(
         log1.event_count(),
         log2.event_count(),
-        ds.pair.truth.pairs().filter_map(|(a, b)| {
-            match (remap1[a.index()], remap2[b.index()]) {
+        ds.pair
+            .truth
+            .pairs()
+            .filter_map(|(a, b)| match (remap1[a.index()], remap2[b.index()]) {
                 (Some(na), Some(nb)) => Some((na, nb)),
                 _ => None,
-            }
-        }),
+            }),
     );
     let patterns: Vec<Pattern> = ds
         .patterns
         .iter()
         .filter(|p| p.events().iter().all(|e| remap1[e.index()].is_some()))
+        // tidy-allow: no-panic -- the filter on the previous line keeps only patterns whose events all remap
         .map(|p| p.map_events(&|e| remap1[e.index()].expect("checked above")))
         .collect();
     Dataset {

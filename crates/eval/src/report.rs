@@ -17,7 +17,7 @@ impl Table {
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Table {
             title: title.to_owned(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
             rows: Vec::new(),
         }
     }
@@ -99,7 +99,7 @@ impl fmt::Display for Table {
                 if i > 0 {
                     write!(f, "  ")?;
                 }
-                write!(f, "{cell:>w$}", w = w)?;
+                write!(f, "{cell:>w$}")?;
             }
             writeln!(f)
         };

@@ -72,7 +72,7 @@ fn parse_args() -> Result<Options, String> {
             "--limit-secs" => {
                 opts.limit_secs = value("--limit-secs")?
                     .parse()
-                    .map_err(|e| format!("--limit-secs: {e}"))?
+                    .map_err(|e| format!("--limit-secs: {e}"))?;
             }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
@@ -114,10 +114,7 @@ fn load_patterns(path: &str, log1: &EventLog) -> Result<Vec<Pattern>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(
-            parse_pattern(line, log1.events())
-                .map_err(|e| format!("{path}:{}: {e}", i + 1))?,
-        );
+        out.push(parse_pattern(line, log1.events()).map_err(|e| format!("{path}:{}: {e}", i + 1))?);
     }
     Ok(out)
 }

@@ -48,7 +48,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use evematch_core as core;
 pub use evematch_datagen as datagen;
@@ -61,19 +61,19 @@ pub use evematch_pattern as pattern;
 pub mod prelude {
     pub use evematch_core::{
         assignment, hardness, score, AdvancedHeuristic, BoundKind, EntropyMatcher, ExactMatcher,
-        IterativeMatcher, MatchContext, MatchOutcome, Mapping, PatternSetBuilder, SearchError,
+        IterativeMatcher, Mapping, MatchContext, MatchOutcome, PatternSetBuilder, SearchError,
         SearchLimits, SimpleHeuristic,
     };
     pub use evematch_datagen::{
         datasets, heterogenize, Block, Dataset, HeterogenizeConfig, LogPair, ProcessModel,
     };
-    pub use evematch_eval::{Method, MatchQuality, RunOutcome, Table, ALL_METHODS};
+    pub use evematch_eval::{MatchQuality, Method, RunOutcome, Table, ALL_METHODS};
     pub use evematch_eventlog::{
         read_csv_log, read_log, write_csv_log, write_log, DepGraph, EventId, EventLog, EventSet,
         LogBuilder, LogStats, Trace, TraceIndex,
     };
     pub use evematch_pattern::{
-        discover_patterns, parse_pattern, pattern_freq, pattern_support, DiscoveryConfig,
-        Pattern, PatternGraph,
+        discover_patterns, parse_pattern, pattern_freq, pattern_support, DiscoveryConfig, Pattern,
+        PatternGraph,
     };
 }

@@ -61,7 +61,11 @@ impl fmt::Display for CsvLogError {
             CsvLogError::MissingColumn { column } => {
                 write!(f, "header does not contain a `{column}` column")
             }
-            CsvLogError::ShortRow { line, found, needed } => write!(
+            CsvLogError::ShortRow {
+                line,
+                found,
+                needed,
+            } => write!(
                 f,
                 "line {line}: row has {found} fields, needs at least {needed}"
             ),

@@ -135,7 +135,9 @@ impl DepGraph {
 
     /// All dependency edges, lexicographically.
     pub fn edges(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
-        self.structure.edges().map(|(a, b)| (EventId(a), EventId(b)))
+        self.structure
+            .edges()
+            .map(|(a, b)| (EventId(a), EventId(b)))
     }
 
     /// Highest normalized vertex frequency among `events` (`f_n` of

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A dense identifier for an event within one log's vocabulary.
 ///
 /// Event names are *opaque* in this problem setting (the whole point of
@@ -11,10 +9,7 @@ use serde::{Deserialize, Serialize};
 /// other carry no usable lexical signal), so all algorithms operate on these
 /// dense ids; the [`EventSet`] keeps the id ↔ name mapping purely for
 /// presentation and I/O.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(pub u32);
 
 impl EventId {
@@ -39,7 +34,7 @@ impl fmt::Display for EventId {
 
 /// The interned vocabulary of one event log: a bijection between event names
 /// and dense [`EventId`]s, in insertion order.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EventSet {
     names: Vec<String>,
 }

@@ -170,11 +170,7 @@ mod tests {
         assert_eq!(again.len(), log.len());
         for (a, b) in log.traces().iter().zip(again.traces()) {
             let names_a: Vec<_> = a.events().iter().map(|&e| log.events().name(e)).collect();
-            let names_b: Vec<_> = b
-                .events()
-                .iter()
-                .map(|&e| again.events().name(e))
-                .collect();
+            let names_b: Vec<_> = b.events().iter().map(|&e| again.events().name(e)).collect();
             assert_eq!(names_a, names_b);
         }
     }
@@ -189,7 +185,7 @@ mod tests {
 
     #[test]
     fn write_emits_directive_and_ids_survive() {
-        let mut b = crate::LogBuilder::new();
+        let mut b = LogBuilder::new();
         b.intern("late"); // id 0 but occurs last in the trace
         b.push_named_trace(["early", "late"]);
         let log = b.build();
@@ -204,7 +200,7 @@ mod tests {
 
     #[test]
     fn whitespace_in_names_is_rejected_on_write() {
-        let mut b = crate::LogBuilder::new();
+        let mut b = LogBuilder::new();
         b.push_named_trace(["Check Inventory"]);
         let log = b.build();
         let err = write_log(&log, &mut Vec::new()).unwrap_err();

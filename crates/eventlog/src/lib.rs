@@ -19,7 +19,7 @@
 //! for persisting logs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod csv;
 mod depgraph;

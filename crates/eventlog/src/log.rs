@@ -1,7 +1,5 @@
 //! Event logs: collections of traces over a shared vocabulary.
 
-use serde::{Deserialize, Serialize};
-
 use crate::depgraph::DepGraph;
 use crate::event::{EventId, EventSet};
 use crate::index::TraceIndex;
@@ -13,7 +11,7 @@ use crate::trace::Trace;
 /// All frequency queries follow Definition 1 of the paper: counts are
 /// per-trace ("the number of traces in `L` that ...", not the number of
 /// occurrences), normalized by `|L|`.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EventLog {
     events: EventSet,
     traces: Vec<Trace>,

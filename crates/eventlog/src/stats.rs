@@ -1,7 +1,5 @@
 //! Log summary statistics (Table 3 of the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::log::EventLog;
 
 /// The per-dataset characteristics the paper reports in Table 3: number of
@@ -9,7 +7,7 @@ use crate::log::EventLog;
 /// of dependency edges. The number of patterns is a property of the
 /// experiment configuration, not of the log, so it is reported separately by
 /// the harness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LogStats {
     /// `|L|`, the number of traces.
     pub traces: usize,
@@ -31,8 +29,13 @@ impl LogStats {
             traces: log.len(),
             events: log.event_count(),
             edges: g.edge_count(),
-            occurrences: log.traces().iter().map(|t| t.len()).sum(),
-            max_trace_len: log.traces().iter().map(|t| t.len()).max().unwrap_or(0),
+            occurrences: log.traces().iter().map(super::trace::Trace::len).sum(),
+            max_trace_len: log
+                .traces()
+                .iter()
+                .map(super::trace::Trace::len)
+                .max()
+                .unwrap_or(0),
         }
     }
 }

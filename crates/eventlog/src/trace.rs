@@ -1,7 +1,5 @@
 //! Traces: finite event sequences ordered by occurrence time.
 
-use serde::{Deserialize, Serialize};
-
 use crate::event::EventId;
 
 /// One trace of an event log — e.g. the sequence of processing steps of a
@@ -9,7 +7,7 @@ use crate::event::EventId;
 ///
 /// Timestamps are abstracted away: the paper's model (Section 2.1) only
 /// consumes the *order* of events, so a trace is simply a `Vec<EventId>`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Trace {
     events: Vec<EventId>,
 }
@@ -60,11 +58,9 @@ impl Trace {
     pub fn windows(&self, k: usize) -> impl Iterator<Item = &[EventId]> + '_ {
         // `slice::windows` panics on k == 0; an empty pattern never arises
         // (patterns have ≥ 1 event) but be defensive for library callers.
-        self.events.windows(k.max(1)).take(if k == 0 {
-            0
-        } else {
-            usize::MAX
-        })
+        self.events
+            .windows(k.max(1))
+            .take(if k == 0 { 0 } else { usize::MAX })
     }
 
     /// Returns the trace restricted to events satisfying `keep`, preserving

@@ -110,9 +110,14 @@ impl DiGraph {
         }
         let mut b = DiGraphBuilder::new(sorted.len());
         for &u in &sorted {
+            // Every u in `sorted` was remapped in the loop above; hoisting
+            // the lookup keeps the inner loop panic-free and cheaper.
+            let Some(nu) = remap[u as usize] else {
+                continue;
+            };
             for &v in self.successors(u) {
                 if let Some(nv) = remap[v as usize] {
-                    b.add_edge(remap[u as usize].expect("u is kept"), nv);
+                    b.add_edge(nu, nv);
                 }
             }
         }

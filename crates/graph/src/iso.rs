@@ -37,9 +37,7 @@ impl<'a> MonoSearch<'a> {
         // Most-constrained-first: try high-degree pattern vertices early so
         // dead branches are pruned near the root. Prefer vertices adjacent
         // to already-ordered ones to keep the partial map connected.
-        order.sort_by_key(|&v| {
-            std::cmp::Reverse(pattern.out_degree(v) + pattern.in_degree(v))
-        });
+        order.sort_by_key(|&v| std::cmp::Reverse(pattern.out_degree(v) + pattern.in_degree(v)));
         let order = connectivity_refine(pattern, order);
         MonoSearch {
             pattern,

@@ -21,7 +21,7 @@
 //! deterministic so that search results are reproducible run to run.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod digraph;
 mod iso;

@@ -46,7 +46,10 @@ pub fn has_hamiltonian_path(g: &DiGraph) -> bool {
     if n == 0 {
         return true;
     }
-    assert!(n <= 24, "hamiltonian check is exponential; n = {n} too large");
+    assert!(
+        n <= 24,
+        "hamiltonian check is exponential; n = {n} too large"
+    );
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
     // reach[mask] = bitset of vertices at which a path covering `mask` can end.
     let mut reach = vec![0u32; 1usize << n];

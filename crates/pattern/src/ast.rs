@@ -17,7 +17,7 @@ use evematch_eventlog::{EventId, EventSet};
 /// Build patterns with [`Pattern::event`], [`Pattern::seq`] and
 /// [`Pattern::and`], or parse them with
 /// [`parse_pattern`](crate::parse_pattern).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pattern {
     /// A single event.
     Event(EventId),
@@ -71,10 +71,12 @@ impl Pattern {
         mut children: Vec<Pattern>,
         make: fn(Vec<Pattern>) -> Pattern,
     ) -> Result<Pattern, PatternError> {
-        match children.len() {
-            0 => Err(PatternError::EmptyOperator),
-            1 => Ok(children.pop().expect("len checked")),
-            _ => {
+        match children.pop() {
+            None => Err(PatternError::EmptyOperator),
+            // Singleton operators collapse to their only child.
+            Some(only) if children.is_empty() => Ok(only),
+            Some(last) => {
+                children.push(last);
                 let p = make(children);
                 p.check_distinct()?;
                 Ok(p)
@@ -83,12 +85,16 @@ impl Pattern {
     }
 
     /// Convenience: `SEQ` of single events.
-    pub fn seq_of_events(events: impl IntoIterator<Item = EventId>) -> Result<Pattern, PatternError> {
+    pub fn seq_of_events(
+        events: impl IntoIterator<Item = EventId>,
+    ) -> Result<Pattern, PatternError> {
         Self::seq(events.into_iter().map(Pattern::Event).collect())
     }
 
     /// Convenience: `AND` of single events.
-    pub fn and_of_events(events: impl IntoIterator<Item = EventId>) -> Result<Pattern, PatternError> {
+    pub fn and_of_events(
+        events: impl IntoIterator<Item = EventId>,
+    ) -> Result<Pattern, PatternError> {
         Self::and(events.into_iter().map(Pattern::Event).collect())
     }
 
@@ -172,7 +178,9 @@ impl Pattern {
     pub fn finals(&self) -> Vec<EventId> {
         match self {
             Pattern::Event(e) => vec![*e],
-            Pattern::Seq(ps) => ps.last().expect("operators are non-empty").finals(),
+            // Operators are non-empty by construction; an empty SEQ would
+            // simply have no finals.
+            Pattern::Seq(ps) => ps.last().map(Pattern::finals).unwrap_or_default(),
             Pattern::And(ps) => {
                 let mut out: Vec<EventId> = ps.iter().flat_map(Pattern::finals).collect();
                 out.sort_unstable();
@@ -233,7 +241,15 @@ impl fmt::Display for PatternDisplay<'_> {
             match p {
                 Pattern::Event(e) => write!(f, "{}", ev.name(*e)),
                 Pattern::Seq(ps) | Pattern::And(ps) => {
-                    write!(f, "{}(", if matches!(p, Pattern::Seq(_)) { "SEQ" } else { "AND" })?;
+                    write!(
+                        f,
+                        "{}(",
+                        if matches!(p, Pattern::Seq(_)) {
+                            "SEQ"
+                        } else {
+                            "AND"
+                        }
+                    )?;
                     for (i, c) in ps.iter().enumerate() {
                         if i > 0 {
                             write!(f, ",")?;
@@ -276,18 +292,16 @@ mod tests {
         assert_eq!(err, PatternError::DuplicateEvent(EventId(1)));
         // Nested duplicates are caught too.
         let nested = Pattern::and(vec![Pattern::seq(vec![e(0), e(1)]).unwrap(), e(1)]);
-        assert_eq!(nested.unwrap_err(), PatternError::DuplicateEvent(EventId(1)));
+        assert_eq!(
+            nested.unwrap_err(),
+            PatternError::DuplicateEvent(EventId(1))
+        );
     }
 
     #[test]
     fn events_and_size() {
         // SEQ(A, AND(B, C), D) — the paper's p1 with A=0, B=1, C=2, D=3.
-        let p = Pattern::seq(vec![
-            e(0),
-            Pattern::and(vec![e(1), e(2)]).unwrap(),
-            e(3),
-        ])
-        .unwrap();
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
         assert_eq!(p.size(), 4);
         assert_eq!(
             p.events(),
@@ -328,11 +342,7 @@ mod tests {
         let m = p.map_events(&|ev| EventId(ev.0 + 10));
         assert_eq!(
             m,
-            Pattern::seq(vec![
-                e(10),
-                Pattern::and(vec![e(11), e(12)]).unwrap()
-            ])
-            .unwrap()
+            Pattern::seq(vec![e(10), Pattern::and(vec![e(11), e(12)]).unwrap()]).unwrap()
         );
     }
 

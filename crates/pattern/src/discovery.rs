@@ -17,7 +17,10 @@
 //!    twins (graph-form embeddings in the dependency graph), larger
 //!    patterns first.
 
-use std::collections::HashMap;
+// BTreeMap (not HashMap) everywhere here: candidate generation iterates
+// the window map, and tidy's no-hash-iter lint keeps hash order out of
+// the deterministic crates.
+use std::collections::{BTreeMap, BTreeSet};
 
 use evematch_eventlog::{EventId, EventLog};
 use evematch_graph::MonoSearch;
@@ -113,7 +116,7 @@ pub fn discover_patterns(log: &EventLog, cfg: &DiscoveryConfig) -> Vec<Pattern> 
         pb.size()
             .cmp(&pa.size())
             .then(sb.cmp(sa))
-            .then_with(|| format!("{pa:?}").cmp(&format!("{pb:?}")))
+            .then_with(|| pa.cmp(pb))
     });
     scored.truncate(cfg.max_patterns);
     scored.into_iter().map(|(p, _)| p).collect()
@@ -125,9 +128,9 @@ fn frequent_windows(
     log: &EventLog,
     max_len: usize,
     min_count: usize,
-) -> HashMap<Vec<EventId>, usize> {
-    let mut counts: HashMap<Vec<EventId>, usize> = HashMap::new();
-    let mut seen_in_trace: HashMap<Vec<EventId>, usize> = HashMap::new();
+) -> BTreeMap<Vec<EventId>, usize> {
+    let mut counts: BTreeMap<Vec<EventId>, usize> = BTreeMap::new();
+    let mut seen_in_trace: BTreeMap<Vec<EventId>, usize> = BTreeMap::new();
     for (t_id, trace) in log.traces().iter().enumerate() {
         for len in 2..=max_len {
             for w in trace.events().windows(len) {
@@ -150,9 +153,7 @@ fn frequent_windows(
 
 fn has_duplicates(w: &[EventId]) -> bool {
     // Windows are tiny (≤ max_len); quadratic scan beats hashing.
-    w.iter()
-        .enumerate()
-        .any(|(i, e)| w[i + 1..].contains(e))
+    w.iter().enumerate().any(|(i, e)| w[i + 1..].contains(e))
 }
 
 /// `SEQ(prefix…, AND(w[i], w[i+1]), suffix…)` for window `w`, collapsing to
@@ -166,7 +167,7 @@ fn fold_and(w: &[EventId], i: usize) -> Option<Pattern> {
 }
 
 fn dedup_patterns(patterns: &mut Vec<Pattern>) {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = BTreeSet::new();
     patterns.retain(|p| seen.insert(p.clone()));
 }
 

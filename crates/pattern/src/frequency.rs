@@ -19,10 +19,7 @@ pub fn pattern_support(p: &Pattern, log: &EventLog, index: &TraceIndex) -> usize
     let events = p.events();
     // A pattern mentioning an event outside the log's vocabulary can never
     // match; guard so `traces_with` does not index out of bounds.
-    if events
-        .iter()
-        .any(|e| e.index() >= log.event_count())
-    {
+    if events.iter().any(|e| e.index() >= log.event_count()) {
         return 0;
     }
     index
@@ -133,12 +130,7 @@ mod tests {
         let l = log();
         let idx = l.trace_index();
         // SEQ(A, AND(B, C), D) matches ABCD and ACBD but not ABD.
-        let p = Pattern::seq(vec![
-            e(0),
-            Pattern::and(vec![e(1), e(2)]).unwrap(),
-            e(3),
-        ])
-        .unwrap();
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
         assert_eq!(pattern_support(&p, &l, &idx), 3);
         assert!((pattern_freq(&p, &l, &idx) - 0.75).abs() < 1e-12);
     }

@@ -39,6 +39,7 @@ impl PatternGraph {
         let local = |e: EventId| -> NodeId {
             events
                 .binary_search(&e)
+                // tidy-allow: no-panic -- `events` is p.events(), the sorted list of exactly the events this closure is called with
                 .expect("pattern event present in its own event list") as NodeId
         };
         let mut add = |a: EventId, b: EventId| builder.add_edge(local(a), local(b));
@@ -256,8 +257,7 @@ mod tests {
             for w in lin.windows(2) {
                 assert!(
                     g.edges_global().any(|(a, b)| a == w[0] && b == w[1]),
-                    "adjacency {:?} missing from pattern graph",
-                    w
+                    "adjacency {w:?} missing from pattern graph"
                 );
             }
         }
@@ -304,8 +304,7 @@ mod tests {
         .unwrap();
         let groups = edge_groups(&p);
         for lin in linearizations(&p) {
-            let adj: Vec<(EventId, EventId)> =
-                lin.windows(2).map(|w| (w[0], w[1])).collect();
+            let adj: Vec<(EventId, EventId)> = lin.windows(2).map(|w| (w[0], w[1])).collect();
             for group in &groups {
                 assert!(
                     group.iter().any(|pair| adj.contains(pair)),

@@ -25,7 +25,10 @@ impl PatternIndex {
     pub fn new(n_events: usize, pattern_events: Vec<Vec<EventId>>) -> Self {
         let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n_events];
         for (i, evs) in pattern_events.iter().enumerate() {
-            debug_assert!(evs.windows(2).all(|w| w[0] < w[1]), "must be sorted+distinct");
+            debug_assert!(
+                evs.windows(2).all(|w| w[0] < w[1]),
+                "must be sorted+distinct"
+            );
             for &e in evs {
                 if e.index() < n_events {
                     lists[e.index()].push(i);
@@ -70,11 +73,7 @@ impl PatternIndex {
     /// Patterns newly completed by mapping `a`: those involving `a` whose
     /// every event satisfies `is_mapped` (which must already report `a` as
     /// mapped). This is the `P_new = P_{M'} \ P_M` of Section 3.2.1.
-    pub fn newly_completed(
-        &self,
-        a: EventId,
-        is_mapped: impl Fn(EventId) -> bool,
-    ) -> Vec<usize> {
+    pub fn newly_completed(&self, a: EventId, is_mapped: impl Fn(EventId) -> bool) -> Vec<usize> {
         debug_assert!(is_mapped(a), "the new event must count as mapped");
         self.patterns_of(a)
             .iter()
@@ -96,11 +95,7 @@ mod tests {
         // p0 = {0,1}, p1 = {1,2,3}, p2 = {3}.
         PatternIndex::new(
             5,
-            vec![
-                vec![ev(0), ev(1)],
-                vec![ev(1), ev(2), ev(3)],
-                vec![ev(3)],
-            ],
+            vec![vec![ev(0), ev(1)], vec![ev(1), ev(2), ev(3)], vec![ev(3)]],
         )
     }
 

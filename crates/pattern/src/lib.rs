@@ -31,7 +31,7 @@
 //!   guidelines for picking discriminative patterns.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod ast;
 mod discovery;

@@ -198,6 +198,7 @@ fn realize_seq(
     edge_ok: &dyn Fn(EventId, EventId) -> bool,
     k: &mut dyn FnMut(EventId) -> bool,
 ) -> bool {
+    // tidy-allow: no-panic -- SEQ operators carry ≥ 2 children by the ast.rs smart-constructor invariant
     let (first, rest) = ps.split_first().expect("operators are non-empty");
     if rest.is_empty() {
         realize(first, prev, edge_ok, k)
@@ -335,12 +336,7 @@ mod tests {
         let p = Pattern::and(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap()]).unwrap();
         let mut lins = linearizations(&p);
         lins.sort();
-        let mut expect = vec![
-            w(&[0, 1, 2]),
-            w(&[0, 2, 1]),
-            w(&[1, 2, 0]),
-            w(&[2, 1, 0]),
-        ];
+        let mut expect = vec![w(&[0, 1, 2]), w(&[0, 2, 1]), w(&[1, 2, 0]), w(&[2, 1, 0])];
         expect.sort();
         assert_eq!(lins, expect);
     }
@@ -351,7 +347,7 @@ mod tests {
         let lins = linearizations(&p);
         // All 4! orderings of {0,1,2,3}.
         let mut items = vec![0usize, 1, 2, 3];
-        super::permute(&mut items, 0, &mut |perm| {
+        permute(&mut items, 0, &mut |perm| {
             let cand: Vec<EventId> = perm.iter().map(|&i| EventId(i as u32)).collect();
             assert_eq!(matches_window(&p, &cand), lins.contains(&cand));
         });
@@ -367,9 +363,8 @@ mod tests {
         let no_start = |a: EventId, _b: EventId| a != ev(0);
         assert!(!is_realizable(&p, &no_start));
         // Forbid B->C and C->B: the AND block cannot be traversed.
-        let no_bc = |a: EventId, b: EventId| {
-            !((a == ev(1) && b == ev(2)) || (a == ev(2) && b == ev(1)))
-        };
+        let no_bc =
+            |a: EventId, b: EventId| !((a == ev(1) && b == ev(2)) || (a == ev(2) && b == ev(1)));
         assert!(!is_realizable(&p, &no_bc));
     }
 

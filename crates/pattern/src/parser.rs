@@ -140,8 +140,7 @@ impl Parser<'_> {
         let end = rest
             .char_indices()
             .find(|&(_, c)| matches!(c, '(' | ')' | ','))
-            .map(|(i, _)| i)
-            .unwrap_or(rest.len());
+            .map_or(rest.len(), |(i, _)| i);
         let raw = &rest[..end];
         let name = raw.trim();
         if name.is_empty() {
@@ -191,10 +190,7 @@ mod tests {
     #[test]
     fn event_names_with_spaces() {
         let p = parse_pattern("SEQ(Ship Goods, A)", &voc()).unwrap();
-        assert_eq!(
-            p,
-            Pattern::seq_of_events([EventId(4), EventId(0)]).unwrap()
-        );
+        assert_eq!(p, Pattern::seq_of_events([EventId(4), EventId(0)]).unwrap());
     }
 
     #[test]

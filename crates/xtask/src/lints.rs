@@ -1,0 +1,577 @@
+//! The tidy lints (T1–T5) and the waiver machinery.
+//!
+//! Each lint is a pure function from a scanned file (or manifest text) to
+//! violations, so the unit tests below can drive them with inline
+//! fixtures. Path scoping — which crates and which files a lint applies
+//! to — lives here too, and is tested the same way.
+
+use crate::scan::{find_token, ScannedFile};
+
+/// Library crates whose non-test code must be panic-free (lint T1).
+pub const PANIC_FREE_CRATES: &[&str] =
+    &["core", "eval", "evematch", "eventlog", "graph", "pattern"];
+
+/// Crates whose tie-breaking must be deterministic: no hash-order
+/// iteration (lint T2).
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "pattern"];
+
+/// Crates in which raw floating-point comparisons are forbidden (lint T3).
+pub const FLOAT_ORD_CRATES: &[&str] = &["core", "eval", "evematch", "eventlog", "graph", "pattern"];
+
+/// The one module allowed to touch raw float comparison primitives.
+pub const FLOAT_ORD_MODULE: &str = "crates/core/src/score/float_ord.rs";
+
+/// A tidy lint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// T1: no `unwrap`/`expect`/`panic!`-family in library non-test code.
+    NoPanic,
+    /// T2: no `HashMap`/`HashSet` in the deterministic crates.
+    NoHashIter,
+    /// T3: no raw `f64` equality or `partial_cmp` outside `float_ord`.
+    NoFloatEq,
+    /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
+    CrateAttrs,
+    /// T5: every crate manifest inherits `[workspace.lints]`.
+    LintsTable,
+    /// A `tidy-allow` waiver that suppressed nothing.
+    UnusedWaiver,
+    /// A `tidy-allow` waiver that does not parse.
+    BadWaiver,
+}
+
+impl Lint {
+    /// The name used in output and in `tidy-allow:` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "no-panic",
+            Lint::NoHashIter => "no-hash-iter",
+            Lint::NoFloatEq => "no-float-eq",
+            Lint::CrateAttrs => "crate-attrs",
+            Lint::LintsTable => "lints-table",
+            Lint::UnusedWaiver => "unused-waiver",
+            Lint::BadWaiver => "bad-waiver",
+        }
+    }
+
+    /// Whether an inline `tidy-allow:` waiver can suppress this lint.
+    pub fn waivable(self) -> bool {
+        matches!(self, Lint::NoPanic | Lint::NoHashIter | Lint::NoFloatEq)
+    }
+
+    /// All lint names that may appear in a waiver.
+    pub fn waivable_names() -> &'static [&'static str] {
+        &["no-panic", "no-hash-iter", "no-float-eq"]
+    }
+}
+
+/// One tidy violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line (0 for whole-file problems).
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    fn new(path: &str, line: usize, lint: Lint, message: impl Into<String>) -> Self {
+        Violation {
+            path: path.to_string(),
+            line,
+            lint,
+            message: message.into(),
+        }
+    }
+}
+
+/// Whether `path` is non-test *library* source: under `src/`, not under
+/// `src/bin/`, and not in a `tests/`, `benches/`, or `examples/` tree.
+pub fn is_library_source(path: &str) -> bool {
+    let Some(rest) = path.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((_, in_crate)) = rest.split_once('/') else {
+        return false;
+    };
+    in_crate.starts_with("src/") && !in_crate.starts_with("src/bin/")
+}
+
+/// T1: flags `unwrap()`, `expect(`, and the panicking macros in library
+/// non-test code.
+pub fn check_no_panic(file: &ScannedFile) -> Vec<Violation> {
+    const NEEDLES: &[(&str, &str)] = &[
+        (".unwrap()", "call `.unwrap()`"),
+        (".expect(", "call `.expect(…)`"),
+        ("panic!", "invoke `panic!`"),
+        ("unreachable!", "invoke `unreachable!`"),
+        ("todo!", "invoke `todo!`"),
+        ("unimplemented!", "invoke `unimplemented!`"),
+    ];
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for (needle, what) in NEEDLES {
+            if find_token(&line.code, needle).is_some() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::NoPanic,
+                    format!(
+                        "library code must not {what}: return a `Result`/`Option` \
+                         (or waive with `// tidy-allow: no-panic -- <why this cannot fail>`)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// T2: flags any `HashMap`/`HashSet` naming in the deterministic crates.
+///
+/// Iteration order over `std::collections` hash tables is
+/// seed-dependent, so a single `for … in &map` silently breaks the
+/// bit-reproducibility the matchers' tie-breaking depends on (DESIGN.md
+/// §3a). Banning the types outright (rather than chasing iteration call
+/// sites) closes every loophole; genuinely order-free uses can carry a
+/// waiver saying *why* no iteration order escapes.
+pub fn check_no_hash_iter(file: &ScannedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if find_token(&line.code, ty).is_some() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::NoHashIter,
+                    format!(
+                        "deterministic crates must not use `{ty}` (hash iteration order is \
+                         nondeterministic): use `BTreeMap`/`BTreeSet` or a sorted collect, \
+                         or waive with `// tidy-allow: no-hash-iter -- <why no order escapes>`"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// T3: flags `partial_cmp` and `==`/`!=` against float literals outside
+/// the `float_ord` helper module.
+pub fn check_no_float_eq(file: &ScannedFile) -> Vec<Violation> {
+    if file.path == FLOAT_ORD_MODULE {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        if find_token(&line.code, "partial_cmp").is_some() {
+            out.push(Violation::new(
+                &file.path,
+                idx + 1,
+                Lint::NoFloatEq,
+                "use `core::score::float_ord` (total-order comparison) instead of \
+                 `partial_cmp`: NaN-induced `None` here is a silent tie-break landmine",
+            ));
+        }
+        for _ in 0..float_literal_comparisons(&line.code) {
+            out.push(Violation::new(
+                &file.path,
+                idx + 1,
+                Lint::NoFloatEq,
+                "raw float `==`/`!=` comparison: use the `core::score::float_ord` \
+                 helpers (and document why exact equality is correct)",
+            ));
+        }
+    }
+    out
+}
+
+/// Counts `==`/`!=` operators with a float literal on either side.
+fn float_literal_comparisons(code: &str) -> usize {
+    let bytes = code.as_bytes();
+    let mut out = 0;
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &bytes[i..i + 2];
+        let is_eq = two == b"==";
+        let is_ne = two == b"!=";
+        if !(is_eq || is_ne) {
+            i += 1;
+            continue;
+        }
+        // Exclude `<=`, `>=`, `===`-like runs and pattern `..=`.
+        let before = i.checked_sub(1).map(|j| bytes[j]);
+        let after = bytes.get(i + 2).copied();
+        if matches!(
+            before,
+            Some(b'<') | Some(b'>') | Some(b'=') | Some(b'!') | Some(b'.')
+        ) || after == Some(b'=')
+        {
+            i += 2;
+            continue;
+        }
+        let left = token_before(code, i);
+        let right = token_after(code, i + 2);
+        if is_float_literal(left) || is_float_literal(right) {
+            out += 1;
+        }
+        i += 2;
+    }
+    out
+}
+
+/// The contiguous literal/identifier token ending just before `at`.
+fn token_before(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut end = at;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 {
+        let b = bytes[start - 1];
+        let exponent_sign =
+            matches!(b, b'+' | b'-') && start >= 2 && matches!(bytes[start - 2], b'e' | b'E');
+        if is_token_byte(b) || exponent_sign {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..end]
+}
+
+/// The contiguous literal/identifier token starting just after `at`.
+fn token_after(code: &str, at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = at;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len() {
+        let b = bytes[end];
+        let exponent_sign =
+            matches!(b, b'+' | b'-') && end >= 1 && matches!(bytes[end - 1], b'e' | b'E');
+        if is_token_byte(b) || exponent_sign {
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..end]
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'.'
+}
+
+/// Whether a token is a floating-point literal (`1.0`, `2.`, `1e-9`,
+/// `3.5f64`, …). Integer literals are *not* flagged: integer equality is
+/// exact.
+fn is_float_literal(token: &str) -> bool {
+    let t = token.trim_end_matches("f64").trim_end_matches("f32");
+    let mut chars = t.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    let has_dot = t.contains('.');
+    let has_exp = t[1..].contains(['e', 'E']);
+    (has_dot || has_exp || t.len() < token.len())
+        && t.chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '_' | 'e' | 'E' | '+' | '-'))
+}
+
+/// T4: crate roots must pin the safety/documentation attributes.
+///
+/// `lib_root` is the scanned `src/lib.rs` (if the crate has one) and
+/// `main_root` the scanned `src/main.rs`; binary roots only need
+/// `#![forbid(unsafe_code)]` — their items are private, so
+/// `missing_docs` would be vacuous.
+pub fn check_crate_attrs(root: &ScannedFile, is_lib: bool) -> Vec<Violation> {
+    let mut required: Vec<&str> = vec!["#![forbid(unsafe_code)]"];
+    if is_lib {
+        required.push("#![deny(missing_docs)]");
+    }
+    let mut out = Vec::new();
+    for attr in required {
+        let present = root.lines.iter().any(|l| l.code.contains(attr));
+        if !present {
+            out.push(Violation::new(
+                &root.path,
+                1,
+                Lint::CrateAttrs,
+                format!("crate root is missing `{attr}`"),
+            ));
+        }
+    }
+    out
+}
+
+/// T5: the manifest must inherit the workspace lint table.
+pub fn check_lints_table(path: &str, manifest: &str) -> Vec<Violation> {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            in_lints = t == "[lints]";
+            continue;
+        }
+        if in_lints && t.split('#').next().unwrap_or("").replace(' ', "") == "workspace=true" {
+            return Vec::new();
+        }
+    }
+    vec![Violation::new(
+        path,
+        0,
+        Lint::LintsTable,
+        "manifest must inherit the workspace lint table: add `[lints]\\nworkspace = true`",
+    )]
+}
+
+/// Applies the file's waivers to `violations`: suppressed violations are
+/// dropped; unused or malformed waivers become violations themselves.
+pub fn apply_waivers(file: &ScannedFile, violations: Vec<Violation>) -> Vec<Violation> {
+    let known: &[&str] = Lint::waivable_names();
+    let mut used = vec![false; file.waivers.len()];
+    let mut out = Vec::new();
+    'violation: for v in violations {
+        if v.lint.waivable() {
+            for (w_idx, w) in file.waivers.iter().enumerate() {
+                if w.target_line == v.line && w.lints.iter().any(|l| l == v.lint.name()) {
+                    used[w_idx] = true;
+                    continue 'violation;
+                }
+            }
+        }
+        out.push(v);
+    }
+    for (w_idx, w) in file.waivers.iter().enumerate() {
+        for lint_name in &w.lints {
+            if !known.contains(&lint_name.as_str()) {
+                out.push(Violation::new(
+                    &file.path,
+                    w.at_line,
+                    Lint::BadWaiver,
+                    format!(
+                        "waiver names unknown or unwaivable lint `{lint_name}` \
+                         (waivable: {})",
+                        known.join(", ")
+                    ),
+                ));
+            }
+        }
+        if !used[w_idx] && w.lints.iter().any(|l| known.contains(&l.as_str())) {
+            out.push(Violation::new(
+                &file.path,
+                w.at_line,
+                Lint::UnusedWaiver,
+                format!(
+                    "waiver for `{}` suppressed nothing on line {}: remove it",
+                    w.lints.join(", "),
+                    w.target_line
+                ),
+            ));
+        }
+    }
+    for err in &file.waiver_errors {
+        out.push(Violation::new(
+            &file.path,
+            err.at_line,
+            Lint::BadWaiver,
+            err.message.clone(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScannedFile;
+
+    fn scanned(path: &str, src: &str) -> ScannedFile {
+        ScannedFile::parse(path, src)
+    }
+
+    // ---- T1 ----
+
+    #[test]
+    fn t1_fires_on_each_panicking_form() {
+        let src = "fn f() {\n  a.unwrap();\n  b.expect(\"x\");\n  panic!(\"y\");\n  unreachable!();\n  todo!();\n  unimplemented!();\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_no_panic(&f);
+        assert_eq!(v.len(), 6, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::NoPanic));
+    }
+
+    #[test]
+    fn t1_ignores_unwrap_or_and_comments_and_strings() {
+        let src = "fn f() {\n  a.unwrap_or(0);\n  b.unwrap_or_else(|| 1);\n  // c.unwrap()\n  let s = \"panic!\";\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn t1_skips_cfg_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { a.unwrap(); panic!(); }\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_no_panic(&f).is_empty());
+    }
+
+    #[test]
+    fn t1_respects_waivers() {
+        let src =
+            "fn f() {\n  a.unwrap(); // tidy-allow: no-panic -- index is bounds-checked above\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_no_panic(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn t1_scope_is_library_source_only() {
+        assert!(is_library_source("crates/core/src/exact.rs"));
+        assert!(is_library_source("crates/core/src/heuristic/simple.rs"));
+        assert!(!is_library_source("crates/evematch/src/bin/evematch.rs"));
+        assert!(!is_library_source("crates/core/tests/integration.rs"));
+        assert!(!is_library_source("tests/proptests.rs"));
+        assert!(!is_library_source("crates/bench/benches/matching.rs"));
+    }
+
+    // ---- T2 ----
+
+    #[test]
+    fn t2_fires_on_hash_collections() {
+        let src =
+            "use std::collections::HashMap;\nfn f(m: &HashSet<u32>) {\n  for k in m.iter() {}\n}";
+        let f = scanned("crates/pattern/src/x.rs", src);
+        let v = check_no_hash_iter(&f);
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn t2_respects_waivers_and_test_code() {
+        let src = "use std::collections::HashMap; // tidy-allow: no-hash-iter -- only point queries, never iterated\n#[cfg(test)]\nmod tests {\n  use std::collections::HashSet;\n}";
+        let f = scanned("crates/pattern/src/x.rs", src);
+        let v = apply_waivers(&f, check_no_hash_iter(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T3 ----
+
+    #[test]
+    fn t3_fires_on_partial_cmp_and_float_literal_eq() {
+        let src = "fn f(x: f64) {\n  let _ = a.partial_cmp(&b);\n  if x == 0.0 {}\n  if 1.5e-3 != y {}\n  if z == 1.0f64 {}\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_no_float_eq(&f);
+        assert_eq!(v.len(), 4, "{v:?}");
+    }
+
+    #[test]
+    fn t3_ignores_integers_ranges_and_the_helper_module() {
+        let src = "fn f(n: usize) {\n  if n == 0 {}\n  for i in 0..=9 {}\n  if a <= b {}\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_no_float_eq(&f).is_empty());
+        let helper = scanned(
+            FLOAT_ORD_MODULE,
+            "fn g(a: f64, b: f64) -> bool { a == 0.0 }",
+        );
+        assert!(check_no_float_eq(&helper).is_empty());
+    }
+
+    #[test]
+    fn t3_respects_waivers() {
+        let src = "fn f(x: f64) {\n  if x == 0.5 { // tidy-allow: no-float-eq -- 0.5 is exactly representable\n  }\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_no_float_eq(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T4 ----
+
+    #[test]
+    fn t4_fires_when_attributes_are_missing() {
+        let f = scanned("crates/core/src/lib.rs", "//! Docs.\npub fn f() {}");
+        let v = check_crate_attrs(&f, true);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::CrateAttrs));
+    }
+
+    #[test]
+    fn t4_passes_with_attributes_and_needs_less_from_bins() {
+        let lib = scanned(
+            "crates/core/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}",
+        );
+        assert!(check_crate_attrs(&lib, true).is_empty());
+        let bin = scanned(
+            "crates/xtask/src/main.rs",
+            "#![forbid(unsafe_code)]\nfn main() {}",
+        );
+        assert!(check_crate_attrs(&bin, false).is_empty());
+    }
+
+    // ---- T5 ----
+
+    #[test]
+    fn t5_fires_without_the_lints_table() {
+        let v = check_lints_table("crates/core/Cargo.toml", "[package]\nname = \"x\"\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, Lint::LintsTable);
+    }
+
+    #[test]
+    fn t5_passes_with_workspace_inheritance() {
+        let ok = "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n";
+        assert!(check_lints_table("crates/core/Cargo.toml", ok).is_empty());
+        let spaced = "[lints]\n  workspace   =  true\n";
+        assert!(check_lints_table("crates/core/Cargo.toml", spaced).is_empty());
+    }
+
+    // ---- waiver hygiene ----
+
+    #[test]
+    fn unused_waivers_are_violations() {
+        let src = "fn f() {\n  clean(); // tidy-allow: no-panic -- nothing here\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, Vec::new());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::UnusedWaiver);
+    }
+
+    #[test]
+    fn unknown_waiver_lints_are_violations() {
+        let src = "a.unwrap(); // tidy-allow: no-such-lint -- whatever\n";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_no_panic(&f));
+        // The unwrap stays (waiver doesn't name no-panic) and the waiver is bad.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.lint == Lint::BadWaiver));
+        assert!(v.iter().any(|v| v.lint == Lint::NoPanic));
+    }
+
+    #[test]
+    fn prose_mentioning_the_waiver_syntax_is_not_a_waiver() {
+        let src = "/// Use `// tidy-allow: no-panic -- reason` to waive.\nfn documented() {}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(f.waivers.is_empty());
+        assert!(f.waiver_errors.is_empty());
+        assert!(apply_waivers(&f, Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! `cargo xtask` — workspace maintenance tasks.
+//!
+//! The only task today is `tidy`, the custom static-analysis pass
+//! (modeled on rust-lang/rust's `tidy`) that enforces the determinism and
+//! panic-freedom invariants the reproduction's results depend on. See
+//! `DESIGN.md` §6 and the README's "Tidy" section for the lint catalogue
+//! and the waiver syntax.
+//!
+//! Zero dependencies by design: the build containers are offline, and a
+//! lint pass must never be the thing that fails to build.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+mod lints;
+mod scan;
+mod tidy;
+
+use lints::Violation;
+
+/// The workspace root, two levels above this crate's manifest.
+pub(crate) fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Renders one violation in the familiar `path:line: [lint] message` shape.
+pub(crate) fn render(v: &Violation) -> String {
+    if v.line == 0 {
+        format!("{}: [{}] {}", v.path, v.lint.name(), v.message)
+    } else {
+        format!("{}:{}: [{}] {}", v.path, v.line, v.lint.name(), v.message)
+    }
+}
+
+const USAGE: &str = "\
+cargo xtask — workspace maintenance tasks
+
+USAGE:
+    cargo xtask tidy        run the static-analysis pass (exit 1 on violations)
+    cargo xtask tidy --list print the lint catalogue and exit
+
+LINTS (see DESIGN.md §6):
+    no-panic       T1  no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!
+                       in non-test code of the library crates
+    no-hash-iter   T2  no HashMap/HashSet in the deterministic crates (core, pattern)
+    no-float-eq    T3  no raw f64 ==/!= or partial_cmp outside core::score::float_ord
+    crate-attrs    T4  crate roots carry #![forbid(unsafe_code)] and #![deny(missing_docs)]
+    lints-table    T5  every crate manifest inherits [workspace.lints]
+    unused-waiver      a tidy-allow waiver that suppressed nothing
+    bad-waiver         a tidy-allow waiver that does not parse
+
+WAIVERS:
+    <code>  // tidy-allow: <lint>[, <lint>…] -- <justification>
+    A waiver on its own line applies to the next code line.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("tidy") if args.iter().any(|a| a == "--list") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("tidy") => run_tidy(),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_tidy() -> ExitCode {
+    let root = workspace_root();
+    if let Err(message) = tidy::verify_scopes(&root) {
+        eprintln!("tidy: {message}");
+        return ExitCode::FAILURE;
+    }
+    match tidy::run(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("tidy: workspace is clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{}", render(v));
+            }
+            println!("\ntidy: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("tidy: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -37,7 +37,14 @@ fn main() {
 
     let mut table = Table::new(
         "order fulfillment: all methods",
-        &["method", "F-measure", "precision", "recall", "time", "processed"],
+        &[
+            "method",
+            "F-measure",
+            "precision",
+            "recall",
+            "time",
+            "processed",
+        ],
     );
     let methods = experiments::HEURISTIC_FIGURE_METHODS
         .iter()

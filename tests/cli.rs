@@ -27,7 +27,10 @@ c,K4\nc,K1\nc,K7\nc,K2\n";
 fn matches_text_against_csv_with_patterns() {
     let l1 = write_temp("l1.log", L1_TEXT);
     let l2 = write_temp("l2.csv", L2_CSV);
-    let pats = write_temp("pats.txt", "# composite\nSEQ(receive, AND(pay, check), ship)\n");
+    let pats = write_temp(
+        "pats.txt",
+        "# composite\nSEQ(receive, AND(pay, check), ship)\n",
+    );
     let out = bin()
         .args(["--method", "exact", "--patterns"])
         .arg(&pats)
@@ -35,7 +38,11 @@ fn matches_text_against_csv_with_patterns() {
         .arg(&l2)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     // The anchors are unambiguous; the concurrent pair is resolved by the
     // matching interleaving bias (pay first 2/3 ↔ K1 first 2/3).
@@ -74,14 +81,13 @@ fn every_method_flag_works() {
 fn quiet_suppresses_diagnostics() {
     let l1 = write_temp("q1.log", L1_TEXT);
     let l2 = write_temp("q2.log", "x y z w\nx z y w\nx y z w\n");
-    let out = bin()
-        .args(["--quiet"])
-        .arg(&l1)
-        .arg(&l2)
-        .output()
-        .unwrap();
+    let out = bin().args(["--quiet"]).arg(&l1).arg(&l2).output().unwrap();
     assert!(out.status.success());
-    assert!(out.stderr.is_empty(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.stderr.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

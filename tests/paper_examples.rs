@@ -179,10 +179,8 @@ fn tight_bound_prunes_more_than_simple() {
     let simple = Method::PatternSimple.run(&proj.pair, &proj.patterns, SearchLimits::UNLIMITED);
     let tight = Method::PatternTight.run(&proj.pair, &proj.patterns, SearchLimits::UNLIMITED);
     assert!(tight.processed() <= simple.processed());
-    let (
-        RunOutcome::Finished { score: s, .. },
-        RunOutcome::Finished { score: t, .. },
-    ) = (&simple, &tight)
+    let (RunOutcome::Finished { score: s, .. }, RunOutcome::Finished { score: t, .. }) =
+        (&simple, &tight)
     else {
         panic!("both finish");
     };

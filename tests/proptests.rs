@@ -56,18 +56,17 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
 
 /// A random log over `n` events.
 fn log_strategy(n: u32, max_traces: usize) -> impl Strategy<Value = EventLog> {
-    prop::collection::vec(
-        prop::collection::vec(0..n, 1..8usize),
-        1..=max_traces,
+    prop::collection::vec(prop::collection::vec(0..n, 1..8usize), 1..=max_traces).prop_map(
+        move |traces| {
+            let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+            let mut b =
+                LogBuilder::with_events(EventSet::from_names(names.iter().map(String::as_str)));
+            for t in traces {
+                b.push_trace(Trace::from(t));
+            }
+            b.build()
+        },
     )
-    .prop_map(move |traces| {
-        let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
-        let mut b = LogBuilder::with_events(EventSet::from_names(names.iter().map(String::as_str)));
-        for t in traces {
-            b.push_trace(Trace::from(t));
-        }
-        b.build()
-    })
 }
 
 // ---------------------------------------------------------------------

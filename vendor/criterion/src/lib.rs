@@ -1,0 +1,204 @@
+//! Offline stand-in for the crates-io `criterion` 0.5 API surface used by
+//! this workspace's benches.
+//!
+//! The build container has no crates-io access, so the workspace patches
+//! `criterion` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It implements honest but statistically naive wall-clock
+//! timing: each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a short measurement window, and the mean
+//! nanoseconds-per-iteration is printed. There are no outlier statistics,
+//! plots, or saved baselines — enough to compare hot paths locally, not a
+//! replacement for real criterion runs.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+
+/// Target wall-clock time for warm-up.
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// The top-level benchmark driver (one per `criterion_group!`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A named group of benchmarks; ids are printed as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count. This stand-in sizes its measurement
+    /// window by wall clock instead, so the value is accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&full, &mut body);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&full, &mut |b: &mut Bencher| body(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `&str` works where ids do.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Passed to benchmark bodies; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches until the
+    /// measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also yields a per-iteration estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let batch = batch_size(per_iter);
+        while self.total < MEASURE_WINDOW {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iterations += batch;
+        }
+    }
+}
+
+/// Picks a batch size that amortizes `Instant::now` overhead for fast
+/// routines without overshooting the window for slow ones.
+fn batch_size(per_iter: Duration) -> u64 {
+    if per_iter >= Duration::from_millis(1) {
+        1
+    } else {
+        let per_nanos = per_iter.as_nanos().max(1);
+        // Aim for roughly 1ms per measured batch.
+        (1_000_000 / per_nanos).clamp(1, 1_000_000) as u64
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, body: &mut F) {
+    let mut bencher = Bencher { total: Duration::ZERO, iterations: 0 };
+    body(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{name:<48} (no iterations recorded)");
+        return;
+    }
+    let nanos = bencher.total.as_nanos() / u128::from(bencher.iterations);
+    println!("{name:<48} {nanos:>12} ns/iter ({} iters)", bencher.iterations);
+}
+
+/// Declares a group of benchmark functions (simple `name, targets...`
+/// form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

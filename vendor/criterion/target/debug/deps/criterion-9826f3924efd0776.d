@@ -1,0 +1,7 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-9826f3924efd0776.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-9826f3924efd0776.rlib: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-9826f3924efd0776.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,119 @@
+//! Offline stand-in for the crates-io `proptest` 1.x API surface used by
+//! this workspace.
+//!
+//! The build container has no crates-io access, so the workspace patches
+//! `proptest` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It implements the *generation* half of proptest —
+//! strategies, combinators, the `proptest!` / `prop_assert*` macros, and a
+//! case-running harness — but **not shrinking**: a failing case reports the
+//! exact generated input (via `Debug`) and the assertion message, and it is
+//! up to the reader to minimize.
+//!
+//! Generation is fully deterministic: every test derives its RNG seed from
+//! the test's name, so a failure reproduces by rerunning the same test —
+//! in keeping with the workspace-wide determinism invariants (DESIGN.md
+//! §3a, enforced by `cargo xtask tidy`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias matching `proptest::prelude::prop::...` paths, e.g.
+/// `prop::collection::vec`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Defines property tests over strategy-generated inputs.
+///
+/// Supports the subset of the real macro's grammar the workspace uses:
+/// an optional `#![proptest_config(expr)]` header followed by `#[test]`
+/// functions whose arguments use `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let runner = $crate::test_runner::TestRunner::new(config);
+                runner.run(stringify!($name), &($($strat,)+), |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// the generated inputs echoed) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("`{:?}` != `{:?}`: {}", l, r, format!($($fmt)*)),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (without counting it) unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type. Weighted arms are not supported by this stand-in.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::uniform(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,7 @@
+//! The glob-importable prelude, mirroring `proptest::prelude`.
+
+pub use crate::prop;
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::test_runner::{TestCaseError, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};

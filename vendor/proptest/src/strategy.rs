@@ -1,0 +1,274 @@
+//! Strategies: deterministic value generators with proptest-compatible
+//! combinators (`prop_map`, `prop_filter`, `prop_recursive`, unions,
+//! boxing). No shrinking.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// Why a strategy (or an assumption) discarded the current case.
+#[derive(Clone, Copy, Debug)]
+pub struct Rejected(pub &'static str);
+
+/// How many times filtering combinators retry locally before giving the
+/// whole case back to the runner as a rejection.
+const LOCAL_RETRIES: u32 = 64;
+
+/// A generator of test values.
+///
+/// Mirrors `proptest::strategy::Strategy`, reduced to generation: a
+/// strategy maps an RNG to a value (or a rejection, when a filter could
+/// not be satisfied).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: Debug;
+
+    /// Generates one value.
+    ///
+    /// # Errors
+    /// Returns [`Rejected`] when a filter embedded in the strategy could
+    /// not be satisfied within a bounded number of retries; the runner
+    /// discards the case without counting it.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+    /// Applies a function to every generated value.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying locally and finally
+    /// rejecting the case with `whence` as the reason.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and `recurse`
+    /// wraps a strategy for depth-`d` values into one for depth-`d+1`
+    /// values. `depth` bounds the nesting; the size hints are accepted for
+    /// API compatibility but unused (no shrinking, no size budget).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut current = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // One part leaves to two parts branches at every level keeps
+            // expected sizes small without starving deep shapes.
+            current = Union::weighted(vec![(1, self.clone().boxed()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Erases the strategy's concrete type behind a cheaply clonable
+    /// handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy {
+    /// The generated value type.
+    type Value;
+
+    fn dyn_new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn dyn_new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value (`proptest::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejected> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        for _ in 0..LOCAL_RETRIES {
+            let value = self.inner.new_value(rng)?;
+            if (self.pred)(&value) {
+                return Ok(value);
+            }
+        }
+        Err(Rejected(self.whence))
+    }
+}
+
+/// Chooses among several boxed strategies, optionally by weight
+/// (`prop_oneof!` builds the uniform form).
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union choosing each arm with equal probability.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn uniform(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// A union choosing arms proportionally to the given weights.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "Union needs at least one positively weighted arm");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, arm) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return arm.new_value(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is always below the summed weights")
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                Ok(self.start.wrapping_add(rng.below(span) as $t))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy range is empty");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return Ok(rng.next_u64() as $t);
+                }
+                Ok(start.wrapping_add(rng.below(span) as $t))
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejected> {
+        assert!(self.start < self.end, "strategy range is empty");
+        Ok(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}

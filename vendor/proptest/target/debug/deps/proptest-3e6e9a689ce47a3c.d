@@ -1,0 +1,9 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-3e6e9a689ce47a3c.d: src/lib.rs src/collection.rs src/prelude.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-3e6e9a689ce47a3c: src/lib.rs src/collection.rs src/prelude.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/collection.rs:
+src/prelude.rs:
+src/strategy.rs:
+src/test_runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-e0a0b2615dccba7c.d: src/lib.rs src/collection.rs src/prelude.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-e0a0b2615dccba7c.rlib: src/lib.rs src/collection.rs src/prelude.rs src/strategy.rs src/test_runner.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-e0a0b2615dccba7c.rmeta: src/lib.rs src/collection.rs src/prelude.rs src/strategy.rs src/test_runner.rs
+
+src/lib.rs:
+src/collection.rs:
+src/prelude.rs:
+src/strategy.rs:
+src/test_runner.rs:

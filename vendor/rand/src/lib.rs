@@ -1,0 +1,162 @@
+//! Offline stand-in for the crates-io `rand` 0.8 API surface used by this
+//! workspace.
+//!
+//! The container this repository builds in has no network access and no
+//! crates-io mirror, so the workspace patches `rand` to this crate (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). Only the subset of the
+//! `rand` 0.8 API that the workspace actually exercises is provided:
+//!
+//! - [`RngCore`] / [`Rng`] with `gen_range`, `gen_bool`, and `gen`
+//! - [`SeedableRng::seed_from_u64`]
+//! - [`rngs::StdRng`] and [`rngs::SmallRng`]
+//! - [`seq::SliceRandom`] with `shuffle` and `choose`
+//!
+//! The generator is SplitMix64: statistically solid for test workloads,
+//! trivially seedable, and — crucially for this repository — fully
+//! deterministic across platforms, which is exactly what the determinism
+//! invariants in `DESIGN.md` §3a demand of every randomized component.
+//! It is **not** cryptographically secure; neither is the real `StdRng`
+//! contractually required to produce the same stream as this one, so seeds
+//! baked into tests are tied to this implementation.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+mod uniform;
+
+pub use uniform::SampleRange;
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+///
+/// Mirrors `rand_core::RngCore`, minus the fallible and byte-filling
+/// methods the workspace never calls.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    ///
+    /// Supports `Range` and `RangeInclusive` over the integer types and
+    /// `f64`, matching the call sites in `evematch-datagen`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty, as the real `rand` does.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        uniform::unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of a [`Standard`]-distributable type.
+    fn gen<T>(&mut self) -> T
+    where
+        T: Standard,
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the "standard" distribution via [`Rng::gen`].
+///
+/// A minimal stand-in for `rand::distributions::Standard` support.
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution for this type.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        uniform::unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A generator that can be constructed from a seed.
+///
+/// Only the `seed_from_u64` entry point is provided; the workspace never
+/// seeds from byte arrays.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(2..=8usize);
+            assert!((2..=8).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(-1.0..=1.0f64);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,64 @@
+//! Concrete generators: [`StdRng`] and [`SmallRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64 state transition and output mix (Steele, Lea & Flood 2014).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard deterministic generator (SplitMix64).
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha-based), this generator is
+/// not cryptographically secure — the workspace only uses it for synthetic
+/// workload generation, where cross-platform determinism is the property
+/// that matters.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Pre-advance once so that seed 0 does not emit the zero word first.
+        let mut s = state;
+        let _ = splitmix64(&mut s);
+        StdRng { state: s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// A small, fast generator; in this stand-in it shares the [`StdRng`]
+/// implementation.
+#[derive(Clone, Debug)]
+pub struct SmallRng(StdRng);
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng(StdRng::seed_from_u64(state))
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,132 @@
+//! Uniform sampling from ranges, backing [`crate::Rng::gen_range`].
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Maps a random 64-bit word to a `f64` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64(word: u64) -> f64 {
+    // 53 high bits give the full double-precision mantissa range.
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that [`crate::Rng::gen_range`] can sample a `T` from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Draws a `u64` below `bound` without modulo bias (Lemire rejection).
+#[inline]
+fn below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Widening-multiply rejection sampling; the loop terminates quickly
+    // because the rejection zone is < bound / 2^64 of the space.
+    let zone = bound.wrapping_neg() % bound;
+    loop {
+        let word = rng.next_u64();
+        let (hi, lo) = {
+            let wide = u128::from(word) * u128::from(bound);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every word is valid.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = ((end as $u).wrapping_sub(start as $u) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32 => u32, i64 => u64, isize => usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let sample = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // Floating rounding can land exactly on `end`; nudge back inside.
+        if sample >= self.end {
+            self.start.max(prev_down(self.end))
+        } else {
+            sample
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        start + (end - start) * unit_f64(rng.next_u64())
+    }
+}
+
+/// The next representable `f64` strictly below `x` (for finite positive
+/// spans this is enough to keep half-open ranges half-open).
+fn prev_down(x: f64) -> f64 {
+    if x == f64::NEG_INFINITY {
+        return x;
+    }
+    let bits = x.to_bits();
+    let next = if x > 0.0 {
+        bits - 1
+    } else if x < 0.0 {
+        bits + 1
+    } else {
+        // x == 0.0 (either sign): step to the smallest negative subnormal.
+        (-f64::from_bits(1)).to_bits()
+    };
+    f64::from_bits(next)
+}

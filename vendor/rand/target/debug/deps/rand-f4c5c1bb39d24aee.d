@@ -1,0 +1,10 @@
+/root/repo/vendor/rand/target/debug/deps/rand-f4c5c1bb39d24aee.d: src/lib.rs src/rngs.rs src/seq.rs src/uniform.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-f4c5c1bb39d24aee.rlib: src/lib.rs src/rngs.rs src/seq.rs src/uniform.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-f4c5c1bb39d24aee.rmeta: src/lib.rs src/rngs.rs src/seq.rs src/uniform.rs
+
+src/lib.rs:
+src/rngs.rs:
+src/seq.rs:
+src/uniform.rs:

@@ -1,0 +1,8 @@
+/root/repo/vendor/rand/target/debug/deps/rand-f7795f63f86e13e0.d: src/lib.rs src/rngs.rs src/seq.rs src/uniform.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-f7795f63f86e13e0: src/lib.rs src/rngs.rs src/seq.rs src/uniform.rs
+
+src/lib.rs:
+src/rngs.rs:
+src/seq.rs:
+src/uniform.rs:
