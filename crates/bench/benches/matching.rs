@@ -39,7 +39,7 @@ fn bench_exact_bounds(c: &mut Criterion) {
         for (name, bound) in [("simple", BoundKind::Simple), ("tight", BoundKind::Tight)] {
             group.bench_with_input(BenchmarkId::new(name, events), &ctx, |b, ctx| {
                 b.iter(|| {
-                    let out = ExactMatcher::new(bound).solve(black_box(ctx)).unwrap();
+                    let out = ExactMatcher::new(bound).solve(black_box(ctx));
                     black_box(out.score)
                 });
             });
@@ -111,7 +111,7 @@ fn bench_example_instance(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_instance");
     for (name, bound) in [("simple", BoundKind::Simple), ("tight", BoundKind::Tight)] {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(ExactMatcher::new(bound).solve(black_box(&ctx)).unwrap()).score);
+            b.iter(|| black_box(ExactMatcher::new(bound).solve(black_box(&ctx))).score);
         });
     }
     group.finish();

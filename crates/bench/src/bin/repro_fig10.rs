@@ -3,8 +3,8 @@
 fn main() {
     let cfg = evematch_bench::sweep_config();
     eprintln!(
-        "Figure 10 sweep: seeds {:?}, {} traces, limits {:?}",
-        cfg.seeds, cfg.traces, cfg.limits
+        "Figure 10 sweep: seeds {:?}, {} traces, budget {:?}",
+        cfg.seeds, cfg.traces, cfg.budget
     );
     let fig = evematch_eval::experiments::fig10(&cfg);
     evematch_bench::emit_figure(&fig, "fig10");

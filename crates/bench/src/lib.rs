@@ -11,9 +11,9 @@
 //! * `EVEMATCH_WORKERS` — sweep worker threads (default: all cores; use 1
 //!   for the most faithful timings);
 //! * `EVEMATCH_LIMIT_SECS` / `EVEMATCH_LIMIT_PROCESSED` — per-run budget
-//!   for the exhaustive methods (defaults 60s / 2,000,000 mappings), after
-//!   which a configuration is reported as did-not-finish, like the paper's
-//!   Figure 12 beyond 20 events;
+//!   applied to every method (defaults 60s / 2,000,000 mappings), after
+//!   which a configuration is reported as did-not-finish — like the paper's
+//!   Figure 12 beyond 20 events — alongside its degraded anytime mapping;
 //! * `EVEMATCH_OUT` — output directory (default `results`).
 
 #![forbid(unsafe_code)]
@@ -22,7 +22,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use evematch_core::SearchLimits;
+use evematch_core::Budget;
 use evematch_eval::experiments::{FigureResult, SweepConfig};
 use evematch_eval::Table;
 
@@ -42,10 +42,9 @@ pub fn sweep_config() -> SweepConfig {
     );
     SweepConfig {
         seeds,
-        limits: SearchLimits {
-            max_processed: Some(env_or("EVEMATCH_LIMIT_PROCESSED", 2_000_000u64)),
-            max_duration: Some(Duration::from_secs(env_or("EVEMATCH_LIMIT_SECS", 60u64))),
-        },
+        budget: Budget::UNLIMITED
+            .with_processed_cap(env_or("EVEMATCH_LIMIT_PROCESSED", 2_000_000u64))
+            .with_deadline(Duration::from_secs(env_or("EVEMATCH_LIMIT_SECS", 60u64))),
         workers: env_or(
             "EVEMATCH_WORKERS",
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -75,9 +74,10 @@ pub fn emit(table: &Table, stem: &str) {
     eprintln!("wrote {}", path.display());
 }
 
-/// Prints and saves all three panels of a figure.
+/// Prints and saves all panels of a figure.
 pub fn emit_figure(fig: &FigureResult, stem: &str) {
     emit(&fig.f_measure, &format!("{stem}a_fmeasure"));
+    emit(&fig.anytime_f, &format!("{stem}a_anytime_fmeasure"));
     emit(&fig.time, &format!("{stem}b_time"));
     emit(&fig.processed, &format!("{stem}c_processed"));
 }

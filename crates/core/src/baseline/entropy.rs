@@ -7,30 +7,44 @@
 //! as the fast-but-inaccurate end of the accuracy/efficiency trade-off
 //! (Figure 12).
 
-use std::time::Instant;
-
 use evematch_eventlog::EventId;
 
 use crate::assignment::max_weight_assignment;
+use crate::budget::Budget;
 use crate::context::MatchContext;
-use crate::exact::{MatchOutcome, SearchStats};
+use crate::exact::{Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::{pattern_normal_distance, sim};
 
 /// The entropy-only matcher.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct EntropyMatcher;
+pub struct EntropyMatcher {
+    /// Resource budget. The method is a single assignment, so only the
+    /// degenerate zero/tiny caps can trip it; the mapping is still complete
+    /// and tagged [`Completion::BudgetExhausted`] with the baselines'
+    /// global gap (see [`crate::baseline`]).
+    pub budget: Budget,
+}
 
 impl EntropyMatcher {
     /// Creates the matcher (stateless).
     pub fn new() -> Self {
-        EntropyMatcher
+        Self::default()
+    }
+
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Pairs events by occurrence-entropy similarity. Infallible.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let start = Instant::now();
+        let mut meter = self.budget.meter();
         let (n1, n2) = (ctx.n1(), ctx.n2());
+        // The single assignment is this method's one charged unit.
+        meter.charge_processed();
         let h1: Vec<f64> = (0..n1)
             .map(|v| bernoulli_entropy(ctx.dep1().vertex_freq(EventId(v as u32))))
             .collect();
@@ -39,7 +53,11 @@ impl EntropyMatcher {
             .collect();
         let weights: Vec<Vec<f64>> = h1
             .iter()
-            .map(|&a| h2.iter().map(|&b| sim(a, b)).collect())
+            .map(|&a| {
+                // One weight row is the inner work unit for deadline polling.
+                meter.tick();
+                h2.iter().map(|&b| sim(a, b)).collect()
+            })
             .collect();
         let assignment = max_weight_assignment(&weights);
         let mapping = Mapping::from_pairs(
@@ -51,15 +69,24 @@ impl EntropyMatcher {
                 .map(|(a, &b)| (EventId(a as u32), EventId(b as u32))),
         );
         let score = pattern_normal_distance(ctx, &mapping);
+        let completion = match meter.exhaustion() {
+            None => Completion::Finished,
+            Some(exhaustion) => Completion::BudgetExhausted {
+                exhaustion,
+                optimality_gap: crate::baseline::global_gap(ctx, score),
+            },
+        };
         MatchOutcome {
             mapping,
             score,
             stats: SearchStats {
-                processed_mappings: 1,
+                processed_mappings: meter.processed(),
                 visited_nodes: 1,
+                polls: meter.polls(),
                 eval: Default::default(),
             },
-            elapsed: start.elapsed(),
+            elapsed: meter.elapsed(),
+            completion,
         }
     }
 }

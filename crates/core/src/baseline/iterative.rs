@@ -5,13 +5,12 @@
 //! dependency-graph neighbourhoods pair up similarly. After convergence the
 //! mapping is read off with an optimal assignment.
 
-use std::time::Instant;
-
 use evematch_eventlog::{DepGraph, EventId};
 
 use crate::assignment::max_weight_assignment;
+use crate::budget::{Budget, BudgetMeter};
 use crate::context::MatchContext;
-use crate::exact::{MatchOutcome, SearchStats};
+use crate::exact::{Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::{pattern_normal_distance, sim};
 
@@ -42,6 +41,11 @@ impl Default for IterativeConfig {
 pub struct IterativeMatcher {
     /// Fixpoint configuration.
     pub config: IterativeConfig,
+    /// Resource budget: a tripped budget cuts the fixpoint short (the
+    /// assignment then runs on the partially-propagated matrix) and marks
+    /// the result [`Completion::BudgetExhausted`] with the baselines'
+    /// global gap certificate (see [`crate::baseline`]).
+    pub budget: Budget,
 }
 
 impl IterativeMatcher {
@@ -50,12 +54,23 @@ impl IterativeMatcher {
         Self::default()
     }
 
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Computes the similarity fixpoint and assigns events optimally.
-    /// Infallible — the method is polynomial.
+    /// Infallible — the method is polynomial and always returns a complete
+    /// mapping, even on a tripped budget.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let start = Instant::now();
+        let mut meter = self.budget.meter();
         let (n1, n2) = (ctx.n1(), ctx.n2());
-        let cur = propagated_similarity(ctx, &self.config);
+        // One charged unit for the single assignment this method performs;
+        // a zero cap therefore skips all fixpoint iterations too.
+        meter.charge_processed();
+        let cur = propagated_similarity(ctx, &self.config, &mut meter);
         let assignment = max_weight_assignment(&cur);
         let mapping = Mapping::from_pairs(
             n1,
@@ -66,15 +81,24 @@ impl IterativeMatcher {
                 .map(|(a, &b)| (EventId(a as u32), EventId(b as u32))),
         );
         let score = pattern_normal_distance(ctx, &mapping);
+        let completion = match meter.exhaustion() {
+            None => Completion::Finished,
+            Some(exhaustion) => Completion::BudgetExhausted {
+                exhaustion,
+                optimality_gap: crate::baseline::global_gap(ctx, score),
+            },
+        };
         MatchOutcome {
             mapping,
             score,
             stats: SearchStats {
-                processed_mappings: 1,
+                processed_mappings: meter.processed(),
                 visited_nodes: 1,
+                polls: meter.polls(),
                 eval: Default::default(),
             },
-            elapsed: start.elapsed(),
+            elapsed: meter.elapsed(),
+            completion,
         }
     }
 }
@@ -83,7 +107,11 @@ impl IterativeMatcher {
 /// the neighbour-propagation fixpoint. Shared by [`IterativeMatcher`] and
 /// (as an optional sharpener of the Equation-2 estimated scores) by the
 /// advanced heuristic.
-pub(crate) fn propagated_similarity(ctx: &MatchContext, config: &IterativeConfig) -> Vec<Vec<f64>> {
+pub(crate) fn propagated_similarity(
+    ctx: &MatchContext,
+    config: &IterativeConfig,
+    meter: &mut BudgetMeter,
+) -> Vec<Vec<f64>> {
     let (n1, n2) = (ctx.n1(), ctx.n2());
     let (dep1, dep2) = (ctx.dep1(), ctx.dep2());
 
@@ -104,9 +132,16 @@ pub(crate) fn propagated_similarity(ctx: &MatchContext, config: &IterativeConfig
     let mut cur = seed.clone();
     let alpha = config.alpha.clamp(0.0, 1.0);
     for _ in 0..config.max_iterations {
+        if meter.is_exhausted() {
+            // Cut the fixpoint short; the caller assigns on the matrix
+            // propagated so far.
+            break;
+        }
         let mut next = vec![vec![0.0; n2]; n1];
         let mut max_delta = 0.0f64;
         for a in 0..n1 {
+            // One matrix row is the inner work unit for deadline polling.
+            meter.tick();
             for b in 0..n2 {
                 let succ = neighbour_term(
                     dep1.graph().successors(a as u32),
@@ -201,6 +236,7 @@ mod tests {
                 alpha: 0.0,
                 ..Default::default()
             },
+            ..Default::default()
         };
         let out = m.solve(&ctx());
         // C/z are the only 2/3-frequency events; they must pair up.

@@ -9,6 +9,12 @@
 //!   edges to a fixpoint and then assigns optimally ([`IterativeMatcher`]).
 //! * **Entropy-only** [7] compares events solely by the entropy of their
 //!   per-trace occurrence, ignoring structure ([`EntropyMatcher`]).
+//!
+//! Both polynomial baselines accept a [`Budget`](crate::Budget); they
+//! always return a complete mapping, and a tripped budget marks the result
+//! [`BudgetExhausted`](crate::Completion::BudgetExhausted) with a *global*
+//! optimality gap — the admissible tight bound of the fully-unmapped
+//! problem minus the achieved score (loose but always valid).
 
 mod entropy;
 mod iterative;
@@ -16,8 +22,25 @@ mod iterative;
 pub use entropy::EntropyMatcher;
 pub use iterative::{IterativeConfig, IterativeMatcher};
 
+use crate::bounds::BoundKind;
+use crate::budget::Budget;
+use crate::context::MatchContext;
+use crate::evaluator::Evaluator;
+use crate::mapping::Mapping;
+use crate::score::heuristic_bound;
+
 /// Propagated similarity with the default iterative configuration (used by
 /// the advanced heuristic's estimated-score sharpening).
-pub(crate) fn propagated_similarity_default(ctx: &crate::context::MatchContext) -> Vec<Vec<f64>> {
-    iterative::propagated_similarity(ctx, &IterativeConfig::default())
+pub(crate) fn propagated_similarity_default(ctx: &MatchContext) -> Vec<Vec<f64>> {
+    let mut meter = Budget::UNLIMITED.meter();
+    iterative::propagated_similarity(ctx, &IterativeConfig::default(), &mut meter)
+}
+
+/// The global optimality-gap certificate of the polynomial baselines: the
+/// admissible tight bound over the fully-unmapped problem dominates every
+/// mapping's score, so `bound − score` bounds the distance to the optimum.
+pub(crate) fn global_gap(ctx: &MatchContext, score: f64) -> f64 {
+    let mut eval = Evaluator::new(ctx);
+    let empty = Mapping::empty(ctx.n1(), ctx.n2());
+    (heuristic_bound(&mut eval, &empty, BoundKind::Tight) - score).max(0.0)
 }

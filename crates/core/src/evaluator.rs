@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use evematch_eventlog::EventId;
 use evematch_pattern::{is_realizable, pattern_support};
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::context::MatchContext;
 use crate::mapping::Mapping;
 use crate::score::sim;
@@ -40,21 +41,42 @@ pub struct Evaluator<'a> {
     cache: BTreeMap<(u32, Box<[EventId]>), u32>,
     /// Work counters for this run.
     pub stats: EvalStats,
+    /// The solver run's budget meter. The evaluator ticks it before every
+    /// log scan, so a deadline is observed even inside one expensive outer
+    /// search step.
+    meter: BudgetMeter,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates a fresh evaluator (empty cache, zeroed counters).
+    /// Creates a fresh evaluator (empty cache, zeroed counters) with an
+    /// unlimited budget.
     pub fn new(ctx: &'a MatchContext) -> Self {
+        Self::with_budget(ctx, Budget::UNLIMITED)
+    }
+
+    /// Creates a fresh evaluator metering `budget`.
+    pub fn with_budget(ctx: &'a MatchContext, budget: Budget) -> Self {
         Evaluator {
             ctx,
             cache: BTreeMap::new(),
             stats: EvalStats::default(),
+            meter: budget.meter(),
         }
     }
 
     /// The context this evaluator works on.
     pub fn context(&self) -> &'a MatchContext {
         self.ctx
+    }
+
+    /// The run's budget meter.
+    pub fn meter(&self) -> &BudgetMeter {
+        &self.meter
+    }
+
+    /// The run's budget meter, for charging work against it.
+    pub fn meter_mut(&mut self) -> &mut BudgetMeter {
+        &mut self.meter
     }
 
     /// The images of pattern `p_idx`'s (sorted) events under `m`, or `None`
@@ -113,6 +135,9 @@ impl<'a> Evaluator<'a> {
             self.stats.cache_hits += 1;
             return support;
         }
+        // A realizability check or log scan is the expensive inner unit of
+        // work; advance the deadline poll cadence before paying it.
+        self.meter.tick();
         let mapped = ep.pattern.map_events(&|e| self.image_of(ep, e, images));
         // Proposition 3 (sound form): if no allowed order of the mapped
         // pattern can be realized along dependency edges of G2, no trace of

@@ -1,4 +1,5 @@
-//! The exact A\* event-matching search (Algorithm 1).
+//! The exact A\* event-matching search (Algorithm 1), with anytime
+//! degradation under a [`Budget`].
 //!
 //! Each search-tree node is a partial mapping `(M, U1, U2)` scored by
 //! `g + h`: `g` is the pattern normal distance already realized by the
@@ -10,52 +11,91 @@
 //! the inverted pattern index (`P_new`, Section 3.2.1), and mapped-pattern
 //! frequencies go through the [`Evaluator`]'s Proposition-3 existence check
 //! and memo cache.
+//!
+//! # Anytime behavior
+//!
+//! With a limited [`Budget`] the search keeps an *incumbent*: whenever a
+//! popped node's `f` exceeds the incumbent's score, the node is greedily
+//! completed (best marginal gain per level) and the incumbent updated. On
+//! exhaustion [`ExactMatcher::solve`] returns the incumbent tagged
+//! [`Completion::BudgetExhausted`] with `optimality_gap = max frontier f −
+//! returned score`; admissibility of `h` makes the true optimum at most
+//! `returned score + optimality_gap`. Processed-cap budgets are
+//! bit-deterministic and *monotone*: a larger cap never returns a worse
+//! score, because the larger run performs an identical pop/complete prefix
+//! (exhaustion "grace-finishes" the interrupted node's children, uncharged,
+//! so the frontier matches the larger run's exactly) and its incumbent only
+//! improves afterwards.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use evematch_eventlog::EventId;
 
 use crate::bounds::BoundKind;
+use crate::budget::{Budget, Exhaustion};
 use crate::context::MatchContext;
 use crate::evaluator::{EvalStats, Evaluator};
 use crate::mapping::Mapping;
 use crate::score::heuristic_bound;
-
-/// Resource limits for a search run. The exact search is factorial in the
-/// worst case (Theorem 1), so experiment harnesses set these to mark a
-/// configuration as "did not finish" — exactly how the paper reports the
-/// Exact and Vertex+Edge methods beyond 20 events in Figure 12.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct SearchLimits {
-    /// Abort after this many processed (generated) mappings.
-    pub max_processed: Option<u64>,
-    /// Abort after this much wall-clock time.
-    pub max_duration: Option<Duration>,
-}
-
-impl SearchLimits {
-    /// No limits.
-    pub const UNLIMITED: SearchLimits = SearchLimits {
-        max_processed: None,
-        max_duration: None,
-    };
-}
 
 /// Work counters of one solver run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Mappings `M'` created in Line 7 of Algorithm 1 (resp. candidate
     /// augmentations `M_ij` in Line 6 of Algorithm 3) — the quantity plotted
-    /// in Figures 7c, 8c, 9c and 10c.
+    /// in Figures 7c, 8c, 9c and 10c. Equals the budget meter's charged
+    /// units; grace work after exhaustion is not counted.
     pub processed_mappings: u64,
     /// Tree nodes actually visited (popped with the maximum `g + h`).
     pub visited_nodes: u64,
+    /// Deadline clock reads performed (0 for deadline-free budgets).
+    pub polls: u64,
     /// Pattern-evaluation counters.
     pub eval: EvalStats,
 }
 
-/// A finished matching: the mapping, its pattern normal distance, and the
-/// work it took.
+/// How a solver run ended.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Completion {
+    /// The solver ran to its natural end; for the exact search the returned
+    /// mapping is optimal.
+    Finished,
+    /// The [`Budget`] was exhausted; the returned mapping is a complete
+    /// anytime result with a quality certificate.
+    BudgetExhausted {
+        /// Which budget limit tripped.
+        exhaustion: Exhaustion,
+        /// Upper bound on how much better the best mapping could score
+        /// than the returned one. For the exact search this is global
+        /// (admissible `f` of the best frontier node minus the returned
+        /// score); heuristic solvers report a certificate for their own
+        /// search trajectory (see each solver's docs).
+        optimality_gap: f64,
+    },
+}
+
+impl Completion {
+    /// `true` when the solver ran to its natural end.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        matches!(self, Completion::Finished)
+    }
+
+    /// The optimality gap of a budget-exhausted run, `None` when finished.
+    #[must_use]
+    pub fn optimality_gap(&self) -> Option<f64> {
+        match self {
+            Completion::Finished => None,
+            Completion::BudgetExhausted { optimality_gap, .. } => Some(*optimality_gap),
+        }
+    }
+}
+
+/// A finished matching: the mapping, its pattern normal distance, the work
+/// it took, and how the run ended.
 #[derive(Clone, Debug)]
 pub struct MatchOutcome {
     /// The (complete) event mapping found.
@@ -66,13 +106,15 @@ pub struct MatchOutcome {
     pub stats: SearchStats,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// Whether the run finished or degraded on budget exhaustion.
+    pub completion: Completion,
 }
 
-/// Why a search did not produce a mapping.
+/// Why a strict search did not produce a mapping.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum SearchError {
-    /// A [`SearchLimits`] threshold was hit; counters up to that point are
-    /// attached.
+    /// A [`Budget`] limit was hit; counters up to that point are attached.
     LimitExceeded {
         /// Work done before giving up.
         stats: SearchStats,
@@ -97,14 +139,15 @@ impl std::error::Error for SearchError {}
 
 /// The exact matcher: A\* over partial mappings, guaranteed to return a
 /// mapping maximizing the pattern normal distance (given admissible bounds,
-/// which both [`BoundKind`]s are).
+/// which both [`BoundKind`]s are) — or, under a limited [`Budget`], the
+/// best anytime completion with an optimality-gap certificate.
 #[derive(Clone, Copy, Debug)]
 pub struct ExactMatcher {
     /// Which `h` bound prunes the search (the paper's Pattern-Simple vs
     /// Pattern-Tight).
     pub bound: BoundKind,
-    /// Resource limits.
-    pub limits: SearchLimits,
+    /// Resource budget for each `solve` call.
+    pub budget: Budget,
 }
 
 impl ExactMatcher {
@@ -112,24 +155,29 @@ impl ExactMatcher {
     pub fn new(bound: BoundKind) -> Self {
         ExactMatcher {
             bound,
-            limits: SearchLimits::UNLIMITED,
+            budget: Budget::UNLIMITED,
         }
     }
 
-    /// Sets resource limits.
-    pub fn with_limits(mut self, limits: SearchLimits) -> Self {
-        self.limits = limits;
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 
-    /// Runs Algorithm 1 on `ctx`.
-    pub fn solve(&self, ctx: &MatchContext) -> Result<MatchOutcome, SearchError> {
-        let start = Instant::now();
-        let mut eval = Evaluator::new(ctx);
+    /// Runs Algorithm 1 on `ctx`. Never fails: with an unlimited budget the
+    /// returned mapping is optimal ([`Completion::Finished`]); on budget
+    /// exhaustion the best anytime completion is returned tagged
+    /// [`Completion::BudgetExhausted`]. Use [`ExactMatcher::solve_strict`]
+    /// for the paper's all-or-nothing (DNF) semantics.
+    pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
+        let mut eval = Evaluator::with_budget(ctx, self.budget);
         let n1 = ctx.n1();
         let order = ctx.pattern_index().expansion_order();
         debug_assert_eq!(order.len(), n1);
         let mut stats = SearchStats::default();
+        let anytime = !self.budget.is_unlimited();
 
         let root_mapping = Mapping::empty(n1, ctx.n2());
         let root_h = heuristic_bound(&mut eval, &root_mapping, self.bound);
@@ -143,27 +191,38 @@ impl ExactMatcher {
             mapping: root_mapping,
         });
 
+        // Anytime incumbent: the best greedily-completed mapping so far.
+        let mut incumbent: Option<(f64, Mapping)> = None;
+
         while let Some(node) = queue.pop() {
             stats.visited_nodes += 1;
             if node.depth as usize == n1 {
-                stats.eval = eval.stats;
-                return Ok(MatchOutcome {
-                    score: node.g,
-                    mapping: node.mapping,
-                    stats,
-                    elapsed: start.elapsed(),
-                });
+                return finish(Completion::Finished, node.g, node.mapping, stats, &mut eval);
+            }
+            if anytime && improves(incumbent.as_ref().map(|(s, _)| *s), node.f) {
+                // This subtree can beat the incumbent; refresh it with a
+                // greedy completion of the popped node (uncharged work).
+                let (cg, cm) = greedy_complete(&mut eval, &order, &node.mapping, node.g);
+                if improves(incumbent.as_ref().map(|(s, _)| *s), cg) {
+                    incumbent = Some((cg, cm));
+                }
             }
             let a = order[node.depth as usize];
+            let mut charging = true;
             for b in node.mapping.unused_targets() {
-                if self.exceeded(&stats, start) {
-                    stats.eval = eval.stats;
-                    return Err(SearchError::LimitExceeded {
-                        stats,
-                        elapsed: start.elapsed(),
-                    });
+                if charging && !eval.meter_mut().charge_processed() {
+                    charging = false;
+                    if eval.meter().exhaustion() == Some(Exhaustion::Deadline) {
+                        // Past a deadline every millisecond counts; stop
+                        // mid-expansion. (Deadline runs make no determinism
+                        // or monotonicity promise.)
+                        break;
+                    }
+                    // Processed cap: grace-finish this node's remaining
+                    // children uncharged, so the frontier is bit-identical
+                    // to a larger-cap run's at this point — the basis of
+                    // the monotonicity guarantee.
                 }
-                stats.processed_mappings += 1;
                 let mut child = node.mapping.clone();
                 child.insert(a, b);
                 let mut g = node.g;
@@ -187,29 +246,152 @@ impl ExactMatcher {
                     mapping: child,
                 });
             }
+            eval.meter_mut().note_frontier(queue.len());
+            if eval.meter().is_exhausted() {
+                return exhausted_outcome(&mut eval, &order, queue, incumbent, stats, n1, ctx.n2());
+            }
         }
         // n1 > 0 guarantees children exist at every level (n1 ≤ n2), so the
         // queue only drains for the trivial empty problem handled above by
         // the root node having depth 0 == n1.
-        // tidy-allow: no-panic -- structurally unreachable per the argument above; returning a fake Err would hide real bugs
+        // tidy-allow: no-panic -- structurally unreachable per the argument above; returning a fake result would hide real bugs
         unreachable!("A* queue drained without reaching a complete mapping")
     }
 
-    fn exceeded(&self, stats: &SearchStats, start: Instant) -> bool {
-        if let Some(max) = self.limits.max_processed {
-            if stats.processed_mappings >= max {
-                return true;
-            }
+    /// Runs Algorithm 1 with the paper's all-or-nothing semantics: a
+    /// budget-exhausted run is reported as [`SearchError::LimitExceeded`]
+    /// (the experiment harness's "did not finish") instead of an anytime
+    /// result.
+    ///
+    /// # Errors
+    /// [`SearchError::LimitExceeded`] when the budget trips before the
+    /// search completes.
+    pub fn solve_strict(&self, ctx: &MatchContext) -> Result<MatchOutcome, SearchError> {
+        let out = self.solve(ctx);
+        match out.completion {
+            Completion::Finished => Ok(out),
+            _ => Err(SearchError::LimitExceeded {
+                stats: out.stats,
+                elapsed: out.elapsed,
+            }),
         }
-        if let Some(max) = self.limits.max_duration {
-            // Clock reads are cheap relative to a child evaluation; check
-            // every 64 expansions to stay cheaper still.
-            if stats.processed_mappings % 64 == 0 && start.elapsed() >= max {
-                return true;
-            }
-        }
-        false
     }
+}
+
+/// Strict improvement test used for the incumbent and greedy choices; on
+/// ties the earlier holder wins, keeping every choice deterministic.
+fn improves(best: Option<f64>, candidate: f64) -> bool {
+    match best {
+        None => true,
+        Some(b) => candidate > b,
+    }
+}
+
+/// Packs up the anytime result after budget exhaustion: refresh the
+/// incumbent against the best frontier node, then certify the gap.
+fn exhausted_outcome(
+    eval: &mut Evaluator<'_>,
+    order: &[EventId],
+    mut queue: BinaryHeap<Node>,
+    mut incumbent: Option<(f64, Mapping)>,
+    stats: SearchStats,
+    n1: usize,
+    n2: usize,
+) -> MatchOutcome {
+    let frontier_best = queue.pop();
+    if let Some(best) = &frontier_best {
+        if improves(incumbent.as_ref().map(|(s, _)| *s), best.f) {
+            let (cg, cm) = greedy_complete(eval, order, &best.mapping, best.g);
+            if improves(incumbent.as_ref().map(|(s, _)| *s), cg) {
+                incumbent = Some((cg, cm));
+            }
+        }
+    }
+    let (score, mapping) = match incumbent {
+        Some(pair) => pair,
+        // Defensive: exhaustion implies at least one pop, which seeds the
+        // incumbent; complete from scratch if that ever changes.
+        None => greedy_complete(eval, order, &Mapping::empty(n1, n2), 0.0),
+    };
+    let exhaustion = eval.meter().exhaustion().unwrap_or(Exhaustion::Processed);
+    let optimality_gap = frontier_best.map_or(0.0, |b| (b.f - score).max(0.0));
+    finish(
+        Completion::BudgetExhausted {
+            exhaustion,
+            optimality_gap,
+        },
+        score,
+        mapping,
+        stats,
+        eval,
+    )
+}
+
+fn finish(
+    completion: Completion,
+    score: f64,
+    mapping: Mapping,
+    mut stats: SearchStats,
+    eval: &mut Evaluator<'_>,
+) -> MatchOutcome {
+    stats.eval = eval.stats;
+    stats.processed_mappings = eval.meter().processed();
+    stats.polls = eval.meter().polls();
+    MatchOutcome {
+        mapping,
+        score,
+        stats,
+        elapsed: eval.meter().elapsed(),
+        completion,
+    }
+}
+
+/// Greedily completes `partial` (whose realized score is `g`) by repeatedly
+/// mapping the next unmapped source event — in expansion order — to the
+/// unused target with the best marginal realized gain. Ties keep the
+/// smallest target id, so the completion is deterministic. The returned
+/// score is the true pattern normal distance of the completed mapping
+/// (every pattern is credited exactly once, when its last event maps).
+///
+/// This work is never charged against the budget: it is the bounded "grace"
+/// that turns an interrupted search into a complete answer.
+pub(crate) fn greedy_complete(
+    eval: &mut Evaluator<'_>,
+    order: &[EventId],
+    partial: &Mapping,
+    g: f64,
+) -> (f64, Mapping) {
+    let ctx = eval.context();
+    let mut m = partial.clone();
+    let mut total = g;
+    for &a in order {
+        if m.is_mapped(a) {
+            continue;
+        }
+        let targets: Vec<EventId> = m.unused_targets();
+        let mut best: Option<(f64, EventId)> = None;
+        for b in targets {
+            m.insert(a, b);
+            let mut dg = 0.0;
+            for p_idx in ctx.pattern_index().newly_completed(a, |e| m.is_mapped(e)) {
+                if let Some(images) = eval.images_under(p_idx, &m) {
+                    dg += eval.d_with_images(p_idx, &images);
+                }
+            }
+            m.remove(a);
+            if improves(best.map(|(d, _)| d), dg) {
+                best = Some((dg, b));
+            }
+        }
+        let Some((dg, b)) = best else {
+            // Unreachable for well-formed contexts (n1 ≤ n2 leaves a free
+            // target per level); bail without panicking if it ever isn't.
+            break;
+        };
+        m.insert(a, b);
+        total += dg;
+    }
+    (total, m)
 }
 
 /// A search-tree node ordered by `f = g + h` (max-heap), ties broken toward
@@ -298,7 +480,8 @@ mod tests {
         let (l1, l2) = isomorphic_logs();
         let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
         for bound in [BoundKind::Simple, BoundKind::Tight] {
-            let out = ExactMatcher::new(bound).solve(&ctx).unwrap();
+            let out = ExactMatcher::new(bound).solve(&ctx);
+            assert!(out.completion.is_finished());
             assert!(out.mapping.is_complete());
             for i in 0..3u32 {
                 assert_eq!(out.mapping.get(ev(i)), Some(ev(i)), "bound {bound:?}");
@@ -310,7 +493,7 @@ mod tests {
     fn score_matches_pattern_normal_distance() {
         let (l1, l2) = isomorphic_logs();
         let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
-        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         let recomputed = pattern_normal_distance(&ctx, &out.mapping);
         assert!((out.score - recomputed).abs() < 1e-9);
     }
@@ -340,7 +523,7 @@ mod tests {
         .unwrap();
         let best = exhaustive_best(&ctx);
         for bound in [BoundKind::Simple, BoundKind::Tight] {
-            let out = ExactMatcher::new(bound).solve(&ctx).unwrap();
+            let out = ExactMatcher::new(bound).solve(&ctx);
             assert!(
                 (out.score - best).abs() < 1e-9,
                 "bound {bound:?}: got {} want {best}",
@@ -353,8 +536,8 @@ mod tests {
     fn tight_bound_processes_no_more_mappings_than_simple() {
         let (l1, l2) = isomorphic_logs();
         let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
-        let simple = ExactMatcher::new(BoundKind::Simple).solve(&ctx).unwrap();
-        let tight = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let simple = ExactMatcher::new(BoundKind::Simple).solve(&ctx);
+        let tight = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         assert!(tight.stats.processed_mappings <= simple.stats.processed_mappings);
         assert!((tight.score - simple.score).abs() < 1e-9);
     }
@@ -372,7 +555,7 @@ mod tests {
             PatternSetBuilder::new().vertices().edges(),
         )
         .unwrap();
-        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         assert_eq!(out.mapping.len(), 2);
         // A -> x, B -> y maximizes both vertex and edge similarity.
         assert_eq!(out.mapping.get(ev(0)), Some(ev(0)));
@@ -385,30 +568,92 @@ mod tests {
         let mut b2 = LogBuilder::new();
         b2.push_named_trace(["x"]);
         let ctx = MatchContext::new(l1, b2.build(), PatternSetBuilder::new().vertices()).unwrap();
-        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         assert!(out.mapping.is_empty());
         assert_eq!(out.score, 0.0);
+        assert!(out.completion.is_finished());
     }
 
     #[test]
-    fn limit_exceeded_is_reported() {
+    fn strict_solve_reports_limit_exceeded() {
         let (l1, l2) = isomorphic_logs();
         let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
-        let limited = ExactMatcher::new(BoundKind::Simple).with_limits(SearchLimits {
-            max_processed: Some(1),
-            max_duration: None,
-        });
-        let err = limited.solve(&ctx).unwrap_err();
+        let limited = ExactMatcher::new(BoundKind::Simple)
+            .with_budget(Budget::UNLIMITED.with_processed_cap(1));
+        let err = limited.solve_strict(&ctx).unwrap_err();
         let SearchError::LimitExceeded { stats, .. } = err;
         assert_eq!(stats.processed_mappings, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_still_returns_a_complete_mapping() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        for cap in [0, 1, 2, 5] {
+            let out = ExactMatcher::new(BoundKind::Simple)
+                .with_budget(Budget::UNLIMITED.with_processed_cap(cap))
+                .solve(&ctx);
+            assert!(out.mapping.is_complete(), "cap {cap}");
+            assert!(out.stats.processed_mappings <= cap, "cap {cap}");
+            let Completion::BudgetExhausted {
+                exhaustion,
+                optimality_gap,
+            } = out.completion
+            else {
+                panic!(
+                    "cap {cap}: expected BudgetExhausted, got {:?}",
+                    out.completion
+                );
+            };
+            assert_eq!(exhaustion, Exhaustion::Processed);
+            assert!(optimality_gap.is_finite() && optimality_gap >= 0.0);
+            // The returned score is the true score of the returned mapping.
+            let recomputed = pattern_normal_distance(&ctx, &out.mapping);
+            assert!((out.score - recomputed).abs() < 1e-9, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn anytime_score_is_within_the_reported_gap_of_the_optimum() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let best = exhaustive_best(&ctx);
+        for cap in [1, 3, 7] {
+            let out = ExactMatcher::new(BoundKind::Tight)
+                .with_budget(Budget::UNLIMITED.with_processed_cap(cap))
+                .solve(&ctx);
+            let gap = out.completion.optimality_gap().unwrap_or(0.0);
+            assert!(
+                best <= out.score + gap + 1e-9,
+                "cap {cap}: optimum {best} exceeds score {} + gap {gap}",
+                out.score
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_cap_degrades_gracefully() {
+        let (l1, l2) = isomorphic_logs();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight)
+            .with_budget(Budget::UNLIMITED.with_frontier_cap(1))
+            .solve(&ctx);
+        assert!(out.mapping.is_complete());
+        assert!(matches!(
+            out.completion,
+            Completion::BudgetExhausted {
+                exhaustion: Exhaustion::Frontier,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn deterministic_across_runs() {
         let (l1, l2) = isomorphic_logs();
         let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
-        let a = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
-        let b = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let a = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
+        let b = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         assert_eq!(a.mapping, b.mapping);
         assert_eq!(a.stats.processed_mappings, b.stats.processed_mappings);
     }

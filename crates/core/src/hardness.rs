@@ -105,7 +105,7 @@ mod tests {
             PatternSetBuilder::new().complex_all(inst.patterns.iter().cloned()),
         )
         .expect("reduction produces |V1| ≤ |V2|");
-        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         (out.score, out.mapping)
     }
 

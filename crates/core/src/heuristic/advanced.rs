@@ -24,14 +24,13 @@
 //! For vertex-only pattern sets this reduces to exact Kuhn–Munkres, so the
 //! returned mapping is optimal (Proposition 6, Theorem 2).
 
-use std::time::Instant;
-
 use evematch_eventlog::EventId;
 
 use crate::bounds::BoundKind;
+use crate::budget::Budget;
 use crate::context::MatchContext;
 use crate::evaluator::Evaluator;
-use crate::exact::{MatchOutcome, SearchStats};
+use crate::exact::{greedy_complete, Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::{score_partial, sim};
 
@@ -70,6 +69,12 @@ pub struct AdvancedHeuristic {
     /// Strictly-improving moves cannot leave the optimum for vertex-only
     /// pattern sets, so Proposition 6 is preserved.
     pub refine: bool,
+    /// Resource budget for each `solve` call. On exhaustion during the
+    /// Kuhn–Munkres loop the partial matching is completed greedily and the
+    /// result carries a *path-local* `optimality_gap` (bounding completions
+    /// of the interrupted matching, not the global optimum); exhaustion
+    /// during refinement returns the current complete mapping with gap 0.
+    pub budget: Budget,
 }
 
 impl AdvancedHeuristic {
@@ -80,7 +85,15 @@ impl AdvancedHeuristic {
             bound,
             sharpen: true,
             refine: true,
+            budget: Budget::UNLIMITED,
         }
+    }
+
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// Disables (or re-enables) the estimated-score sharpening.
@@ -95,10 +108,10 @@ impl AdvancedHeuristic {
         self
     }
 
-    /// Runs Algorithm 3. Infallible — exactly `n` augmentations happen.
+    /// Runs Algorithm 3. Infallible — at most `n` augmentations happen,
+    /// completed greedily if the budget trips first.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let start = Instant::now();
-        let mut eval = Evaluator::new(ctx);
+        let mut eval = Evaluator::with_budget(ctx, self.budget);
         let mut stats = SearchStats::default();
         let n1 = ctx.n1();
         // Square the instance: dummy rows n1..n with θ ≡ 0 absorb the
@@ -110,7 +123,8 @@ impl AdvancedHeuristic {
                 mapping: Mapping::empty(0, 0),
                 score: 0.0,
                 stats,
-                elapsed: start.elapsed(),
+                elapsed: eval.meter().elapsed(),
+                completion: Completion::Finished,
             };
         }
 
@@ -124,7 +138,7 @@ impl AdvancedHeuristic {
         let mut match_row: Vec<Option<usize>> = vec![None; n];
         let mut match_col: Vec<Option<usize>> = vec![None; n];
 
-        while match_row.iter().any(Option::is_none) {
+        'km: while match_row.iter().any(Option::is_none) {
             stats.visited_nodes += 1;
             // Build the maximal alternating tree of every unmatched root
             // and score every augmenting path it offers. Candidates are
@@ -137,7 +151,11 @@ impl AdvancedHeuristic {
             for root in (0..n).filter(|&r| match_row[r].is_none()) {
                 let tree = alternating_tree(root, &theta, &l1, &l2, &match_col);
                 for &endpoint in &tree.endpoints {
-                    stats.processed_mappings += 1;
+                    if !eval.meter_mut().charge_processed() {
+                        // Budget tripped mid-iteration: drop the half-ranked
+                        // candidates and complete the current matching below.
+                        break 'km;
+                    }
                     let (mr, mc) = (match_row.clone(), match_col.clone());
                     let (mr, _mc) = augmented(mr, mc, &tree, endpoint);
                     let mapping = to_mapping(&mr, n1, n);
@@ -172,20 +190,51 @@ impl AdvancedHeuristic {
             let (mr, mc) = augmented(match_row, match_col, &tree, endpoint);
             match_row = mr;
             match_col = mc;
+            if eval.meter().is_exhausted() {
+                // A deadline can latch inside the evaluator's ticks.
+                break;
+            }
         }
 
         let mut mapping = to_mapping(&match_row, n1, n);
-        debug_assert!(mapping.is_complete());
-        let (mut score, _) = score_partial(&mut eval, &mapping, self.bound);
-        if self.refine {
-            score = local_refine(&mut eval, &mut mapping, score, &mut stats);
+        let mut completion = Completion::Finished;
+        let mut score;
+        if let (Some(exhaustion), false) = (eval.meter().exhaustion(), mapping.is_complete()) {
+            // KM-phase exhaustion: greedily complete the partial matching;
+            // g + h of the partial bounds every completion of it.
+            let (pg, ph) = score_partial(&mut eval, &mapping, self.bound);
+            let order = ctx.pattern_index().expansion_order();
+            let (s, m) = greedy_complete(&mut eval, &order, &mapping, pg);
+            score = s;
+            mapping = m;
+            completion = Completion::BudgetExhausted {
+                exhaustion,
+                optimality_gap: (pg + ph - s).max(0.0),
+            };
+        } else {
+            let (s, _) = score_partial(&mut eval, &mapping, self.bound);
+            score = s;
+            if self.refine && !eval.meter().is_exhausted() {
+                score = local_refine(&mut eval, &mut mapping, score);
+            }
+            if let Some(exhaustion) = eval.meter().exhaustion() {
+                // The mapping is already complete; the gap certifies only
+                // the interrupted hill-climbing trajectory, which is 0.
+                completion = Completion::BudgetExhausted {
+                    exhaustion,
+                    optimality_gap: 0.0,
+                };
+            }
         }
         stats.eval = eval.stats;
+        stats.processed_mappings = eval.meter().processed();
+        stats.polls = eval.meter().polls();
         MatchOutcome {
             mapping,
             score,
             stats,
-            elapsed: start.elapsed(),
+            elapsed: eval.meter().elapsed(),
+            completion,
         }
     }
 }
@@ -195,12 +244,7 @@ impl AdvancedHeuristic {
 /// (reassign a source event to an unused target), until no strictly
 /// improving step exists or the pass budget runs out. Returns the final
 /// score.
-fn local_refine(
-    eval: &mut Evaluator<'_>,
-    mapping: &mut Mapping,
-    mut score: f64,
-    stats: &mut SearchStats,
-) -> f64 {
+fn local_refine(eval: &mut Evaluator<'_>, mapping: &mut Mapping, mut score: f64) -> f64 {
     const MAX_PASSES: usize = 8;
     let ctx = eval.context();
     let n1 = ctx.n1();
@@ -228,7 +272,9 @@ fn local_refine(
             let a1 = EventId(i);
             // Moves to unused targets.
             for u in mapping.unused_targets() {
-                stats.processed_mappings += 1;
+                if !eval.meter_mut().charge_processed() {
+                    return score;
+                }
                 let ps = affected(a1, None);
                 let before = part_score(eval, mapping, &ps);
                 let old = take_image(mapping, a1);
@@ -245,7 +291,9 @@ fn local_refine(
             // Swaps with later source events.
             for j in i + 1..n1 as u32 {
                 let a2 = EventId(j);
-                stats.processed_mappings += 1;
+                if !eval.meter_mut().charge_processed() {
+                    return score;
+                }
                 let ps = affected(a1, Some(a2));
                 let before = part_score(eval, mapping, &ps);
                 let (b1, b2) = (take_image(mapping, a1), take_image(mapping, a2));
@@ -484,7 +532,7 @@ mod tests {
         b2.push_named_trace(["x"]);
         let ctx =
             MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().vertices()).unwrap();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         let heur = AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx);
         assert!(
             (heur.score - exact.score).abs() < 1e-9,
@@ -521,7 +569,7 @@ mod tests {
             PatternSetBuilder::new().vertices().edges().complex(pat),
         )
         .unwrap();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         let heur = AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx);
         assert!(heur.score <= exact.score + 1e-9);
         // On these clean logs the heuristic should actually find it.
@@ -582,7 +630,7 @@ mod tests {
             PatternSetBuilder::new().vertices().edges().complex(pat),
         )
         .unwrap();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         let mut scores = Vec::new();
         for (sharpen, refine) in [(false, false), (true, false), (false, true), (true, true)] {
             let out = AdvancedHeuristic::new(BoundKind::Tight)
@@ -621,7 +669,7 @@ mod tests {
         b2.push_named_trace(["x"]);
         let ctx =
             MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().vertices()).unwrap();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         let sharp = AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx);
         assert!((sharp.score - exact.score).abs() < 1e-9);
     }

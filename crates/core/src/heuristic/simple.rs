@@ -1,11 +1,10 @@
 //! Heuristic-Simple: greedy best-child descent through the A\* tree.
 
-use std::time::Instant;
-
 use crate::bounds::BoundKind;
+use crate::budget::Budget;
 use crate::context::MatchContext;
 use crate::evaluator::Evaluator;
-use crate::exact::{MatchOutcome, SearchStats};
+use crate::exact::{greedy_complete, Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::heuristic_bound;
 
@@ -16,32 +15,54 @@ use crate::score::heuristic_bound;
 /// Complexity is `O(n² · cost(g+h))` — the factorial explosion is gone, at
 /// the price the paper demonstrates in Figures 9a/10a: one early wrong pair
 /// poisons every later decision.
+///
+/// Under a limited [`Budget`] the descent stops when the budget trips and
+/// the remaining source events are completed greedily by marginal realized
+/// gain; the reported `optimality_gap` is *path-local* — it bounds how much
+/// better a completion of the already-committed prefix could score, not the
+/// global optimum.
 #[derive(Clone, Copy, Debug)]
 pub struct SimpleHeuristic {
     /// Which `h` bound ranks the children.
     pub bound: BoundKind,
+    /// Resource budget for each `solve` call.
+    pub budget: Budget,
 }
 
 impl SimpleHeuristic {
     /// A simple heuristic ranking children with the given bound.
     pub fn new(bound: BoundKind) -> Self {
-        SimpleHeuristic { bound }
+        SimpleHeuristic {
+            bound,
+            budget: Budget::UNLIMITED,
+        }
     }
 
-    /// Runs the greedy descent. Infallible — exactly `n1` commitment steps.
+    /// Sets the resource budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs the greedy descent. Infallible — at most `n1` commitment steps,
+    /// completed greedily if the budget trips first.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let start = Instant::now();
-        let mut eval = Evaluator::new(ctx);
+        let mut eval = Evaluator::with_budget(ctx, self.budget);
         let order = ctx.pattern_index().expansion_order();
         let mut stats = SearchStats::default();
         let mut mapping = Mapping::empty(ctx.n1(), ctx.n2());
         let mut g = 0.0;
 
-        for &a in &order {
+        'levels: for &a in &order {
             stats.visited_nodes += 1;
             let mut best: Option<(f64, f64, evematch_eventlog::EventId)> = None;
             for b in mapping.unused_targets() {
-                stats.processed_mappings += 1;
+                if !eval.meter_mut().charge_processed() {
+                    // Budget tripped mid-level: drop the half-ranked level
+                    // and fall through to the greedy completion below.
+                    break 'levels;
+                }
                 mapping.insert(a, b);
                 let mut child_g = g;
                 for p_idx in ctx
@@ -67,14 +88,37 @@ impl SimpleHeuristic {
             let (_, child_g, b) = best.expect("n1 ≤ n2 guarantees an unused target");
             mapping.insert(a, b);
             g = child_g;
+            if eval.meter().is_exhausted() {
+                // A deadline can latch inside the evaluator's ticks.
+                break;
+            }
         }
 
+        let completion = match eval.meter().exhaustion() {
+            None => Completion::Finished,
+            Some(exhaustion) => {
+                // The committed prefix plus its admissible h bounds every
+                // completion of this trajectory.
+                let upper = g + heuristic_bound(&mut eval, &mapping, self.bound);
+                let (score, complete) = greedy_complete(&mut eval, &order, &mapping, g);
+                mapping = complete;
+                g = score;
+                Completion::BudgetExhausted {
+                    exhaustion,
+                    optimality_gap: (upper - g).max(0.0),
+                }
+            }
+        };
+
         stats.eval = eval.stats;
+        stats.processed_mappings = eval.meter().processed();
+        stats.polls = eval.meter().polls();
         MatchOutcome {
             mapping,
             score: g,
             stats,
-            elapsed: start.elapsed(),
+            elapsed: eval.meter().elapsed(),
+            completion,
         }
     }
 }
@@ -112,6 +156,7 @@ mod tests {
     fn returns_a_complete_mapping_with_consistent_score() {
         let out = SimpleHeuristic::new(BoundKind::Tight).solve(&ctx());
         assert!(out.mapping.is_complete());
+        assert!(out.completion.is_finished());
         let recomputed = pattern_normal_distance(&ctx(), &out.mapping);
         assert!((out.score - recomputed).abs() < 1e-9);
     }
@@ -119,7 +164,7 @@ mod tests {
     #[test]
     fn never_beats_the_exact_optimum() {
         let c = ctx();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&c).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&c);
         for bound in [BoundKind::Simple, BoundKind::Tight] {
             let heur = SimpleHeuristic::new(bound).solve(&c);
             assert!(heur.score <= exact.score + 1e-9);
@@ -143,13 +188,30 @@ mod tests {
         // heavier ties (see the Figure-12 experiments) leave it behind the
         // advanced heuristic.
         let c = ctx();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&c).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&c);
         let out = SimpleHeuristic::new(BoundKind::Tight).solve(&c);
         assert!(out.mapping.is_complete());
         assert!(out.score <= exact.score + 1e-9);
         // One commitment per source event: n + (n-1) + … + 1 candidates.
         assert_eq!(out.stats.processed_mappings, 4 + 3 + 2 + 1);
         let _ = ev(0);
+    }
+
+    #[test]
+    fn exhausted_budget_still_returns_a_complete_mapping() {
+        let c = ctx();
+        for cap in [0, 1, 3] {
+            let out = SimpleHeuristic::new(BoundKind::Tight)
+                .with_budget(Budget::UNLIMITED.with_processed_cap(cap))
+                .solve(&c);
+            assert!(out.mapping.is_complete(), "cap {cap}");
+            assert!(!out.completion.is_finished(), "cap {cap}");
+            assert!(out.stats.processed_mappings <= cap);
+            let gap = out.completion.optimality_gap().unwrap_or(f64::NAN);
+            assert!(gap.is_finite() && gap >= 0.0, "cap {cap}: gap {gap}");
+            let recomputed = pattern_normal_distance(&c, &out.mapping);
+            assert!((out.score - recomputed).abs() < 1e-9, "cap {cap}");
+        }
     }
 
     #[test]

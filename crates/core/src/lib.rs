@@ -36,6 +36,7 @@
 pub mod assignment;
 mod baseline;
 mod bounds;
+pub mod budget;
 mod context;
 mod evaluator;
 mod exact;
@@ -46,8 +47,9 @@ pub mod score;
 
 pub use baseline::{EntropyMatcher, IterativeConfig, IterativeMatcher};
 pub use bounds::BoundKind;
+pub use budget::{Budget, BudgetMeter, Exhaustion};
 pub use context::{MatchContext, PatternSetBuilder};
 pub use evaluator::Evaluator;
-pub use exact::{ExactMatcher, MatchOutcome, SearchError, SearchLimits, SearchStats};
+pub use exact::{Completion, ExactMatcher, MatchOutcome, SearchError, SearchStats};
 pub use heuristic::{AdvancedHeuristic, SimpleHeuristic};
 pub use mapping::Mapping;

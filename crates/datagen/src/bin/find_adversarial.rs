@@ -38,8 +38,8 @@ fn main() {
         )
         .expect("|V1| <= |V2| by construction");
         let solver = ExactMatcher::new(BoundKind::Tight);
-        let ve = solver.solve(&ve_ctx).expect("unlimited");
-        let pat = solver.solve(&pat_ctx).expect("unlimited");
+        let ve = solver.solve(&ve_ctx);
+        let pat = solver.solve(&pat_ctx);
         let n = ds.pair.truth.len();
         let ve_correct = ve.mapping.agreement_with(&ds.pair.truth);
         let pat_correct = pat.mapping.agreement_with(&ds.pair.truth);

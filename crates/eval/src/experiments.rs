@@ -9,7 +9,7 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
-use evematch_core::{Mapping, SearchLimits};
+use evematch_core::{Budget, Mapping};
 use evematch_datagen::{datasets, Dataset};
 
 use crate::method::{Method, RunOutcome};
@@ -21,9 +21,9 @@ use crate::report::Table;
 pub struct SweepConfig {
     /// Seeds to average over (each seed generates an independent dataset).
     pub seeds: Vec<u64>,
-    /// Resource limits for the exhaustive (exact) methods; heuristics and
-    /// polynomial baselines always run to completion.
-    pub limits: SearchLimits,
+    /// Resource budget applied to every method (the polynomial methods
+    /// essentially never trip it; the exhaustive ones degrade gracefully).
+    pub budget: Budget,
     /// Worker threads for the grid (1 = fully sequential, most faithful
     /// timings).
     pub workers: usize,
@@ -36,21 +36,24 @@ impl Default for SweepConfig {
     fn default() -> Self {
         SweepConfig {
             seeds: vec![11, 23, 37],
-            limits: SearchLimits {
-                max_processed: Some(2_000_000),
-                max_duration: Some(Duration::from_secs(60)),
-            },
+            budget: Budget::UNLIMITED
+                .with_processed_cap(2_000_000)
+                .with_deadline(Duration::from_secs(60)),
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             traces: 3000,
         }
     }
 }
 
-/// The three panels of one figure.
+/// The panels of one figure.
 #[derive(Clone, Debug)]
 pub struct FigureResult {
-    /// Panel (a): F-measure per x-value and method.
+    /// Panel (a): F-measure per x-value and method, paper-faithful — DNF
+    /// cells contribute nothing.
     pub f_measure: Table,
+    /// Panel (a′): anytime F-measure — every run contributes the mapping it
+    /// actually returned, degraded runs included.
+    pub anytime_f: Table,
     /// Panel (b): wall-clock seconds per x-value and method.
     pub time: Table,
     /// Panel (c): processed mappings per x-value and method.
@@ -61,6 +64,7 @@ pub struct FigureResult {
 #[derive(Clone, Copy, Debug, Default)]
 struct Cell {
     f_sum: f64,
+    anytime_f_sum: f64,
     secs_sum: f64,
     processed_sum: u64,
     finished: usize,
@@ -70,6 +74,7 @@ struct Cell {
 impl Cell {
     fn add(&mut self, out: &RunOutcome) {
         self.total += 1;
+        self.anytime_f_sum += out.anytime_f_measure();
         if out.finished() {
             self.finished += 1;
             self.f_sum += out.f_measure();
@@ -83,6 +88,14 @@ impl Cell {
             f64::NAN
         } else {
             self.f_sum / self.finished as f64
+        }
+    }
+
+    fn anytime_f_avg(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.anytime_f_sum / self.total as f64
         }
     }
 
@@ -131,12 +144,7 @@ fn run_grid(
                 };
                 let ds = make(xs[xi], seed);
                 for (mi, m) in methods.iter().enumerate() {
-                    let limits = if m.is_exact_search() {
-                        cfg.limits
-                    } else {
-                        SearchLimits::UNLIMITED
-                    };
-                    let out = m.run(&ds.pair, &ds.patterns, limits);
+                    let out = m.run(&ds.pair, &ds.patterns, cfg.budget);
                     // tidy-allow: no-panic -- lock poisoning requires a panic in another worker, at which point the run is already lost
                     cells.lock().expect("no panics hold the lock")[xi][mi].add(&out);
                 }
@@ -154,6 +162,10 @@ fn run_grid(
         .chain(methods.iter().map(|m| m.name()))
         .collect();
     let mut f_measure = Table::new(&format!("{figure}a: F-measure"), &headers);
+    let mut anytime_f = Table::new(
+        &format!("{figure}a': anytime F-measure (degraded runs included)"),
+        &headers,
+    );
     let mut time = Table::new(&format!("{figure}b: time (s)"), &headers);
     let mut processed = Table::new(&format!("{figure}c: processed mappings"), &headers);
     for (xi, &x) in xs.iter().enumerate() {
@@ -161,6 +173,11 @@ fn run_grid(
         f_measure.add_row(
             std::iter::once(label.clone())
                 .chain(cells[xi].iter().map(|c| Table::fmt_f64(c.f_avg())))
+                .collect(),
+        );
+        anytime_f.add_row(
+            std::iter::once(label.clone())
+                .chain(cells[xi].iter().map(|c| Table::fmt_f64(c.anytime_f_avg())))
                 .collect(),
         );
         time.add_row(
@@ -180,6 +197,7 @@ fn run_grid(
     }
     FigureResult {
         f_measure,
+        anytime_f,
         time,
         processed,
     }
@@ -333,7 +351,7 @@ pub fn table4(runs: usize, base_seed: u64) -> Table {
     for run in 0..runs {
         let pair = datasets::random_pair(n, 1000, base_seed + run as u64);
         for (mi, m) in TABLE4_METHODS.iter().enumerate() {
-            let out = m.run(&pair, &[], SearchLimits::UNLIMITED);
+            let out = m.run(&pair, &[], Budget::UNLIMITED);
             let RunOutcome::Finished { mapping, .. } = out else {
                 continue;
             };
@@ -401,10 +419,9 @@ mod tests {
     fn tiny_cfg() -> SweepConfig {
         SweepConfig {
             seeds: vec![11],
-            limits: SearchLimits {
-                max_processed: Some(200_000),
-                max_duration: Some(Duration::from_secs(20)),
-            },
+            budget: Budget::UNLIMITED
+                .with_processed_cap(200_000)
+                .with_deadline(Duration::from_secs(20)),
             workers: 2,
             traces: 60,
         }
@@ -415,6 +432,7 @@ mod tests {
         let cfg = tiny_cfg();
         let fig = fig7(&cfg);
         assert_eq!(fig.f_measure.row_count(), 10);
+        assert_eq!(fig.anytime_f.row_count(), 10);
         assert_eq!(fig.time.row_count(), 10);
         assert_eq!(fig.processed.row_count(), 10);
         // At 8 events (row 6; the vertex-only search may blow its budget

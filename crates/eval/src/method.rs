@@ -3,8 +3,8 @@
 use std::time::{Duration, Instant};
 
 use evematch_core::{
-    AdvancedHeuristic, BoundKind, EntropyMatcher, ExactMatcher, IterativeMatcher, Mapping,
-    MatchContext, PatternSetBuilder, SearchError, SearchLimits, SimpleHeuristic,
+    AdvancedHeuristic, BoundKind, Budget, EntropyMatcher, ExactMatcher, IterativeMatcher, Mapping,
+    MatchContext, PatternSetBuilder, SimpleHeuristic,
 };
 use evematch_datagen::LogPair;
 use evematch_pattern::Pattern;
@@ -46,10 +46,26 @@ pub const ALL_METHODS: [Method; 8] = [
     Method::HeuristicAdvanced,
 ];
 
+/// The anytime mapping a budget-exhausted run still returns: every solver
+/// degrades gracefully instead of reporting nothing.
+#[derive(Clone, Debug)]
+pub struct DegradedResult {
+    /// The complete (greedy-completed) mapping.
+    pub mapping: Mapping,
+    /// Accuracy of the degraded mapping against ground truth.
+    pub quality: MatchQuality,
+    /// Pattern normal distance of the degraded mapping.
+    pub score: f64,
+    /// The solver's optimality-gap certificate: the optimum (in the
+    /// solver's own sense — see each matcher's docs) is at most
+    /// `score + optimality_gap`.
+    pub optimality_gap: f64,
+}
+
 /// The result of running one method on one dataset configuration.
 #[derive(Clone, Debug)]
 pub enum RunOutcome {
-    /// The method produced a mapping.
+    /// The method produced a mapping within budget.
     Finished {
         /// The mapping found.
         mapping: Mapping,
@@ -63,22 +79,45 @@ pub enum RunOutcome {
         /// Processed candidate mappings (Figures 7c/8c/9c/10c).
         processed: u64,
     },
-    /// The method hit its resource limits — the paper's "cannot return
-    /// results" entries in Figure 12.
+    /// The method exhausted its budget — the paper's "cannot return
+    /// results" entries in Figure 12. The paper-faithful row reports DNF
+    /// (zero F-measure); the anytime engine additionally reports the
+    /// degraded mapping it salvaged.
     DidNotFinish {
-        /// Time spent before giving up.
+        /// Time spent before the budget tripped.
         elapsed: Duration,
-        /// Mappings processed before giving up.
+        /// Mappings processed within budget.
         processed: u64,
+        /// The degraded anytime result (always present — every solver
+        /// returns a complete mapping).
+        degraded: DegradedResult,
     },
 }
 
 impl RunOutcome {
-    /// F-measure, or 0 for DNF.
+    /// Paper-faithful F-measure: 0 for DNF, regardless of the degraded
+    /// mapping's quality.
     pub fn f_measure(&self) -> f64 {
         match self {
             RunOutcome::Finished { quality, .. } => quality.f_measure,
             RunOutcome::DidNotFinish { .. } => 0.0,
+        }
+    }
+
+    /// F-measure of the mapping actually returned: the finished mapping's,
+    /// or the degraded anytime mapping's on DNF.
+    pub fn anytime_f_measure(&self) -> f64 {
+        match self {
+            RunOutcome::Finished { quality, .. } => quality.f_measure,
+            RunOutcome::DidNotFinish { degraded, .. } => degraded.quality.f_measure,
+        }
+    }
+
+    /// The degraded anytime mapping's F-measure, when the run was degraded.
+    pub fn degraded_f_measure(&self) -> Option<f64> {
+        match self {
+            RunOutcome::Finished { .. } => None,
+            RunOutcome::DidNotFinish { degraded, .. } => Some(degraded.quality.f_measure),
         }
     }
 
@@ -100,7 +139,7 @@ impl RunOutcome {
         }
     }
 
-    /// Whether the method finished.
+    /// Whether the method finished within budget.
     pub fn finished(&self) -> bool {
         matches!(self, RunOutcome::Finished { .. })
     }
@@ -121,8 +160,8 @@ impl Method {
         }
     }
 
-    /// Whether this method enumerates exhaustively (and therefore needs
-    /// limits on larger instances).
+    /// Whether this method enumerates exhaustively (and therefore is the
+    /// one most likely to trip a budget on larger instances).
     pub fn is_exact_search(&self) -> bool {
         matches!(
             self,
@@ -149,8 +188,9 @@ impl Method {
 
     /// Runs the method on a log pair with the given declared complex
     /// patterns, measuring wall-clock time end to end (context construction
-    /// included — index building is part of each approach).
-    pub fn run(&self, pair: &LogPair, complex: &[Pattern], limits: SearchLimits) -> RunOutcome {
+    /// included — index building is part of each approach). The budget
+    /// applies to every method, not only the exact searches.
+    pub fn run(&self, pair: &LogPair, complex: &[Pattern], budget: Budget) -> RunOutcome {
         let start = Instant::now();
         let ctx = MatchContext::new(
             pair.log1.clone(),
@@ -159,31 +199,41 @@ impl Method {
         )
         // tidy-allow: no-panic -- every generator in datagen grows the vocabulary, so |V1| ≤ |V2| holds for all benchmark pairs
         .expect("log pairs satisfy |V1| ≤ |V2|");
-        let result = match self {
+        let out = match self {
             Method::Vertex | Method::VertexEdge | Method::PatternTight => {
                 ExactMatcher::new(BoundKind::Tight)
-                    .with_limits(limits)
+                    .with_budget(budget)
                     .solve(&ctx)
             }
             Method::PatternSimple => ExactMatcher::new(BoundKind::Simple)
-                .with_limits(limits)
+                .with_budget(budget)
                 .solve(&ctx),
-            Method::Iterative => Ok(IterativeMatcher::new().solve(&ctx)),
-            Method::Entropy => Ok(EntropyMatcher::new().solve(&ctx)),
-            Method::HeuristicSimple => Ok(SimpleHeuristic::new(BoundKind::Tight).solve(&ctx)),
-            Method::HeuristicAdvanced => Ok(AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx)),
+            Method::Iterative => IterativeMatcher::new().with_budget(budget).solve(&ctx),
+            Method::Entropy => EntropyMatcher::new().with_budget(budget).solve(&ctx),
+            Method::HeuristicSimple => SimpleHeuristic::new(BoundKind::Tight)
+                .with_budget(budget)
+                .solve(&ctx),
+            Method::HeuristicAdvanced => AdvancedHeuristic::new(BoundKind::Tight)
+                .with_budget(budget)
+                .solve(&ctx),
         };
-        match result {
-            Ok(out) => RunOutcome::Finished {
+        match out.completion.optimality_gap() {
+            None => RunOutcome::Finished {
                 quality: MatchQuality::of(&out.mapping, &pair.truth),
                 mapping: out.mapping,
                 score: out.score,
                 elapsed: start.elapsed(),
                 processed: out.stats.processed_mappings,
             },
-            Err(SearchError::LimitExceeded { stats, .. }) => RunOutcome::DidNotFinish {
+            Some(optimality_gap) => RunOutcome::DidNotFinish {
                 elapsed: start.elapsed(),
-                processed: stats.processed_mappings,
+                processed: out.stats.processed_mappings,
+                degraded: DegradedResult {
+                    quality: MatchQuality::of(&out.mapping, &pair.truth),
+                    mapping: out.mapping,
+                    score: out.score,
+                    optimality_gap,
+                },
             },
         }
     }
@@ -198,7 +248,7 @@ mod tests {
     fn every_method_runs_on_the_example_dataset() {
         let ds = fig1_like();
         for m in ALL_METHODS {
-            let out = m.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+            let out = m.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
             assert!(out.finished(), "{} did not finish", m.name());
             if let RunOutcome::Finished { mapping, .. } = &out {
                 assert_eq!(mapping.len(), 6, "{} incomplete", m.name());
@@ -209,33 +259,57 @@ mod tests {
     #[test]
     fn pattern_methods_beat_vertex_edge_on_the_adversarial_instance() {
         let ds = fig1_like();
-        let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
-        let pt = Method::PatternTight.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+        let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
+        let pt = Method::PatternTight.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
         assert!(pt.f_measure() > ve.f_measure());
         assert_eq!(pt.f_measure(), 1.0);
     }
 
     #[test]
-    fn limits_produce_dnf() {
+    fn budgets_produce_dnf_with_a_degraded_mapping() {
         let ds = fig1_like();
         let out = Method::PatternSimple.run(
             &ds.pair,
             &ds.patterns,
-            SearchLimits {
-                max_processed: Some(2),
-                max_duration: None,
-            },
+            Budget::UNLIMITED.with_processed_cap(2),
         );
+        // Paper-faithful row: DNF, zero F-measure.
         assert!(!out.finished());
         assert_eq!(out.f_measure(), 0.0);
         assert!(out.processed() <= 2);
+        // Anytime row: a complete mapping with a finite gap certificate.
+        let RunOutcome::DidNotFinish { degraded, .. } = &out else {
+            panic!("expected DNF");
+        };
+        assert!(degraded.mapping.is_complete());
+        assert!(degraded.optimality_gap.is_finite() && degraded.optimality_gap >= 0.0);
+        assert_eq!(out.degraded_f_measure(), Some(degraded.quality.f_measure));
+        assert_eq!(out.anytime_f_measure(), degraded.quality.f_measure);
+    }
+
+    #[test]
+    fn budgets_apply_to_every_method() {
+        let ds = fig1_like();
+        let budget = Budget::UNLIMITED.with_processed_cap(0);
+        for m in ALL_METHODS {
+            let out = m.run(&ds.pair, &ds.patterns, budget);
+            assert!(!out.finished(), "{} ignored a zero budget", m.name());
+            let RunOutcome::DidNotFinish { degraded, .. } = &out else {
+                panic!("{} must degrade, not vanish", m.name());
+            };
+            assert!(
+                degraded.mapping.is_complete(),
+                "{} returned an incomplete degraded mapping",
+                m.name()
+            );
+        }
     }
 
     #[test]
     fn simple_and_tight_bounds_agree_on_the_result() {
         let ds = fig1_like();
-        let simple = Method::PatternSimple.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
-        let tight = Method::PatternTight.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+        let simple = Method::PatternSimple.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
+        let tight = Method::PatternTight.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
         let (RunOutcome::Finished { score: s1, .. }, RunOutcome::Finished { score: s2, .. }) =
             (&simple, &tight)
         else {

@@ -9,18 +9,27 @@
 //!     <LOG2>  target log; must have at least as many events as LOG1
 //!
 //! OPTIONS:
-//!     --method <M>        exact | simple | advanced | vertex |
-//!                         vertex-edge | iterative | entropy
-//!                         (default: advanced)
-//!     --patterns <FILE>   declared complex patterns, one per line in the
-//!                         SEQ(a, AND(b, c), d) syntax over LOG1's
-//!                         vocabulary; # starts a comment
-//!     --format <F>        text | csv      (default: by file extension,
-//!                         falling back to text)
-//!     --bound <B>         simple | tight  (default: tight)
-//!     --limit-secs <N>    budget for the exact search (default: 60)
-//!     --quiet             print only the mapping lines
+//!     --method <M>           exact | simple | advanced | vertex |
+//!                            vertex-edge | iterative | entropy
+//!                            (default: advanced)
+//!     --patterns <FILE>      declared complex patterns, one per line in the
+//!                            SEQ(a, AND(b, c), d) syntax over LOG1's
+//!                            vocabulary; # starts a comment
+//!     --format <F>           text | csv   (default: by file extension,
+//!                            falling back to text)
+//!     --bound <B>            simple | tight  (default: tight)
+//!     --limit-secs <N>       wall-clock budget in seconds (default: 60)
+//!     --limit-processed <N>  processed-mapping budget (default: unlimited;
+//!                            deterministic, unlike --limit-secs)
+//!     --quiet                print only the mapping lines
 //! ```
+//!
+//! Budgets apply to every `--method`, not only the exact search. When a
+//! budget trips, the degraded anytime mapping is still printed, prefixed by
+//! a `# degraded (gap=…)` header line, and the exit code is 2.
+//!
+//! Exit codes: 0 = finished within budget; 1 = usage or input error;
+//! 2 = budget exhausted (degraded mapping printed).
 //!
 //! Log formats: the whitespace text format (`evematch_eventlog::read_log`)
 //! or `case,activity` CSV (`read_csv_log`). The mapping is printed one
@@ -38,6 +47,7 @@ struct Options {
     format: Option<String>,
     bound: BoundKind,
     limit_secs: u64,
+    limit_processed: Option<u64>,
     quiet: bool,
     logs: Vec<String>,
 }
@@ -49,6 +59,7 @@ fn parse_args() -> Result<Options, String> {
         format: None,
         bound: BoundKind::Tight,
         limit_secs: 60,
+        limit_processed: None,
         quiet: false,
         logs: Vec::new(),
     };
@@ -73,6 +84,13 @@ fn parse_args() -> Result<Options, String> {
                 opts.limit_secs = value("--limit-secs")?
                     .parse()
                     .map_err(|e| format!("--limit-secs: {e}"))?;
+            }
+            "--limit-processed" => {
+                opts.limit_processed = Some(
+                    value("--limit-processed")?
+                        .parse()
+                        .map_err(|e| format!("--limit-processed: {e}"))?,
+                );
             }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
@@ -119,7 +137,8 @@ fn load_patterns(path: &str, log1: &EventLog) -> Result<Vec<Pattern>, String> {
     Ok(out)
 }
 
-fn run(opts: &Options) -> Result<(), String> {
+/// Whether the run finished within budget (`false` = degraded result).
+fn run(opts: &Options) -> Result<bool, String> {
     let log1 = load_log(&opts.logs[0], opts.format.as_deref())?;
     let log2 = load_log(&opts.logs[1], opts.format.as_deref())?;
     let patterns = match &opts.patterns {
@@ -143,23 +162,30 @@ fn run(opts: &Options) -> Result<(), String> {
             .complex_all(patterns.iter().cloned()),
     };
     let ctx = MatchContext::new(log1, log2, builder).map_err(|e| e.to_string())?;
-    let limits = SearchLimits {
-        max_processed: None,
-        max_duration: Some(Duration::from_secs(opts.limit_secs)),
-    };
+    let mut budget = Budget::UNLIMITED.with_deadline(Duration::from_secs(opts.limit_secs));
+    if let Some(cap) = opts.limit_processed {
+        budget = budget.with_processed_cap(cap);
+    }
 
     let outcome = match opts.method.as_str() {
         "exact" | "vertex" | "vertex-edge" => ExactMatcher::new(opts.bound)
-            .with_limits(limits)
-            .solve(&ctx)
-            .map_err(|e| e.to_string())?,
-        "simple" => SimpleHeuristic::new(opts.bound).solve(&ctx),
-        "advanced" => AdvancedHeuristic::new(opts.bound).solve(&ctx),
-        "iterative" => IterativeMatcher::new().solve(&ctx),
-        "entropy" => EntropyMatcher::new().solve(&ctx),
+            .with_budget(budget)
+            .solve(&ctx),
+        "simple" => SimpleHeuristic::new(opts.bound)
+            .with_budget(budget)
+            .solve(&ctx),
+        "advanced" => AdvancedHeuristic::new(opts.bound)
+            .with_budget(budget)
+            .solve(&ctx),
+        "iterative" => IterativeMatcher::new().with_budget(budget).solve(&ctx),
+        "entropy" => EntropyMatcher::new().with_budget(budget).solve(&ctx),
         other => return Err(format!("unknown method `{other}`")),
     };
 
+    if let Some(gap) = outcome.completion.optimality_gap() {
+        // Mark anytime output machine-readably before the mapping pairs.
+        println!("# degraded (gap={gap:.6})");
+    }
     for (a, b) in outcome.mapping.pairs() {
         println!("{}\t{}", names1.events().name(a), names2.events().name(b));
     }
@@ -169,13 +195,17 @@ fn run(opts: &Options) -> Result<(), String> {
             outcome.score, outcome.stats.processed_mappings, outcome.elapsed
         );
     }
-    Ok(())
+    Ok(outcome.completion.is_finished())
 }
+
+/// Exit code for a budget-exhausted (but still answered) run.
+const EXIT_DEGRADED: u8 = 2;
 
 fn main() -> ExitCode {
     match parse_args() {
         Ok(opts) => match run(&opts) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::from(EXIT_DEGRADED),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -188,7 +218,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: evematch [--method exact|simple|advanced|vertex|vertex-edge|iterative|entropy] \
                  [--patterns FILE] [--format text|csv] [--bound simple|tight] \
-                 [--limit-secs N] [--quiet] LOG1 LOG2"
+                 [--limit-secs N] [--limit-processed N] [--quiet] LOG1 LOG2"
             );
             if msg == "help" {
                 ExitCode::SUCCESS

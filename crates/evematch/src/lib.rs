@@ -43,7 +43,8 @@
 //!     PatternSetBuilder::new().vertices().edges().complex(p),
 //! )
 //! .unwrap();
-//! let result = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+//! let result = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
+//! assert!(result.completion.is_finished());
 //! assert!(result.mapping.is_complete());
 //! ```
 
@@ -60,9 +61,9 @@ pub use evematch_pattern as pattern;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use evematch_core::{
-        assignment, hardness, score, AdvancedHeuristic, BoundKind, EntropyMatcher, ExactMatcher,
-        IterativeMatcher, Mapping, MatchContext, MatchOutcome, PatternSetBuilder, SearchError,
-        SearchLimits, SimpleHeuristic,
+        assignment, hardness, score, AdvancedHeuristic, BoundKind, Budget, Completion,
+        EntropyMatcher, ExactMatcher, Exhaustion, IterativeMatcher, Mapping, MatchContext,
+        MatchOutcome, PatternSetBuilder, SearchError, SimpleHeuristic,
     };
     pub use evematch_datagen::{
         datasets, heterogenize, Block, Dataset, HeterogenizeConfig, LogPair, ProcessModel,

@@ -19,10 +19,26 @@
 
 use crate::digraph::{DiGraph, NodeId};
 
+/// A fuel-limited search was cut off before its space was exhausted: the
+/// fuel closure returned `false`. Whatever the visitor observed up to that
+/// point is still valid — the search is sound but incomplete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("monomorphism search interrupted by its fuel budget")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
 /// Reusable monomorphism search between a fixed pattern and target graph.
 ///
 /// Construct once with [`MonoSearch::new`], then call
-/// [`find`](MonoSearch::find) or [`enumerate`](MonoSearch::enumerate).
+/// [`find`](MonoSearch::find) or [`enumerate`](MonoSearch::enumerate); the
+/// `*_with_fuel` variants bound the worst-case exponential backtracking by
+/// polling a cooperative fuel closure once per extension step.
 pub struct MonoSearch<'a> {
     pattern: &'a DiGraph,
     target: &'a DiGraph,
@@ -49,47 +65,109 @@ impl<'a> MonoSearch<'a> {
     /// Returns one monomorphism if any exists: `map[p] = t` assigns pattern
     /// vertex `p` to target vertex `t`.
     pub fn find(&self) -> Option<Vec<NodeId>> {
+        // Unlimited fuel cannot interrupt.
+        self.find_with_fuel(&mut || true).unwrap_or_default()
+    }
+
+    /// [`find`](MonoSearch::find) under a cooperative fuel budget: `fuel` is
+    /// polled once per extension step and `Err(Interrupted)` is returned as
+    /// soon as it yields `false`. An embedding found before the cut-off is
+    /// still reported as `Ok(Some(..))`.
+    pub fn find_with_fuel(
+        &self,
+        fuel: &mut dyn FnMut() -> bool,
+    ) -> Result<Option<Vec<NodeId>>, Interrupted> {
         let mut out = None;
-        self.search(&mut |m| {
-            out = Some(m.to_vec());
-            false // stop after first hit
-        });
-        out
+        let interrupted = self.search(
+            &mut |m| {
+                out = Some(m.to_vec());
+                false // stop after first hit
+            },
+            fuel,
+        );
+        if interrupted && out.is_none() {
+            Err(Interrupted)
+        } else {
+            Ok(out)
+        }
     }
 
     /// Invokes `visit` for every monomorphism, until `visit` returns `false`
     /// or the space is exhausted. Returns the number of embeddings visited.
     pub fn enumerate(&self, mut visit: impl FnMut(&[NodeId]) -> bool) -> usize {
         let mut n = 0;
-        self.search(&mut |m| {
-            n += 1;
-            visit(m)
-        });
+        self.search(
+            &mut |m| {
+                n += 1;
+                visit(m)
+            },
+            &mut || true,
+        );
         n
     }
 
-    fn search(&self, visit: &mut dyn FnMut(&[NodeId]) -> bool) {
+    /// [`enumerate`](MonoSearch::enumerate) under a cooperative fuel budget.
+    /// On `Err(Interrupted)` the embeddings already passed to `visit` remain
+    /// valid (a lower bound on the true count) — count them inside `visit`
+    /// if a partial tally is needed.
+    pub fn enumerate_with_fuel(
+        &self,
+        visit: &mut dyn FnMut(&[NodeId]) -> bool,
+        fuel: &mut dyn FnMut() -> bool,
+    ) -> Result<usize, Interrupted> {
+        let mut n = 0;
+        let interrupted = self.search(
+            &mut |m| {
+                n += 1;
+                visit(m)
+            },
+            fuel,
+        );
+        if interrupted {
+            Err(Interrupted)
+        } else {
+            Ok(n)
+        }
+    }
+
+    /// Runs the backtracking; returns `true` when the fuel cut it off.
+    fn search(
+        &self,
+        visit: &mut dyn FnMut(&[NodeId]) -> bool,
+        fuel: &mut dyn FnMut() -> bool,
+    ) -> bool {
         let np = self.pattern.node_count();
         if np > self.target.node_count() {
-            return;
+            return false;
         }
         if np == 0 {
             visit(&[]);
-            return;
+            return false;
         }
         let mut map: Vec<NodeId> = vec![NodeId::MAX; np];
         let mut used: Vec<bool> = vec![false; self.target.node_count()];
-        self.extend(0, &mut map, &mut used, visit);
+        let mut interrupted = false;
+        self.extend(0, &mut map, &mut used, visit, fuel, &mut interrupted);
+        interrupted
     }
 
-    /// Depth-first extension; returns `false` when the caller asked to stop.
+    /// Depth-first extension; returns `false` when the caller asked to stop
+    /// (either via `visit` or by setting `interrupted` on empty fuel).
     fn extend(
         &self,
         depth: usize,
         map: &mut [NodeId],
         used: &mut [bool],
         visit: &mut dyn FnMut(&[NodeId]) -> bool,
+        fuel: &mut dyn FnMut() -> bool,
+        interrupted: &mut bool,
     ) -> bool {
+        // One extension step is the unit of fuel; polling here bounds the
+        // time between checks by a single candidate scan.
+        if !fuel() {
+            *interrupted = true;
+            return false;
+        }
         if depth == self.order.len() {
             return visit(map);
         }
@@ -129,7 +207,7 @@ impl<'a> MonoSearch<'a> {
             }
             map[p as usize] = t;
             used[t as usize] = true;
-            let keep_going = self.extend(depth + 1, map, used, visit);
+            let keep_going = self.extend(depth + 1, map, used, visit, fuel, interrupted);
             map[p as usize] = NodeId::MAX;
             used[t as usize] = false;
             if !keep_going {
@@ -283,5 +361,60 @@ mod tests {
     #[test]
     fn larger_pattern_than_target_fails_fast() {
         assert!(!is_subgraph_monomorphic(&path(6), &path(4)));
+    }
+
+    #[test]
+    fn zero_fuel_interrupts_immediately() {
+        let (p, t) = (path(3), path(5));
+        let s = MonoSearch::new(&p, &t);
+        assert_eq!(s.find_with_fuel(&mut || false), Err(Interrupted));
+        let mut visited = 0;
+        let r = s.enumerate_with_fuel(
+            &mut |_| {
+                visited += 1;
+                true
+            },
+            &mut || false,
+        );
+        assert_eq!(r, Err(Interrupted));
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn ample_fuel_matches_the_unfueled_search() {
+        let p = DiGraph::from_edges(2, [(0, 1)]);
+        let t = cycle(3);
+        let s = MonoSearch::new(&p, &t);
+        let full = s.enumerate(|_| true);
+        let fueled = s
+            .enumerate_with_fuel(&mut |_| true, &mut || true)
+            .expect("unlimited fuel never interrupts");
+        assert_eq!(full, fueled);
+        assert_eq!(
+            s.find_with_fuel(&mut || true).expect("not interrupted"),
+            s.find()
+        );
+    }
+
+    #[test]
+    fn partial_tally_survives_an_interruption() {
+        let p = DiGraph::from_edges(2, [(0, 1)]);
+        let t = cycle(5);
+        let s = MonoSearch::new(&p, &t);
+        let mut steps = 0u64;
+        let mut visited = 0usize;
+        let r = s.enumerate_with_fuel(
+            &mut |_| {
+                visited += 1;
+                true
+            },
+            &mut || {
+                steps += 1;
+                steps <= 4
+            },
+        );
+        assert_eq!(r, Err(Interrupted));
+        // The visitor's own tally remains a valid lower bound.
+        assert!(visited < 5);
     }
 }

@@ -28,5 +28,7 @@ mod iso;
 mod paths;
 
 pub use digraph::{DiGraph, DiGraphBuilder, EdgeIter, NodeId};
-pub use iso::{enumerate_monomorphisms, find_monomorphism, is_subgraph_monomorphic, MonoSearch};
+pub use iso::{
+    enumerate_monomorphisms, find_monomorphism, is_subgraph_monomorphic, Interrupted, MonoSearch,
+};
 pub use paths::{has_hamiltonian_path, topological_order};

@@ -171,15 +171,28 @@ fn dedup_patterns(patterns: &mut Vec<Pattern>) {
     patterns.retain(|p| seen.insert(p.clone()));
 }
 
+/// Backtracking steps granted to a single embedding count. Pattern graphs
+/// are tiny, so a well-behaved count finishes in far fewer; the fuel only
+/// exists so one pathological dependency graph cannot stall discovery.
+const EMBEDDING_FUEL: u64 = 1 << 20;
+
 /// Number of embeddings of `p`'s graph form into `dep`, counting stops at
-/// `cap`.
+/// `cap`. Fuel-limited: an interrupted search reports the embeddings seen
+/// so far (a valid lower bound, and `cap` already made the count a floor).
 fn embeddings_capped(p: &Pattern, dep: &evematch_graph::DiGraph, cap: usize) -> usize {
     let pg = PatternGraph::of(p);
     let mut n = 0;
-    MonoSearch::new(pg.graph(), dep).enumerate(|_| {
-        n += 1;
-        n < cap
-    });
+    let mut steps = 0u64;
+    let _ = MonoSearch::new(pg.graph(), dep).enumerate_with_fuel(
+        &mut |_| {
+            n += 1;
+            n < cap
+        },
+        &mut || {
+            steps += 1;
+            steps <= EMBEDDING_FUEL
+        },
+    );
     n
 }
 

@@ -1,4 +1,4 @@
-//! The tidy lints (T1–T5) and the waiver machinery.
+//! The tidy lints (T1–T6) and the waiver machinery.
 //!
 //! Each lint is a pure function from a scanned file (or manifest text) to
 //! violations, so the unit tests below can drive them with inline
@@ -21,6 +21,16 @@ pub const FLOAT_ORD_CRATES: &[&str] = &["core", "eval", "evematch", "eventlog", 
 /// The one module allowed to touch raw float comparison primitives.
 pub const FLOAT_ORD_MODULE: &str = "crates/core/src/score/float_ord.rs";
 
+/// Solver crates whose library code must route every clock read through
+/// the budget abstraction (lint T6). `eval` is deliberately absent: its
+/// harness measures wall-clock elapsed time around whole runs, which is
+/// reporting, not search control.
+pub const RAW_DEADLINE_CRATES: &[&str] = &["core", "graph", "pattern"];
+
+/// The one module allowed to read the clock directly: it owns the
+/// deadline poll that every solver shares.
+pub const BUDGET_MODULE: &str = "crates/core/src/budget.rs";
+
 /// A tidy lint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
@@ -30,6 +40,8 @@ pub enum Lint {
     NoHashIter,
     /// T3: no raw `f64` equality or `partial_cmp` outside `float_ord`.
     NoFloatEq,
+    /// T6: no raw clock reads in solver crates outside the budget module.
+    NoRawDeadline,
     /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
     CrateAttrs,
     /// T5: every crate manifest inherits `[workspace.lints]`.
@@ -47,6 +59,7 @@ impl Lint {
             Lint::NoPanic => "no-panic",
             Lint::NoHashIter => "no-hash-iter",
             Lint::NoFloatEq => "no-float-eq",
+            Lint::NoRawDeadline => "no-raw-deadline",
             Lint::CrateAttrs => "crate-attrs",
             Lint::LintsTable => "lints-table",
             Lint::UnusedWaiver => "unused-waiver",
@@ -56,12 +69,15 @@ impl Lint {
 
     /// Whether an inline `tidy-allow:` waiver can suppress this lint.
     pub fn waivable(self) -> bool {
-        matches!(self, Lint::NoPanic | Lint::NoHashIter | Lint::NoFloatEq)
+        matches!(
+            self,
+            Lint::NoPanic | Lint::NoHashIter | Lint::NoFloatEq | Lint::NoRawDeadline
+        )
     }
 
     /// All lint names that may appear in a waiver.
     pub fn waivable_names() -> &'static [&'static str] {
-        &["no-panic", "no-hash-iter", "no-float-eq"]
+        &["no-panic", "no-hash-iter", "no-float-eq", "no-raw-deadline"]
     }
 }
 
@@ -194,6 +210,42 @@ pub fn check_no_float_eq(file: &ScannedFile) -> Vec<Violation> {
                 "raw float `==`/`!=` comparison: use the `core::score::float_ord` \
                  helpers (and document why exact equality is correct)",
             ));
+        }
+    }
+    out
+}
+
+/// T6: flags direct clock reads (`Instant::now`, `SystemTime::now`) in
+/// the solver crates outside the budget module.
+///
+/// Every long-running loop is supposed to consult one shared
+/// [`BudgetMeter`], which reads the clock at most once per poll interval
+/// — and never at all under a pure processed-mapping cap, which is what
+/// makes capped runs bit-deterministic. A stray `Instant::now()` in a
+/// solver reintroduces wall-clock dependence behind the budget's back.
+pub fn check_no_raw_deadline(file: &ScannedFile) -> Vec<Violation> {
+    if file.path == BUDGET_MODULE {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for needle in ["Instant::now", "SystemTime::now"] {
+            if find_token(&line.code, needle).is_some() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::NoRawDeadline,
+                    format!(
+                        "solver crates must not call `{needle}` directly: thread a \
+                         `core::budget::BudgetMeter` through the loop instead \
+                         (or waive with `// tidy-allow: no-raw-deadline -- <why the \
+                         clock read cannot affect search results>`)"
+                    ),
+                ));
+            }
         }
     }
     out
@@ -500,6 +552,40 @@ mod tests {
         let src = "fn f(x: f64) {\n  if x == 0.5 { // tidy-allow: no-float-eq -- 0.5 is exactly representable\n  }\n}";
         let f = scanned("crates/core/src/x.rs", src);
         let v = apply_waivers(&f, check_no_float_eq(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T6 ----
+
+    #[test]
+    fn t6_fires_on_raw_clock_reads() {
+        let src = "fn f() {\n  let t = Instant::now();\n  let s = std::time::SystemTime::now();\n}";
+        let f = scanned("crates/core/src/exact.rs", src);
+        let v = check_no_raw_deadline(&f);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::NoRawDeadline));
+    }
+
+    #[test]
+    fn t6_exempts_the_budget_module_tests_and_lookalikes() {
+        let budget = scanned(BUDGET_MODULE, "fn m() { let t = Instant::now(); }");
+        assert!(check_no_raw_deadline(&budget).is_empty());
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { let _ = Instant::now(); }\n}";
+        let f = scanned("crates/core/src/exact.rs", src);
+        assert!(check_no_raw_deadline(&f).is_empty());
+        // Identifier-boundary check: `MyInstant::nowish` is not a clock read.
+        let lookalike = scanned(
+            "crates/core/src/exact.rs",
+            "fn f() { MyInstant::nowish(); }",
+        );
+        assert!(check_no_raw_deadline(&lookalike).is_empty());
+    }
+
+    #[test]
+    fn t6_respects_waivers() {
+        let src = "fn f() {\n  let t = Instant::now(); // tidy-allow: no-raw-deadline -- logging only, never branches\n}";
+        let f = scanned("crates/core/src/exact.rs", src);
+        let v = apply_waivers(&f, check_no_raw_deadline(&f));
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -52,6 +52,8 @@ LINTS (see DESIGN.md §6):
     no-float-eq    T3  no raw f64 ==/!= or partial_cmp outside core::score::float_ord
     crate-attrs    T4  crate roots carry #![forbid(unsafe_code)] and #![deny(missing_docs)]
     lints-table    T5  every crate manifest inherits [workspace.lints]
+    no-raw-deadline T6 no Instant::now/SystemTime::now in the solver crates
+                       (core, graph, pattern) outside core::budget
     unused-waiver      a tidy-allow waiver that suppressed nothing
     bad-waiver         a tidy-allow waiver that does not parse
 

@@ -30,9 +30,15 @@ fn main() {
         println!("  {}", p.display(ds.pair.log1.events()));
     }
 
-    let limits = SearchLimits {
-        max_processed: Some(5_000_000),
-        max_duration: Some(std::time::Duration::from_secs(120)),
+    // EVEMATCH_LIMIT_SECS / EVEMATCH_LIMIT_PROCESSED / EVEMATCH_LIMIT_FRONTIER
+    // override the example's stock budget wholesale when any is set.
+    let env_budget = Budget::from_env();
+    let budget = if env_budget.is_unlimited() {
+        Budget::UNLIMITED
+            .with_processed_cap(5_000_000)
+            .with_deadline(std::time::Duration::from_secs(120))
+    } else {
+        env_budget
     };
 
     let mut table = Table::new(
@@ -49,8 +55,9 @@ fn main() {
     let methods = experiments::HEURISTIC_FIGURE_METHODS
         .iter()
         .chain([Method::Entropy, Method::PatternSimple].iter());
+    let mut any_degraded = false;
     for m in methods {
-        let out = m.run(&ds.pair, &ds.patterns, limits);
+        let out = m.run(&ds.pair, &ds.patterns, budget);
         match out {
             RunOutcome::Finished {
                 quality,
@@ -65,15 +72,25 @@ fn main() {
                 Table::fmt_secs(elapsed.as_secs_f64()),
                 processed.to_string(),
             ]),
-            RunOutcome::DidNotFinish { elapsed, processed } => table.add_row(vec![
-                m.name().to_owned(),
-                "—".into(),
-                "—".into(),
-                "—".into(),
-                Table::fmt_secs(elapsed.as_secs_f64()),
-                processed.to_string(),
-            ]),
+            RunOutcome::DidNotFinish {
+                elapsed,
+                processed,
+                degraded,
+            } => {
+                any_degraded = true;
+                table.add_row(vec![
+                    format!("{}*", m.name()),
+                    format!("{}*", Table::fmt_f64(degraded.quality.f_measure)),
+                    format!("{}*", Table::fmt_f64(degraded.quality.precision)),
+                    format!("{}*", Table::fmt_f64(degraded.quality.recall)),
+                    Table::fmt_secs(elapsed.as_secs_f64()),
+                    processed.to_string(),
+                ]);
+            }
         }
     }
     println!("\n{table}");
+    if any_degraded {
+        println!("* budget exhausted: degraded anytime mapping (paper reports DNF)");
+    }
 }

@@ -50,15 +50,19 @@ fn main() {
         } else {
             Method::PatternTight
         };
-        let out = method.run(&ds.pair, &patterns, SearchLimits::UNLIMITED);
-        let RunOutcome::Finished {
-            quality, elapsed, ..
-        } = out
-        else {
-            unreachable!("unlimited run finishes");
+        // Unlimited unless EVEMATCH_LIMIT_* env vars say otherwise; a
+        // tripped budget still yields a (flagged) degraded mapping.
+        let out = method.run(&ds.pair, &patterns, Budget::from_env());
+        let (quality, elapsed, flag) = match &out {
+            RunOutcome::Finished {
+                quality, elapsed, ..
+            } => (quality, elapsed, ""),
+            RunOutcome::DidNotFinish {
+                elapsed, degraded, ..
+            } => (&degraded.quality, elapsed, "*"),
         };
         table.add_row(vec![
-            label.to_owned(),
+            format!("{label}{flag}"),
             Table::fmt_f64(quality.f_measure),
             Table::fmt_secs(elapsed.as_secs_f64()),
         ]);

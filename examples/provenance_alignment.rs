@@ -36,27 +36,35 @@ fn main() {
         ds.pair.log2.event_count() - ds.pair.log1.event_count()
     );
 
-    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
-    let pat = Method::PatternTight.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
-    let (
-        RunOutcome::Finished {
-            mapping: ve_map,
-            quality: ve_q,
-            ..
-        },
-        RunOutcome::Finished {
-            mapping: pat_map,
-            quality: pat_q,
-            ..
-        },
-    ) = (&ve, &pat)
-    else {
-        unreachable!("both run without limits");
+    // Unlimited unless EVEMATCH_LIMIT_* env vars say otherwise; a tripped
+    // budget still yields a (flagged) degraded mapping.
+    let budget = Budget::from_env();
+    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, budget);
+    let pat = Method::PatternTight.run(&ds.pair, &ds.patterns, budget);
+    let unpack = |out: &RunOutcome| -> (Mapping, MatchQuality, &'static str) {
+        match out {
+            RunOutcome::Finished {
+                mapping, quality, ..
+            } => (mapping.clone(), *quality, ""),
+            RunOutcome::DidNotFinish { degraded, .. } => {
+                (degraded.mapping.clone(), degraded.quality, " [degraded]")
+            }
+        }
     };
+    let (ve_map, ve_q, ve_flag) = unpack(&ve);
+    let (pat_map, pat_q, pat_flag) = unpack(&pat);
 
-    show_mapping("Vertex+Edge (structure only)", &ds, ve_map);
+    show_mapping(
+        &format!("Vertex+Edge (structure only){ve_flag}"),
+        &ds,
+        &ve_map,
+    );
     println!("  F-measure: {:.3}\n", ve_q.f_measure);
-    show_mapping("Pattern-based (with composites)", &ds, pat_map);
+    show_mapping(
+        &format!("Pattern-based (with composites){pat_flag}"),
+        &ds,
+        &pat_map,
+    );
     println!("  F-measure: {:.3}\n", pat_q.f_measure);
     println!("declared composites that anchored the alignment:");
     for p in &ds.patterns {

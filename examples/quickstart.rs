@@ -43,14 +43,21 @@ fn main() {
     )
     .expect("|V1| <= |V2|");
 
+    // Unlimited unless EVEMATCH_LIMIT_* env vars say otherwise.
     let result = ExactMatcher::new(BoundKind::Tight)
-        .solve(&ctx)
-        .expect("no limits configured");
+        .with_budget(Budget::from_env())
+        .solve(&ctx);
 
-    println!(
-        "\noptimal mapping (pattern normal distance {:.3}, {} mappings processed):",
-        result.score, result.stats.processed_mappings
-    );
+    match result.completion.optimality_gap() {
+        None => println!(
+            "\noptimal mapping (pattern normal distance {:.3}, {} mappings processed):",
+            result.score, result.stats.processed_mappings
+        ),
+        Some(gap) => println!(
+            "\nbudget exhausted — degraded mapping (distance {:.3}, gap ≤ {:.3}, {} processed):",
+            result.score, gap, result.stats.processed_mappings
+        ),
+    }
     for (a, b) in result.mapping.pairs() {
         println!(
             "  {:10} -> {}",

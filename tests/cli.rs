@@ -134,6 +134,71 @@ fn help_exits_zero() {
 }
 
 #[test]
+fn exhausted_budget_prints_degraded_header_and_exits_two() {
+    let l1 = write_temp("d1.log", L1_TEXT);
+    let l2 = write_temp("d2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    let out = bin()
+        .args(["--quiet", "--method", "exact", "--limit-processed", "1"])
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "budget exhaustion exits 2");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let mut lines = stdout.lines();
+    let header = lines.next().unwrap_or_default();
+    assert!(
+        header.starts_with("# degraded (gap="),
+        "missing degraded header: {stdout}"
+    );
+    // The degraded mapping is still complete: one pair per source event.
+    assert_eq!(lines.count(), 4, "{stdout}");
+}
+
+#[test]
+fn budgets_apply_to_every_method_flag() {
+    let l1 = write_temp("b1.log", L1_TEXT);
+    let l2 = write_temp("b2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    for method in [
+        "exact",
+        "simple",
+        "advanced",
+        "vertex",
+        "vertex-edge",
+        "iterative",
+        "entropy",
+    ] {
+        let out = bin()
+            .args(["--quiet", "--method", method, "--limit-processed", "0"])
+            .arg(&l1)
+            .arg(&l2)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "method {method} ignored budget");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            stdout.starts_with("# degraded (gap="),
+            "method {method}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn bad_limit_processed_value_is_a_usage_error() {
+    let l1 = write_temp("v1.log", L1_TEXT);
+    let l2 = write_temp("v2.log", "x y z w\n");
+    let out = bin()
+        .args(["--limit-processed", "not-a-number"])
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--limit-processed"), "{stderr}");
+}
+
+#[test]
 fn source_larger_than_target_is_a_clean_error() {
     let l1 = write_temp("big.log", "a b c d e\n");
     let l2 = write_temp("small.log", "x y\n");

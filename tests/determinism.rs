@@ -26,8 +26,8 @@ fn generators_are_seed_deterministic() {
 fn every_method_is_run_deterministic() {
     let ds = datasets::real_like_sized(100, 100, 31);
     for m in ALL_METHODS {
-        let a = m.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
-        let b = m.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+        let a = m.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
+        let b = m.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
         let (
             RunOutcome::Finished {
                 mapping: ma,
@@ -48,6 +48,45 @@ fn every_method_is_run_deterministic() {
         assert_eq!(ma, mb, "{} mapping differs across runs", m.name());
         assert_eq!(sa, sb, "{} score differs", m.name());
         assert_eq!(pa, pb, "{} processed count differs", m.name());
+    }
+}
+
+/// Processed-cap budgets are part of the deterministic input: every method
+/// under the same cap returns bit-identical mappings, scores and stats —
+/// including the degraded anytime results.
+#[test]
+fn every_method_is_bit_deterministic_under_processed_caps() {
+    let ds = datasets::real_like_sized(100, 100, 31);
+    for cap in [0u64, 3, 25] {
+        let budget = Budget::UNLIMITED.with_processed_cap(cap);
+        for m in ALL_METHODS {
+            let a = m.run(&ds.pair, &ds.patterns, budget);
+            let b = m.run(&ds.pair, &ds.patterns, budget);
+            let unpack = |out: &RunOutcome| match out {
+                RunOutcome::Finished {
+                    mapping,
+                    score,
+                    processed,
+                    ..
+                } => (mapping.clone(), score.to_bits(), *processed, None),
+                RunOutcome::DidNotFinish {
+                    processed,
+                    degraded,
+                    ..
+                } => (
+                    degraded.mapping.clone(),
+                    degraded.score.to_bits(),
+                    *processed,
+                    Some(degraded.optimality_gap.to_bits()),
+                ),
+            };
+            let (ma, sa, pa, ga) = unpack(&a);
+            let (mb, sb, pb, gb) = unpack(&b);
+            assert_eq!(ma, mb, "{} cap {cap}: mapping differs", m.name());
+            assert_eq!(sa, sb, "{} cap {cap}: score bits differ", m.name());
+            assert_eq!(pa, pb, "{} cap {cap}: processed differs", m.name());
+            assert_eq!(ga, gb, "{} cap {cap}: gap bits differ", m.name());
+        }
     }
 }
 

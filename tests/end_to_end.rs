@@ -8,7 +8,7 @@ use evematch::prelude::*;
 fn all_methods_run_the_full_pipeline() {
     let ds = datasets::real_like_sized(200, 200, 7);
     for m in ALL_METHODS {
-        let out = m.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+        let out = m.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
         let RunOutcome::Finished { mapping, .. } = out else {
             panic!("{} did not finish", m.name());
         };
@@ -31,13 +31,13 @@ fn structural_methods_beat_entropy_on_average() {
     for &seed in &seeds {
         let ds = datasets::real_like_sized(400, 400, seed);
         entropy += Method::Entropy
-            .run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED)
+            .run(&ds.pair, &ds.patterns, Budget::UNLIMITED)
             .f_measure();
         tight += Method::PatternTight
-            .run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED)
+            .run(&ds.pair, &ds.patterns, Budget::UNLIMITED)
             .f_measure();
         advanced += Method::HeuristicAdvanced
-            .run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED)
+            .run(&ds.pair, &ds.patterns, Budget::UNLIMITED)
             .f_measure();
     }
     let n = seeds.len() as f64;
@@ -58,7 +58,7 @@ fn projection_sweep_is_well_formed() {
     let ds = datasets::real_like_sized(120, 120, 9);
     for x in 2..=11 {
         let p = evematch::eval::project_dataset(&ds, x);
-        let out = Method::HeuristicAdvanced.run(&p.pair, &p.patterns, SearchLimits::UNLIMITED);
+        let out = Method::HeuristicAdvanced.run(&p.pair, &p.patterns, Budget::UNLIMITED);
         let RunOutcome::Finished { mapping, .. } = out else {
             panic!("heuristics always finish");
         };
@@ -80,7 +80,7 @@ fn mined_patterns_plug_into_the_matcher() {
     };
     let mined = discover_patterns(&ds.pair.log1, &cfg);
     assert!(!mined.is_empty(), "discovery should find composites");
-    let out = Method::HeuristicAdvanced.run(&ds.pair, &mined, SearchLimits::UNLIMITED);
+    let out = Method::HeuristicAdvanced.run(&ds.pair, &mined, Budget::UNLIMITED);
     assert!(out.finished());
     assert!(out.f_measure() > 0.3, "mined-pattern F {}", out.f_measure());
 }
@@ -100,8 +100,8 @@ fn matching_is_invariant_under_io_roundtrip() {
         log2: roundtrip(&ds.pair.log2),
         truth: ds.pair.truth.clone(),
     };
-    let a = Method::HeuristicAdvanced.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
-    let b = Method::HeuristicAdvanced.run(&pair2, &ds.patterns, SearchLimits::UNLIMITED);
+    let a = Method::HeuristicAdvanced.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
+    let b = Method::HeuristicAdvanced.run(&pair2, &ds.patterns, Budget::UNLIMITED);
     let (RunOutcome::Finished { mapping: ma, .. }, RunOutcome::Finished { mapping: mb, .. }) =
         (&a, &b)
     else {
@@ -128,16 +128,19 @@ fn matching_is_invariant_under_io_roundtrip() {
 fn heuristics_scale_where_exact_search_gives_up() {
     let ds = datasets::larger_synthetic(3, 150, 19);
     assert_eq!(ds.pair.log1.event_count(), 30);
-    let tiny = SearchLimits {
-        max_processed: Some(20_000),
-        max_duration: None,
-    };
+    let tiny = Budget::UNLIMITED.with_processed_cap(20_000);
     let exact = Method::PatternTight.run(&ds.pair, &ds.patterns, tiny);
     assert!(
         !exact.finished(),
         "30-event exact search should exceed 20k mappings"
     );
-    let heur = Method::HeuristicAdvanced.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+    // The anytime engine still salvages a complete degraded mapping.
+    let RunOutcome::DidNotFinish { degraded, .. } = &exact else {
+        panic!("expected DNF");
+    };
+    assert!(degraded.mapping.is_complete());
+    assert!(degraded.optimality_gap >= 0.0);
+    let heur = Method::HeuristicAdvanced.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
     assert!(heur.finished());
     assert!(
         heur.f_measure() > 0.2,

@@ -1,0 +1,280 @@
+//! Fault-injection harness: every solver must return within its budget and
+//! degrade gracefully instead of hanging or panicking.
+//!
+//! The scenarios injected here are the ones that historically break anytime
+//! engines: pathological VF2 instances with exponential backtracking,
+//! adversarial tie-heavy pattern sets, zero and near-zero budgets, tight
+//! wall-clock deadlines, and malformed input files fed to the CLI.
+
+use std::time::{Duration, Instant};
+
+use evematch::graph::{DiGraph, Interrupted, MonoSearch, NodeId};
+use evematch::prelude::*;
+
+/// A 3-regular circulant digraph: `i → i+1, i+2, i+3 (mod n)`. Dense and
+/// vertex-transitive, so degree/connectivity filters prune almost nothing
+/// and the monomorphism search must actually backtrack.
+fn circulant(n: u32) -> DiGraph {
+    DiGraph::from_edges(
+        n as usize,
+        (0..n).flat_map(|i| (1..=3u32).map(move |k| (i as NodeId, ((i + k) % n) as NodeId))),
+    )
+}
+
+/// Deadline-based fuel closure over a [`BudgetMeter`]: ticks count work
+/// units, and the clock is polled once per poll interval.
+fn deadline_fuel(meter: &mut evematch::core::BudgetMeter) -> impl FnMut() -> bool + '_ {
+    move || {
+        meter.tick();
+        !meter.is_exhausted()
+    }
+}
+
+#[test]
+fn pathological_vf2_respects_a_50ms_deadline() {
+    // Circulant(16) does not embed into circulant(24) via any "obvious"
+    // rotation, so the exhaustive refutation is exponential — precisely
+    // the instance that used to run unbounded.
+    let pattern = circulant(16);
+    let target = circulant(24);
+    let deadline = Duration::from_millis(50);
+    let mut meter = Budget::UNLIMITED.with_deadline(deadline).meter();
+    let start = Instant::now();
+    let result = MonoSearch::new(&pattern, &target).find_with_fuel(&mut deadline_fuel(&mut meter));
+    let elapsed = start.elapsed();
+    // One poll interval of extension steps costs microseconds; half a
+    // second of slack absorbs scheduler noise on slow CI machines.
+    assert!(
+        elapsed < deadline + Duration::from_millis(500),
+        "VF2 overran its deadline: {elapsed:?}"
+    );
+    if let Err(Interrupted) = result {
+        assert!(
+            meter.is_exhausted(),
+            "interruption must come from the meter"
+        );
+    }
+}
+
+#[test]
+fn step_fuel_makes_vf2_deterministic() {
+    let pattern = circulant(12);
+    let target = circulant(24);
+    let run = || {
+        let mut steps = 0u64;
+        let mut visited = 0usize;
+        let r = MonoSearch::new(&pattern, &target).enumerate_with_fuel(
+            &mut |_| {
+                visited += 1;
+                true
+            },
+            &mut || {
+                steps += 1;
+                steps <= 10_000
+            },
+        );
+        (r.is_err(), visited)
+    };
+    assert_eq!(run(), run(), "step-fueled VF2 must be bit-deterministic");
+}
+
+#[test]
+fn zero_and_tiny_budgets_never_lose_the_mapping() {
+    let ds = datasets::fig1_like();
+    for cap in [0u64, 1, 2, 5] {
+        let budget = Budget::UNLIMITED.with_processed_cap(cap);
+        for m in ALL_METHODS {
+            let out = m.run(&ds.pair, &ds.patterns, budget);
+            let RunOutcome::DidNotFinish {
+                degraded,
+                processed,
+                ..
+            } = &out
+            else {
+                // The polynomial baselines charge a single unit, so any
+                // cap ≥ 1 legitimately finishes them; zero must trip all.
+                assert!(cap > 0, "{} finished inside a zero cap", m.name());
+                assert!(!m.is_exact_search(), "{} finished at cap {cap}", m.name());
+                continue;
+            };
+            assert!(
+                degraded.mapping.is_complete(),
+                "{} cap {cap}: incomplete degraded mapping",
+                m.name()
+            );
+            assert!(
+                degraded.optimality_gap.is_finite() && degraded.optimality_gap >= 0.0,
+                "{} cap {cap}: bad gap {}",
+                m.name(),
+                degraded.optimality_gap
+            );
+            assert!(
+                *processed <= cap,
+                "{} cap {cap}: overspent ({processed} processed)",
+                m.name()
+            );
+        }
+    }
+}
+
+/// The ISSUE's acceptance scenario: `fig1_like` under `max_processed: 2`
+/// with the simple bound returns a complete mapping tagged
+/// `BudgetExhausted` with a finite gap.
+#[test]
+fn fig1_like_pattern_simple_cap_two_acceptance() {
+    use evematch::core::Exhaustion;
+    let ds = datasets::fig1_like();
+    let ctx = MatchContext::new(
+        ds.pair.log1.clone(),
+        ds.pair.log2.clone(),
+        PatternSetBuilder::new()
+            .vertices()
+            .edges()
+            .complex_all(ds.patterns.iter().cloned()),
+    )
+    .unwrap();
+    let out = ExactMatcher::new(BoundKind::Simple)
+        .with_budget(Budget::UNLIMITED.with_processed_cap(2))
+        .solve(&ctx);
+    assert!(out.mapping.is_complete());
+    match out.completion {
+        Completion::BudgetExhausted {
+            exhaustion,
+            optimality_gap,
+        } => {
+            assert_eq!(exhaustion, Exhaustion::Processed);
+            assert!(optimality_gap.is_finite() && optimality_gap >= 0.0);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert!(out.stats.processed_mappings <= 2);
+}
+
+/// Every solver, handed a tight wall-clock deadline on a non-trivial
+/// instance, returns within the deadline plus one poll interval's worth of
+/// work (bounded here by a generous slack for CI noise).
+#[test]
+fn every_solver_returns_within_a_wall_clock_deadline() {
+    let ds = datasets::real_like_sized(300, 300, 23);
+    let deadline = Duration::from_millis(50);
+    let budget = Budget::UNLIMITED.with_deadline(deadline);
+    for m in ALL_METHODS {
+        let start = Instant::now();
+        let out = m.run(&ds.pair, &ds.patterns, budget);
+        let elapsed = start.elapsed();
+        // Context construction is not metered (it is linear and part of
+        // every approach); grant it and the poll slack two seconds total.
+        assert!(
+            elapsed < deadline + Duration::from_secs(2),
+            "{} overran: {elapsed:?}",
+            m.name()
+        );
+        // Deadline or not, a complete mapping must come back.
+        let mapping = match &out {
+            RunOutcome::Finished { mapping, .. } => mapping,
+            RunOutcome::DidNotFinish { degraded, .. } => &degraded.mapping,
+        };
+        assert!(mapping.is_complete(), "{} lost the mapping", m.name());
+    }
+}
+
+/// Adversarial tie-heavy instance: every event has identical frequencies,
+/// so bounds tie everywhere and the frontier balloons. A frontier cap must
+/// trip and still produce a complete deterministic answer.
+#[test]
+fn tie_heavy_instance_under_a_frontier_cap() {
+    let mut b1 = LogBuilder::new();
+    let mut b2 = LogBuilder::new();
+    // Two traces in opposite orders per side: all vertex and edge
+    // frequencies coincide, so every candidate pair looks alike.
+    b1.push_named_trace(["a", "b", "c", "d", "e", "f"]);
+    b1.push_named_trace(["f", "e", "d", "c", "b", "a"]);
+    b2.push_named_trace(["u", "v", "w", "x", "y", "z"]);
+    b2.push_named_trace(["z", "y", "x", "w", "v", "u"]);
+    let ctx = MatchContext::new(
+        b1.build(),
+        b2.build(),
+        PatternSetBuilder::new().vertices().edges(),
+    )
+    .unwrap();
+    let run = || {
+        ExactMatcher::new(BoundKind::Tight)
+            .with_budget(Budget::UNLIMITED.with_frontier_cap(4))
+            .solve(&ctx)
+    };
+    let out = run();
+    assert!(out.mapping.is_complete());
+    assert!(!out.completion.is_finished());
+    let again = run();
+    assert_eq!(out.mapping, again.mapping);
+    assert_eq!(out.score.to_bits(), again.score.to_bits());
+}
+
+/// Identical processed-cap budgets are bit-deterministic at the harness
+/// level too (same process, repeated runs, every method).
+#[test]
+fn processed_cap_runs_are_bit_identical() {
+    let ds = datasets::real_like_sized(120, 120, 41);
+    let budget = Budget::UNLIMITED.with_processed_cap(17);
+    for m in ALL_METHODS {
+        let pick = |out: &RunOutcome| match out {
+            RunOutcome::Finished { mapping, score, .. } => (mapping.clone(), score.to_bits()),
+            RunOutcome::DidNotFinish { degraded, .. } => {
+                (degraded.mapping.clone(), degraded.score.to_bits())
+            }
+        };
+        let a = pick(&m.run(&ds.pair, &ds.patterns, budget));
+        let b = pick(&m.run(&ds.pair, &ds.patterns, budget));
+        assert_eq!(a, b, "{} diverged under an identical cap", m.name());
+    }
+}
+
+// ---------------------------------------------------------------------
+// CLI fault injection
+// ---------------------------------------------------------------------
+
+fn cli() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_evematch"))
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("evematch-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn malformed_csv_log_is_a_clean_exit_one() {
+    let good = temp_file("good.log", "a b c\nb a c\n");
+    let bad = temp_file("bad.csv", "case,activity\nonly-one-column\n,,,\n");
+    let out = cli().arg(&good).arg(&bad).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "malformed input must exit 1");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn empty_log_file_is_a_clean_exit_one() {
+    let good = temp_file("good2.log", "a b c\n");
+    let empty = temp_file("empty.log", "");
+    let out = cli().arg(&good).arg(&empty).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "empty target log must exit 1");
+}
+
+#[test]
+fn cli_budget_exhaustion_is_exit_two_with_complete_output() {
+    let l1 = temp_file("f1.log", "a b c d\na c b d\n");
+    let l2 = temp_file("f2.log", "p q r s\np r q s\n");
+    let out = cli()
+        .args(["--quiet", "--method", "advanced", "--limit-processed", "1"])
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("# degraded (gap="), "{stdout}");
+    assert_eq!(stdout.lines().count(), 1 + 4, "header plus four pairs");
+}

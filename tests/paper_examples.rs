@@ -8,8 +8,8 @@ use evematch::prelude::*;
 #[test]
 fn examples_1_to_4_vertex_edge_misled_patterns_recover() {
     let ds = datasets::fig1_like();
-    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
-    let pat = Method::PatternTight.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
+    let pat = Method::PatternTight.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
     let (
         RunOutcome::Finished {
             mapping: ve_map, ..
@@ -48,7 +48,7 @@ fn example_4_pattern_contribution_separates_the_mappings() {
 
     // The vertex+edge optimum, rescored under the full pattern set, must
     // fall below the truth (that is *why* the pattern argmax flips).
-    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
     let RunOutcome::Finished {
         mapping: ve_map, ..
     } = ve
@@ -70,7 +70,7 @@ fn example_3_normal_distance_prefers_the_wrong_mapping() {
     let ds = datasets::fig1_like();
     let dep1 = ds.pair.log1.dep_graph();
     let dep2 = ds.pair.log2.dep_graph();
-    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, SearchLimits::UNLIMITED);
+    let ve = Method::VertexEdge.run(&ds.pair, &ds.patterns, Budget::UNLIMITED);
     let RunOutcome::Finished {
         mapping: ve_map, ..
     } = ve
@@ -97,7 +97,7 @@ fn theorem_2_vertex_patterns_solved_optimally_by_heuristic() {
             PatternSetBuilder::new().vertices(),
         )
         .unwrap();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         let heur = AdvancedHeuristic::new(BoundKind::Tight).solve(&ctx);
         assert!(
             (heur.score - exact.score).abs() < 1e-6,
@@ -135,7 +135,7 @@ fn theorem_1_reduction_decides_subgraph_isomorphism() {
             PatternSetBuilder::new().complex_all(inst.patterns.iter().cloned()),
         )
         .unwrap();
-        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx).unwrap();
+        let out = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
         let embeds = is_subgraph_monomorphic(g1, g2);
         assert_eq!(
             (out.score - inst.k as f64).abs() < 1e-9,
@@ -162,7 +162,7 @@ fn proposition_3_existence_pruning_fires() {
             .complex_all(ds.patterns.iter().cloned()),
     )
     .unwrap();
-    let out = ExactMatcher::new(BoundKind::Simple).solve(&ctx).unwrap();
+    let out = ExactMatcher::new(BoundKind::Simple).solve(&ctx);
     assert!(
         out.stats.eval.existence_pruned > 0,
         "the search should hit unrealizable mapped patterns: {:?}",
@@ -176,8 +176,8 @@ fn proposition_3_existence_pruning_fires() {
 fn tight_bound_prunes_more_than_simple() {
     let ds = datasets::real_like_sized(150, 150, 21);
     let proj = evematch::eval::project_dataset(&ds, 8);
-    let simple = Method::PatternSimple.run(&proj.pair, &proj.patterns, SearchLimits::UNLIMITED);
-    let tight = Method::PatternTight.run(&proj.pair, &proj.patterns, SearchLimits::UNLIMITED);
+    let simple = Method::PatternSimple.run(&proj.pair, &proj.patterns, Budget::UNLIMITED);
+    let tight = Method::PatternTight.run(&proj.pair, &proj.patterns, Budget::UNLIMITED);
     assert!(tight.processed() <= simple.processed());
     let (RunOutcome::Finished { score: s, .. }, RunOutcome::Finished { score: t, .. }) =
         (&simple, &tight)

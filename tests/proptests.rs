@@ -187,12 +187,95 @@ proptest! {
         ).unwrap();
         let best = brute_force_best(&build());
         for bound in [BoundKind::Simple, BoundKind::Tight] {
-            let out = ExactMatcher::new(bound).solve(&build()).unwrap();
+            let out = ExactMatcher::new(bound).solve(&build());
+            prop_assert!(out.completion.is_finished());
             prop_assert!(
                 (out.score - best).abs() < 1e-9,
                 "{:?}: {} vs brute {}", bound, out.score, best
             );
         }
+    }
+
+    /// Anytime runs never beat the true optimum, and the optimum always
+    /// sits within the reported gap certificate.
+    #[test]
+    fn anytime_results_respect_the_optimum(
+        l1 in log_strategy(4, 8),
+        l2 in log_strategy(4, 8),
+        cap in 0u64..12,
+    ) {
+        let build = || MatchContext::new(
+            l1.clone(),
+            l2.clone(),
+            PatternSetBuilder::new().vertices().edges(),
+        ).unwrap();
+        let best = brute_force_best(&build());
+        let budget = Budget::UNLIMITED.with_processed_cap(cap);
+        for bound in [BoundKind::Simple, BoundKind::Tight] {
+            let out = ExactMatcher::new(bound).with_budget(budget).solve(&build());
+            prop_assert!(out.mapping.is_complete() || build().n1() == 0);
+            prop_assert!(out.score <= best + 1e-9, "anytime {} beats brute {}", out.score, best);
+            if let Some(gap) = out.completion.optimality_gap() {
+                prop_assert!(gap >= 0.0 && gap.is_finite());
+                prop_assert!(best <= out.score + gap + 1e-9,
+                    "optimum {} outside certificate {} + {}", best, out.score, gap);
+            }
+        }
+        // Budget-limited heuristics are anytime too and stay sound.
+        let simple = SimpleHeuristic::new(BoundKind::Tight).with_budget(budget).solve(&build());
+        prop_assert!(simple.score <= best + 1e-9);
+        let advanced = AdvancedHeuristic::new(BoundKind::Tight).with_budget(budget).solve(&build());
+        prop_assert!(advanced.score <= best + 1e-9);
+    }
+
+    /// Budget monotonicity: granting the exact search a larger processed
+    /// cap never yields a worse returned score.
+    #[test]
+    fn larger_budgets_never_score_worse(
+        l1 in log_strategy(4, 8),
+        l2 in log_strategy(4, 8),
+        small in 0u64..10,
+        extra in 0u64..10,
+    ) {
+        let build = || MatchContext::new(
+            l1.clone(),
+            l2.clone(),
+            PatternSetBuilder::new().vertices().edges(),
+        ).unwrap();
+        for bound in [BoundKind::Simple, BoundKind::Tight] {
+            let lo = ExactMatcher::new(bound)
+                .with_budget(Budget::UNLIMITED.with_processed_cap(small))
+                .solve(&build());
+            let hi = ExactMatcher::new(bound)
+                .with_budget(Budget::UNLIMITED.with_processed_cap(small + extra))
+                .solve(&build());
+            prop_assert!(
+                hi.score >= lo.score - 1e-9,
+                "{:?}: cap {} scored {}, cap {} scored {}",
+                bound, small, lo.score, small + extra, hi.score
+            );
+        }
+    }
+
+    /// Identical processed-cap budgets are bit-deterministic: same budget,
+    /// same mapping, same score bits.
+    #[test]
+    fn processed_cap_budgets_are_bit_deterministic(
+        l1 in log_strategy(4, 8),
+        l2 in log_strategy(4, 8),
+        cap in 0u64..12,
+    ) {
+        let build = || MatchContext::new(
+            l1.clone(),
+            l2.clone(),
+            PatternSetBuilder::new().vertices().edges(),
+        ).unwrap();
+        let budget = Budget::UNLIMITED.with_processed_cap(cap);
+        let a = ExactMatcher::new(BoundKind::Tight).with_budget(budget).solve(&build());
+        let b = ExactMatcher::new(BoundKind::Tight).with_budget(budget).solve(&build());
+        prop_assert_eq!(&a.mapping, &b.mapping);
+        prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+        prop_assert_eq!(a.stats.processed_mappings, b.stats.processed_mappings);
     }
 
     /// The advanced heuristic equals the optimum for vertex-only patterns
@@ -221,7 +304,7 @@ proptest! {
             l2.clone(),
             PatternSetBuilder::new().vertices().edges(),
         ).unwrap();
-        let exact = ExactMatcher::new(BoundKind::Tight).solve(&build(())).unwrap();
+        let exact = ExactMatcher::new(BoundKind::Tight).solve(&build(()));
         let simple = SimpleHeuristic::new(BoundKind::Tight).solve(&build(()));
         let advanced = AdvancedHeuristic::new(BoundKind::Tight).solve(&build(()));
         prop_assert!(simple.score <= exact.score + 1e-9);
