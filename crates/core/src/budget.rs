@@ -174,10 +174,12 @@ impl BudgetMeter {
     /// Charges one unit of primary search work (one candidate mapping).
     ///
     /// Returns `false` when the budget is exhausted — either already
-    /// latched, or because this charge would exceed the processed cap (the
+    /// latched, because this charge would exceed the processed cap (the
     /// cap is checked *before* counting, so with `max_processed = N` the
-    /// meter reports exactly `N` processed units at exhaustion). On
-    /// success the unit is counted and the deadline poll cadence advances.
+    /// meter reports exactly `N` processed units at exhaustion), or
+    /// because the deadline poll latches first (polled *before* counting,
+    /// so `processed()` only ever counts units whose work was actually
+    /// performed). On success the unit is counted.
     pub fn charge_processed(&mut self) -> bool {
         if self.exhausted.is_some() {
             return false;
@@ -188,9 +190,12 @@ impl BudgetMeter {
                 return false;
             }
         }
-        self.processed += 1;
         self.advance_poll();
-        self.exhausted.is_none()
+        if self.exhausted.is_some() {
+            return false;
+        }
+        self.processed += 1;
+        true
     }
 
     /// Advances the poll cadence by one *secondary* work unit (a log scan,
@@ -337,6 +342,8 @@ mod tests {
         assert!(!m.charge_processed());
         assert_eq!(m.exhaustion(), Some(Exhaustion::Deadline));
         assert_eq!(m.polls(), 1);
+        // The refused unit's work never happened, so it is not counted.
+        assert_eq!(m.processed(), 0);
     }
 
     #[test]

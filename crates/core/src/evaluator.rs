@@ -8,7 +8,9 @@
 use std::collections::BTreeMap;
 
 use evematch_eventlog::EventId;
-use evematch_pattern::{is_realizable, pattern_support};
+use evematch_pattern::{
+    is_realizable, is_realizable_with_fuel, pattern_support, pattern_support_with_fuel, Interrupted,
+};
 
 use crate::budget::{Budget, BudgetMeter};
 use crate::context::MatchContext;
@@ -26,6 +28,11 @@ pub struct EvalStats {
     /// Evaluations answered `0` by the Proposition-3 existence check
     /// without touching the log.
     pub existence_pruned: u64,
+    /// Evaluations abandoned mid-flight when a deadline tripped their
+    /// fuel. Their provisional `0` is *not* cached, and any search that
+    /// saw one must fall back to a static optimality-gap certificate
+    /// (fuel-interrupted scores can under-estimate).
+    pub interrupted_evals: u64,
 }
 
 /// Evaluates `d(p) = 1 − |f1(p) − f2(M(p))| / (f1(p) + f2(M(p)))` for the
@@ -110,10 +117,20 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Unnormalized support of the mapped pattern `M(p)` in `L2`.
+    ///
+    /// Composite-pattern evaluations run *fueled*: the realizability check
+    /// (worst-case exponential in `AND` fan-out) and the log scan both poll
+    /// the deadline from inside, so one pathological pattern cannot overrun
+    /// the budget. A fuel-interrupted evaluation reports `0` without
+    /// caching it and bumps [`EvalStats::interrupted_evals`]. Once the
+    /// meter is exhausted, evaluations instead run to completion unfueled —
+    /// the polynomial-bounded "grace" work that scores the anytime result
+    /// exactly.
     pub fn mapped_support(&mut self, p_idx: usize, images: &[EventId]) -> u32 {
-        let ep = &self.ctx.patterns()[p_idx];
+        let ctx = self.ctx;
+        let ep = &ctx.patterns()[p_idx];
         debug_assert_eq!(images.len(), ep.events.len());
-        let dep2 = self.ctx.dep2();
+        let dep2 = ctx.dep2();
         // Fast paths: vertex and edge special patterns (the bulk of P) read
         // straight off the dependency graph.
         match images {
@@ -123,8 +140,8 @@ impl<'a> Evaluator<'a> {
                 // ever absent we fall through to the generic (correct,
                 // merely slower) log-scan path instead of panicking.
                 if let Some((a, b)) = ep.graph.edges_global().next() {
-                    let ia = self.image_of(ep, a, images);
-                    let ib = self.image_of(ep, b, images);
+                    let ia = image_of(ep, a, images);
+                    let ib = image_of(ep, b, images);
                     return dep2.edge_support(ia, ib);
                 }
             }
@@ -138,35 +155,71 @@ impl<'a> Evaluator<'a> {
         // A realizability check or log scan is the expensive inner unit of
         // work; advance the deadline poll cadence before paying it.
         self.meter.tick();
-        let mapped = ep.pattern.map_events(&|e| self.image_of(ep, e, images));
+        let mapped = ep.pattern.map_events(&|e| image_of(ep, e, images));
+        let edge_ok = |a: EventId, b: EventId| dep2.has_edge(a, b);
         // Proposition 3 (sound form): if no allowed order of the mapped
         // pattern can be realized along dependency edges of G2, no trace of
         // L2 matches it — skip the log scan.
-        let support = if !is_realizable(&mapped, &|a, b| dep2.has_edge(a, b)) {
-            self.stats.existence_pruned += 1;
-            0
-        } else {
-            self.stats.log_scans += 1;
-            pattern_support(&mapped, self.ctx.log2(), self.ctx.index2()) as u32
+        if self.meter.is_exhausted() {
+            // Grace mode (see the method docs): exact, unfueled, cached.
+            let support = if !is_realizable(&mapped, &edge_ok) {
+                self.stats.existence_pruned += 1;
+                0
+            } else {
+                self.stats.log_scans += 1;
+                pattern_support(&mapped, ctx.log2(), ctx.index2()) as u32
+            };
+            self.cache.insert(key, support);
+            return support;
+        }
+        let stats = &mut self.stats;
+        let meter = &mut self.meter;
+        let mut fuel = || {
+            meter.tick();
+            // Only a deadline can latch inside a tick, so "not exhausted"
+            // is exactly "the deadline has not tripped".
+            !meter.is_exhausted()
         };
-        self.cache.insert(key, support);
-        support
+        let support = match is_realizable_with_fuel(&mapped, &edge_ok, &mut fuel) {
+            Ok(false) => {
+                stats.existence_pruned += 1;
+                Some(0)
+            }
+            Ok(true) => {
+                stats.log_scans += 1;
+                match pattern_support_with_fuel(&mapped, ctx.log2(), ctx.index2(), &mut fuel) {
+                    Ok(s) => Some(s as u32),
+                    Err(Interrupted) => None,
+                }
+            }
+            Err(Interrupted) => None,
+        };
+        match support {
+            Some(support) => {
+                self.cache.insert(key, support);
+                support
+            }
+            None => {
+                // Abandoned mid-flight: report 0 but do NOT cache it — a
+                // later grace evaluation of the same key recomputes it
+                // exactly — and record that this run's scores may now
+                // under-estimate.
+                self.stats.interrupted_evals += 1;
+                0
+            }
+        }
     }
+}
 
-    #[inline]
-    fn image_of(
-        &self,
-        ep: &evematch_pattern::EvaluatedPattern,
-        e: EventId,
-        images: &[EventId],
-    ) -> EventId {
-        let pos = ep
-            .events
-            .binary_search(&e)
-            // tidy-allow: no-panic -- e comes from ep's own pattern, and ep.events is exactly that pattern's sorted event list
-            .expect("event belongs to the pattern");
-        images[pos]
-    }
+/// The image of `e` under the positional `images` of `ep`'s sorted events.
+#[inline]
+fn image_of(ep: &evematch_pattern::EvaluatedPattern, e: EventId, images: &[EventId]) -> EventId {
+    let pos = ep
+        .events
+        .binary_search(&e)
+        // tidy-allow: no-panic -- e comes from ep's own pattern, and ep.events is exactly that pattern's sorted event list
+        .expect("event belongs to the pattern");
+    images[pos]
 }
 
 #[cfg(test)]

@@ -14,18 +14,33 @@
 //!
 //! # Anytime behavior
 //!
-//! With a limited [`Budget`] the search keeps an *incumbent*: whenever a
-//! popped node's `f` exceeds the incumbent's score, the node is greedily
-//! completed (best marginal gain per level) and the incumbent updated. On
-//! exhaustion [`ExactMatcher::solve`] returns the incumbent tagged
-//! [`Completion::BudgetExhausted`] with `optimality_gap = max frontier f −
-//! returned score`; admissibility of `h` makes the true optimum at most
-//! `returned score + optimality_gap`. Processed-cap budgets are
-//! bit-deterministic and *monotone*: a larger cap never returns a worse
-//! score, because the larger run performs an identical pop/complete prefix
-//! (exhaustion "grace-finishes" the interrupted node's children, uncharged,
-//! so the frontier matches the larger run's exactly) and its incumbent only
-//! improves afterwards.
+//! With a limited [`Budget`] the search keeps an *incumbent*: a greedy
+//! completion (best marginal gain per level) of a promising popped node.
+//! The refresh is lazy — it runs on depth-record pops and then at most once
+//! every [`INCUMBENT_REFRESH_INTERVAL`] pops, and only when the popped
+//! node's `f` still beats the incumbent — so its `O(n1·n2)` cost is
+//! amortized instead of multiplying every pop; each completion also ticks
+//! the meter, so a deadline is observed inside it.
+//!
+//! On exhaustion [`ExactMatcher::solve`] returns a complete mapping tagged
+//! [`Completion::BudgetExhausted`]. The `optimality_gap` certificate rests
+//! on a *frontier-covering invariant*: every complete mapping not yet
+//! returned has an ancestor on the frontier. Deterministic (processed- or
+//! frontier-cap) exhaustion grace-finishes the interrupted node's children,
+//! and a deadline interrupt — which may drop un-generated children —
+//! re-pushes the interrupted node itself, so the invariant holds on every
+//! exit path and `max frontier f − returned score` bounds the distance to
+//! the optimum (admissibility of `h`). When a deadline interrupted an
+//! evaluation mid-flight ([`EvalStats::interrupted_evals`]), frontier `f`
+//! values may under-estimate, and the gap falls back to the static
+//! whole-problem bound instead.
+//!
+//! Processed-cap budgets are bit-deterministic and *monotone*: a larger cap
+//! never returns a worse score. Deterministic exhaustion returns the
+//! incumbent alone (no extra completion at exhaustion time), so a
+//! larger-cap run — which performs an identical pop/refresh prefix and
+//! whose incumbent only ever improves afterwards — always scores at least
+//! as high.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -69,10 +84,13 @@ pub enum Completion {
         /// Which budget limit tripped.
         exhaustion: Exhaustion,
         /// Upper bound on how much better the best mapping could score
-        /// than the returned one. For the exact search this is global
-        /// (admissible `f` of the best frontier node minus the returned
-        /// score); heuristic solvers report a certificate for their own
-        /// search trajectory (see each solver's docs).
+        /// than the returned one. For the exact search this is global:
+        /// the admissible `f` of the best frontier node minus the
+        /// returned score — falling back to the static whole-problem
+        /// bound when a deadline interrupted an evaluation mid-flight
+        /// (interrupted evaluations can under-estimate frontier scores).
+        /// Heuristic solvers report a certificate for their own search
+        /// trajectory (see each solver's docs).
         optimality_gap: f64,
     },
 }
@@ -192,19 +210,41 @@ impl ExactMatcher {
         });
 
         // Anytime incumbent: the best greedily-completed mapping so far.
+        // Refreshed lazily (depth records, then at most once per
+        // INCUMBENT_REFRESH_INTERVAL pops) so the O(n1·n2) completion is an
+        // amortized cost, not a per-pop multiplier.
         let mut incumbent: Option<(f64, Mapping)> = None;
+        let mut deepest: Option<u32> = None;
+        let mut pops_since_refresh: u64 = 0;
 
         while let Some(node) = queue.pop() {
             stats.visited_nodes += 1;
             if node.depth as usize == n1 {
                 return finish(Completion::Finished, node.g, node.mapping, stats, &mut eval);
             }
-            if anytime && improves(incumbent.as_ref().map(|(s, _)| *s), node.f) {
-                // This subtree can beat the incumbent; refresh it with a
-                // greedy completion of the popped node (uncharged work).
-                let (cg, cm) = greedy_complete(&mut eval, &order, &node.mapping, node.g);
-                if improves(incumbent.as_ref().map(|(s, _)| *s), cg) {
-                    incumbent = Some((cg, cm));
+            if anytime {
+                let depth_record = deepest.map_or(true, |d| node.depth > d);
+                if depth_record {
+                    deepest = Some(node.depth);
+                }
+                pops_since_refresh += 1;
+                if (depth_record || pops_since_refresh >= INCUMBENT_REFRESH_INTERVAL)
+                    && improves(incumbent.as_ref().map(|(s, _)| *s), node.f)
+                {
+                    // This subtree can beat the incumbent (f bounds every
+                    // completion of the node); refresh with a greedy
+                    // completion (uncharged, but meter-ticked) of it.
+                    pops_since_refresh = 0;
+                    let clean = eval.stats.interrupted_evals;
+                    let (cg, cm) = greedy_complete(&mut eval, &order, &node.mapping);
+                    // A completion whose evaluations were fuel-interrupted
+                    // carries an untrustworthy score; drop it rather than
+                    // poison the incumbent.
+                    if eval.stats.interrupted_evals == clean
+                        && improves(incumbent.as_ref().map(|(s, _)| *s), cg)
+                    {
+                        incumbent = Some((cg, cm));
+                    }
                 }
             }
             let a = order[node.depth as usize];
@@ -246,6 +286,22 @@ impl ExactMatcher {
                     mapping: child,
                 });
             }
+            if eval.meter().exhaustion() == Some(Exhaustion::Deadline) {
+                // The deadline interrupt may have dropped this node's
+                // un-generated children (and under-scored the generated
+                // ones via interrupted evaluations); re-push the node
+                // itself so the frontier still contains an ancestor of
+                // every complete mapping it covered — the gap certificate
+                // depends on that invariant.
+                seq += 1;
+                queue.push(Node {
+                    f: node.f,
+                    seq,
+                    depth: node.depth,
+                    g: node.g,
+                    mapping: node.mapping,
+                });
+            }
             eval.meter_mut().note_frontier(queue.len());
             if eval.meter().is_exhausted() {
                 return exhausted_outcome(&mut eval, &order, queue, incumbent, stats, n1, ctx.n2());
@@ -278,6 +334,11 @@ impl ExactMatcher {
     }
 }
 
+/// Between depth-record pops, how many pops may pass before the anytime
+/// incumbent is refreshed again. Bounds the amortized per-pop cost of the
+/// `O(n1·n2)` greedy completion at `1/64` of one completion.
+pub const INCUMBENT_REFRESH_INTERVAL: u64 = 64;
+
 /// Strict improvement test used for the incumbent and greedy choices; on
 /// ties the earlier holder wins, keeping every choice deterministic.
 fn improves(best: Option<f64>, candidate: f64) -> bool {
@@ -287,8 +348,8 @@ fn improves(best: Option<f64>, candidate: f64) -> bool {
     }
 }
 
-/// Packs up the anytime result after budget exhaustion: refresh the
-/// incumbent against the best frontier node, then certify the gap.
+/// Packs up the anytime result after budget exhaustion, then certifies the
+/// optimality gap against the frontier (see the module docs).
 fn exhausted_outcome(
     eval: &mut Evaluator<'_>,
     order: &[EventId],
@@ -298,23 +359,46 @@ fn exhausted_outcome(
     n1: usize,
     n2: usize,
 ) -> MatchOutcome {
+    let exhaustion = eval.meter().exhaustion().unwrap_or(Exhaustion::Processed);
     let frontier_best = queue.pop();
-    if let Some(best) = &frontier_best {
-        if improves(incumbent.as_ref().map(|(s, _)| *s), best.f) {
-            let (cg, cm) = greedy_complete(eval, order, &best.mapping, best.g);
-            if improves(incumbent.as_ref().map(|(s, _)| *s), cg) {
-                incumbent = Some((cg, cm));
+    if exhaustion == Exhaustion::Deadline {
+        // Deadline runs promise no monotonicity, so spend one grace
+        // completion on the most promising frontier node. Deterministic
+        // (processed-/frontier-cap) exhaustion returns the incumbent
+        // alone — the extra completion would depend on *where* the cap
+        // fell and break "a larger cap never scores worse".
+        if let Some(best) = &frontier_best {
+            if improves(incumbent.as_ref().map(|(s, _)| *s), best.f) {
+                let (cg, cm) = greedy_complete(eval, order, &best.mapping);
+                if improves(incumbent.as_ref().map(|(s, _)| *s), cg) {
+                    incumbent = Some((cg, cm));
+                }
             }
         }
     }
     let (score, mapping) = match incumbent {
         Some(pair) => pair,
-        // Defensive: exhaustion implies at least one pop, which seeds the
-        // incumbent; complete from scratch if that ever changes.
-        None => greedy_complete(eval, order, &Mapping::empty(n1, n2), 0.0),
+        // Defensive: every exhaustion path pops (and thereby refreshes
+        // from) at least one node first; complete from scratch if that
+        // ever changes.
+        None => greedy_complete(eval, order, &Mapping::empty(n1, n2)),
     };
-    let exhaustion = eval.meter().exhaustion().unwrap_or(Exhaustion::Processed);
-    let optimality_gap = frontier_best.map_or(0.0, |b| (b.f - score).max(0.0));
+    let optimality_gap = if eval.stats.interrupted_evals > 0 {
+        // Fuel-interrupted evaluations may have under-scored frontier
+        // nodes, so the frontier-top certificate is not trustworthy; fall
+        // back to the static whole-problem bound (computed fresh and
+        // log-scan-free, hence exact).
+        crate::baseline::global_gap(eval.context(), score)
+    } else {
+        // Exhaustion always leaves the frontier non-empty (caps
+        // grace-finish the children, deadlines re-push the interrupted
+        // node); guard with the static bound all the same rather than
+        // ever certifying a greedy completion as optimal.
+        frontier_best.map_or_else(
+            || crate::baseline::global_gap(eval.context(), score),
+            |b| (b.f - score).max(0.0),
+        )
+    };
     finish(
         Completion::BudgetExhausted {
             exhaustion,
@@ -346,24 +430,35 @@ fn finish(
     }
 }
 
-/// Greedily completes `partial` (whose realized score is `g`) by repeatedly
-/// mapping the next unmapped source event — in expansion order — to the
-/// unused target with the best marginal realized gain. Ties keep the
-/// smallest target id, so the completion is deterministic. The returned
-/// score is the true pattern normal distance of the completed mapping
-/// (every pattern is credited exactly once, when its last event maps).
+/// Greedily completes `partial` by repeatedly mapping the next unmapped
+/// source event — in expansion order — to the unused target with the best
+/// marginal realized gain. Ties keep the smallest target id, so the
+/// completion is deterministic. The returned score is the pattern normal
+/// distance of the completed mapping, recomputed from the partial's own
+/// realized patterns rather than trusting a caller-tracked `g` (which can
+/// be stale after fuel-interrupted evaluations): every pattern is credited
+/// exactly once, fully-mapped ones up front and the rest when their last
+/// event maps.
 ///
-/// This work is never charged against the budget: it is the bounded "grace"
-/// that turns an interrupted search into a complete answer.
+/// This work is never charged against the budget, but it *ticks* the meter
+/// once per candidate augmentation — the vertex/edge fast paths never scan
+/// the log, so without these ticks a large instance could overrun a
+/// deadline by a whole completion. (Ticks are no-ops for deadline-free and
+/// already-exhausted meters, so capped "grace" completions stay
+/// deterministic and exact.)
 pub(crate) fn greedy_complete(
     eval: &mut Evaluator<'_>,
     order: &[EventId],
     partial: &Mapping,
-    g: f64,
 ) -> (f64, Mapping) {
     let ctx = eval.context();
     let mut m = partial.clone();
-    let mut total = g;
+    let mut total = 0.0;
+    for i in 0..ctx.patterns().len() {
+        if let Some(images) = eval.images_under(i, &m) {
+            total += eval.d_with_images(i, &images);
+        }
+    }
     for &a in order {
         if m.is_mapped(a) {
             continue;
@@ -371,6 +466,7 @@ pub(crate) fn greedy_complete(
         let targets: Vec<EventId> = m.unused_targets();
         let mut best: Option<(f64, EventId)> = None;
         for b in targets {
+            eval.meter_mut().tick();
             m.insert(a, b);
             let mut dg = 0.0;
             for p_idx in ctx.pattern_index().newly_completed(a, |e| m.is_mapped(e)) {
@@ -629,6 +725,40 @@ mod tests {
                 out.score
             );
         }
+    }
+
+    #[test]
+    fn zero_deadline_returns_a_certified_complete_mapping() {
+        // A deadline that has already elapsed trips at the very first
+        // meter poll — the path that used to drop the interrupted node's
+        // children and (with an empty frontier) falsely certify gap 0.
+        let (l1, l2) = isomorphic_logs();
+        let ctx = MatchContext::new(l1, l2, PatternSetBuilder::new().vertices().edges()).unwrap();
+        let best = exhaustive_best(&ctx);
+        let out = ExactMatcher::new(BoundKind::Tight)
+            .with_budget(Budget::UNLIMITED.with_deadline(Duration::ZERO))
+            .solve(&ctx);
+        assert!(out.mapping.is_complete());
+        let Completion::BudgetExhausted {
+            exhaustion,
+            optimality_gap,
+        } = out.completion
+        else {
+            panic!("expected BudgetExhausted, got {:?}", out.completion);
+        };
+        assert_eq!(exhaustion, Exhaustion::Deadline);
+        assert!(optimality_gap.is_finite() && optimality_gap >= 0.0);
+        // The gap certificate must hold on the deadline path too.
+        assert!(
+            best <= out.score + optimality_gap + 1e-9,
+            "optimum {best} exceeds score {} + gap {optimality_gap}",
+            out.score
+        );
+        // The returned score is the true score of the returned mapping.
+        let recomputed = pattern_normal_distance(&ctx, &out.mapping);
+        assert!((out.score - recomputed).abs() < 1e-9);
+        // The refused first unit was never performed, so nothing counts.
+        assert_eq!(out.stats.processed_mappings, 0);
     }
 
     #[test]

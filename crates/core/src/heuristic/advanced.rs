@@ -204,7 +204,7 @@ impl AdvancedHeuristic {
             // g + h of the partial bounds every completion of it.
             let (pg, ph) = score_partial(&mut eval, &mapping, self.bound);
             let order = ctx.pattern_index().expansion_order();
-            let (s, m) = greedy_complete(&mut eval, &order, &mapping, pg);
+            let (s, m) = greedy_complete(&mut eval, &order, &mapping);
             score = s;
             mapping = m;
             completion = Completion::BudgetExhausted {

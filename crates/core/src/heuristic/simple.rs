@@ -6,7 +6,7 @@ use crate::context::MatchContext;
 use crate::evaluator::Evaluator;
 use crate::exact::{greedy_complete, Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
-use crate::score::heuristic_bound;
+use crate::score::{heuristic_bound, score_partial};
 
 /// The simple heuristic of Section 5: at each level of the search tree,
 /// evaluate every child `a -> b` exactly like Algorithm 1 would, but commit
@@ -98,9 +98,13 @@ impl SimpleHeuristic {
             None => Completion::Finished,
             Some(exhaustion) => {
                 // The committed prefix plus its admissible h bounds every
-                // completion of this trajectory.
-                let upper = g + heuristic_bound(&mut eval, &mapping, self.bound);
-                let (score, complete) = greedy_complete(&mut eval, &order, &mapping, g);
+                // completion of this trajectory. Recompute the prefix's
+                // realized score here instead of trusting the tracked `g`:
+                // the meter is exhausted, so these grace evaluations are
+                // exact even if fueled ones were interrupted mid-descent.
+                let (pg, ph) = score_partial(&mut eval, &mapping, self.bound);
+                let upper = pg + ph;
+                let (score, complete) = greedy_complete(&mut eval, &order, &mapping);
                 mapping = complete;
                 g = score;
                 Completion::BudgetExhausted {

@@ -21,7 +21,10 @@
 //!     --limit-secs <N>       wall-clock budget in seconds (default: 60)
 //!     --limit-processed <N>  processed-mapping budget (default: unlimited;
 //!                            deterministic, unlike --limit-secs)
-//!     --quiet                print only the mapping lines
+//!     --quiet                suppress the stderr summaries; stdout keeps
+//!                            the mapping lines and, on degraded runs, the
+//!                            machine-readable `# degraded` header, which
+//!                            is always emitted
 //! ```
 //!
 //! Budgets apply to every `--method`, not only the exact search. When a

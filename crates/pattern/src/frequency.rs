@@ -8,7 +8,7 @@ use evematch_eventlog::{EventLog, TraceIndex};
 
 use crate::ast::Pattern;
 use crate::graph_form::{edge_groups, PatternGraph};
-use crate::matcher::trace_matches;
+use crate::matcher::{trace_matches, Interrupted};
 
 /// Number of traces of `log` matching `p`, counted over `⋂ I_t(v)`.
 ///
@@ -27,6 +27,34 @@ pub fn pattern_support(p: &Pattern, log: &EventLog, index: &TraceIndex) -> usize
         .into_iter()
         .filter(|&t| trace_matches(p, &log.traces()[t as usize]))
         .count()
+}
+
+/// [`pattern_support`] with cooperative interruption: `fuel` is polled once
+/// per candidate trace (the scan's unit of work, each a polynomial
+/// `trace_matches`), and the scan stops with [`Interrupted`] as soon as
+/// `fuel` runs dry. The partial count is deliberately not returned — an
+/// interrupted scan has no sound frequency.
+pub fn pattern_support_with_fuel(
+    p: &Pattern,
+    log: &EventLog,
+    index: &TraceIndex,
+    fuel: &mut dyn FnMut() -> bool,
+) -> Result<usize, Interrupted> {
+    debug_assert_eq!(index.event_count(), log.event_count());
+    let events = p.events();
+    if events.iter().any(|e| e.index() >= log.event_count()) {
+        return Ok(0);
+    }
+    let mut count = 0usize;
+    for t in index.traces_with_all(&events) {
+        if !fuel() {
+            return Err(Interrupted);
+        }
+        if trace_matches(p, &log.traces()[t as usize]) {
+            count += 1;
+        }
+    }
+    Ok(count)
 }
 
 /// Normalized frequency `f(p) = pattern_support / |L|`.
@@ -133,6 +161,23 @@ mod tests {
         let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
         assert_eq!(pattern_support(&p, &l, &idx), 3);
         assert!((pattern_freq(&p, &l, &idx) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fueled_support_counts_or_interrupts() {
+        let l = log();
+        let idx = l.trace_index();
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
+        assert_eq!(pattern_support_with_fuel(&p, &l, &idx, &mut || true), Ok(3));
+        // Three candidate traces contain {A,B,C,D}; two units of fuel stop
+        // the scan before the third.
+        let mut units = 2u32;
+        let r = pattern_support_with_fuel(&p, &l, &idx, &mut || {
+            let ok = units > 0;
+            units = units.saturating_sub(1);
+            ok
+        });
+        assert_eq!(r, Err(Interrupted));
     }
 
     #[test]

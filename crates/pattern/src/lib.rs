@@ -43,10 +43,11 @@ mod parser;
 
 pub use ast::{Pattern, PatternError};
 pub use discovery::{discover_patterns, DiscoveryConfig};
-pub use frequency::{pattern_freq, pattern_support, EvaluatedPattern};
+pub use frequency::{pattern_freq, pattern_support, pattern_support_with_fuel, EvaluatedPattern};
 pub use graph_form::{edge_groups, PatternGraph};
 pub use index::PatternIndex;
 pub use matcher::{
-    is_realizable, linearizations, matches_window, trace_matches, MAX_ENUMERABLE_EVENTS,
+    is_realizable, is_realizable_with_fuel, linearizations, matches_window, trace_matches,
+    Interrupted, MAX_ENUMERABLE_EVENTS,
 };
 pub use parser::{parse_pattern, ParsePatternError};

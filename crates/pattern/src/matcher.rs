@@ -11,9 +11,18 @@
 //! [`linearizations`] does materialize `I(p)` for small patterns; the
 //! property tests use it as the ground truth for [`matches_window`].
 
+use std::cell::{Cell, RefCell};
+
 use evematch_eventlog::{EventId, Trace};
 
 use crate::ast::Pattern;
+
+/// A fueled search ran out of fuel before establishing its answer.
+///
+/// Mirrors `evematch_graph`'s interruption marker: the caller decides
+/// whether to retry, degrade, or propagate.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct Interrupted;
 
 /// Largest pattern size (in events) for which [`linearizations`] will
 /// enumerate `I(p)` — beyond this the enumeration is factorially large.
@@ -164,6 +173,40 @@ fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
 /// failing adjacency instead of materializing `I(p)`.
 pub fn is_realizable(p: &Pattern, edge_ok: &dyn Fn(EventId, EventId) -> bool) -> bool {
     realize(p, None, edge_ok, &mut |_| true)
+}
+
+/// [`is_realizable`] with cooperative interruption: `fuel` is polled on
+/// every adjacency test — the unit of this search's worst-case-exponential
+/// work (`AND` blocks explore child orders by backtracking).
+///
+/// When `fuel` returns `false` the remaining search collapses (every
+/// further adjacency fails, a polynomial unwind) and the call reports
+/// [`Interrupted`] — unless a realizable order was already found, which
+/// stays a sound `Ok(true)`. `Ok(false)` is only returned for a complete,
+/// uninterrupted refutation.
+pub fn is_realizable_with_fuel(
+    p: &Pattern,
+    edge_ok: &dyn Fn(EventId, EventId) -> bool,
+    fuel: &mut dyn FnMut() -> bool,
+) -> Result<bool, Interrupted> {
+    let fuel = RefCell::new(fuel);
+    let out_of_fuel = Cell::new(false);
+    let fueled = |a: EventId, b: EventId| {
+        // The RefCell is never re-entered: `fuel` cannot call back into
+        // this closure, and the borrow ends before `edge_ok` runs.
+        if !out_of_fuel.get() && !(*fuel.borrow_mut())() {
+            out_of_fuel.set(true);
+        }
+        !out_of_fuel.get() && edge_ok(a, b)
+    };
+    let found = realize(p, None, &fueled, &mut |_| true);
+    if found {
+        Ok(true)
+    } else if out_of_fuel.get() {
+        Err(Interrupted)
+    } else {
+        Ok(false)
+    }
 }
 
 /// Continuation-passing search: does some linearization of `p` follow
@@ -371,6 +414,47 @@ mod tests {
     #[test]
     fn realizable_single_event_is_always_true() {
         assert!(is_realizable(&e(3), &|_, _| false));
+    }
+
+    #[test]
+    fn fueled_realizability_agrees_with_unfueled_when_fuel_suffices() {
+        let p = p1();
+        let no_ac = |a: EventId, b: EventId| !(a == ev(0) && b == ev(2));
+        assert_eq!(is_realizable_with_fuel(&p, &no_ac, &mut || true), Ok(true));
+        let no_start = |a: EventId, _b: EventId| a != ev(0);
+        assert_eq!(
+            is_realizable_with_fuel(&p, &no_start, &mut || true),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn exhausted_fuel_interrupts_a_refutation() {
+        // A wide AND with no usable edges forces exhaustive backtracking;
+        // one unit of fuel must cut it short.
+        let p = Pattern::and_of_events((0..8).map(EventId)).unwrap();
+        let mut units = 1u32;
+        let r = is_realizable_with_fuel(&p, &|_, _| false, &mut || {
+            let ok = units > 0;
+            units = units.saturating_sub(1);
+            ok
+        });
+        assert_eq!(r, Err(Interrupted));
+    }
+
+    #[test]
+    fn fuel_polls_scale_with_the_search_not_the_pattern_size() {
+        // The same wide AND, fully refuted: the poll count equals the
+        // adjacency tests performed, so interruption latency is one unit.
+        let p = Pattern::and_of_events((0..6).map(EventId)).unwrap();
+        let mut polls = 0u64;
+        let r = is_realizable_with_fuel(&p, &|_, _| false, &mut || {
+            polls += 1;
+            true
+        });
+        assert_eq!(r, Ok(false));
+        // 6 first-child choices, each refuted at its first adjacency.
+        assert_eq!(polls, 6 * 5);
     }
 
     #[test]

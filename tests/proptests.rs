@@ -228,6 +228,34 @@ proptest! {
         prop_assert!(advanced.score <= best + 1e-9);
     }
 
+    /// The deadline path certifies its gap too: with an already-elapsed
+    /// deadline the search still returns a complete mapping and a finite
+    /// gap that contains the brute-force optimum.
+    #[test]
+    fn deadline_exhaustion_certifies_the_gap(
+        l1 in log_strategy(4, 8),
+        l2 in log_strategy(4, 8),
+    ) {
+        use std::time::Duration;
+        let build = || MatchContext::new(
+            l1.clone(),
+            l2.clone(),
+            PatternSetBuilder::new().vertices().edges(),
+        ).unwrap();
+        let best = brute_force_best(&build());
+        let budget = Budget::UNLIMITED.with_deadline(Duration::ZERO);
+        for bound in [BoundKind::Simple, BoundKind::Tight] {
+            let out = ExactMatcher::new(bound).with_budget(budget).solve(&build());
+            prop_assert!(out.mapping.is_complete() || build().n1() == 0);
+            prop_assert!(!out.completion.is_finished());
+            prop_assert!(out.score <= best + 1e-9);
+            let gap = out.completion.optimality_gap().unwrap_or(f64::NAN);
+            prop_assert!(gap >= 0.0 && gap.is_finite());
+            prop_assert!(best <= out.score + gap + 1e-9,
+                "{:?}: optimum {} outside certificate {} + {}", bound, best, out.score, gap);
+        }
+    }
+
     /// Budget monotonicity: granting the exact search a larger processed
     /// cap never yields a worse returned score.
     #[test]
