@@ -16,18 +16,19 @@ fn main() {
     );
 
     let seed = cfg.seeds.first().copied().unwrap_or(11);
-    evematch_bench::emit(&experiments::table3(seed), "table3");
+    evematch_bench::emit(&mut std::io::stdout(), &experiments::table3(seed), "table3");
 
-    evematch_bench::emit_figure(&experiments::fig7(&cfg), "fig7");
-    evematch_bench::emit_figure(&experiments::fig8(&cfg), "fig8");
-    evematch_bench::emit_figure(&experiments::fig9(&cfg), "fig9");
-    evematch_bench::emit_figure(&experiments::fig10(&cfg), "fig10");
+    evematch_bench::emit_figure(&mut std::io::stdout(), &experiments::fig7(&cfg), "fig7");
+    evematch_bench::emit_figure(&mut std::io::stdout(), &experiments::fig8(&cfg), "fig8");
+    evematch_bench::emit_figure(&mut std::io::stdout(), &experiments::fig9(&cfg), "fig9");
+    evematch_bench::emit_figure(&mut std::io::stdout(), &experiments::fig10(&cfg), "fig10");
 
     let modules: usize = std::env::var("EVEMATCH_FIG12_MODULES")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
     evematch_bench::emit_figure(
+        &mut std::io::stdout(),
         &experiments::fig12(&cfg, evematch_bench::fig12_traces(), modules),
         "fig12",
     );
@@ -36,7 +37,11 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    evematch_bench::emit(&experiments::table4(runs, 0xE7E), "table4");
+    evematch_bench::emit(
+        &mut std::io::stdout(),
+        &experiments::table4(runs, 0xE7E),
+        "table4",
+    );
 
     eprintln!("done; CSVs in {}", evematch_bench::out_dir().display());
 }

@@ -7,5 +7,5 @@ fn main() {
         cfg.seeds, cfg.traces, cfg.budget
     );
     let fig = evematch_eval::experiments::fig10(&cfg);
-    evematch_bench::emit_figure(&fig, "fig10");
+    evematch_bench::emit_figure(&mut std::io::stdout(), &fig, "fig10");
 }

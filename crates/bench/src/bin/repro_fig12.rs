@@ -18,5 +18,5 @@ fn main() {
         max_modules * 10
     );
     let fig = evematch_eval::experiments::fig12(&cfg, traces, max_modules);
-    evematch_bench::emit_figure(&fig, "fig12");
+    evematch_bench::emit_figure(&mut std::io::stdout(), &fig, "fig12");
 }

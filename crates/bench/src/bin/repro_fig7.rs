@@ -7,5 +7,5 @@ fn main() {
         cfg.seeds, cfg.traces, cfg.budget
     );
     let fig = evematch_eval::experiments::fig7(&cfg);
-    evematch_bench::emit_figure(&fig, "fig7");
+    evematch_bench::emit_figure(&mut std::io::stdout(), &fig, "fig7");
 }

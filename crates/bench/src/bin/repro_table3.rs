@@ -6,5 +6,5 @@ fn main() {
         .and_then(|s| s.split(',').next().and_then(|x| x.trim().parse().ok()))
         .unwrap_or(11);
     let t = evematch_eval::experiments::table3(seed);
-    evematch_bench::emit(&t, "table3");
+    evematch_bench::emit(&mut std::io::stdout(), &t, "table3");
 }

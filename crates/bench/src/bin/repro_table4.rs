@@ -11,5 +11,5 @@ fn main() {
         .unwrap_or(200);
     eprintln!("Table 4: {runs} random-log runs");
     let t = evematch_eval::experiments::table4(runs, 0xE7E);
-    evematch_bench::emit(&t, "table4");
+    evematch_bench::emit(&mut std::io::stdout(), &t, "table4");
 }

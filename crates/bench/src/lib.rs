@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -65,19 +66,51 @@ pub fn out_dir() -> PathBuf {
     dir
 }
 
-/// Prints a table and writes it as `<stem>.csv` under the output dir.
-pub fn emit(table: &Table, stem: &str) {
-    println!("{table}");
+/// Writes a table to `out` and saves it as `<stem>.csv` under the output
+/// dir. The sink parameter (rather than `println!`) keeps this library
+/// crate quiet on its own — the `repro_*` binaries pass stdout.
+pub fn emit(out: &mut dyn Write, table: &Table, stem: &str) {
+    writeln!(out, "{table}").expect("write report");
     let path = out_dir().join(format!("{stem}.csv"));
     let file = std::fs::File::create(&path).expect("create csv");
     table.write_csv(file).expect("write csv");
-    eprintln!("wrote {}", path.display());
+    writeln!(out, "wrote {}", path.display()).expect("write report");
 }
 
-/// Prints and saves all panels of a figure.
-pub fn emit_figure(fig: &FigureResult, stem: &str) {
-    emit(&fig.f_measure, &format!("{stem}a_fmeasure"));
-    emit(&fig.anytime_f, &format!("{stem}a_anytime_fmeasure"));
-    emit(&fig.time, &format!("{stem}b_time"));
-    emit(&fig.processed, &format!("{stem}c_processed"));
+/// Writes all panels of a figure to `out` and the output dir, plus the
+/// sweep's merged per-method telemetry as `<stem>_metrics.json` next to
+/// the CSVs.
+pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) {
+    emit(out, &fig.f_measure, &format!("{stem}a_fmeasure"));
+    emit(out, &fig.anytime_f, &format!("{stem}a_anytime_fmeasure"));
+    emit(out, &fig.time, &format!("{stem}b_time"));
+    emit(out, &fig.processed, &format!("{stem}c_processed"));
+    let path = out_dir().join(format!("{stem}_metrics.json"));
+    std::fs::write(&path, figure_metrics_json(fig) + "\n").expect("write metrics json");
+    writeln!(out, "wrote {}", path.display()).expect("write report");
+}
+
+/// The figure's merged per-method telemetry as one JSON object keyed by
+/// method name. Method names are plain ASCII but are escaped anyway so the
+/// output is valid JSON no matter what the registry grows.
+pub fn figure_metrics_json(fig: &FigureResult) -> String {
+    let mut out = String::from("{");
+    for (i, (name, snap)) in fig.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        for c in name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\":");
+        out.push_str(&snap.to_json_string());
+    }
+    out.push('}');
+    out
 }

@@ -12,9 +12,10 @@ use evematch_eventlog::EventId;
 use crate::assignment::max_weight_assignment;
 use crate::budget::Budget;
 use crate::context::MatchContext;
+use crate::evaluator::Evaluator;
 use crate::exact::{Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
-use crate::score::{pattern_normal_distance, sim};
+use crate::score::sim;
 
 /// The entropy-only matcher.
 #[derive(Clone, Copy, Debug, Default)]
@@ -41,24 +42,25 @@ impl EntropyMatcher {
 
     /// Pairs events by occurrence-entropy similarity. Infallible.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let mut meter = self.budget.meter();
+        let mut eval = Evaluator::with_budget(ctx, self.budget);
+        eval.probe_structure();
+        let c_rows = eval.telemetry_mut().registry.counter("entropy.weight_rows");
         let (n1, n2) = (ctx.n1(), ctx.n2());
         // The single assignment is this method's one charged unit.
-        meter.charge_processed();
+        eval.meter_mut().charge_processed();
         let h1: Vec<f64> = (0..n1)
             .map(|v| bernoulli_entropy(ctx.dep1().vertex_freq(EventId(v as u32))))
             .collect();
         let h2: Vec<f64> = (0..n2)
             .map(|v| bernoulli_entropy(ctx.dep2().vertex_freq(EventId(v as u32))))
             .collect();
-        let weights: Vec<Vec<f64>> = h1
-            .iter()
-            .map(|&a| {
-                // One weight row is the inner work unit for deadline polling.
-                meter.tick();
-                h2.iter().map(|&b| sim(a, b)).collect()
-            })
-            .collect();
+        let mut weights: Vec<Vec<f64>> = Vec::with_capacity(n1);
+        for &a in &h1 {
+            // One weight row is the inner work unit for deadline polling.
+            eval.meter_mut().tick();
+            eval.telemetry_mut().registry.inc(c_rows);
+            weights.push(h2.iter().map(|&b| sim(a, b)).collect());
+        }
         let assignment = max_weight_assignment(&weights);
         let mapping = Mapping::from_pairs(
             n1,
@@ -68,25 +70,38 @@ impl EntropyMatcher {
                 .enumerate()
                 .map(|(a, &b)| (EventId(a as u32), EventId(b as u32))),
         );
-        let score = pattern_normal_distance(ctx, &mapping);
-        let completion = match meter.exhaustion() {
+        // Score through the run's own evaluator (an exhausted meter takes
+        // the exact uncharged grace path) so the evaluation work lands in
+        // this run's counters.
+        let score: f64 = (0..ctx.patterns().len())
+            .filter_map(|i| eval.d(i, &mapping))
+            .sum();
+        let completion = match eval.meter().exhaustion() {
             None => Completion::Finished,
             Some(exhaustion) => Completion::BudgetExhausted {
                 exhaustion,
                 optimality_gap: crate::baseline::global_gap(ctx, score),
             },
         };
+        let stats = SearchStats {
+            processed_mappings: eval.meter().processed(),
+            visited_nodes: 1,
+            polls: eval.meter().polls(),
+            eval: eval.stats(),
+        };
+        let elapsed = eval.meter().elapsed();
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        eval.telemetry_mut()
+            .registry
+            .record_timing("search.solve", nanos);
         MatchOutcome {
             mapping,
             score,
-            stats: SearchStats {
-                processed_mappings: meter.processed(),
-                visited_nodes: 1,
-                polls: meter.polls(),
-                eval: Default::default(),
-            },
-            elapsed: meter.elapsed(),
+            stats,
+            elapsed,
             completion,
+            metrics: eval.metrics_snapshot(),
+            trace: std::mem::take(&mut eval.telemetry_mut().trace),
         }
     }
 }

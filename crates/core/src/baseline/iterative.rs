@@ -10,9 +10,10 @@ use evematch_eventlog::{DepGraph, EventId};
 use crate::assignment::max_weight_assignment;
 use crate::budget::{Budget, BudgetMeter};
 use crate::context::MatchContext;
+use crate::evaluator::Evaluator;
 use crate::exact::{Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
-use crate::score::{pattern_normal_distance, sim};
+use crate::score::sim;
 
 /// Tuning knobs for [`IterativeMatcher`].
 #[derive(Clone, Copy, Debug)]
@@ -65,12 +66,15 @@ impl IterativeMatcher {
     /// Infallible — the method is polynomial and always returns a complete
     /// mapping, even on a tripped budget.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let mut meter = self.budget.meter();
+        let mut eval = Evaluator::with_budget(ctx, self.budget);
+        eval.probe_structure();
+        let c_rounds = eval.telemetry_mut().registry.counter("iterative.rounds");
         let (n1, n2) = (ctx.n1(), ctx.n2());
         // One charged unit for the single assignment this method performs;
         // a zero cap therefore skips all fixpoint iterations too.
-        meter.charge_processed();
-        let cur = propagated_similarity(ctx, &self.config, &mut meter);
+        eval.meter_mut().charge_processed();
+        let (cur, rounds) = propagated_similarity(ctx, &self.config, eval.meter_mut());
+        eval.telemetry_mut().registry.add(c_rounds, rounds);
         let assignment = max_weight_assignment(&cur);
         let mapping = Mapping::from_pairs(
             n1,
@@ -80,25 +84,38 @@ impl IterativeMatcher {
                 .enumerate()
                 .map(|(a, &b)| (EventId(a as u32), EventId(b as u32))),
         );
-        let score = pattern_normal_distance(ctx, &mapping);
-        let completion = match meter.exhaustion() {
+        // Score through the run's own evaluator (an exhausted meter takes
+        // the exact uncharged grace path) so the evaluation work lands in
+        // this run's counters.
+        let score: f64 = (0..ctx.patterns().len())
+            .filter_map(|i| eval.d(i, &mapping))
+            .sum();
+        let completion = match eval.meter().exhaustion() {
             None => Completion::Finished,
             Some(exhaustion) => Completion::BudgetExhausted {
                 exhaustion,
                 optimality_gap: crate::baseline::global_gap(ctx, score),
             },
         };
+        let stats = SearchStats {
+            processed_mappings: eval.meter().processed(),
+            visited_nodes: 1,
+            polls: eval.meter().polls(),
+            eval: eval.stats(),
+        };
+        let elapsed = eval.meter().elapsed();
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        eval.telemetry_mut()
+            .registry
+            .record_timing("search.solve", nanos);
         MatchOutcome {
             mapping,
             score,
-            stats: SearchStats {
-                processed_mappings: meter.processed(),
-                visited_nodes: 1,
-                polls: meter.polls(),
-                eval: Default::default(),
-            },
-            elapsed: meter.elapsed(),
+            stats,
+            elapsed,
             completion,
+            metrics: eval.metrics_snapshot(),
+            trace: std::mem::take(&mut eval.telemetry_mut().trace),
         }
     }
 }
@@ -106,12 +123,13 @@ impl IterativeMatcher {
 /// The propagated vertex-similarity matrix: frequency-seeded, refined by
 /// the neighbour-propagation fixpoint. Shared by [`IterativeMatcher`] and
 /// (as an optional sharpener of the Equation-2 estimated scores) by the
-/// advanced heuristic.
+/// advanced heuristic. Also returns the number of fixpoint rounds actually
+/// run (the `iterative.rounds` metric).
 pub(crate) fn propagated_similarity(
     ctx: &MatchContext,
     config: &IterativeConfig,
     meter: &mut BudgetMeter,
-) -> Vec<Vec<f64>> {
+) -> (Vec<Vec<f64>>, u64) {
     let (n1, n2) = (ctx.n1(), ctx.n2());
     let (dep1, dep2) = (ctx.dep1(), ctx.dep2());
 
@@ -131,12 +149,14 @@ pub(crate) fn propagated_similarity(
 
     let mut cur = seed.clone();
     let alpha = config.alpha.clamp(0.0, 1.0);
+    let mut rounds = 0u64;
     for _ in 0..config.max_iterations {
         if meter.is_exhausted() {
             // Cut the fixpoint short; the caller assigns on the matrix
             // propagated so far.
             break;
         }
+        rounds += 1;
         let mut next = vec![vec![0.0; n2]; n1];
         let mut max_delta = 0.0f64;
         for a in 0..n1 {
@@ -164,7 +184,7 @@ pub(crate) fn propagated_similarity(
             break;
         }
     }
-    cur
+    (cur, rounds)
 }
 
 /// Average over `v1`'s neighbours of the best current similarity with one

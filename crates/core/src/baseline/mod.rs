@@ -33,7 +33,7 @@ use crate::score::heuristic_bound;
 /// the advanced heuristic's estimated-score sharpening).
 pub(crate) fn propagated_similarity_default(ctx: &MatchContext) -> Vec<Vec<f64>> {
     let mut meter = Budget::UNLIMITED.meter();
-    iterative::propagated_similarity(ctx, &IterativeConfig::default(), &mut meter)
+    iterative::propagated_similarity(ctx, &IterativeConfig::default(), &mut meter).0
 }
 
 /// The global optimality-gap certificate of the polynomial baselines: the

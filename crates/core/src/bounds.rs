@@ -88,6 +88,22 @@ impl BoundPrecomp {
     }
 }
 
+/// Why a pattern's bound collapsed to exactly `0` — i.e. which cap pruned
+/// every completion of the partial mapping for this pattern. Surfaced as
+/// the `bounds.pruned.*` metrics counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PruneReason {
+    /// More unmapped pattern events than unused targets.
+    SizeRule,
+    /// `f1 = 0`: `sim(0, f2) = 0` for every `f2`.
+    ZeroF1,
+    /// A fixed image (or the best unused target) has vertex frequency 0.
+    VertexCap,
+    /// A required edge group's frequency cap summed to 0 (subsumes the
+    /// Proposition-3 existence pruning inside `h`).
+    EdgeGroupCap,
+}
+
 /// Computes `Δ(p)` for pattern `ep` under the partial mapping `m`: an upper
 /// bound of `d(p)` over every completion of `m`.
 pub fn upper_bound_partial(
@@ -97,19 +113,31 @@ pub fn upper_bound_partial(
     dep2: &DepGraph,
     pre: &BoundPrecomp,
 ) -> f64 {
+    upper_bound_partial_explained(kind, ep, m, dep2, pre).0
+}
+
+/// [`upper_bound_partial`], additionally reporting *which* cap pruned the
+/// pattern whenever the bound is exactly `0`.
+pub fn upper_bound_partial_explained(
+    kind: BoundKind,
+    ep: &EvaluatedPattern,
+    m: &Mapping,
+    dep2: &DepGraph,
+    pre: &BoundPrecomp,
+) -> (f64, Option<PruneReason>) {
     // Trivial tightest case: not enough unused targets for the pattern's
     // unfixed events.
     let unfixed = ep.events.iter().filter(|&&e| !m.is_mapped(e)).count();
     if unfixed > pre.unused {
-        return 0.0;
+        return (0.0, Some(PruneReason::SizeRule));
     }
     match kind {
-        BoundKind::Simple => 1.0,
+        BoundKind::Simple => (1.0, None),
         BoundKind::Tight => {
             let f1 = ep.freq;
             if float_ord::is_zero(f1) {
                 // sim(0, f2) = 0 for every f2.
-                return 0.0;
+                return (0.0, Some(PruneReason::ZeroF1));
             }
             // Vertex caps.
             let mut cap = f64::INFINITY;
@@ -119,7 +147,7 @@ pub fn upper_bound_partial(
                     None => cap = cap.min(pre.fn_u2),
                 }
                 if float_ord::is_zero(cap) {
-                    return 0.0;
+                    return (0.0, Some(PruneReason::VertexCap));
                 }
             }
             // Edge-group caps.
@@ -133,13 +161,13 @@ pub fn upper_bound_partial(
                 }
                 cap = cap.min(gsum);
                 if float_ord::is_zero(cap) {
-                    return 0.0;
+                    return (0.0, Some(PruneReason::EdgeGroupCap));
                 }
             }
             if cap >= f1 {
-                1.0
+                (1.0, None)
             } else {
-                1.0 - (f1 - cap) / (f1 + cap)
+                (1.0 - (f1 - cap) / (f1 + cap), None)
             }
         }
     }

@@ -21,9 +21,11 @@
 //!   `poll_interval` further units — not only when a global counter
 //!   happens to be a multiple of the interval.
 //!
-//! This module is the only place in the solver crates allowed to read the
-//! wall clock (`cargo xtask tidy` enforces this via the `no-raw-deadline`
-//! lint).
+//! This module and `core::telemetry`'s span clock are the only places in
+//! the solver crates allowed to read the wall clock (`cargo xtask tidy`
+//! enforces this via the `no-raw-deadline` lint). The division of labour:
+//! this module may *branch* on the clock (that is what a deadline is),
+//! while telemetry spans only ever *record* it.
 
 use std::time::{Duration, Instant};
 
@@ -146,6 +148,19 @@ pub enum Exhaustion {
     Deadline,
     /// The frontier grew past its cap.
     Frontier,
+}
+
+impl Exhaustion {
+    /// Stable machine-readable key, used as the `budget.exhausted.<key>`
+    /// metrics counter name.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Self::Processed => "processed",
+            Self::Deadline => "deadline",
+            Self::Frontier => "frontier",
+        }
+    }
 }
 
 impl std::fmt::Display for Exhaustion {

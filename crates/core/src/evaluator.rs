@@ -8,17 +8,26 @@
 use std::collections::BTreeMap;
 
 use evematch_eventlog::EventId;
+use evematch_graph::{IsoStats, MonoSearch};
 use evematch_pattern::{
-    is_realizable, is_realizable_with_fuel, pattern_support, pattern_support_with_fuel, Interrupted,
+    is_realizable, is_realizable_with_fuel, pattern_support_stats, pattern_support_with_fuel_stats,
+    Interrupted, SupportStats,
 };
 
+use crate::bounds::PruneReason;
 use crate::budget::{Budget, BudgetMeter};
 use crate::context::MatchContext;
 use crate::mapping::Mapping;
 use crate::score::sim;
+use crate::telemetry::{CounterId, MetricsSnapshot, Telemetry};
 
 /// Counters describing how much work an evaluator did — these feed the
 /// "processed mappings" and pruning plots (Figures 7c, 8c, 9c, 10c).
+///
+/// Since the telemetry registry became the source of truth this is a
+/// *compatibility view*, produced on demand by [`Evaluator::stats`]; the
+/// same values (and many more) appear as `eval.*` counters in
+/// [`Evaluator::metrics_snapshot`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Mapped-pattern frequency evaluations that scanned the log.
@@ -35,6 +44,57 @@ pub struct EvalStats {
     pub interrupted_evals: u64,
 }
 
+/// Registered counter handles for the evaluator's hot paths.
+#[derive(Clone, Copy, Debug)]
+struct EvalCounters {
+    log_scans: CounterId,
+    cache_hits: CounterId,
+    cache_misses: CounterId,
+    existence_pruned: CounterId,
+    interrupted_evals: CounterId,
+    grace_evals: CounterId,
+    fuel_spent: CounterId,
+    index_probes: CounterId,
+    candidate_traces: CounterId,
+    matched_traces: CounterId,
+    prune_size_rule: CounterId,
+    prune_zero_f1: CounterId,
+    prune_vertex_cap: CounterId,
+    prune_edge_group_cap: CounterId,
+}
+
+impl EvalCounters {
+    fn register(tele: &mut Telemetry) -> Self {
+        let reg = &mut tele.registry;
+        EvalCounters {
+            log_scans: reg.counter("eval.log_scans"),
+            cache_hits: reg.counter("eval.cache_hits"),
+            cache_misses: reg.counter("eval.cache_misses"),
+            existence_pruned: reg.counter("eval.existence_pruned"),
+            interrupted_evals: reg.counter("eval.interrupted_evals"),
+            grace_evals: reg.counter("eval.grace_evals"),
+            fuel_spent: reg.counter("eval.fuel_spent"),
+            index_probes: reg.counter("frequency.index_probes"),
+            candidate_traces: reg.counter("frequency.candidate_traces"),
+            matched_traces: reg.counter("frequency.matched_traces"),
+            prune_size_rule: reg.counter("bounds.pruned.size_rule"),
+            prune_zero_f1: reg.counter("bounds.pruned.zero_f1"),
+            prune_vertex_cap: reg.counter("bounds.pruned.vertex_cap"),
+            prune_edge_group_cap: reg.counter("bounds.pruned.edge_group_cap"),
+        }
+    }
+}
+
+/// Fuel granted to the structural probe per complex pattern (VF2 extension
+/// steps); embedding enumeration additionally stops at
+/// [`PROBE_EMBED_CAP`]. Both caps are pure work counts, so the probe is
+/// bit-deterministic.
+const PROBE_FUEL: u64 = 4096;
+
+/// Embeddings counted per pattern before the structural probe stops (the
+/// Section-2.2 discriminativeness question only needs "few or many").
+const PROBE_EMBED_CAP: u64 = 4;
+
 /// Evaluates `d(p) = 1 − |f1(p) − f2(M(p))| / (f1(p) + f2(M(p)))` for the
 /// patterns of a [`MatchContext`] under concrete event images.
 ///
@@ -43,15 +103,19 @@ pub struct EvalStats {
 /// different search branch is free. Single-event and single-edge patterns
 /// bypass the cache entirely — their frequencies come straight from the
 /// dependency graph of `L2`.
+///
+/// The evaluator also owns the run's [`Telemetry`]: solvers register their
+/// own counters on it and the whole registry is frozen into
+/// `MatchOutcome::metrics` when the run finishes.
 pub struct Evaluator<'a> {
     ctx: &'a MatchContext,
     cache: BTreeMap<(u32, Box<[EventId]>), u32>,
-    /// Work counters for this run.
-    pub stats: EvalStats,
     /// The solver run's budget meter. The evaluator ticks it before every
     /// log scan, so a deadline is observed even inside one expensive outer
     /// search step.
     meter: BudgetMeter,
+    tele: Telemetry,
+    counters: EvalCounters,
 }
 
 impl<'a> Evaluator<'a> {
@@ -63,12 +127,131 @@ impl<'a> Evaluator<'a> {
 
     /// Creates a fresh evaluator metering `budget`.
     pub fn with_budget(ctx: &'a MatchContext, budget: Budget) -> Self {
+        let mut tele = Telemetry::new();
+        let counters = EvalCounters::register(&mut tele);
         Evaluator {
             ctx,
             cache: BTreeMap::new(),
-            stats: EvalStats::default(),
             meter: budget.meter(),
+            tele,
+            counters,
         }
+    }
+
+    /// Work counters as the legacy [`EvalStats`] view.
+    pub fn stats(&self) -> EvalStats {
+        let reg = &self.tele.registry;
+        EvalStats {
+            log_scans: reg.counter_value(self.counters.log_scans),
+            cache_hits: reg.counter_value(self.counters.cache_hits),
+            existence_pruned: reg.counter_value(self.counters.existence_pruned),
+            interrupted_evals: reg.counter_value(self.counters.interrupted_evals),
+        }
+    }
+
+    /// This run's telemetry (registry + trace buffer).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tele
+    }
+
+    /// This run's telemetry, for registering and bumping solver counters.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.tele
+    }
+
+    /// Records one bound-analysis prune (called by
+    /// [`crate::score::heuristic_bound`]).
+    pub(crate) fn count_prune(&mut self, reason: PruneReason) {
+        let id = match reason {
+            PruneReason::SizeRule => self.counters.prune_size_rule,
+            PruneReason::ZeroF1 => self.counters.prune_zero_f1,
+            PruneReason::VertexCap => self.counters.prune_vertex_cap,
+            PruneReason::EdgeGroupCap => self.counters.prune_edge_group_cap,
+        };
+        self.tele.registry.inc(id);
+    }
+
+    /// Runs the deterministic **structural probe**: embeds each complex
+    /// pattern's graph form into `G2` with the VF2-style [`MonoSearch`],
+    /// under a pure fuel cap. This is the Section-2.2 discriminativeness
+    /// measure (a pattern whose structure has many embeddings carries
+    /// little signal), surfaced as the `iso.*` counters. Purely
+    /// observational: no search decision reads these numbers. Solvers call
+    /// it once per run; repeat calls are no-ops.
+    pub fn probe_structure(&mut self) {
+        // Register every iso.* key up front so the snapshot always names
+        // them, even when there is no composite pattern to probe.
+        let reg = &mut self.tele.registry;
+        let probes = reg.counter("iso.probes");
+        let steps = reg.counter("iso.steps");
+        let backtracks = reg.counter("iso.backtracks");
+        let embeddings = reg.counter("iso.embeddings_found");
+        let fuel_interrupts = reg.counter("iso.fuel_interrupts");
+        let max_depth = reg.gauge("iso.max_depth");
+        if reg.counter_value(probes) > 0 {
+            return;
+        }
+        let target = self.ctx.dep2().graph();
+        let mut total = IsoStats::default();
+        let mut probed = 0u64;
+        let mut found = 0u64;
+        let mut interrupted = 0u64;
+        for ep in self.ctx.patterns() {
+            // Vertex and edge special patterns embed trivially; only the
+            // composite structures are worth a probe.
+            if ep.size() < 3 {
+                continue;
+            }
+            let mut n = 0u64;
+            let mut fuel_left = PROBE_FUEL;
+            let r = MonoSearch::new(ep.graph.graph(), target).enumerate_with_fuel_stats(
+                &mut |_| {
+                    n += 1;
+                    n < PROBE_EMBED_CAP
+                },
+                &mut || {
+                    if fuel_left == 0 {
+                        return false;
+                    }
+                    fuel_left -= 1;
+                    true
+                },
+                &mut total,
+            );
+            probed += 1;
+            found += n;
+            if r.is_err() {
+                interrupted += 1;
+            }
+        }
+        let reg = &mut self.tele.registry;
+        reg.add(probes, probed);
+        reg.add(steps, total.steps);
+        reg.add(backtracks, total.backtracks);
+        reg.add(embeddings, found);
+        reg.add(fuel_interrupts, interrupted);
+        reg.gauge_max(max_depth, total.max_depth);
+        self.tele.trace.point(
+            "iso.probe",
+            vec![
+                ("patterns".to_owned(), probed),
+                ("steps".to_owned(), total.steps),
+                ("embeddings".to_owned(), found),
+            ],
+        );
+    }
+
+    /// Freezes this run's metrics, folding in the budget meter's view:
+    /// `budget.processed`, `budget.polls`, and — when a limit tripped —
+    /// `budget.exhausted.<cause>` (see [`crate::Exhaustion::key`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.tele.registry.snapshot();
+        snap.set_counter("budget.processed", self.meter.processed());
+        snap.set_counter("budget.polls", self.meter.polls());
+        if let Some(cause) = self.meter.exhaustion() {
+            snap.set_counter(&format!("budget.exhausted.{}", cause.key()), 1);
+        }
+        snap
     }
 
     /// The context this evaluator works on.
@@ -149,32 +332,38 @@ impl<'a> Evaluator<'a> {
         }
         let key = (p_idx as u32, images.to_vec().into_boxed_slice());
         if let Some(&support) = self.cache.get(&key) {
-            self.stats.cache_hits += 1;
+            self.tele.registry.inc(self.counters.cache_hits);
             return support;
         }
+        self.tele.registry.inc(self.counters.cache_misses);
         // A realizability check or log scan is the expensive inner unit of
         // work; advance the deadline poll cadence before paying it.
         self.meter.tick();
         let mapped = ep.pattern.map_events(&|e| image_of(ep, e, images));
         let edge_ok = |a: EventId, b: EventId| dep2.has_edge(a, b);
+        let ids = self.counters;
+        let mut scan = SupportStats::default();
         // Proposition 3 (sound form): if no allowed order of the mapped
         // pattern can be realized along dependency edges of G2, no trace of
         // L2 matches it — skip the log scan.
         if self.meter.is_exhausted() {
             // Grace mode (see the method docs): exact, unfueled, cached.
+            self.tele.registry.inc(ids.grace_evals);
             let support = if !is_realizable(&mapped, &edge_ok) {
-                self.stats.existence_pruned += 1;
+                self.tele.registry.inc(ids.existence_pruned);
                 0
             } else {
-                self.stats.log_scans += 1;
-                pattern_support(&mapped, ctx.log2(), ctx.index2()) as u32
+                self.tele.registry.inc(ids.log_scans);
+                pattern_support_stats(&mapped, ctx.log2(), ctx.index2(), &mut scan) as u32
             };
+            self.absorb_scan(&scan);
             self.cache.insert(key, support);
             return support;
         }
-        let stats = &mut self.stats;
         let meter = &mut self.meter;
+        let mut fuel_polls = 0u64;
         let mut fuel = || {
+            fuel_polls += 1;
             meter.tick();
             // Only a deadline can latch inside a tick, so "not exhausted"
             // is exactly "the deadline has not tripped".
@@ -182,18 +371,26 @@ impl<'a> Evaluator<'a> {
         };
         let support = match is_realizable_with_fuel(&mapped, &edge_ok, &mut fuel) {
             Ok(false) => {
-                stats.existence_pruned += 1;
+                self.tele.registry.inc(ids.existence_pruned);
                 Some(0)
             }
             Ok(true) => {
-                stats.log_scans += 1;
-                match pattern_support_with_fuel(&mapped, ctx.log2(), ctx.index2(), &mut fuel) {
+                self.tele.registry.inc(ids.log_scans);
+                match pattern_support_with_fuel_stats(
+                    &mapped,
+                    ctx.log2(),
+                    ctx.index2(),
+                    &mut fuel,
+                    &mut scan,
+                ) {
                     Ok(s) => Some(s as u32),
                     Err(Interrupted) => None,
                 }
             }
             Err(Interrupted) => None,
         };
+        self.tele.registry.add(ids.fuel_spent, fuel_polls);
+        self.absorb_scan(&scan);
         match support {
             Some(support) => {
                 self.cache.insert(key, support);
@@ -204,10 +401,18 @@ impl<'a> Evaluator<'a> {
                 // later grace evaluation of the same key recomputes it
                 // exactly — and record that this run's scores may now
                 // under-estimate.
-                self.stats.interrupted_evals += 1;
+                self.tele.registry.inc(ids.interrupted_evals);
                 0
             }
         }
+    }
+
+    /// Folds one support scan's counters into the registry.
+    fn absorb_scan(&mut self, scan: &SupportStats) {
+        let reg = &mut self.tele.registry;
+        reg.add(self.counters.index_probes, scan.index_probes);
+        reg.add(self.counters.candidate_traces, scan.candidate_traces);
+        reg.add(self.counters.matched_traces, scan.matched_traces);
     }
 }
 
@@ -267,8 +472,8 @@ mod tests {
         let d = ev.d_with_images(0, &[EventId(1)]);
         assert!((d - (1.0 - 0.5 / 1.5)).abs() < 1e-12);
         // Fast paths never touch the cache or the log.
-        assert_eq!(ev.stats.log_scans, 0);
-        assert_eq!(ev.stats.cache_hits, 0);
+        assert_eq!(ev.stats().log_scans, 0);
+        assert_eq!(ev.stats().cache_hits, 0);
     }
 
     #[test]
@@ -281,10 +486,10 @@ mod tests {
         let images: Vec<EventId> = (0..4).map(EventId).collect();
         let d = ev.d_with_images(p1_idx, &images);
         assert!((d - sim(1.0, 0.5)).abs() < 1e-12);
-        assert_eq!(ev.stats.log_scans, 1);
+        assert_eq!(ev.stats().log_scans, 1);
         let _ = ev.d_with_images(p1_idx, &images);
-        assert_eq!(ev.stats.cache_hits, 1);
-        assert_eq!(ev.stats.log_scans, 1);
+        assert_eq!(ev.stats().cache_hits, 1);
+        assert_eq!(ev.stats().log_scans, 1);
     }
 
     #[test]
@@ -297,8 +502,8 @@ mod tests {
         let images = vec![EventId(3), EventId(1), EventId(2), EventId(0)];
         let d = ev.d_with_images(p1_idx, &images);
         assert_eq!(d, 0.0);
-        assert_eq!(ev.stats.existence_pruned, 1);
-        assert_eq!(ev.stats.log_scans, 0);
+        assert_eq!(ev.stats().existence_pruned, 1);
+        assert_eq!(ev.stats().log_scans, 0);
     }
 
     #[test]

@@ -54,6 +54,7 @@ use crate::context::MatchContext;
 use crate::evaluator::{EvalStats, Evaluator};
 use crate::mapping::Mapping;
 use crate::score::heuristic_bound;
+use crate::telemetry::{MetricsSnapshot, TraceBuffer};
 
 /// Work counters of one solver run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -126,6 +127,13 @@ pub struct MatchOutcome {
     pub elapsed: Duration,
     /// Whether the run finished or degraded on budget exhaustion.
     pub completion: Completion,
+    /// Full telemetry snapshot of the run (see [`crate::telemetry`]): the
+    /// deterministic counter/gauge/histogram sections plus wall-clock span
+    /// timings kept separately.
+    pub metrics: MetricsSnapshot,
+    /// The run's bounded JSONL search trace (empty unless the solver
+    /// emitted trace points; see [`crate::telemetry::TraceBuffer`]).
+    pub trace: TraceBuffer,
 }
 
 /// Why a strict search did not produce a mapping.
@@ -191,6 +199,15 @@ impl ExactMatcher {
     /// for the paper's all-or-nothing (DNF) semantics.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
         let mut eval = Evaluator::with_budget(ctx, self.budget);
+        eval.probe_structure();
+        let tele = eval.telemetry_mut();
+        let c_pops = tele.registry.counter("search.pops");
+        let c_expansions = tele.registry.counter("search.expansions");
+        let c_refreshes = tele.registry.counter("search.incumbent_refreshes");
+        let g_frontier = tele.registry.gauge("search.frontier_high_water");
+        let h_depth = tele
+            .registry
+            .histogram("search.depth", &[1, 2, 4, 8, 16, 32, 64]);
         let n1 = ctx.n1();
         let order = ctx.pattern_index().expansion_order();
         debug_assert_eq!(order.len(), n1);
@@ -219,6 +236,19 @@ impl ExactMatcher {
 
         while let Some(node) = queue.pop() {
             stats.visited_nodes += 1;
+            let tele = eval.telemetry_mut();
+            tele.registry.inc(c_pops);
+            tele.registry.observe(h_depth, u64::from(node.depth));
+            if stats.visited_nodes % TRACE_POP_INTERVAL == 0 {
+                tele.trace.point(
+                    "search.pop",
+                    vec![
+                        ("depth".to_string(), u64::from(node.depth)),
+                        ("frontier".to_string(), queue.len() as u64),
+                        ("pops".to_string(), stats.visited_nodes),
+                    ],
+                );
+            }
             if node.depth as usize == n1 {
                 return finish(Completion::Finished, node.g, node.mapping, stats, &mut eval);
             }
@@ -235,15 +265,16 @@ impl ExactMatcher {
                     // completion of the node); refresh with a greedy
                     // completion (uncharged, but meter-ticked) of it.
                     pops_since_refresh = 0;
-                    let clean = eval.stats.interrupted_evals;
+                    let clean = eval.stats().interrupted_evals;
                     let (cg, cm) = greedy_complete(&mut eval, &order, &node.mapping);
                     // A completion whose evaluations were fuel-interrupted
                     // carries an untrustworthy score; drop it rather than
                     // poison the incumbent.
-                    if eval.stats.interrupted_evals == clean
+                    if eval.stats().interrupted_evals == clean
                         && improves(incumbent.as_ref().map(|(s, _)| *s), cg)
                     {
                         incumbent = Some((cg, cm));
+                        eval.telemetry_mut().registry.inc(c_refreshes);
                     }
                 }
             }
@@ -277,6 +308,7 @@ impl ExactMatcher {
                     g += eval.d_with_images(p_idx, &images);
                 }
                 let h = heuristic_bound(&mut eval, &child, self.bound);
+                eval.telemetry_mut().registry.inc(c_expansions);
                 seq += 1;
                 queue.push(Node {
                     f: g + h,
@@ -303,6 +335,9 @@ impl ExactMatcher {
                 });
             }
             eval.meter_mut().note_frontier(queue.len());
+            eval.telemetry_mut()
+                .registry
+                .gauge_max(g_frontier, queue.len() as u64);
             if eval.meter().is_exhausted() {
                 return exhausted_outcome(&mut eval, &order, queue, incumbent, stats, n1, ctx.n2());
             }
@@ -338,6 +373,10 @@ impl ExactMatcher {
 /// incumbent is refreshed again. Bounds the amortized per-pop cost of the
 /// `O(n1·n2)` greedy completion at `1/64` of one completion.
 pub const INCUMBENT_REFRESH_INTERVAL: u64 = 64;
+
+/// Every how many pops the search emits a `search.pop` trace point
+/// (deterministic: keyed to the pop counter, never the clock).
+pub const TRACE_POP_INTERVAL: u64 = 64;
 
 /// Strict improvement test used for the incumbent and greedy choices; on
 /// ties the earlier holder wins, keeping every choice deterministic.
@@ -383,7 +422,7 @@ fn exhausted_outcome(
         // ever changes.
         None => greedy_complete(eval, order, &Mapping::empty(n1, n2)),
     };
-    let optimality_gap = if eval.stats.interrupted_evals > 0 {
+    let optimality_gap = if eval.stats().interrupted_evals > 0 {
         // Fuel-interrupted evaluations may have under-scored frontier
         // nodes, so the frontier-top certificate is not trustworthy; fall
         // back to the static whole-problem bound (computed fresh and
@@ -418,15 +457,24 @@ fn finish(
     mut stats: SearchStats,
     eval: &mut Evaluator<'_>,
 ) -> MatchOutcome {
-    stats.eval = eval.stats;
+    stats.eval = eval.stats();
     stats.processed_mappings = eval.meter().processed();
     stats.polls = eval.meter().polls();
+    let elapsed = eval.meter().elapsed();
+    // Wall-clock duration lands in the snapshot's non-deterministic
+    // section; every counter above stays bit-deterministic.
+    let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    eval.telemetry_mut()
+        .registry
+        .record_timing("search.solve", nanos);
     MatchOutcome {
         mapping,
         score,
         stats,
-        elapsed: eval.meter().elapsed(),
+        elapsed,
         completion,
+        metrics: eval.metrics_snapshot(),
+        trace: std::mem::take(&mut eval.telemetry_mut().trace),
     }
 }
 

@@ -112,6 +112,10 @@ impl AdvancedHeuristic {
     /// completed greedily if the budget trips first.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
         let mut eval = Evaluator::with_budget(ctx, self.budget);
+        eval.probe_structure();
+        let tele = eval.telemetry_mut();
+        let c_rounds = tele.registry.counter("km.rounds");
+        let c_rescores = tele.registry.counter("km.rescores");
         let mut stats = SearchStats::default();
         let n1 = ctx.n1();
         // Square the instance: dummy rows n1..n with θ ≡ 0 absorb the
@@ -125,6 +129,8 @@ impl AdvancedHeuristic {
                 stats,
                 elapsed: eval.meter().elapsed(),
                 completion: Completion::Finished,
+                metrics: eval.metrics_snapshot(),
+                trace: std::mem::take(&mut eval.telemetry_mut().trace),
             };
         }
 
@@ -140,6 +146,7 @@ impl AdvancedHeuristic {
 
         'km: while match_row.iter().any(Option::is_none) {
             stats.visited_nodes += 1;
+            eval.telemetry_mut().registry.inc(c_rounds);
             // Build the maximal alternating tree of every unmatched root
             // and score every augmenting path it offers. Candidates are
             // ranked by true `g + h`; ties (ubiquitous early, when few
@@ -160,6 +167,7 @@ impl AdvancedHeuristic {
                     let (mr, _mc) = augmented(mr, mc, &tree, endpoint);
                     let mapping = to_mapping(&mr, n1, n);
                     let (g, h) = score_partial(&mut eval, &mapping, self.bound);
+                    eval.telemetry_mut().registry.inc(c_rescores);
                     let f = g + h;
                     let q: f64 = mr
                         .iter()
@@ -226,15 +234,22 @@ impl AdvancedHeuristic {
                 };
             }
         }
-        stats.eval = eval.stats;
+        stats.eval = eval.stats();
         stats.processed_mappings = eval.meter().processed();
         stats.polls = eval.meter().polls();
+        let elapsed = eval.meter().elapsed();
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        eval.telemetry_mut()
+            .registry
+            .record_timing("search.solve", nanos);
         MatchOutcome {
             mapping,
             score,
             stats,
-            elapsed: eval.meter().elapsed(),
+            elapsed,
             completion,
+            metrics: eval.metrics_snapshot(),
+            trace: std::mem::take(&mut eval.telemetry_mut().trace),
         }
     }
 }
@@ -246,6 +261,9 @@ impl AdvancedHeuristic {
 /// score.
 fn local_refine(eval: &mut Evaluator<'_>, mapping: &mut Mapping, mut score: f64) -> f64 {
     const MAX_PASSES: usize = 8;
+    let tele = eval.telemetry_mut();
+    let c_passes = tele.registry.counter("refine.passes");
+    let c_moves = tele.registry.counter("refine.moves");
     let ctx = eval.context();
     let n1 = ctx.n1();
     // Patterns touching a pair of source events — only these change under
@@ -267,6 +285,7 @@ fn local_refine(eval: &mut Evaluator<'_>, mapping: &mut Mapping, mut score: f64)
             .sum()
     };
     for _ in 0..MAX_PASSES {
+        eval.telemetry_mut().registry.inc(c_passes);
         let mut improved = false;
         for i in 0..n1 as u32 {
             let a1 = EventId(i);
@@ -283,6 +302,7 @@ fn local_refine(eval: &mut Evaluator<'_>, mapping: &mut Mapping, mut score: f64)
                 if after > before + EPS {
                     score += after - before;
                     improved = true;
+                    eval.telemetry_mut().registry.inc(c_moves);
                 } else {
                     mapping.remove(a1);
                     mapping.insert(a1, old);
@@ -303,6 +323,7 @@ fn local_refine(eval: &mut Evaluator<'_>, mapping: &mut Mapping, mut score: f64)
                 if after > before + EPS {
                     score += after - before;
                     improved = true;
+                    eval.telemetry_mut().registry.inc(c_moves);
                 } else {
                     mapping.remove(a1);
                     mapping.remove(a2);

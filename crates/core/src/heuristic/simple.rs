@@ -49,6 +49,8 @@ impl SimpleHeuristic {
     /// completed greedily if the budget trips first.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
         let mut eval = Evaluator::with_budget(ctx, self.budget);
+        eval.probe_structure();
+        let c_levels = eval.telemetry_mut().registry.counter("search.levels");
         let order = ctx.pattern_index().expansion_order();
         let mut stats = SearchStats::default();
         let mut mapping = Mapping::empty(ctx.n1(), ctx.n2());
@@ -56,6 +58,7 @@ impl SimpleHeuristic {
 
         'levels: for &a in &order {
             stats.visited_nodes += 1;
+            eval.telemetry_mut().registry.inc(c_levels);
             let mut best: Option<(f64, f64, evematch_eventlog::EventId)> = None;
             for b in mapping.unused_targets() {
                 if !eval.meter_mut().charge_processed() {
@@ -114,15 +117,22 @@ impl SimpleHeuristic {
             }
         };
 
-        stats.eval = eval.stats;
+        stats.eval = eval.stats();
         stats.processed_mappings = eval.meter().processed();
         stats.polls = eval.meter().polls();
+        let elapsed = eval.meter().elapsed();
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        eval.telemetry_mut()
+            .registry
+            .record_timing("search.solve", nanos);
         MatchOutcome {
             mapping,
             score: g,
             stats,
-            elapsed: eval.meter().elapsed(),
+            elapsed,
             completion,
+            metrics: eval.metrics_snapshot(),
+            trace: std::mem::take(&mut eval.telemetry_mut().trace),
         }
     }
 }

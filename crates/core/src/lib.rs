@@ -44,12 +44,16 @@ pub mod hardness;
 mod heuristic;
 mod mapping;
 pub mod score;
+pub mod telemetry;
 
 pub use baseline::{EntropyMatcher, IterativeConfig, IterativeMatcher};
-pub use bounds::BoundKind;
+pub use bounds::{
+    upper_bound_partial, upper_bound_partial_explained, BoundKind, BoundPrecomp, PruneReason,
+};
 pub use budget::{Budget, BudgetMeter, Exhaustion};
 pub use context::{MatchContext, PatternSetBuilder};
 pub use evaluator::Evaluator;
 pub use exact::{Completion, ExactMatcher, MatchOutcome, SearchError, SearchStats};
 pub use heuristic::{AdvancedHeuristic, SimpleHeuristic};
 pub use mapping::Mapping;
+pub use telemetry::{MetricsSnapshot, Telemetry, TraceBuffer, TraceEvent};

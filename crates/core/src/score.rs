@@ -5,7 +5,7 @@ pub mod float_ord;
 
 use evematch_eventlog::DepGraph;
 
-use crate::bounds::{upper_bound_partial, BoundKind, BoundPrecomp};
+use crate::bounds::{upper_bound_partial_explained, BoundKind, BoundPrecomp};
 use crate::context::MatchContext;
 use crate::evaluator::Evaluator;
 use crate::mapping::Mapping;
@@ -90,11 +90,19 @@ pub fn heuristic_bound(eval: &mut Evaluator<'_>, m: &Mapping, bound: BoundKind) 
     let ctx = eval.context();
     let pre = BoundPrecomp::new(m, ctx.dep2());
     let mut h = 0.0;
+    let mut prunes = Vec::new();
     for ep in ctx.patterns() {
         if ep.events.iter().all(|&e| m.is_mapped(e)) {
             continue; // fully mapped: contributes to g, not h
         }
-        h += upper_bound_partial(bound, ep, m, ctx.dep2(), &pre);
+        let (delta, pruned) = upper_bound_partial_explained(bound, ep, m, ctx.dep2(), &pre);
+        h += delta;
+        if let Some(reason) = pruned {
+            prunes.push(reason);
+        }
+    }
+    for reason in prunes {
+        eval.count_prune(reason);
     }
     h
 }

@@ -1,0 +1,149 @@
+//! Fixed-bucket histograms with explicit underflow / overflow buckets.
+
+/// A histogram over `u64` observations with fixed bucket bounds.
+///
+/// For strictly increasing bounds `b0 < b1 < … < b_{n-1}` there are `n + 1`
+/// buckets: bucket `0` is the *underflow* bucket (`v < b0`), bucket `k` for
+/// `1 ≤ k ≤ n-1` covers the half-open range `[b_{k-1}, b_k)`, and bucket
+/// `n` is the *overflow* bucket (`v ≥ b_{n-1}`). A boundary value `v == b_k`
+/// therefore always lands in the bucket *starting* at `b_k`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram from `bounds`, keeping only the strictly
+    /// increasing subsequence (duplicates and out-of-order values are
+    /// dropped rather than rejected, so construction cannot fail).
+    pub(crate) fn new(bounds: &[u64]) -> Self {
+        let mut clean: Vec<u64> = Vec::with_capacity(bounds.len());
+        for &b in bounds {
+            if clean.last().map_or(true, |&prev| b > prev) {
+                clean.push(b);
+            }
+        }
+        let buckets = vec![0; clean.len() + 1];
+        Histogram {
+            bounds: clean,
+            buckets,
+        }
+    }
+
+    /// Records one observation.
+    pub(crate) fn observe(&mut self, v: u64) {
+        // Number of bounds ≤ v: 0 = underflow, len = overflow.
+        let idx = self.bounds.partition_point(|&b| b <= v);
+        if let Some(slot) = self.buckets.get_mut(idx) {
+            *slot += 1;
+        }
+    }
+
+    /// Immutable view used when snapshotting.
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
+/// Frozen histogram state inside a [`super::MetricsSnapshot`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The (strictly increasing) bucket bounds.
+    pub bounds: Vec<u64>,
+    /// `bounds.len() + 1` bucket counts: underflow, the `[b_{k-1}, b_k)`
+    /// ranges, then overflow.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sums `other` into `self` bucket-wise. Mismatched bounds (which
+    /// would make bucket-wise addition meaningless) leave `self` untouched.
+    pub(crate) fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.bounds.is_empty() && self.buckets.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        if self.bounds != other.bounds {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underflow_and_overflow_buckets() {
+        let mut h = Histogram::new(&[10, 20, 30]);
+        h.observe(0); // underflow
+        h.observe(9); // underflow
+        h.observe(15); // [10, 20)
+        h.observe(29); // [20, 30)
+        h.observe(30); // overflow (v ≥ last bound)
+        h.observe(u64::MAX); // overflow
+        assert_eq!(h.snapshot().buckets, vec![2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn boundary_values_open_their_own_bucket() {
+        let mut h = Histogram::new(&[10, 20]);
+        h.observe(10); // exactly b0 → [10, 20), not underflow
+        h.observe(20); // exactly b1 → overflow
+        assert_eq!(h.snapshot().buckets, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn non_increasing_bounds_are_sanitized() {
+        let h = Histogram::new(&[5, 5, 3, 8]);
+        // 5, then 5 (dup) and 3 (decreasing) dropped, then 8.
+        assert_eq!(h.snapshot().bounds, vec![5, 8]);
+        assert_eq!(h.snapshot().buckets.len(), 3);
+    }
+
+    #[test]
+    fn empty_bounds_degenerate_to_a_single_bucket() {
+        let mut h = Histogram::new(&[]);
+        h.observe(7);
+        h.observe(0);
+        assert_eq!(h.snapshot().buckets, vec![2]);
+    }
+
+    #[test]
+    fn merge_requires_identical_bounds() {
+        let mut a = Histogram::new(&[10]).snapshot();
+        let b = {
+            let mut h = Histogram::new(&[10]);
+            h.observe(3);
+            h.observe(12);
+            h.snapshot()
+        };
+        a.merge(&b);
+        assert_eq!(a.buckets, vec![1, 1]);
+        let other_bounds = Histogram::new(&[99]).snapshot();
+        a.merge(&other_bounds);
+        assert_eq!(a.buckets, vec![1, 1], "mismatched bounds are ignored");
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_the_other_side() {
+        let mut a = HistogramSnapshot::default();
+        let mut h = Histogram::new(&[4]);
+        h.observe(5);
+        a.merge(&h.snapshot());
+        assert_eq!(a.bounds, vec![4]);
+        assert_eq!(a.count(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Observability: deterministic work counters, span timings, and search
+//! traces for every solver.
+//!
+//! The paper's whole evaluation (§6, Figs. 7–12) is phrased in units of
+//! *work* — processed mappings, pattern evaluations, pruned branches — so
+//! the solvers meter themselves with a [`MetricsRegistry`] of named
+//! counters, gauges and fixed-bucket histograms, and optionally record a
+//! bounded stream of [`TraceEvent`]s for offline inspection.
+//!
+//! # The deterministic / non-deterministic split
+//!
+//! Everything in this crate that *decides* anything is bit-deterministic
+//! under pure caps (see `DESIGN.md` §7), and the telemetry layer must not
+//! break that. The registry therefore keeps two strictly separated halves:
+//!
+//! * **counters, gauges, histograms** — pure functions of the work
+//!   performed. Two runs under identical processed-mapping caps produce
+//!   byte-identical [`MetricsSnapshot::deterministic_json`] output (this is
+//!   enforced by `tests/determinism.rs`);
+//! * **timings** — wall-clock span durations recorded via [`Span`]. They
+//!   live in a separate snapshot section that is *excluded* from
+//!   `deterministic_json` and clearly marked `non_deterministic` in the
+//!   full JSON output.
+//!
+//! [`Span`] is, next to `core::budget`, the only place in the solver
+//! crates that reads the wall clock — and unlike the budget meter it only
+//! ever *records* time, it never branches on it, so determinism of the
+//! search itself is unaffected. The `no-raw-deadline` tidy lint pins both
+//! modules down.
+//!
+//! # Trace stream
+//!
+//! [`TraceBuffer`] collects at most a fixed number of events in memory
+//! (dropping — and counting — the excess deterministically) and serializes
+//! them as JSON Lines: one self-contained JSON object per line, parseable
+//! with the zero-dependency reader in [`json`]. The schema is documented
+//! on [`TraceEvent`].
+
+pub mod json;
+
+mod hist;
+mod registry;
+mod span;
+mod trace;
+
+pub use hist::HistogramSnapshot;
+pub use registry::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, TimingSnapshot,
+};
+pub use span::Span;
+pub use trace::{TraceBuffer, TraceEvent, TraceKind, DEFAULT_TRACE_CAP};
+
+/// One solver run's telemetry: the metrics registry plus the bounded
+/// trace-event buffer. Owned by the `Evaluator`, surfaced through
+/// `MatchOutcome::metrics` and the `evematch --metrics-out/--trace-out`
+/// flags.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    /// Named counters / gauges / histograms / timings.
+    pub registry: MetricsRegistry,
+    /// Bounded in-memory search trace (JSONL on request).
+    pub trace: TraceBuffer,
+}
+
+impl Telemetry {
+    /// Fresh, empty telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

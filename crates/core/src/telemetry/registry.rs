@@ -1,0 +1,376 @@
+//! The metrics registry: named counters, gauges, histograms and timings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use super::hist::{Histogram, HistogramSnapshot};
+use super::json;
+
+/// Handle to a registered counter (index into the registry's slot table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A registry of named metrics.
+///
+/// Registration (`counter` / `gauge` / `histogram`) is get-or-create by
+/// name and returns a cheap `Copy` handle; the hot-path mutators (`inc`,
+/// `add`, `gauge_max`, `observe`) are O(1) slot updates. All metric kinds
+/// except timings are **deterministic**: their values depend only on the
+/// work performed, never on the clock. Timings (`record_timing`) are the
+/// explicitly non-deterministic half — see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+    timings: Vec<(String, TimingSnapshot)>,
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or finds) the counter `name`.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_owned(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some((_, v)) = self.counters.get_mut(id.0) {
+            *v = v.saturating_add(n);
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters.get(id.0).map_or(0, |(_, v)| *v)
+    }
+
+    /// One-shot increment by name (cold paths only; prefer handles in
+    /// loops).
+    pub fn add_named(&mut self, name: &str, n: u64) {
+        let id = self.counter(name);
+        self.add(id, n);
+    }
+
+    /// Registers (or finds) the gauge `name`.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_owned(), 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Raises a gauge to `v` if `v` exceeds its current value (high-water
+    /// mark semantics — the merge of two snapshots takes the max, so this
+    /// is the only gauge mode that aggregates coherently).
+    pub fn gauge_max(&mut self, id: GaugeId, v: u64) {
+        if let Some((_, g)) = self.gauges.get_mut(id.0) {
+            *g = (*g).max(v);
+        }
+    }
+
+    /// Registers (or finds) the histogram `name` with the given bucket
+    /// bounds (see [`HistogramSnapshot`] for the bucket layout). Bounds are
+    /// only used on first registration.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_owned(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&mut self, id: HistogramId, v: u64) {
+        if let Some((_, h)) = self.histograms.get_mut(id.0) {
+            h.observe(v);
+        }
+    }
+
+    /// Records a wall-clock span duration under `name`. **Non-deterministic**
+    /// by nature; excluded from [`MetricsSnapshot::deterministic_json`].
+    pub fn record_timing(&mut self, name: &str, nanos: u64) {
+        let slot = match self.timings.iter_mut().find(|(n, _)| n == name) {
+            Some((_, t)) => t,
+            None => {
+                self.timings
+                    .push((name.to_owned(), TimingSnapshot::default()));
+                // Just pushed, so last_mut is always Some; the fallback
+                // keeps this panic-free regardless.
+                match self.timings.last_mut() {
+                    Some((_, t)) => t,
+                    None => return,
+                }
+            }
+        };
+        slot.count += 1;
+        slot.total_nanos = slot.total_nanos.saturating_add(nanos);
+    }
+
+    /// Freezes the registry into a snapshot (sorted by metric name).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().cloned().collect(),
+            gauges: self.gauges.iter().cloned().collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+            timings: self.timings.iter().cloned().collect(),
+        }
+    }
+}
+
+/// Aggregated wall-clock time of one named span.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Summed duration in nanoseconds.
+    pub total_nanos: u64,
+}
+
+/// A frozen view of a [`MetricsRegistry`], split into the deterministic
+/// half (counters, gauges, histograms) and the non-deterministic half
+/// (timings).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone work counters.
+    pub counters: BTreeMap<String, u64>,
+    /// High-water-mark gauges.
+    pub gauges: BTreeMap<String, u64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Wall-clock span timings (non-deterministic section).
+    pub timings: BTreeMap<String, TimingSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Sets (or overwrites) one counter. Used to fold externally-metered
+    /// values — e.g. the budget meter's poll count — into a snapshot.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_owned(), v);
+    }
+
+    /// Sets (or raises) one gauge.
+    pub fn set_gauge_max(&mut self, name: &str, v: u64) {
+        let g = self.gauges.entry(name.to_owned()).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    /// Merges `other` into `self`: counters and timings add, gauges take
+    /// the max, histograms add bucket-wise (when bounds agree).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            let c = self.counters.entry(name.clone()).or_insert(0);
+            *c = c.saturating_add(*v);
+        }
+        for (name, v) in &other.gauges {
+            self.set_gauge_max(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, t) in &other.timings {
+            let slot = self.timings.entry(name.clone()).or_default();
+            slot.count += t.count;
+            slot.total_nanos = slot.total_nanos.saturating_add(t.total_nanos);
+        }
+    }
+
+    /// The deterministic section only, as canonical JSON: keys sorted,
+    /// no whitespace, no timings. Two runs under identical pure caps
+    /// produce byte-identical output (enforced by `tests/determinism.rs`).
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        json::push_key(&mut out, "counters");
+        push_u64_map(&mut out, &self.counters);
+        out.push(',');
+        json::push_key(&mut out, "gauges");
+        push_u64_map(&mut out, &self.gauges);
+        out.push(',');
+        json::push_key(&mut out, "histograms");
+        out.push('{');
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            out.push('{');
+            json::push_key(&mut out, "bounds");
+            push_u64_list(&mut out, &h.bounds);
+            out.push(',');
+            json::push_key(&mut out, "buckets");
+            push_u64_list(&mut out, &h.buckets);
+            out.push('}');
+        }
+        out.push('}');
+        out.push('}');
+        out
+    }
+
+    /// The whole snapshot as JSON: the deterministic section under
+    /// `"deterministic"`, wall-clock timings under
+    /// `"non_deterministic"."timings"`.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        json::push_key(&mut out, "deterministic");
+        out.push_str(&self.deterministic_json());
+        out.push(',');
+        json::push_key(&mut out, "non_deterministic");
+        out.push('{');
+        json::push_key(&mut out, "timings");
+        out.push('{');
+        for (i, (name, t)) in self.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_key(&mut out, name);
+            let _ = write!(
+                out,
+                "{{\"count\":{},\"total_nanos\":{}}}",
+                t.count, t.total_nanos
+            );
+        }
+        out.push_str("}}}");
+        out
+    }
+}
+
+fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (name, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_key(out, name);
+        let _ = write!(out, "{v}");
+    }
+    out.push('}');
+}
+
+fn push_u64_list(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, v) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::json::JsonValue;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("x.pops");
+        let b = reg.counter("x.pops");
+        assert_eq!(a, b);
+        reg.inc(a);
+        reg.add(b, 4);
+        assert_eq!(reg.counter_value(a), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["x.pops"], 5);
+    }
+
+    #[test]
+    fn gauges_keep_the_high_water_mark() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("frontier");
+        reg.gauge_max(g, 10);
+        reg.gauge_max(g, 3);
+        assert_eq!(reg.snapshot().gauges["frontier"], 10);
+    }
+
+    #[test]
+    fn snapshot_json_is_canonical_and_parseable() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_named("b", 2);
+        reg.add_named("a", 1);
+        let h = reg.histogram("depth", &[1, 4]);
+        reg.observe(h, 2);
+        reg.record_timing("solve", 1234);
+        let snap = reg.snapshot();
+        let det = snap.deterministic_json();
+        assert!(
+            !det.contains("solve") && !det.contains("nanos"),
+            "timings leaked into the deterministic section: {det}"
+        );
+        // Keys come out sorted regardless of registration order.
+        assert!(det.find("\"a\"").unwrap() < det.find("\"b\"").unwrap());
+        let full = JsonValue::parse(&snap.to_json_string()).unwrap();
+        let counters = full.get("deterministic").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("a").unwrap().as_u64(), Some(1));
+        let timing = full
+            .get("non_deterministic")
+            .unwrap()
+            .get("timings")
+            .unwrap()
+            .get("solve")
+            .unwrap();
+        assert_eq!(timing.get("total_nanos").unwrap().as_u64(), Some(1234));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = MetricsSnapshot::default();
+        a.set_counter("n", 2);
+        a.set_gauge_max("g", 5);
+        let mut b = MetricsSnapshot::default();
+        b.set_counter("n", 3);
+        b.set_counter("m", 1);
+        b.set_gauge_max("g", 4);
+        a.merge(&b);
+        assert_eq!(a.counters["n"], 5);
+        assert_eq!(a.counters["m"], 1);
+        assert_eq!(a.gauges["g"], 5);
+    }
+
+    #[test]
+    fn merge_sums_histograms_and_timings() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("d", &[2]);
+        reg.observe(h, 1);
+        reg.record_timing("t", 10);
+        let mut a = reg.snapshot();
+        let mut reg2 = MetricsRegistry::new();
+        let h2 = reg2.histogram("d", &[2]);
+        reg2.observe(h2, 3);
+        reg2.record_timing("t", 5);
+        a.merge(&reg2.snapshot());
+        assert_eq!(a.histograms["d"].buckets, vec![1, 1]);
+        assert_eq!(a.timings["t"].count, 2);
+        assert_eq!(a.timings["t"].total_nanos, 15);
+    }
+}

@@ -1,0 +1,46 @@
+//! Wall-clock spans — the *recording-only* clock access.
+//!
+//! Together with `core::budget` this is the only module in the solver
+//! crates allowed to read the wall clock (the `no-raw-deadline` tidy lint
+//! enforces it). The crucial difference from the budget meter: a [`Span`]
+//! duration is only ever **recorded**, never branched on, so search
+//! behaviour — and with it every deterministic counter — is unaffected by
+//! how fast the clock runs.
+
+use std::time::Instant;
+
+/// An open wall-clock span. Create with [`Span::start`], read with
+/// [`Span::elapsed_nanos`], then feed the duration to
+/// [`super::MetricsRegistry::record_timing`] or a trace event.
+#[derive(Debug)]
+pub struct Span {
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span at the current instant.
+    pub fn start() -> Self {
+        Span {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the span opened (saturating at `u64::MAX`,
+    /// i.e. after ~584 years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_measure_forward_time() {
+        let span = Span::start();
+        let a = span.elapsed_nanos();
+        let b = span.elapsed_nanos();
+        assert!(b >= a);
+    }
+}

@@ -9,7 +9,7 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
-use evematch_core::{Budget, Mapping};
+use evematch_core::{Budget, Mapping, MetricsSnapshot};
 use evematch_datagen::{datasets, Dataset};
 
 use crate::method::{Method, RunOutcome};
@@ -58,6 +58,11 @@ pub struct FigureResult {
     pub time: Table,
     /// Panel (c): processed mappings per x-value and method.
     pub processed: Table,
+    /// Per-method telemetry, merged over every `(x, seed)` cell of the
+    /// sweep (counters/buckets summed, gauges maxed — see
+    /// [`MetricsSnapshot::merge`]). The `repro_*` binaries save this as
+    /// `<stem>_metrics.json` next to the CSV panels.
+    pub metrics: Vec<(String, MetricsSnapshot)>,
 }
 
 /// Aggregate of one (x, method) cell over the seeds.
@@ -128,6 +133,8 @@ fn run_grid(
 ) -> FigureResult {
     let cells: Mutex<Vec<Vec<Cell>>> =
         Mutex::new(vec![vec![Cell::default(); methods.len()]; xs.len()]);
+    let merged: Mutex<Vec<MetricsSnapshot>> =
+        Mutex::new(vec![MetricsSnapshot::default(); methods.len()]);
     let jobs: Vec<(usize, u64)> = xs
         .iter()
         .enumerate()
@@ -147,12 +154,16 @@ fn run_grid(
                     let out = m.run(&ds.pair, &ds.patterns, cfg.budget);
                     // tidy-allow: no-panic -- lock poisoning requires a panic in another worker, at which point the run is already lost
                     cells.lock().expect("no panics hold the lock")[xi][mi].add(&out);
+                    // tidy-allow: no-panic -- same poisoning argument as above
+                    merged.lock().expect("no panics hold the lock")[mi].merge(out.metrics());
                 }
             });
         }
     });
     // tidy-allow: no-panic -- scope end joined every worker, so the mutex has no other owner and no poison
     let cells = cells.into_inner().expect("threads joined");
+    // tidy-allow: no-panic -- same joined-workers argument as above
+    let merged = merged.into_inner().expect("threads joined");
 
     // Not `map(Method::name)`: the fn-item type would pin the chained
     // iterator's item to `&'static str` and demand `x_label: 'static`;
@@ -195,11 +206,17 @@ fn run_grid(
                 .collect(),
         );
     }
+    let metrics = methods
+        .iter()
+        .map(|m| m.name().to_owned())
+        .zip(merged)
+        .collect();
     FigureResult {
         f_measure,
         anytime_f,
         time,
         processed,
+        metrics,
     }
 }
 
@@ -441,6 +458,14 @@ mod tests {
         let vertex: f64 = fig.f_measure.cell(6, 1).parse().unwrap();
         let tight: f64 = fig.f_measure.cell(6, 5).parse().unwrap();
         assert!(tight >= vertex - 1e-9, "tight {tight} < vertex {vertex}");
+        // One merged telemetry snapshot per method, with real work in it.
+        assert_eq!(fig.metrics.len(), EXACT_FIGURE_METHODS.len());
+        for (name, snap) in &fig.metrics {
+            assert!(
+                snap.counters.get("budget.processed").copied().unwrap_or(0) > 0,
+                "{name}: merged snapshot has no processed work"
+            );
+        }
     }
 
     #[test]

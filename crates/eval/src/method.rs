@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use evematch_core::{
     AdvancedHeuristic, BoundKind, Budget, EntropyMatcher, ExactMatcher, IterativeMatcher, Mapping,
-    MatchContext, PatternSetBuilder, SimpleHeuristic,
+    MatchContext, MetricsSnapshot, PatternSetBuilder, SimpleHeuristic,
 };
 use evematch_datagen::LogPair;
 use evematch_pattern::Pattern;
@@ -78,6 +78,8 @@ pub enum RunOutcome {
         elapsed: Duration,
         /// Processed candidate mappings (Figures 7c/8c/9c/10c).
         processed: u64,
+        /// Telemetry snapshot of the run (see `evematch_core::telemetry`).
+        metrics: MetricsSnapshot,
     },
     /// The method exhausted its budget — the paper's "cannot return
     /// results" entries in Figure 12. The paper-faithful row reports DNF
@@ -91,6 +93,9 @@ pub enum RunOutcome {
         /// The degraded anytime result (always present — every solver
         /// returns a complete mapping).
         degraded: DegradedResult,
+        /// Telemetry snapshot of the run (see `evematch_core::telemetry`);
+        /// its `budget.exhausted.*` counter names the tripped limit.
+        metrics: MetricsSnapshot,
     },
 }
 
@@ -142,6 +147,15 @@ impl RunOutcome {
     /// Whether the method finished within budget.
     pub fn finished(&self) -> bool {
         matches!(self, RunOutcome::Finished { .. })
+    }
+
+    /// The run's telemetry snapshot.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        match self {
+            RunOutcome::Finished { metrics, .. } | RunOutcome::DidNotFinish { metrics, .. } => {
+                metrics
+            }
+        }
     }
 }
 
@@ -224,6 +238,7 @@ impl Method {
                 score: out.score,
                 elapsed: start.elapsed(),
                 processed: out.stats.processed_mappings,
+                metrics: out.metrics,
             },
             Some(optimality_gap) => RunOutcome::DidNotFinish {
                 elapsed: start.elapsed(),
@@ -234,6 +249,7 @@ impl Method {
                     score: out.score,
                     optimality_gap,
                 },
+                metrics: out.metrics,
             },
         }
     }

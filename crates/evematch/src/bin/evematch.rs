@@ -21,6 +21,16 @@
 //!     --limit-secs <N>       wall-clock budget in seconds (default: 60)
 //!     --limit-processed <N>  processed-mapping budget (default: unlimited;
 //!                            deterministic, unlike --limit-secs)
+//!     --metrics-out <FILE>   write the run's telemetry snapshot as JSON:
+//!                            a `deterministic` section (counters, gauges,
+//!                            histograms — bit-identical across runs under
+//!                            pure caps) and a `non_deterministic` section
+//!                            (wall-clock span timings)
+//!     --trace-out <FILE>     write the run's search trace as JSON Lines
+//!                            (one event per line, deterministic `seq`
+//!                            numbering; see `core::telemetry`)
+//!     --progress             print a heartbeat line to stderr about once a
+//!                            second while the solver runs
 //!     --quiet                suppress the stderr summaries; stdout keeps
 //!                            the mapping lines and, on degraded runs, the
 //!                            machine-readable `# degraded` header, which
@@ -51,6 +61,9 @@ struct Options {
     bound: BoundKind,
     limit_secs: u64,
     limit_processed: Option<u64>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    progress: bool,
     quiet: bool,
     logs: Vec<String>,
 }
@@ -63,6 +76,9 @@ fn parse_args() -> Result<Options, String> {
         bound: BoundKind::Tight,
         limit_secs: 60,
         limit_processed: None,
+        metrics_out: None,
+        trace_out: None,
+        progress: false,
         quiet: false,
         logs: Vec::new(),
     };
@@ -95,6 +111,9 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--limit-processed: {e}"))?,
                 );
             }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--progress" => opts.progress = true,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => {
                 return Err("help".into());
@@ -170,6 +189,7 @@ fn run(opts: &Options) -> Result<bool, String> {
         budget = budget.with_processed_cap(cap);
     }
 
+    let heartbeat = opts.progress.then(Heartbeat::start);
     let outcome = match opts.method.as_str() {
         "exact" | "vertex" | "vertex-edge" => ExactMatcher::new(opts.bound)
             .with_budget(budget)
@@ -184,6 +204,21 @@ fn run(opts: &Options) -> Result<bool, String> {
         "entropy" => EntropyMatcher::new().with_budget(budget).solve(&ctx),
         other => return Err(format!("unknown method `{other}`")),
     };
+    drop(heartbeat);
+
+    if let Some(path) = &opts.metrics_out {
+        let json = outcome.metrics.to_json_string();
+        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace_out {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        outcome
+            .trace
+            .write_jsonl(&mut w)
+            .and_then(|()| std::io::Write::flush(&mut w))
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
 
     if let Some(gap) = outcome.completion.optimality_gap() {
         // Mark anytime output machine-readably before the mapping pairs.
@@ -199,6 +234,49 @@ fn run(opts: &Options) -> Result<bool, String> {
         );
     }
     Ok(outcome.completion.is_finished())
+}
+
+/// A stderr heartbeat printed about once a second while the solver runs
+/// (`--progress`). Dropping it stops the thread; the 200 ms poll keeps the
+/// drop latency low without spamming stderr.
+struct Heartbeat {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start() -> Self {
+        use std::sync::atomic::Ordering;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let seen = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let mut polls = 0u64;
+            while !seen.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(200));
+                polls += 1;
+                if polls % 5 == 0 && !seen.load(Ordering::Relaxed) {
+                    eprintln!(
+                        "evematch: still solving ({:.1}s elapsed)",
+                        started.elapsed().as_secs_f64()
+                    );
+                }
+            }
+        });
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Exit code for a budget-exhausted (but still answered) run.
@@ -221,7 +299,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: evematch [--method exact|simple|advanced|vertex|vertex-edge|iterative|entropy] \
                  [--patterns FILE] [--format text|csv] [--bound simple|tight] \
-                 [--limit-secs N] [--limit-processed N] [--quiet] LOG1 LOG2"
+                 [--limit-secs N] [--limit-processed N] [--metrics-out FILE] \
+                 [--trace-out FILE] [--progress] [--quiet] LOG1 LOG2"
             );
             if msg == "help" {
                 ExitCode::SUCCESS

@@ -61,9 +61,10 @@ pub use evematch_pattern as pattern;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use evematch_core::{
-        assignment, hardness, score, AdvancedHeuristic, BoundKind, Budget, Completion,
+        assignment, hardness, score, telemetry, AdvancedHeuristic, BoundKind, Budget, Completion,
         EntropyMatcher, ExactMatcher, Exhaustion, IterativeMatcher, Mapping, MatchContext,
-        MatchOutcome, PatternSetBuilder, SearchError, SimpleHeuristic,
+        MatchOutcome, MetricsSnapshot, PatternSetBuilder, SearchError, SimpleHeuristic, Telemetry,
+        TraceBuffer, TraceEvent,
     };
     pub use evematch_datagen::{
         datasets, heterogenize, Block, Dataset, HeterogenizeConfig, LogPair, ProcessModel,

@@ -29,6 +29,7 @@ mod paths;
 
 pub use digraph::{DiGraph, DiGraphBuilder, EdgeIter, NodeId};
 pub use iso::{
-    enumerate_monomorphisms, find_monomorphism, is_subgraph_monomorphic, Interrupted, MonoSearch,
+    enumerate_monomorphisms, find_monomorphism, is_subgraph_monomorphic, Interrupted, IsoStats,
+    MonoSearch,
 };
 pub use paths::{has_hamiltonian_path, topological_order};

@@ -10,11 +10,34 @@ use crate::ast::Pattern;
 use crate::graph_form::{edge_groups, PatternGraph};
 use crate::matcher::{trace_matches, Interrupted};
 
+/// Work counters of one (or several accumulated) support scans, for
+/// observability. Every field is deterministic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupportStats {
+    /// Inverted-index intersections performed (`I_t` probes).
+    pub index_probes: u64,
+    /// Candidate traces scanned with `trace_matches`.
+    pub candidate_traces: u64,
+    /// Candidate traces that actually matched.
+    pub matched_traces: u64,
+}
+
 /// Number of traces of `log` matching `p`, counted over `⋂ I_t(v)`.
 ///
 /// `index` must have been built from `log` (debug-asserted via the event
 /// count).
 pub fn pattern_support(p: &Pattern, log: &EventLog, index: &TraceIndex) -> usize {
+    pattern_support_stats(p, log, index, &mut SupportStats::default())
+}
+
+/// [`pattern_support`], additionally accumulating work counters into
+/// `stats`.
+pub fn pattern_support_stats(
+    p: &Pattern,
+    log: &EventLog,
+    index: &TraceIndex,
+    stats: &mut SupportStats,
+) -> usize {
     debug_assert_eq!(index.event_count(), log.event_count());
     let events = p.events();
     // A pattern mentioning an event outside the log's vocabulary can never
@@ -22,11 +45,16 @@ pub fn pattern_support(p: &Pattern, log: &EventLog, index: &TraceIndex) -> usize
     if events.iter().any(|e| e.index() >= log.event_count()) {
         return 0;
     }
-    index
-        .traces_with_all(&events)
-        .into_iter()
-        .filter(|&t| trace_matches(p, &log.traces()[t as usize]))
-        .count()
+    stats.index_probes += 1;
+    let mut matched = 0usize;
+    for t in index.traces_with_all(&events) {
+        stats.candidate_traces += 1;
+        if trace_matches(p, &log.traces()[t as usize]) {
+            matched += 1;
+        }
+    }
+    stats.matched_traces += matched as u64;
+    matched
 }
 
 /// [`pattern_support`] with cooperative interruption: `fuel` is polled once
@@ -40,18 +68,34 @@ pub fn pattern_support_with_fuel(
     index: &TraceIndex,
     fuel: &mut dyn FnMut() -> bool,
 ) -> Result<usize, Interrupted> {
+    pattern_support_with_fuel_stats(p, log, index, fuel, &mut SupportStats::default())
+}
+
+/// [`pattern_support_with_fuel`], additionally accumulating work counters
+/// into `stats` (valid even on [`Interrupted`]: probes and candidates
+/// scanned so far stay counted).
+pub fn pattern_support_with_fuel_stats(
+    p: &Pattern,
+    log: &EventLog,
+    index: &TraceIndex,
+    fuel: &mut dyn FnMut() -> bool,
+    stats: &mut SupportStats,
+) -> Result<usize, Interrupted> {
     debug_assert_eq!(index.event_count(), log.event_count());
     let events = p.events();
     if events.iter().any(|e| e.index() >= log.event_count()) {
         return Ok(0);
     }
+    stats.index_probes += 1;
     let mut count = 0usize;
     for t in index.traces_with_all(&events) {
         if !fuel() {
             return Err(Interrupted);
         }
+        stats.candidate_traces += 1;
         if trace_matches(p, &log.traces()[t as usize]) {
             count += 1;
+            stats.matched_traces += 1;
         }
     }
     Ok(count)
@@ -178,6 +222,35 @@ mod tests {
             ok
         });
         assert_eq!(r, Err(Interrupted));
+    }
+
+    #[test]
+    fn support_stats_count_probes_and_candidates() {
+        let l = log();
+        let idx = l.trace_index();
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
+        let mut stats = SupportStats::default();
+        assert_eq!(pattern_support_stats(&p, &l, &idx, &mut stats), 3);
+        assert_eq!(stats.index_probes, 1);
+        assert_eq!(stats.candidate_traces, 3, "only {{A,B,C,D}} traces scanned");
+        assert_eq!(stats.matched_traces, 3);
+        // Interrupted scans keep the partial work counted.
+        let mut stats = SupportStats::default();
+        let mut units = 2u32;
+        let r = pattern_support_with_fuel_stats(
+            &p,
+            &l,
+            &idx,
+            &mut || {
+                let ok = units > 0;
+                units = units.saturating_sub(1);
+                ok
+            },
+            &mut stats,
+        );
+        assert_eq!(r, Err(Interrupted));
+        assert_eq!(stats.index_probes, 1);
+        assert_eq!(stats.candidate_traces, 2);
     }
 
     #[test]

@@ -43,7 +43,10 @@ mod parser;
 
 pub use ast::{Pattern, PatternError};
 pub use discovery::{discover_patterns, DiscoveryConfig};
-pub use frequency::{pattern_freq, pattern_support, pattern_support_with_fuel, EvaluatedPattern};
+pub use frequency::{
+    pattern_freq, pattern_support, pattern_support_stats, pattern_support_with_fuel,
+    pattern_support_with_fuel_stats, EvaluatedPattern, SupportStats,
+};
 pub use graph_form::{edge_groups, PatternGraph};
 pub use index::PatternIndex;
 pub use matcher::{

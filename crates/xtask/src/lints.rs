@@ -1,4 +1,4 @@
-//! The tidy lints (T1–T6) and the waiver machinery.
+//! The tidy lints (T1–T7) and the waiver machinery.
 //!
 //! Each lint is a pure function from a scanned file (or manifest text) to
 //! violations, so the unit tests below can drive them with inline
@@ -27,9 +27,22 @@ pub const FLOAT_ORD_MODULE: &str = "crates/core/src/score/float_ord.rs";
 /// reporting, not search control.
 pub const RAW_DEADLINE_CRATES: &[&str] = &["core", "graph", "pattern"];
 
-/// The one module allowed to read the clock directly: it owns the
-/// deadline poll that every solver shares.
-pub const BUDGET_MODULE: &str = "crates/core/src/budget.rs";
+/// The modules allowed to read the clock directly: the budget module owns
+/// the deadline poll every solver shares, and the telemetry span module
+/// *records* durations without ever branching on them (they land in the
+/// clearly-marked non-deterministic section of a metrics snapshot).
+pub const CLOCK_MODULES: &[&str] = &[
+    "crates/core/src/budget.rs",
+    "crates/core/src/telemetry/span.rs",
+];
+
+/// Library crates that must stay silent on stdout/stderr (lint T7):
+/// libraries report through return values, sinks, and the telemetry
+/// registry, never by printing. `xtask` is exempt — it is a terminal
+/// tool whose entire job is printing.
+pub const PRINT_FREE_CRATES: &[&str] = &[
+    "bench", "core", "datagen", "eval", "evematch", "eventlog", "graph", "pattern",
+];
 
 /// A tidy lint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -40,8 +53,10 @@ pub enum Lint {
     NoHashIter,
     /// T3: no raw `f64` equality or `partial_cmp` outside `float_ord`.
     NoFloatEq,
-    /// T6: no raw clock reads in solver crates outside the budget module.
+    /// T6: no raw clock reads in solver crates outside the clock modules.
     NoRawDeadline,
+    /// T7: no `println!`/`eprintln!` in library crates.
+    NoPrintln,
     /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
     CrateAttrs,
     /// T5: every crate manifest inherits `[workspace.lints]`.
@@ -60,6 +75,7 @@ impl Lint {
             Lint::NoHashIter => "no-hash-iter",
             Lint::NoFloatEq => "no-float-eq",
             Lint::NoRawDeadline => "no-raw-deadline",
+            Lint::NoPrintln => "no-println",
             Lint::CrateAttrs => "crate-attrs",
             Lint::LintsTable => "lints-table",
             Lint::UnusedWaiver => "unused-waiver",
@@ -71,13 +87,23 @@ impl Lint {
     pub fn waivable(self) -> bool {
         matches!(
             self,
-            Lint::NoPanic | Lint::NoHashIter | Lint::NoFloatEq | Lint::NoRawDeadline
+            Lint::NoPanic
+                | Lint::NoHashIter
+                | Lint::NoFloatEq
+                | Lint::NoRawDeadline
+                | Lint::NoPrintln
         )
     }
 
     /// All lint names that may appear in a waiver.
     pub fn waivable_names() -> &'static [&'static str] {
-        &["no-panic", "no-hash-iter", "no-float-eq", "no-raw-deadline"]
+        &[
+            "no-panic",
+            "no-hash-iter",
+            "no-float-eq",
+            "no-raw-deadline",
+            "no-println",
+        ]
     }
 }
 
@@ -216,7 +242,7 @@ pub fn check_no_float_eq(file: &ScannedFile) -> Vec<Violation> {
 }
 
 /// T6: flags direct clock reads (`Instant::now`, `SystemTime::now`) in
-/// the solver crates outside the budget module.
+/// the solver crates outside the sanctioned [`CLOCK_MODULES`].
 ///
 /// Every long-running loop is supposed to consult one shared
 /// [`BudgetMeter`], which reads the clock at most once per poll interval
@@ -224,7 +250,7 @@ pub fn check_no_float_eq(file: &ScannedFile) -> Vec<Violation> {
 /// makes capped runs bit-deterministic. A stray `Instant::now()` in a
 /// solver reintroduces wall-clock dependence behind the budget's back.
 pub fn check_no_raw_deadline(file: &ScannedFile) -> Vec<Violation> {
-    if file.path == BUDGET_MODULE {
+    if CLOCK_MODULES.contains(&file.path.as_str()) {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -243,6 +269,39 @@ pub fn check_no_raw_deadline(file: &ScannedFile) -> Vec<Violation> {
                          `core::budget::BudgetMeter` through the loop instead \
                          (or waive with `// tidy-allow: no-raw-deadline -- <why the \
                          clock read cannot affect search results>`)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// T7: flags `println!`/`eprintln!` (and the non-newline forms) in
+/// library non-test code.
+///
+/// A library that prints owns output it has no business owning: it
+/// corrupts machine-readable stdout (the `evematch` binary's mapping
+/// lines, the repro CSV pipelines) and cannot be silenced or redirected
+/// by the caller. Libraries report through return values, `Write` sinks
+/// passed by the caller, or the telemetry registry; only binaries print.
+pub fn check_no_println(file: &ScannedFile) -> Vec<Violation> {
+    const NEEDLES: &[&str] = &["println!", "eprintln!", "print!", "eprint!"];
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for needle in NEEDLES {
+            if find_token(&line.code, needle).is_some() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::NoPrintln,
+                    format!(
+                        "library code must not invoke `{needle}`: take a `&mut dyn Write` \
+                         sink from the caller or record telemetry instead (or waive with \
+                         `// tidy-allow: no-println -- <why this output is the caller's intent>`)"
                     ),
                 ));
             }
@@ -567,9 +626,17 @@ mod tests {
     }
 
     #[test]
-    fn t6_exempts_the_budget_module_tests_and_lookalikes() {
-        let budget = scanned(BUDGET_MODULE, "fn m() { let t = Instant::now(); }");
+    fn t6_exempts_the_clock_modules_tests_and_lookalikes() {
+        let budget = scanned(
+            "crates/core/src/budget.rs",
+            "fn m() { let t = Instant::now(); }",
+        );
         assert!(check_no_raw_deadline(&budget).is_empty());
+        let span = scanned(
+            "crates/core/src/telemetry/span.rs",
+            "fn s() { let t = Instant::now(); }",
+        );
+        assert!(check_no_raw_deadline(&span).is_empty());
         let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { let _ = Instant::now(); }\n}";
         let f = scanned("crates/core/src/exact.rs", src);
         assert!(check_no_raw_deadline(&f).is_empty());
@@ -586,6 +653,40 @@ mod tests {
         let src = "fn f() {\n  let t = Instant::now(); // tidy-allow: no-raw-deadline -- logging only, never branches\n}";
         let f = scanned("crates/core/src/exact.rs", src);
         let v = apply_waivers(&f, check_no_raw_deadline(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T7 ----
+
+    #[test]
+    fn t7_fires_on_each_print_form() {
+        let src = "fn f() {\n  println!(\"a\");\n  eprintln!(\"b\");\n  print!(\"c\");\n  eprint!(\"d\");\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_no_println(&f);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::NoPrintln));
+    }
+
+    #[test]
+    fn t7_each_macro_counts_exactly_once() {
+        // `println!` must not also match inside `eprintln!` (and `print!`
+        // must not match inside either) — the needles are boundary-checked.
+        let f = scanned("crates/core/src/x.rs", "fn f() { eprintln!(\"x\"); }");
+        assert_eq!(check_no_println(&f).len(), 1);
+    }
+
+    #[test]
+    fn t7_ignores_writeln_tests_comments_and_strings() {
+        let src = "fn f(w: &mut dyn Write) {\n  writeln!(w, \"ok\").ok();\n  // println!(\"doc\")\n  let s = \"println!\";\n}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { println!(\"dbg\"); }\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_no_println(&f).is_empty());
+    }
+
+    #[test]
+    fn t7_respects_waivers() {
+        let src = "fn f() {\n  eprintln!(\"x\"); // tidy-allow: no-println -- explicit opt-in progress channel\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_no_println(&f));
         assert!(v.is_empty(), "{v:?}");
     }
 

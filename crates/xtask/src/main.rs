@@ -53,7 +53,11 @@ LINTS (see DESIGN.md §6):
     crate-attrs    T4  crate roots carry #![forbid(unsafe_code)] and #![deny(missing_docs)]
     lints-table    T5  every crate manifest inherits [workspace.lints]
     no-raw-deadline T6 no Instant::now/SystemTime::now in the solver crates
-                       (core, graph, pattern) outside core::budget
+                       (core, graph, pattern) outside core::budget and
+                       core::telemetry::span (recording-only clock)
+    no-println     T7  no println!/eprintln!/print!/eprint! in library crates
+                       (xtask, src/bin/ and test code exempt): take a Write
+                       sink from the caller or record telemetry instead
     unused-waiver      a tidy-allow waiver that suppressed nothing
     bad-waiver         a tidy-allow waiver that does not parse
 

@@ -6,8 +6,9 @@ use std::path::{Path, PathBuf};
 
 use crate::lints::{
     apply_waivers, check_crate_attrs, check_lints_table, check_no_float_eq, check_no_hash_iter,
-    check_no_panic, check_no_raw_deadline, is_library_source, Violation, DETERMINISTIC_CRATES,
-    FLOAT_ORD_CRATES, PANIC_FREE_CRATES, RAW_DEADLINE_CRATES,
+    check_no_panic, check_no_println, check_no_raw_deadline, is_library_source, Violation,
+    DETERMINISTIC_CRATES, FLOAT_ORD_CRATES, PANIC_FREE_CRATES, PRINT_FREE_CRATES,
+    RAW_DEADLINE_CRATES,
 };
 use crate::scan::ScannedFile;
 
@@ -38,6 +39,9 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
             }
             if RAW_DEADLINE_CRATES.contains(&crate_name.as_str()) && is_library_source(&rel) {
                 file_violations.extend(check_no_raw_deadline(&scanned));
+            }
+            if PRINT_FREE_CRATES.contains(&crate_name.as_str()) && is_library_source(&rel) {
+                file_violations.extend(check_no_println(&scanned));
             }
             violations.extend(apply_waivers(&scanned, file_violations));
         }
@@ -144,6 +148,7 @@ pub fn verify_scopes(root: &Path) -> Result<(), String> {
         .chain(DETERMINISTIC_CRATES)
         .chain(FLOAT_ORD_CRATES)
         .chain(RAW_DEADLINE_CRATES)
+        .chain(PRINT_FREE_CRATES)
     {
         if !present.iter().any(|p| p == scoped) {
             return Err(format!(

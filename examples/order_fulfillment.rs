@@ -76,6 +76,7 @@ fn main() {
                 elapsed,
                 processed,
                 degraded,
+                ..
             } => {
                 any_degraded = true;
                 table.add_row(vec![

@@ -184,6 +184,114 @@ fn budgets_apply_to_every_method_flag() {
 }
 
 #[test]
+fn metrics_out_writes_counters_from_every_layer() {
+    let l1 = write_temp("mo1.log", L1_TEXT);
+    let l2 = write_temp("mo2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    let pats = write_temp("mo.pats", "SEQ(receive, AND(pay, check), ship)\n");
+    let metrics = write_temp("mo.json", "");
+    let out = bin()
+        .args(["--quiet", "--method", "exact", "--patterns"])
+        .arg(&pats)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    // The acceptance criterion: counters from the exact search, the
+    // evaluator, the VF2 probe and the budget meter, plus the separated
+    // non-deterministic timing section.
+    for needle in [
+        "\"deterministic\"",
+        "\"non_deterministic\"",
+        "\"search.pops\"",
+        "\"search.expansions\"",
+        "\"eval.cache_misses\"",
+        "\"iso.probes\"",
+        "\"budget.processed\"",
+        "\"search.solve\"",
+    ] {
+        assert!(json.contains(needle), "metrics missing {needle}: {json}");
+    }
+}
+
+#[test]
+fn trace_out_lines_all_round_trip() {
+    let l1 = write_temp("to1.log", L1_TEXT);
+    let l2 = write_temp("to2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    let pats = write_temp("to.pats", "SEQ(receive, AND(pay, check), ship)\n");
+    let trace = write_temp("to.jsonl", "");
+    let out = bin()
+        .args(["--quiet", "--method", "exact", "--patterns"])
+        .arg(&pats)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    let mut parsed = 0;
+    for line in jsonl.lines() {
+        evematch::prelude::TraceEvent::parse(line)
+            .unwrap_or_else(|| panic!("unparseable trace line `{line}`"));
+        parsed += 1;
+    }
+    // At minimum the structural probe point is present (search.pop points
+    // need 64+ pops and the trace.dropped meta line needs an overflow,
+    // neither of which this tiny instance produces).
+    assert!(parsed >= 1, "empty trace: {jsonl}");
+    assert!(jsonl.contains("iso.probe"), "{jsonl}");
+}
+
+/// The CLI-level form of the byte-identity acceptance criterion: two runs
+/// under the same pure processed cap write metrics files whose
+/// `deterministic` sections are byte-identical (the timing section is
+/// allowed — expected — to differ).
+#[test]
+fn capped_metrics_out_runs_are_byte_identical_in_counters() {
+    let l1 = write_temp("bi1.log", L1_TEXT);
+    let l2 = write_temp("bi2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    let pats = write_temp("bi.pats", "SEQ(receive, AND(pay, check), ship)\n");
+    let deterministic_section = |name: &str| {
+        let path = write_temp(name, "");
+        let out = bin()
+            .args([
+                "--quiet",
+                "--method",
+                "exact",
+                "--limit-processed",
+                "6",
+                "--patterns",
+            ])
+            .arg(&pats)
+            .arg("--metrics-out")
+            .arg(&path)
+            .arg(&l1)
+            .arg(&l2)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "cap 6 must trip");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let end = json
+            .find(",\"non_deterministic\"")
+            .unwrap_or_else(|| panic!("no non_deterministic section: {json}"));
+        json[..end].to_owned()
+    };
+    let a = deterministic_section("bi_a.json");
+    let b = deterministic_section("bi_b.json");
+    assert_eq!(a, b, "counter sections differ across identical capped runs");
+    assert!(a.contains("\"budget.exhausted.processed\""), "{a}");
+}
+
+#[test]
 fn bad_limit_processed_value_is_a_usage_error() {
     let l1 = write_temp("v1.log", L1_TEXT);
     let l2 = write_temp("v2.log", "x y z w\n");

@@ -90,6 +90,37 @@ fn every_method_is_bit_deterministic_under_processed_caps() {
     }
 }
 
+/// The ISSUE's hard telemetry constraint: under a pure processed cap the
+/// *counter snapshot* — not just the mapping — is bit-identical across
+/// runs. `deterministic_json` serializes exactly the deterministic section
+/// (counters, gauges, histograms; no wall-clock timings), so byte equality
+/// of the two strings is the strongest form of the claim.
+#[test]
+fn counter_snapshots_are_byte_identical_under_processed_caps() {
+    let ds = datasets::real_like_sized(100, 100, 31);
+    for cap in [0u64, 3, 25] {
+        let budget = Budget::UNLIMITED.with_processed_cap(cap);
+        for m in ALL_METHODS {
+            let a = m.run(&ds.pair, &ds.patterns, budget);
+            let b = m.run(&ds.pair, &ds.patterns, budget);
+            let ja = a.metrics().deterministic_json();
+            let jb = b.metrics().deterministic_json();
+            assert_eq!(
+                ja,
+                jb,
+                "{} cap {cap}: counter snapshots differ byte-for-byte",
+                m.name()
+            );
+            // The snapshot is not vacuously equal: it carries real work.
+            assert!(
+                a.metrics().counters.contains_key("budget.processed"),
+                "{} cap {cap}: snapshot missing budget.processed",
+                m.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn distinct_seeds_change_the_data() {
     let a = datasets::real_like_sized(60, 60, 1);

@@ -229,6 +229,108 @@ fn processed_cap_runs_are_bit_identical() {
     }
 }
 
+/// A budget-exhausted run's telemetry snapshot must *name* what tripped:
+/// the `budget.exhausted.<cause>` counter is the machine-readable record
+/// of why the run degraded (here, a processed cap).
+#[test]
+fn exhausted_snapshot_names_the_processed_cap() {
+    let ds = datasets::fig1_like();
+    let ctx = MatchContext::new(
+        ds.pair.log1.clone(),
+        ds.pair.log2.clone(),
+        PatternSetBuilder::new()
+            .vertices()
+            .edges()
+            .complex_all(ds.patterns.iter().cloned()),
+    )
+    .unwrap();
+    let out = ExactMatcher::new(BoundKind::Tight)
+        .with_budget(Budget::UNLIMITED.with_processed_cap(2))
+        .solve(&ctx);
+    assert!(!out.completion.is_finished());
+    assert_eq!(
+        out.metrics.counters.get("budget.exhausted.processed"),
+        Some(&1),
+        "snapshot must name the tripped limit; counters: {:?}",
+        out.metrics.counters
+    );
+    // A finished run, by contrast, names nothing.
+    let fin = ExactMatcher::new(BoundKind::Tight).solve(&ctx);
+    assert!(fin.completion.is_finished());
+    assert!(
+        !fin.metrics
+            .counters
+            .keys()
+            .any(|k| k.starts_with("budget.exhausted.")),
+        "finished run must not claim an exhaustion cause"
+    );
+}
+
+/// A deadline that trips *mid-evaluation* abandons the eval (its fuel poll
+/// says stop) and the snapshot records both the cause and the count of
+/// abandoned evaluations — the ISSUE's fault-injection acceptance.
+#[test]
+fn deadline_tripped_snapshot_counts_interrupted_evals() {
+    use evematch::core::{Evaluator, Exhaustion};
+    // A log big enough that one composite evaluation takes far longer
+    // than the deadline: 20k traces, each matching the AND-heavy pattern,
+    // with the clock polled on every work unit (poll interval 1).
+    let names = ["a", "b", "c", "d", "e", "f"];
+    let mut b1 = LogBuilder::new();
+    let mut b2 = LogBuilder::new();
+    for i in 0..20_000usize {
+        let t: Vec<&str> = (0..6).map(|k| names[(k + i) % 6]).collect();
+        b1.push_named_trace(t.clone());
+        b2.push_named_trace(t);
+    }
+    let log1 = b1.build();
+    let p = parse_pattern("SEQ(AND(a, b, c, d, e), f)", log1.events()).unwrap();
+    let ctx = MatchContext::new(
+        log1,
+        b2.build(),
+        PatternSetBuilder::new().vertices().edges().complex(p),
+    )
+    .unwrap();
+    let budget = Budget::UNLIMITED
+        .with_deadline(Duration::from_millis(2))
+        .with_poll_interval(1);
+    let mut eval = Evaluator::with_budget(&ctx, budget);
+    let identity = Mapping::from_pairs(
+        ctx.n1(),
+        ctx.n2(),
+        (0..ctx.n1() as u32).map(|i| (EventId(i), EventId(i))),
+    );
+    // Evaluate the composite first, while the deadline has not yet
+    // elapsed — the trip must happen inside the fueled evaluation.
+    let composite = ctx
+        .patterns()
+        .iter()
+        .position(|ep| ep.size() > 2)
+        .expect("the declared composite is in the pattern set");
+    let _ = eval.d(composite, &identity);
+    assert_eq!(
+        eval.meter().exhaustion(),
+        Some(Exhaustion::Deadline),
+        "the 2ms deadline must trip inside the 20k-trace evaluation"
+    );
+    let snap = eval.metrics_snapshot();
+    assert_eq!(
+        snap.counters.get("budget.exhausted.deadline"),
+        Some(&1),
+        "snapshot must name the deadline; counters: {:?}",
+        snap.counters
+    );
+    assert!(
+        snap.counters
+            .get("eval.interrupted_evals")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "at least one evaluation must be abandoned mid-flight; counters: {:?}",
+        snap.counters
+    );
+}
+
 // ---------------------------------------------------------------------
 // CLI fault injection
 // ---------------------------------------------------------------------
