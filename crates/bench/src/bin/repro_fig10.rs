@@ -1,11 +1,21 @@
 //! Regenerates Figure 10 (see evematch-eval::experiments::fig10).
+//!
+//! Pass `--resume` (or set `EVEMATCH_RESUME`) to checkpoint completed
+//! sweep jobs and resume a killed run. Exits with code 2 if a result
+//! artifact cannot be written.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let cfg = evematch_bench::sweep_config();
     eprintln!(
         "Figure 10 sweep: seeds {:?}, {} traces, budget {:?}",
         cfg.seeds, cfg.traces, cfg.budget
     );
     let fig = evematch_eval::experiments::fig10(&cfg);
-    evematch_bench::emit_figure(&mut std::io::stdout(), &fig, "fig10");
+    if let Err(err) = evematch_bench::emit_figure(&mut std::io::stdout(), &fig, "fig10") {
+        eprintln!("error: failed to write results: {err}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }

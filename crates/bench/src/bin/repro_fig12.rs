@@ -4,8 +4,14 @@
 //! The exhaustive methods (Vertex+Edge and the exact pattern matchers) run
 //! under the configured budget and report did-not-finish (`—`) once the
 //! event count defeats them — the paper observes the same beyond 20 events.
+//!
+//! Pass `--resume` (or set `EVEMATCH_RESUME`) to checkpoint completed
+//! sweep jobs and resume a killed run. Exits with code 2 if a result
+//! artifact cannot be written.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let cfg = evematch_bench::sweep_config();
     let traces = evematch_bench::fig12_traces();
     let max_modules: usize = std::env::var("EVEMATCH_FIG12_MODULES")
@@ -18,5 +24,9 @@ fn main() {
         max_modules * 10
     );
     let fig = evematch_eval::experiments::fig12(&cfg, traces, max_modules);
-    evematch_bench::emit_figure(&mut std::io::stdout(), &fig, "fig12");
+    if let Err(err) = evematch_bench::emit_figure(&mut std::io::stdout(), &fig, "fig12") {
+        eprintln!("error: failed to write results: {err}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }

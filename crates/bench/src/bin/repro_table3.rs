@@ -1,10 +1,18 @@
 //! Regenerates Table 3: characteristics of the three datasets.
+//!
+//! Exits with code 2 if the result artifact cannot be written.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let seed = std::env::var("EVEMATCH_SEEDS")
         .ok()
         .and_then(|s| s.split(',').next().and_then(|x| x.trim().parse().ok()))
         .unwrap_or(11);
     let t = evematch_eval::experiments::table3(seed);
-    evematch_bench::emit(&mut std::io::stdout(), &t, "table3");
+    if let Err(err) = evematch_bench::emit(&mut std::io::stdout(), &t, "table3") {
+        eprintln!("error: failed to write results: {err}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }

@@ -3,13 +3,21 @@
 //! `EVEMATCH_TABLE4_RUNS` controls the number of random log pairs
 //! (paper: 1,000; default here 200 to keep a full reproduction pass
 //! affordable — the uniformity conclusion is insensitive to the count).
+//!
+//! Exits with code 2 if the result artifact cannot be written.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let runs: usize = std::env::var("EVEMATCH_TABLE4_RUNS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
     eprintln!("Table 4: {runs} random-log runs");
     let t = evematch_eval::experiments::table4(runs, 0xE7E);
-    evematch_bench::emit(&mut std::io::stdout(), &t, "table4");
+    if let Err(err) = evematch_bench::emit(&mut std::io::stdout(), &t, "table4") {
+        eprintln!("error: failed to write results: {err}");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
 }

@@ -14,12 +14,20 @@
 //!   applied to every method (defaults 60s / 2,000,000 mappings), after
 //!   which a configuration is reported as did-not-finish — like the paper's
 //!   Figure 12 beyond 20 events — alongside its degraded anytime mapping;
-//! * `EVEMATCH_OUT` — output directory (default `results`).
+//! * `EVEMATCH_OUT` — output directory (default `results`);
+//! * `EVEMATCH_RESUME` (or the `--resume` flag on any `repro_*` binary) —
+//!   checkpoint each completed sweep job to `<out>/<figure>.journal` and
+//!   replay completed jobs on rerun, so a killed reproduction resumes
+//!   instead of starting over.
+//!
+//! Every artifact is written atomically (temp file + fsync + rename, see
+//! `evematch_core::persist`), and the binaries exit with code 2 when an
+//! artifact cannot be written.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
-use std::io::Write;
+use std::io::{self, Write};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -51,7 +59,20 @@ pub fn sweep_config() -> SweepConfig {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         ),
         traces: env_or("EVEMATCH_TRACES", 3000usize),
+        checkpoint: if resume_requested() {
+            out_dir().ok()
+        } else {
+            None
+        },
     }
+}
+
+/// Whether the invocation asked for checkpoint/resume mode: the
+/// `--resume` flag on the binary, or `EVEMATCH_RESUME` set to anything
+/// but `0` in the environment.
+pub fn resume_requested() -> bool {
+    std::env::args().any(|a| a == "--resume")
+        || std::env::var("EVEMATCH_RESUME").is_ok_and(|v| v != "0")
 }
 
 /// Trace count for Figure 12.
@@ -60,34 +81,34 @@ pub fn fig12_traces() -> usize {
 }
 
 /// The output directory (created on demand).
-pub fn out_dir() -> PathBuf {
+pub fn out_dir() -> io::Result<PathBuf> {
     let dir = PathBuf::from(std::env::var("EVEMATCH_OUT").unwrap_or_else(|_| "results".into()));
-    std::fs::create_dir_all(&dir).expect("create results directory");
-    dir
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 /// Writes a table to `out` and saves it as `<stem>.csv` under the output
-/// dir. The sink parameter (rather than `println!`) keeps this library
-/// crate quiet on its own — the `repro_*` binaries pass stdout.
-pub fn emit(out: &mut dyn Write, table: &Table, stem: &str) {
-    writeln!(out, "{table}").expect("write report");
-    let path = out_dir().join(format!("{stem}.csv"));
-    let file = std::fs::File::create(&path).expect("create csv");
-    table.write_csv(file).expect("write csv");
-    writeln!(out, "wrote {}", path.display()).expect("write report");
+/// dir (atomically — a killed run never leaves a truncated CSV). The sink
+/// parameter (rather than `println!`) keeps this library crate quiet on
+/// its own — the `repro_*` binaries pass stdout.
+pub fn emit(out: &mut dyn Write, table: &Table, stem: &str) -> io::Result<()> {
+    writeln!(out, "{table}")?;
+    let path = out_dir()?.join(format!("{stem}.csv"));
+    evematch_core::persist::atomic_write_with(&path, |w| table.write_csv(w))?;
+    writeln!(out, "wrote {}", path.display())
 }
 
 /// Writes all panels of a figure to `out` and the output dir, plus the
 /// sweep's merged per-method telemetry as `<stem>_metrics.json` next to
 /// the CSVs.
-pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) {
-    emit(out, &fig.f_measure, &format!("{stem}a_fmeasure"));
-    emit(out, &fig.anytime_f, &format!("{stem}a_anytime_fmeasure"));
-    emit(out, &fig.time, &format!("{stem}b_time"));
-    emit(out, &fig.processed, &format!("{stem}c_processed"));
-    let path = out_dir().join(format!("{stem}_metrics.json"));
-    std::fs::write(&path, figure_metrics_json(fig) + "\n").expect("write metrics json");
-    writeln!(out, "wrote {}", path.display()).expect("write report");
+pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) -> io::Result<()> {
+    emit(out, &fig.f_measure, &format!("{stem}a_fmeasure"))?;
+    emit(out, &fig.anytime_f, &format!("{stem}a_anytime_fmeasure"))?;
+    emit(out, &fig.time, &format!("{stem}b_time"))?;
+    emit(out, &fig.processed, &format!("{stem}c_processed"))?;
+    let path = out_dir()?.join(format!("{stem}_metrics.json"));
+    evematch_core::persist::atomic_write(&path, (figure_metrics_json(fig) + "\n").as_bytes())?;
+    writeln!(out, "wrote {}", path.display())
 }
 
 /// The figure's merged per-method telemetry as one JSON object keyed by

@@ -43,6 +43,7 @@ mod exact;
 pub mod hardness;
 mod heuristic;
 mod mapping;
+pub mod persist;
 pub mod score;
 pub mod telemetry;
 

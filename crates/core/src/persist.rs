@@ -1,0 +1,164 @@
+//! Crash-safe persistence primitives: atomic writes and durable appends.
+//!
+//! Result artifacts (CSV tables, metrics JSON, trace JSONL) used to be
+//! written with plain `File::create`, which tears on a crash: a kill
+//! between `create` and the final flush leaves a truncated file that a
+//! later run happily parses. [`atomic_write`] closes that window with the
+//! classic temp-file + fsync + rename protocol — readers observe either
+//! the old contents or the complete new contents, never a prefix.
+//!
+//! [`append_line_durable`] complements it for journals that *grow*: each
+//! appended line is fsynced before the call returns, so at most the line
+//! being written when the process dies can be torn — and journal readers
+//! are expected to tolerate exactly one trailing partial line (see
+//! `evematch_eval`'s experiment checkpointing).
+//!
+//! The xtask tidy lint `no-raw-artifact-write` (T8) flags raw
+//! `File::create`/`fs::write` of artifacts elsewhere in the workspace and
+//! points here.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The temp-file sibling used by [`atomic_write`] for `name`.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path.file_name().map_or_else(
+        || "artifact".to_owned(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
+/// Best-effort fsync of `path`'s parent directory, so the rename itself
+/// is durable. Ignored on failure: directory fsync is not supported on
+/// every platform/filesystem, and the rename's atomicity does not depend
+/// on it — only its durability across power loss.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// Writes to a hidden temp sibling (same directory, so the rename cannot
+/// cross filesystems), fsyncs it, then renames over `path`. On any error
+/// the temp file is removed and `path` is untouched.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(path, |w| w.write_all(bytes))
+}
+
+/// Like [`atomic_write`], but the contents are produced by `fill` writing
+/// into a buffered temp-file handle — useful when the artifact is
+/// streamed (e.g. a CSV table renderer) rather than materialized.
+pub fn atomic_write_with(
+    path: impl AsRef<Path>,
+    fill: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        // tidy-allow: no-raw-artifact-write -- this is the atomic_write implementation itself
+        let file = fs::File::create(&tmp)?;
+        let mut buf = io::BufWriter::new(file);
+        fill(&mut buf)?;
+        buf.flush()?;
+        buf.get_ref().sync_all()?;
+        fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Appends `line` (a newline is added) to `path`, creating the file if
+/// needed, and fsyncs before returning.
+///
+/// The write is issued as a single `write_all` of `line + "\n"`; on a
+/// crash mid-append the file may end in one torn partial line, which
+/// journal readers must skip. Lines must not contain `\n` themselves —
+/// embedded newlines would make torn-line recovery ambiguous — so this
+/// returns `InvalidInput` for them.
+pub fn append_line_durable(path: impl AsRef<Path>, line: &str) -> io::Result<()> {
+    if line.contains('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "journal lines must not contain embedded newlines",
+        ));
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path.as_ref())?;
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
+    file.write_all(&buf)?;
+    file.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("evematch-persist-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_and_replaces() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("out.csv");
+        atomic_write(&path, b"v1").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v1");
+        atomic_write(&path, b"v2-longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"v2-longer");
+        // No temp residue.
+        assert!(!temp_sibling(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_fill_leaves_target_untouched_and_no_temp() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("out.csv");
+        atomic_write(&path, b"original").unwrap();
+        let err =
+            atomic_write_with(&path, |_| Err(io::Error::other("producer failed"))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert_eq!(fs::read(&path).unwrap(), b"original");
+        assert!(!temp_sibling(&path).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_into_missing_directory_errors_cleanly() {
+        let dir = tmp_dir("missing");
+        let path = dir.join("no-such-subdir").join("out.csv");
+        assert!(atomic_write(&path, b"x").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_line_durable_accumulates_lines() {
+        let dir = tmp_dir("journal");
+        let path = dir.join("cells.journal");
+        append_line_durable(&path, "{\"a\":1}").unwrap();
+        append_line_durable(&path, "{\"b\":2}").unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        let err = append_line_durable(&path, "no\nnewlines").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -261,6 +261,65 @@ impl MetricsSnapshot {
         out.push_str("}}}");
         out
     }
+
+    /// Parses a snapshot previously rendered by [`Self::to_json_string`].
+    ///
+    /// Returns `None` on malformed input — e.g. a torn journal line from a
+    /// crashed writer — so callers can skip bad records instead of failing.
+    pub fn from_json(text: &str) -> Option<MetricsSnapshot> {
+        Self::from_json_value(&json::JsonValue::parse(text)?)
+    }
+
+    /// Like [`Self::from_json`], from an already-parsed [`json::JsonValue`]
+    /// (e.g. one field of a larger journal entry).
+    pub fn from_json_value(v: &json::JsonValue) -> Option<MetricsSnapshot> {
+        let det = v.get("deterministic")?;
+        let mut snap = MetricsSnapshot {
+            counters: json_u64_map(det.get("counters")?)?,
+            gauges: json_u64_map(det.get("gauges")?)?,
+            ..MetricsSnapshot::default()
+        };
+        let json::JsonValue::Obj(hists) = det.get("histograms")? else {
+            return None;
+        };
+        for (name, h) in hists {
+            snap.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    bounds: json_u64_list(h.get("bounds")?)?,
+                    buckets: json_u64_list(h.get("buckets")?)?,
+                },
+            );
+        }
+        let json::JsonValue::Obj(timings) = v.get("non_deterministic")?.get("timings")? else {
+            return None;
+        };
+        for (name, t) in timings {
+            snap.timings.insert(
+                name.clone(),
+                TimingSnapshot {
+                    count: t.get("count")?.as_u64()?,
+                    total_nanos: t.get("total_nanos")?.as_u64()?,
+                },
+            );
+        }
+        Some(snap)
+    }
+}
+
+fn json_u64_map(v: &json::JsonValue) -> Option<BTreeMap<String, u64>> {
+    let json::JsonValue::Obj(fields) = v else {
+        return None;
+    };
+    let mut out = BTreeMap::new();
+    for (k, val) in fields {
+        out.insert(k.clone(), val.as_u64()?);
+    }
+    Some(out)
+}
+
+fn json_u64_list(v: &json::JsonValue) -> Option<Vec<u64>> {
+    v.as_arr()?.iter().map(json::JsonValue::as_u64).collect()
 }
 
 fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
@@ -355,6 +414,39 @@ mod tests {
         assert_eq!(a.counters["n"], 5);
         assert_eq!(a.counters["m"], 1);
         assert_eq!(a.gauges["g"], 5);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_exactly() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_named("search.pops", 42);
+        reg.add_named("ingest.quarantined.short_row", u64::MAX);
+        let g = reg.gauge("frontier");
+        reg.gauge_max(g, 7);
+        let h = reg.histogram("depth", &[1, 4, 9]);
+        reg.observe(h, 0);
+        reg.observe(h, 5);
+        reg.record_timing("solve", 987_654_321);
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json_string()).unwrap();
+        assert_eq!(back, snap);
+        // And the re-rendered JSON is byte-identical.
+        assert_eq!(back.to_json_string(), snap.to_json_string());
+    }
+
+    #[test]
+    fn from_json_rejects_torn_or_malformed_input() {
+        let mut reg = MetricsRegistry::new();
+        reg.add_named("x", 1);
+        let full = reg.snapshot().to_json_string();
+        for cut in [1, full.len() / 2, full.len() - 1] {
+            assert!(
+                MetricsSnapshot::from_json(&full[..cut]).is_none(),
+                "truncation at {cut} should not parse"
+            );
+        }
+        assert!(MetricsSnapshot::from_json("{}").is_none());
+        assert!(MetricsSnapshot::from_json("not json").is_none());
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Experiment-grid checkpointing: the per-method record the grid
+//! aggregates, its journal serialization, and journal replay.
+//!
+//! A grid with `SweepConfig::checkpoint = Some(dir)` appends one JSONL
+//! entry per completed `(x, seed)` job to `<dir>/<figure>.journal` via
+//! [`evematch_core::persist::append_line_durable`]. A rerun replays the
+//! journal first and only computes the missing jobs, so a `repro_*`
+//! binary killed mid-grid resumes instead of starting over.
+//!
+//! Robustness properties:
+//!
+//! * every entry carries a *grid fingerprint* (figure, axis, methods,
+//!   seeds, traces, budget), so a journal left by a differently-shaped or
+//!   differently-configured run is ignored wholesale rather than mixed in;
+//! * torn trailing lines (the crash case `append_line_durable` documents),
+//!   malformed lines and foreign entries are silently skipped — the worst
+//!   outcome of a damaged journal is recomputation, never wrong numbers;
+//! * `f64` panel values are journaled as `to_bits()` integers, so a
+//!   replayed record is *bit-identical* to the freshly computed one and a
+//!   resumed grid renders byte-identical deterministic panels.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use evematch_core::telemetry::json::{self, JsonValue};
+use evematch_core::{Budget, MetricsSnapshot};
+
+use crate::method::{Method, RunOutcome};
+
+/// Everything the grid aggregation needs from one method's run on one
+/// `(x, seed)` job — the unit stored in the checkpoint journal.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct MethodRecord {
+    /// Paper-faithful F-measure (meaningful only when `finished`).
+    pub f: f64,
+    /// Anytime F-measure of whatever mapping the run returned.
+    pub anytime_f: f64,
+    /// Wall-clock seconds (non-deterministic; excluded from byte-identity
+    /// claims, but journaled so full replays reproduce the time panel).
+    pub secs: f64,
+    /// Mappings processed before the run stopped.
+    pub processed: u64,
+    /// Whether the run finished within budget.
+    pub finished: bool,
+    /// The run's telemetry snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+impl MethodRecord {
+    /// Captures a run outcome.
+    pub fn of(out: &RunOutcome) -> MethodRecord {
+        MethodRecord {
+            f: out.f_measure(),
+            anytime_f: out.anytime_f_measure(),
+            secs: out.elapsed().as_secs_f64(),
+            processed: out.processed(),
+            finished: out.finished(),
+            metrics: out.metrics().clone(),
+        }
+    }
+
+    /// Record for a method whose run panicked: a DNF that returned no
+    /// mapping, with a `grid.worker_panics` telemetry marker so the
+    /// failure is visible in the merged metrics.
+    pub fn panicked() -> MethodRecord {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.set_counter("grid.worker_panics", 1);
+        MethodRecord {
+            f: 0.0,
+            anytime_f: 0.0,
+            secs: 0.0,
+            processed: 0,
+            finished: false,
+            metrics,
+        }
+    }
+
+    /// Appends this record as a JSON object. Floats are stored as
+    /// `to_bits()` integers for exact round-trips.
+    fn push_json(&self, out: &mut String) {
+        out.push('{');
+        json::push_key(out, "f");
+        out.push_str(&self.f.to_bits().to_string());
+        out.push(',');
+        json::push_key(out, "af");
+        out.push_str(&self.anytime_f.to_bits().to_string());
+        out.push(',');
+        json::push_key(out, "secs");
+        out.push_str(&self.secs.to_bits().to_string());
+        out.push(',');
+        json::push_key(out, "proc");
+        out.push_str(&self.processed.to_string());
+        out.push(',');
+        json::push_key(out, "fin");
+        out.push_str(if self.finished { "true" } else { "false" });
+        out.push(',');
+        json::push_key(out, "metrics");
+        out.push_str(&self.metrics.to_json_string());
+        out.push('}');
+    }
+
+    /// Parses one record; `None` on any malformation.
+    fn from_json_value(v: &JsonValue) -> Option<MethodRecord> {
+        let JsonValue::Bool(finished) = *v.get("fin")? else {
+            return None;
+        };
+        Some(MethodRecord {
+            f: f64::from_bits(v.get("f")?.as_u64()?),
+            anytime_f: f64::from_bits(v.get("af")?.as_u64()?),
+            secs: f64::from_bits(v.get("secs")?.as_u64()?),
+            processed: v.get("proc")?.as_u64()?,
+            finished,
+            metrics: MetricsSnapshot::from_json_value(v.get("metrics")?)?,
+        })
+    }
+}
+
+/// The grid-identity string journal entries are stamped with. Any change
+/// to the grid's shape or configuration changes the fingerprint, which
+/// invalidates old journal entries (they are skipped, not misapplied).
+pub(crate) fn grid_fingerprint(
+    figure: &str,
+    x_label: &str,
+    xs: &[usize],
+    methods: &[Method],
+    seeds: &[u64],
+    traces: usize,
+    budget: &Budget,
+) -> String {
+    let names: Vec<&str> = methods.iter().map(Method::name).collect();
+    format!(
+        "v1|{figure}|{x_label}|xs={xs:?}|methods={names:?}|seeds={seeds:?}|traces={traces}|budget={budget:?}"
+    )
+}
+
+/// Renders one journal entry (a single line, no embedded newlines — the
+/// JSON writer escapes them) for a completed `(x, seed)` job.
+pub(crate) fn journal_line(
+    fingerprint: &str,
+    x: usize,
+    seed: u64,
+    records: &[MethodRecord],
+) -> String {
+    let mut out = String::new();
+    out.push('{');
+    json::push_key(&mut out, "grid");
+    json::push_string(&mut out, fingerprint);
+    out.push(',');
+    json::push_key(&mut out, "x");
+    out.push_str(&x.to_string());
+    out.push(',');
+    json::push_key(&mut out, "seed");
+    out.push_str(&seed.to_string());
+    out.push(',');
+    json::push_key(&mut out, "methods");
+    out.push('[');
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        r.push_json(&mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses one journal line into `(x, seed, records)`; `None` if the line
+/// is torn/malformed, stamped with a different fingerprint, or carries
+/// the wrong number of method records.
+fn parse_entry(
+    line: &str,
+    fingerprint: &str,
+    n_methods: usize,
+) -> Option<(usize, u64, Vec<MethodRecord>)> {
+    let v = JsonValue::parse(line)?;
+    if v.get("grid")?.as_str()? != fingerprint {
+        return None;
+    }
+    let x = usize::try_from(v.get("x")?.as_u64()?).ok()?;
+    let seed = v.get("seed")?.as_u64()?;
+    let arr = v.get("methods")?.as_arr()?;
+    if arr.len() != n_methods {
+        return None;
+    }
+    let records: Vec<MethodRecord> = arr
+        .iter()
+        .map(MethodRecord::from_json_value)
+        .collect::<Option<_>>()?;
+    Some((x, seed, records))
+}
+
+/// Replays a journal: the completed jobs of *this* grid, keyed by
+/// `(index-of-x, seed)`. Unreadable files (missing on a first run,
+/// invalid UTF-8 from disk corruption) and unusable lines yield an empty
+/// or partial map — those jobs are simply recomputed. Duplicate entries
+/// (a crash between append and the next poll can rerun a job) resolve to
+/// the last occurrence.
+pub(crate) fn load_journal(
+    path: &Path,
+    fingerprint: &str,
+    xs: &[usize],
+    seeds: &[u64],
+    n_methods: usize,
+) -> BTreeMap<(usize, u64), Vec<MethodRecord>> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let mut done = BTreeMap::new();
+    for line in text.lines() {
+        let Some((x, seed, records)) = parse_entry(line, fingerprint, n_methods) else {
+            continue;
+        };
+        let Some(xi) = xs.iter().position(|&v| v == x) else {
+            continue;
+        };
+        if !seeds.contains(&seed) {
+            continue;
+        }
+        done.insert((xi, seed), records);
+    }
+    done
+}
+
+/// If `path` ends in a torn line without a newline (what a crash
+/// mid-append leaves), terminates it, so that subsequent appends start on
+/// a fresh line instead of fusing with the torn fragment — which would
+/// silently discard the first checkpoint written by the resumed run.
+/// Best-effort, like the appends themselves.
+pub(crate) fn seal_torn_tail(path: &Path) {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .read(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if f.metadata().map_or(0, |m| m.len()) == 0 || f.seek(SeekFrom::End(-1)).is_err() {
+        return;
+    }
+    let mut last = [0u8; 1];
+    if f.read_exact(&mut last).is_ok() && last[0] != b'\n' {
+        let _ = f.write_all(b"\n");
+        let _ = f.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> MethodRecord {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.set_counter("budget.processed", 12345);
+        metrics.set_gauge_max("frontier", 7);
+        MethodRecord {
+            f: 0.1 + 0.2, // deliberately not representable as a short decimal
+            anytime_f: f64::NAN,
+            secs: 1.5e-7,
+            processed: u64::MAX - 1,
+            finished: true,
+            metrics,
+        }
+    }
+
+    fn fp() -> String {
+        grid_fingerprint(
+            "FigT",
+            "#events",
+            &[3, 4],
+            &[Method::Vertex],
+            &[11, 23],
+            60,
+            &Budget::UNLIMITED.with_processed_cap(1000),
+        )
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let rec = sample_record();
+        let line = journal_line(&fp(), 4, 23, std::slice::from_ref(&rec));
+        assert!(!line.contains('\n'));
+        let (x, seed, parsed) = parse_entry(&line, &fp(), 1).unwrap();
+        assert_eq!((x, seed), (4, 23));
+        assert_eq!(parsed[0].f.to_bits(), rec.f.to_bits());
+        assert_eq!(parsed[0].anytime_f.to_bits(), rec.anytime_f.to_bits());
+        assert_eq!(parsed[0].secs.to_bits(), rec.secs.to_bits());
+        assert_eq!(parsed[0].processed, rec.processed);
+        assert_eq!(parsed[0].metrics, rec.metrics);
+    }
+
+    #[test]
+    fn torn_and_foreign_lines_parse_to_none() {
+        let line = journal_line(&fp(), 3, 11, &[sample_record()]);
+        // Every strict prefix is rejected (the torn-tail crash case).
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(parse_entry(&line[..cut], &fp(), 1).is_none(), "cut {cut}");
+        }
+        // Fingerprint mismatch (another grid's journal) and arity mismatch.
+        assert!(parse_entry(&line, "v1|other", 1).is_none());
+        assert!(parse_entry(&line, &fp(), 2).is_none());
+        assert!(parse_entry("not json at all", &fp(), 1).is_none());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_grid_shape_and_budget() {
+        let base = fp();
+        let other_budget = grid_fingerprint(
+            "FigT",
+            "#events",
+            &[3, 4],
+            &[Method::Vertex],
+            &[11, 23],
+            60,
+            &Budget::UNLIMITED.with_processed_cap(2000),
+        );
+        let other_methods = grid_fingerprint(
+            "FigT",
+            "#events",
+            &[3, 4],
+            &[Method::PatternTight],
+            &[11, 23],
+            60,
+            &Budget::UNLIMITED.with_processed_cap(1000),
+        );
+        assert_ne!(base, other_budget);
+        assert_ne!(base, other_methods);
+    }
+
+    #[test]
+    fn load_journal_skips_junk_and_keeps_last_duplicate() {
+        let dir = std::env::temp_dir().join(format!("evematch-ckpt-load-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("FigT.journal");
+
+        let mut first = sample_record();
+        first.processed = 1;
+        let mut second = sample_record();
+        second.processed = 2;
+        let full = journal_line(&fp(), 3, 11, &[first]);
+        let dup = journal_line(&fp(), 3, 11, std::slice::from_ref(&second));
+        let foreign_x = journal_line(&fp(), 99, 11, &[sample_record()]);
+        let foreign_seed = journal_line(&fp(), 3, 99, &[sample_record()]);
+        let torn = &dup[..dup.len() / 2];
+        let text = format!("{full}\ngarbage\n{foreign_x}\n{foreign_seed}\n{dup}\n{torn}");
+        std::fs::write(&path, text).unwrap();
+
+        let done = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[&(0, 11)][0].processed, 2, "last duplicate wins");
+
+        // A missing journal is just an empty replay.
+        assert!(load_journal(&dir.join("absent"), &fp(), &[3], &[11], 1).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seal_torn_tail_terminates_only_unfinished_lines() {
+        let dir = std::env::temp_dir().join(format!("evematch-ckpt-seal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.journal");
+
+        // Missing file: no-op, not created.
+        seal_torn_tail(&path);
+        assert!(!path.exists());
+
+        // Clean tail: untouched.
+        std::fs::write(&path, "{\"a\":1}\n").unwrap();
+        seal_torn_tail(&path);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
+
+        // Torn tail: terminated, so the next append starts a fresh line.
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":").unwrap();
+        seal_torn_tail(&path);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"a\":1}\n{\"b\":\n"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicked_record_is_a_marked_dnf() {
+        let rec = MethodRecord::panicked();
+        assert!(!rec.finished);
+        assert_eq!(rec.metrics.counters.get("grid.worker_panics"), Some(&1));
+        // And it journals like any other record.
+        let line = journal_line(&fp(), 3, 11, std::slice::from_ref(&rec));
+        let (_, _, parsed) = parse_entry(&line, &fp(), 1).unwrap();
+        assert_eq!(parsed[0], rec);
+    }
+}

@@ -6,12 +6,16 @@
 //! reproduce the dataset-characteristics and random-log tables. The
 //! `repro_*` binaries in `evematch-bench` print and save these.
 
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 use evematch_core::{Budget, Mapping, MetricsSnapshot};
 use evematch_datagen::{datasets, Dataset};
 
+use crate::checkpoint::{self, MethodRecord};
 use crate::method::{Method, RunOutcome};
 use crate::project::{project_dataset, truncate_traces};
 use crate::report::Table;
@@ -30,6 +34,12 @@ pub struct SweepConfig {
     /// Trace count for the fixed-trace sweeps (Figures 7 and 9; the paper
     /// uses the full 3,000).
     pub traces: usize,
+    /// Checkpoint directory. When set, each completed `(x, seed)` job is
+    /// durably appended to `<dir>/<figure>.journal` and a rerun replays
+    /// the journal instead of recomputing — how the `repro_*` binaries
+    /// resume after a kill (their `--resume` flag). `None` disables
+    /// checkpointing.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -41,6 +51,7 @@ impl Default for SweepConfig {
                 .with_deadline(Duration::from_secs(60)),
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
             traces: 3000,
+            checkpoint: None,
         }
     }
 }
@@ -77,14 +88,14 @@ struct Cell {
 }
 
 impl Cell {
-    fn add(&mut self, out: &RunOutcome) {
+    fn add(&mut self, rec: &MethodRecord) {
         self.total += 1;
-        self.anytime_f_sum += out.anytime_f_measure();
-        if out.finished() {
+        self.anytime_f_sum += rec.anytime_f;
+        if rec.finished {
             self.finished += 1;
-            self.f_sum += out.f_measure();
-            self.secs_sum += out.elapsed().as_secs_f64();
-            self.processed_sum += out.processed();
+            self.f_sum += rec.f;
+            self.secs_sum += rec.secs;
+            self.processed_sum += rec.processed;
         }
     }
 
@@ -121,8 +132,35 @@ impl Cell {
     }
 }
 
+/// One `(x, seed)` job: dataset generation plus every method's run, each
+/// behind `catch_unwind` so a panicking solver (or generator) degrades
+/// its own record to a marked DNF instead of killing the other methods'
+/// results or poisoning the grid's locks.
+fn run_job(
+    x: usize,
+    seed: u64,
+    methods: &[Method],
+    budget: Budget,
+    make: &(impl Fn(usize, u64) -> Dataset + Sync),
+) -> Vec<MethodRecord> {
+    let Ok(ds) = std::panic::catch_unwind(AssertUnwindSafe(|| make(x, seed))) else {
+        return methods.iter().map(|_| MethodRecord::panicked()).collect();
+    };
+    methods
+        .iter()
+        .map(|m| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| m.run(&ds.pair, &ds.patterns, budget)))
+                .map_or_else(|_| MethodRecord::panicked(), |out| MethodRecord::of(&out))
+        })
+        .collect()
+}
+
 /// Runs the `xs × seeds × methods` grid and aggregates into the three
 /// panels. `make(x, seed)` produces the dataset for one cell.
+///
+/// With `cfg.checkpoint` set, completed jobs found in the journal are
+/// replayed instead of recomputed, and freshly computed jobs are appended
+/// to it (best-effort: an unwritable journal must not take down the run).
 fn run_grid(
     figure: &str,
     x_label: &str,
@@ -131,15 +169,34 @@ fn run_grid(
     cfg: &SweepConfig,
     make: impl Fn(usize, u64) -> Dataset + Sync,
 ) -> FigureResult {
-    let cells: Mutex<Vec<Vec<Cell>>> =
-        Mutex::new(vec![vec![Cell::default(); methods.len()]; xs.len()]);
-    let merged: Mutex<Vec<MetricsSnapshot>> =
-        Mutex::new(vec![MetricsSnapshot::default(); methods.len()]);
+    let fingerprint = checkpoint::grid_fingerprint(
+        figure,
+        x_label,
+        xs,
+        methods,
+        &cfg.seeds,
+        cfg.traces,
+        &cfg.budget,
+    );
+    let journal: Option<PathBuf> = cfg
+        .checkpoint
+        .as_ref()
+        .map(|dir| dir.join(format!("{figure}.journal")));
+    let done = match &journal {
+        Some(path) => checkpoint::load_journal(path, &fingerprint, xs, &cfg.seeds, methods.len()),
+        None => BTreeMap::new(),
+    };
     let jobs: Vec<(usize, u64)> = xs
         .iter()
         .enumerate()
         .flat_map(|(xi, _)| cfg.seeds.iter().map(move |&s| (xi, s)))
+        .filter(|key| !done.contains_key(key))
         .collect();
+    if let Some(path) = journal.as_ref().filter(|_| !jobs.is_empty()) {
+        checkpoint::seal_torn_tail(path);
+    }
+    let results: Mutex<BTreeMap<(usize, u64), Vec<MethodRecord>>> = Mutex::new(done);
+    let journal_append = Mutex::new(());
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = cfg.workers.clamp(1, jobs.len().max(1));
     std::thread::scope(|scope| {
@@ -149,21 +206,36 @@ fn run_grid(
                 let Some(&(xi, seed)) = jobs.get(i) else {
                     break;
                 };
-                let ds = make(xs[xi], seed);
-                for (mi, m) in methods.iter().enumerate() {
-                    let out = m.run(&ds.pair, &ds.patterns, cfg.budget);
-                    // tidy-allow: no-panic -- lock poisoning requires a panic in another worker, at which point the run is already lost
-                    cells.lock().expect("no panics hold the lock")[xi][mi].add(&out);
-                    // tidy-allow: no-panic -- same poisoning argument as above
-                    merged.lock().expect("no panics hold the lock")[mi].merge(out.metrics());
+                let records = run_job(xs[xi], seed, methods, cfg.budget, &make);
+                if let Some(path) = &journal {
+                    let line = checkpoint::journal_line(&fingerprint, xs[xi], seed, &records);
+                    let guard = journal_append
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    let _ = evematch_core::persist::append_line_durable(path, &line);
+                    drop(guard);
                 }
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert((xi, seed), records);
             });
         }
     });
-    // tidy-allow: no-panic -- scope end joined every worker, so the mutex has no other owner and no poison
-    let cells = cells.into_inner().expect("threads joined");
-    // tidy-allow: no-panic -- same joined-workers argument as above
-    let merged = merged.into_inner().expect("threads joined");
+    let results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+
+    // Deterministic aggregation: records fold in `(x, seed)` key order
+    // regardless of worker completion order or the replayed/computed
+    // split, so the f64 sums are bit-stable and a resumed grid renders
+    // byte-identical deterministic panels.
+    let mut cells = vec![vec![Cell::default(); methods.len()]; xs.len()];
+    let mut merged = vec![MetricsSnapshot::default(); methods.len()];
+    for ((xi, _seed), records) in &results {
+        for (mi, rec) in records.iter().enumerate() {
+            cells[*xi][mi].add(rec);
+            merged[mi].merge(&rec.metrics);
+        }
+    }
 
     // Not `map(Method::name)`: the fn-item type would pin the chained
     // iterator's item to `&'static str` and demand `x_label: 'static`;
@@ -441,6 +513,7 @@ mod tests {
                 .with_deadline(Duration::from_secs(20)),
             workers: 2,
             traces: 60,
+            checkpoint: None,
         }
     }
 
@@ -492,6 +565,139 @@ mod tests {
                 .sum();
             assert_eq!(sum, 6, "column {col}");
         }
+    }
+
+    /// A small deterministic grid for the checkpoint tests: pure-cap
+    /// budget (no wall-clock deadline), so every run of the same job is
+    /// bit-identical and byte-identity of resumed panels is meaningful.
+    fn ckpt_cfg(dir: Option<PathBuf>) -> SweepConfig {
+        SweepConfig {
+            seeds: vec![11, 23],
+            budget: Budget::UNLIMITED.with_processed_cap(200_000),
+            workers: 2,
+            traces: 40,
+            checkpoint: dir,
+        }
+    }
+
+    fn ckpt_grid(cfg: &SweepConfig) -> FigureResult {
+        run_grid(
+            "FigT",
+            "#events",
+            &[3, 4],
+            &[Method::Vertex, Method::PatternTight],
+            cfg,
+            |x, seed| {
+                let ds = datasets::real_like_sized(cfg.traces, cfg.traces, seed);
+                project_dataset(&ds, x)
+            },
+        )
+    }
+
+    fn csv(t: &Table) -> String {
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    /// The deterministic panels (everything but wall-clock time).
+    fn det_panels(fig: &FigureResult) -> [String; 3] {
+        [
+            csv(&fig.f_measure),
+            csv(&fig.anytime_f),
+            csv(&fig.processed),
+        ]
+    }
+
+    #[test]
+    fn killed_grid_resumes_byte_identically_from_damaged_journal() {
+        let dir = std::env::temp_dir().join(format!("evematch-ckpt-grid-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("FigT.journal");
+
+        // Reference run without any checkpointing.
+        let reference = ckpt_grid(&ckpt_cfg(None));
+        // Checkpointed run from scratch: same numbers, and a full journal
+        // (4 jobs × one line).
+        let checkpointed = ckpt_grid(&ckpt_cfg(Some(dir.clone())));
+        assert_eq!(det_panels(&reference), det_panels(&checkpointed));
+        let full = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(full.lines().count(), 4);
+
+        // Simulate a kill: only the first appended line survives intact,
+        // followed by a torn half-line — exactly what `append_line_durable`
+        // guarantees at worst — plus some unrelated garbage.
+        let first = full.lines().next().unwrap();
+        let torn = &full.lines().nth(1).unwrap()[..first.len() / 2];
+        std::fs::write(&journal, format!("{first}\nnot json\n{torn}")).unwrap();
+
+        // Resume: one job replays, three recompute; the deterministic
+        // panels are byte-identical to the uninterrupted run.
+        let resumed = ckpt_grid(&ckpt_cfg(Some(dir.clone())));
+        assert_eq!(det_panels(&reference), det_panels(&resumed));
+
+        // The resume completed the journal, so a further rerun replays
+        // everything — including the wall-clock panel, byte for byte.
+        let replayed = ckpt_grid(&ckpt_cfg(Some(dir.clone())));
+        assert_eq!(det_panels(&resumed), det_panels(&replayed));
+        assert_eq!(csv(&resumed.time), csv(&replayed.time));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_journal_from_another_config_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("evematch-ckpt-stale-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut cfg = ckpt_cfg(Some(dir.clone()));
+        ckpt_grid(&cfg);
+        let journal = dir.join("FigT.journal");
+        let lines_before = std::fs::read_to_string(&journal).unwrap().lines().count();
+
+        // A different budget changes the fingerprint: the old entries must
+        // not be replayed, and the rerun appends four fresh ones.
+        cfg.budget = Budget::UNLIMITED.with_processed_cap(150_000);
+        ckpt_grid(&cfg);
+        let lines_after = std::fs::read_to_string(&journal).unwrap().lines().count();
+        assert_eq!(lines_after, lines_before + 4);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_worker_degrades_its_cell_instead_of_killing_the_grid() {
+        let cfg = SweepConfig {
+            seeds: vec![11],
+            budget: Budget::UNLIMITED.with_processed_cap(100_000),
+            workers: 2,
+            traces: 20,
+            checkpoint: None,
+        };
+        let fig = run_grid(
+            "FigP",
+            "#events",
+            &[2, 3],
+            &[Method::Vertex],
+            &cfg,
+            |x, seed| {
+                assert_ne!(x, 3, "injected generator failure");
+                let ds = datasets::real_like_sized(cfg.traces, cfg.traces, seed);
+                project_dataset(&ds, x)
+            },
+        );
+        // The healthy x = 2 row is intact...
+        let ok: f64 = fig.f_measure.cell(0, 1).parse().unwrap();
+        assert!(ok.is_finite());
+        // ...while the panicking x = 3 row degrades to DNF dashes.
+        assert_eq!(fig.f_measure.cell(1, 1), "—");
+        assert_eq!(fig.processed.cell(1, 1), "—");
+        assert_eq!(fig.anytime_f.cell(1, 1), "0.000");
+        // And the failure is visible in the merged telemetry.
+        let (_, snap) = &fig.metrics[0];
+        assert_eq!(snap.counters.get("grid.worker_panics"), Some(&1));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod checkpoint;
 pub mod experiments;
 mod method;
 mod metrics;

@@ -18,6 +18,18 @@
 //!     --format <F>           text | csv   (default: by file extension,
 //!                            falling back to text)
 //!     --bound <B>            simple | tight  (default: tight)
+//!     --lenient              skip malformed input lines instead of failing,
+//!                            collecting them into a quarantine report that
+//!                            is summarized on stderr (unless --quiet) and
+//!                            merged into --metrics-out as
+//!                            `ingest.quarantined.*` counters
+//!     --max-events <N>       cap the event vocabulary per log
+//!     --max-traces <N>       cap the trace count per log
+//!     --max-trace-len <N>    cap the events per trace (over-long traces
+//!                            are fatal in strict mode, quarantined with
+//!                            --lenient)
+//!     --max-line-bytes <N>   cap the input line length in bytes without
+//!                            buffering over-long lines
 //!     --limit-secs <N>       wall-clock budget in seconds (default: 60)
 //!     --limit-processed <N>  processed-mapping budget (default: unlimited;
 //!                            deterministic, unlike --limit-secs)
@@ -47,6 +59,11 @@
 //! Log formats: the whitespace text format (`evematch_eventlog::read_log`)
 //! or `case,activity` CSV (`read_csv_log`). The mapping is printed one
 //! `source<TAB>target` pair per line.
+//!
+//! The `--max-*` caps turn resource exhaustion on adversarial inputs into
+//! ordinary input errors (exit 1) in both strict and lenient mode; the
+//! `--metrics-out` and `--trace-out` artifacts are written atomically
+//! (temp file + fsync + rename), so a killed run never leaves a torn file.
 
 use std::io::BufReader;
 use std::process::ExitCode;
@@ -59,6 +76,11 @@ struct Options {
     patterns: Option<String>,
     format: Option<String>,
     bound: BoundKind,
+    lenient: bool,
+    max_events: Option<usize>,
+    max_traces: Option<usize>,
+    max_trace_len: Option<usize>,
+    max_line_bytes: Option<usize>,
     limit_secs: u64,
     limit_processed: Option<u64>,
     metrics_out: Option<String>,
@@ -74,6 +96,11 @@ fn parse_args() -> Result<Options, String> {
         patterns: None,
         format: None,
         bound: BoundKind::Tight,
+        lenient: false,
+        max_events: None,
+        max_traces: None,
+        max_trace_len: None,
+        max_line_bytes: None,
         limit_secs: 60,
         limit_processed: None,
         metrics_out: None,
@@ -98,6 +125,35 @@ fn parse_args() -> Result<Options, String> {
                     "tight" => BoundKind::Tight,
                     other => return Err(format!("unknown bound `{other}`")),
                 }
+            }
+            "--lenient" => opts.lenient = true,
+            "--max-events" => {
+                opts.max_events = Some(
+                    value("--max-events")?
+                        .parse()
+                        .map_err(|e| format!("--max-events: {e}"))?,
+                );
+            }
+            "--max-traces" => {
+                opts.max_traces = Some(
+                    value("--max-traces")?
+                        .parse()
+                        .map_err(|e| format!("--max-traces: {e}"))?,
+                );
+            }
+            "--max-trace-len" => {
+                opts.max_trace_len = Some(
+                    value("--max-trace-len")?
+                        .parse()
+                        .map_err(|e| format!("--max-trace-len: {e}"))?,
+                );
+            }
+            "--max-line-bytes" => {
+                opts.max_line_bytes = Some(
+                    value("--max-line-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--max-line-bytes: {e}"))?,
+                );
             }
             "--limit-secs" => {
                 opts.limit_secs = value("--limit-secs")?
@@ -130,7 +186,29 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn load_log(path: &str, format: Option<&str>) -> Result<EventLog, String> {
+fn ingest_options(opts: &Options) -> IngestOptions {
+    let mut limits = IngestLimits::unlimited();
+    if let Some(n) = opts.max_events {
+        limits = limits.with_max_events(n);
+    }
+    if let Some(n) = opts.max_traces {
+        limits = limits.with_max_traces(n);
+    }
+    if let Some(n) = opts.max_trace_len {
+        limits = limits.with_max_trace_events(n);
+    }
+    if let Some(n) = opts.max_line_bytes {
+        limits = limits.with_max_line_bytes(n);
+    }
+    let base = if opts.lenient {
+        IngestOptions::lenient()
+    } else {
+        IngestOptions::strict()
+    };
+    base.with_limits(limits)
+}
+
+fn load_log(path: &str, format: Option<&str>, ingest: &IngestOptions) -> Result<Ingest, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let reader = BufReader::new(file);
     let is_csv = match format {
@@ -140,9 +218,9 @@ fn load_log(path: &str, format: Option<&str>) -> Result<EventLog, String> {
         None => path.ends_with(".csv"),
     };
     if is_csv {
-        read_csv_log(reader).map_err(|e| format!("{path}: {e}"))
+        read_csv_log_with(reader, ingest).map_err(|e| format!("{path}: {e}"))
     } else {
-        read_log(reader).map_err(|e| format!("{path}: {e}"))
+        read_log_with(reader, ingest).map_err(|e| format!("{path}: {e}"))
     }
 }
 
@@ -161,8 +239,20 @@ fn load_patterns(path: &str, log1: &EventLog) -> Result<Vec<Pattern>, String> {
 
 /// Whether the run finished within budget (`false` = degraded result).
 fn run(opts: &Options) -> Result<bool, String> {
-    let log1 = load_log(&opts.logs[0], opts.format.as_deref())?;
-    let log2 = load_log(&opts.logs[1], opts.format.as_deref())?;
+    let ingest = ingest_options(opts);
+    let in1 = load_log(&opts.logs[0], opts.format.as_deref(), &ingest)?;
+    let in2 = load_log(&opts.logs[1], opts.format.as_deref(), &ingest)?;
+    if !opts.quiet {
+        for (path, q) in [
+            (&opts.logs[0], &in1.quarantine),
+            (&opts.logs[1], &in2.quarantine),
+        ] {
+            if !q.is_empty() {
+                eprint!("{path}: {}", q.render());
+            }
+        }
+    }
+    let (log1, log2) = (in1.log, in2.log);
     let patterns = match &opts.patterns {
         Some(path) => load_patterns(path, &log1)?,
         None => Vec::new(),
@@ -207,16 +297,22 @@ fn run(opts: &Options) -> Result<bool, String> {
     drop(heartbeat);
 
     if let Some(path) = &opts.metrics_out {
-        let json = outcome.metrics.to_json_string();
-        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+        // Fold the ingestion quarantine counts into the run's snapshot so
+        // one artifact tells the whole story (merge adds counters, so the
+        // two logs' counts accumulate).
+        let mut snap = outcome.metrics.clone();
+        for q in [&in1.quarantine, &in2.quarantine] {
+            let mut tmp = MetricsSnapshot::default();
+            for (name, n) in q.counter_pairs() {
+                tmp.set_counter(&name, n);
+            }
+            snap.merge(&tmp);
+        }
+        persist::atomic_write(path, (snap.to_json_string() + "\n").as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
     }
     if let Some(path) = &opts.trace_out {
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        let mut w = std::io::BufWriter::new(file);
-        outcome
-            .trace
-            .write_jsonl(&mut w)
-            .and_then(|()| std::io::Write::flush(&mut w))
+        persist::atomic_write_with(path, |w| outcome.trace.write_jsonl(w))
             .map_err(|e| format!("{path}: {e}"))?;
     }
 
@@ -299,8 +395,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: evematch [--method exact|simple|advanced|vertex|vertex-edge|iterative|entropy] \
                  [--patterns FILE] [--format text|csv] [--bound simple|tight] \
-                 [--limit-secs N] [--limit-processed N] [--metrics-out FILE] \
-                 [--trace-out FILE] [--progress] [--quiet] LOG1 LOG2"
+                 [--lenient] [--max-events N] [--max-traces N] [--max-trace-len N] \
+                 [--max-line-bytes N] [--limit-secs N] [--limit-processed N] \
+                 [--metrics-out FILE] [--trace-out FILE] [--progress] [--quiet] LOG1 LOG2"
             );
             if msg == "help" {
                 ExitCode::SUCCESS

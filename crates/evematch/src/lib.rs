@@ -61,18 +61,19 @@ pub use evematch_pattern as pattern;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use evematch_core::{
-        assignment, hardness, score, telemetry, AdvancedHeuristic, BoundKind, Budget, Completion,
-        EntropyMatcher, ExactMatcher, Exhaustion, IterativeMatcher, Mapping, MatchContext,
-        MatchOutcome, MetricsSnapshot, PatternSetBuilder, SearchError, SimpleHeuristic, Telemetry,
-        TraceBuffer, TraceEvent,
+        assignment, hardness, persist, score, telemetry, AdvancedHeuristic, BoundKind, Budget,
+        Completion, EntropyMatcher, ExactMatcher, Exhaustion, IterativeMatcher, Mapping,
+        MatchContext, MatchOutcome, MetricsSnapshot, PatternSetBuilder, SearchError,
+        SimpleHeuristic, Telemetry, TraceBuffer, TraceEvent,
     };
     pub use evematch_datagen::{
         datasets, heterogenize, Block, Dataset, HeterogenizeConfig, LogPair, ProcessModel,
     };
     pub use evematch_eval::{MatchQuality, Method, RunOutcome, Table, ALL_METHODS};
     pub use evematch_eventlog::{
-        read_csv_log, read_log, write_csv_log, write_log, DepGraph, EventId, EventLog, EventSet,
-        LogBuilder, LogStats, Trace, TraceIndex,
+        read_csv_log, read_csv_log_with, read_log, read_log_with, write_csv_log, write_log,
+        DepGraph, EventId, EventLog, EventSet, Ingest, IngestLimits, IngestMode, IngestOptions,
+        LogBuilder, LogStats, Quarantine, Trace, TraceIndex,
     };
     pub use evematch_pattern::{
         discover_patterns, parse_pattern, pattern_freq, pattern_support, DiscoveryConfig, Pattern,

@@ -26,6 +26,10 @@
 use std::fmt;
 use std::io::{BufRead, Write};
 
+use crate::ingest::{
+    Ingest, IngestOptions, LimitExceeded, LimitKind, LineReader, Quarantine, QuarantineCause,
+    QuarantineEntry, RawLine,
+};
 use crate::log::{EventLog, LogBuilder};
 
 /// Errors raised while parsing CSV event logs.
@@ -52,6 +56,13 @@ pub enum CsvLogError {
         /// 1-based line number.
         line: usize,
     },
+    /// A line is not valid UTF-8 (strict mode, or in the header).
+    InvalidUtf8 {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An [`crate::IngestLimits`] resource guard was exceeded.
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for CsvLogError {
@@ -72,6 +83,8 @@ impl fmt::Display for CsvLogError {
             CsvLogError::UnterminatedQuote { line } => {
                 write!(f, "line {line}: unterminated quoted field")
             }
+            CsvLogError::InvalidUtf8 { line } => write!(f, "line {line}: invalid UTF-8"),
+            CsvLogError::Limit(l) => l.fmt(f),
         }
     }
 }
@@ -84,14 +97,52 @@ impl From<std::io::Error> for CsvLogError {
     }
 }
 
+impl From<LimitExceeded> for CsvLogError {
+    fn from(l: LimitExceeded) -> Self {
+        CsvLogError::Limit(l)
+    }
+}
+
 /// Reads a CSV event log (header required; `case` and `activity` columns
-/// located by name).
+/// located by name). Strict mode, no limits.
 pub fn read_csv_log(reader: impl BufRead) -> Result<EventLog, CsvLogError> {
-    let mut lines = reader.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or(CsvLogError::MissingColumn { column: "case" })?;
-    let header = header?;
+    read_csv_log_with(reader, &IngestOptions::strict()).map(|ingest| ingest.log)
+}
+
+/// Reads a CSV event log under [`IngestOptions`].
+///
+/// Header problems (missing/unreadable header, missing columns) are fatal
+/// in *both* modes — without a header no row can be interpreted. In
+/// lenient mode, malformed data rows (short rows, unterminated quotes,
+/// invalid UTF-8, overlong lines) are skipped into the returned
+/// [`Quarantine`]. The aggregate guards (`max_events` over distinct
+/// activities, `max_traces` over distinct cases) are enforced in both
+/// modes and return [`CsvLogError::Limit`].
+pub fn read_csv_log_with(
+    reader: impl BufRead,
+    opts: &IngestOptions,
+) -> Result<Ingest, CsvLogError> {
+    let lenient = opts.is_lenient();
+    let limits = opts.limits;
+    let mut lines = LineReader::new(reader, limits.max_line_bytes);
+    let mut quarantine = Quarantine::new();
+
+    let header = match lines.next_line()? {
+        None => return Err(CsvLogError::MissingColumn { column: "case" }),
+        Some((_, RawLine::Text(text))) => text,
+        Some((_, RawLine::InvalidUtf8 { .. })) => {
+            return Err(CsvLogError::InvalidUtf8 { line: 1 });
+        }
+        Some((_, RawLine::TooLong { len, .. })) => {
+            return Err(LimitExceeded {
+                kind: LimitKind::LineBytes,
+                observed: len,
+                max: limits.max_line_bytes,
+                line: 1,
+            }
+            .into());
+        }
+    };
     let cols = split_row(&header, 1)?;
     let find = |name: &'static str| -> Result<usize, CsvLogError> {
         cols.iter()
@@ -106,35 +157,117 @@ pub fn read_csv_log(reader: impl BufRead) -> Result<EventLog, CsvLogError> {
     let mut case_order: Vec<String> = Vec::new();
     let mut per_case: std::collections::HashMap<String, Vec<String>> =
         std::collections::HashMap::new();
-    for (i, line) in lines {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut activities: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut line_no: usize = 1;
+    while let Some((byte_offset, raw)) = lines.next_line()? {
+        line_no += 1;
+        // Quarantine (lenient) or fail (strict) with `cause` for this row.
+        macro_rules! reject {
+            ($cause:expr, $excerpt:expr, $strict_err:expr) => {{
+                if lenient {
+                    quarantine.record(QuarantineEntry {
+                        line: line_no,
+                        byte_offset,
+                        cause: $cause,
+                        excerpt: $excerpt,
+                    });
+                    continue;
+                }
+                return Err($strict_err);
+            }};
+        }
+        let text = match raw {
+            RawLine::Text(text) => text,
+            RawLine::InvalidUtf8 { excerpt } => reject!(
+                QuarantineCause::InvalidUtf8,
+                excerpt,
+                CsvLogError::InvalidUtf8 { line: line_no }
+            ),
+            RawLine::TooLong { len, excerpt } => reject!(
+                QuarantineCause::LineTooLong,
+                excerpt,
+                CsvLogError::Limit(LimitExceeded {
+                    kind: LimitKind::LineBytes,
+                    observed: len,
+                    max: limits.max_line_bytes,
+                    line: line_no,
+                })
+            ),
+        };
+        if text.trim().is_empty() {
             continue;
         }
-        let fields = split_row(&line, i + 1)?;
+        let fields = match split_row(&text, line_no) {
+            Ok(fields) => fields,
+            Err(err @ CsvLogError::UnterminatedQuote { .. }) => reject!(
+                QuarantineCause::UnterminatedQuote,
+                crate::ingest::excerpt(text.as_bytes()),
+                err
+            ),
+            Err(other) => return Err(other),
+        };
         if fields.len() < needed {
-            return Err(CsvLogError::ShortRow {
-                line: i + 1,
-                found: fields.len(),
-                needed,
-            });
+            reject!(
+                QuarantineCause::ShortRow {
+                    found: fields.len(),
+                    needed,
+                },
+                crate::ingest::excerpt(text.as_bytes()),
+                CsvLogError::ShortRow {
+                    line: line_no,
+                    found: fields.len(),
+                    needed,
+                }
+            );
         }
         let case = fields[case_col].clone();
         let activity = fields[act_col].clone();
-        per_case
-            .entry(case.clone())
-            .or_insert_with(|| {
-                case_order.push(case);
-                Vec::new()
-            })
-            .push(activity);
+        if !per_case.contains_key(&case) && case_order.len() >= limits.max_traces {
+            return Err(LimitExceeded {
+                kind: LimitKind::Traces,
+                observed: case_order.len() + 1,
+                max: limits.max_traces,
+                line: line_no,
+            }
+            .into());
+        }
+        if !activities.contains(&activity) && activities.len() >= limits.max_events {
+            return Err(LimitExceeded {
+                kind: LimitKind::Events,
+                observed: activities.len() + 1,
+                max: limits.max_events,
+                line: line_no,
+            }
+            .into());
+        }
+        let trace = per_case.entry(case.clone()).or_insert_with(|| {
+            case_order.push(case);
+            Vec::new()
+        });
+        if trace.len() >= limits.max_trace_events {
+            reject!(
+                QuarantineCause::TraceTooLong,
+                crate::ingest::excerpt(text.as_bytes()),
+                CsvLogError::Limit(LimitExceeded {
+                    kind: LimitKind::TraceEvents,
+                    observed: trace.len() + 1,
+                    max: limits.max_trace_events,
+                    line: line_no,
+                })
+            );
+        }
+        activities.insert(activity.clone());
+        trace.push(activity);
     }
 
     let mut builder = LogBuilder::new();
     for case in &case_order {
         builder.push_named_trace(per_case[case].iter().map(String::as_str));
     }
-    Ok(builder.build())
+    Ok(Ingest {
+        log: builder.build(),
+        quarantine,
+    })
 }
 
 /// Writes a log as CSV with synthetic case ids `t0, t1, …`.
@@ -281,6 +414,98 @@ mod tests {
             let nb: Vec<&str> = b.events().iter().map(|&e| back.events().name(e)).collect();
             assert_eq!(na, nb);
         }
+    }
+
+    use crate::ingest::{IngestLimits, IngestOptions, LimitKind, QuarantineCause};
+
+    #[test]
+    fn lenient_quarantines_short_rows_and_keeps_the_rest() {
+        let csv = "case,activity\no1,Receive\no1\no1,Ship\n";
+        let ingest = read_csv_log_with(csv.as_bytes(), &IngestOptions::lenient()).unwrap();
+        assert_eq!(ingest.log.len(), 1);
+        assert_eq!(ingest.log.traces()[0].len(), 2);
+        let e = &ingest.quarantine.entries()[0];
+        assert_eq!(e.line, 3);
+        assert_eq!(
+            e.cause,
+            QuarantineCause::ShortRow {
+                found: 1,
+                needed: 2
+            }
+        );
+    }
+
+    #[test]
+    fn lenient_quarantines_unterminated_quotes_and_bad_utf8() {
+        let csv: &[u8] = b"case,activity\no1,\"oops\no1,\xff\xfe\no1,fine\n";
+        let ingest = read_csv_log_with(csv, &IngestOptions::lenient()).unwrap();
+        assert_eq!(ingest.log.len(), 1);
+        assert_eq!(ingest.log.traces()[0].len(), 1);
+        assert_eq!(
+            ingest.quarantine.counts().get("unterminated_quote"),
+            Some(&1)
+        );
+        assert_eq!(ingest.quarantine.counts().get("invalid_utf8"), Some(&1));
+    }
+
+    #[test]
+    fn header_problems_are_fatal_even_in_lenient_mode() {
+        let err = read_csv_log_with("id,activity\n1,x\n".as_bytes(), &IngestOptions::lenient())
+            .unwrap_err();
+        assert_eq!(err, CsvLogError::MissingColumn { column: "case" });
+        let bad_header: &[u8] = b"\xffcase,activity\no1,x\n";
+        let err = read_csv_log_with(bad_header, &IngestOptions::lenient()).unwrap_err();
+        assert_eq!(err, CsvLogError::InvalidUtf8 { line: 1 });
+    }
+
+    #[test]
+    fn case_and_activity_limits_are_fatal_in_both_modes() {
+        let csv = "case,activity\no1,a\no2,b\no3,c\n";
+        let limits = IngestLimits::unlimited().with_max_traces(2);
+        for opts in [
+            IngestOptions::strict().with_limits(limits),
+            IngestOptions::lenient().with_limits(limits),
+        ] {
+            let err = read_csv_log_with(csv.as_bytes(), &opts).unwrap_err();
+            match err {
+                CsvLogError::Limit(l) => {
+                    assert_eq!(l.kind, LimitKind::Traces);
+                    assert_eq!(l.line, 4);
+                }
+                other => panic!("expected limit error, got {other:?}"),
+            }
+        }
+        let vocab = IngestLimits::unlimited().with_max_events(2);
+        let err = read_csv_log_with(csv.as_bytes(), &IngestOptions::lenient().with_limits(vocab))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CsvLogError::Limit(LimitExceeded {
+                kind: LimitKind::Events,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn overlong_trace_rows_are_quarantined_in_lenient_mode() {
+        let csv = "case,activity\no1,a\no1,b\no1,c\no2,x\n";
+        let opts = IngestOptions::lenient()
+            .with_limits(IngestLimits::unlimited().with_max_trace_events(2));
+        let ingest = read_csv_log_with(csv.as_bytes(), &opts).unwrap();
+        assert_eq!(ingest.log.traces()[0].len(), 2);
+        assert_eq!(ingest.log.traces()[1].len(), 1);
+        assert_eq!(ingest.quarantine.counts().get("trace_too_long"), Some(&1));
+    }
+
+    #[test]
+    fn csv_quarantine_reports_are_deterministic() {
+        let csv: &[u8] = b"case,activity\no1\no2,\"x\no3,\xff\no4,ok\n";
+        let a = read_csv_log_with(csv, &IngestOptions::lenient()).unwrap();
+        let b = read_csv_log_with(csv, &IngestOptions::lenient()).unwrap();
+        assert_eq!(a.quarantine, b.quarantine);
+        assert_eq!(a.quarantine.render(), b.quarantine.render());
+        assert_eq!(a.log, b.log);
     }
 
     #[test]

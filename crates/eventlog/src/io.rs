@@ -24,6 +24,10 @@
 use std::fmt;
 use std::io::{BufRead, Write};
 
+use crate::ingest::{
+    Ingest, IngestOptions, LimitExceeded, LimitKind, LineReader, Quarantine, QuarantineCause,
+    QuarantineEntry, RawLine,
+};
 use crate::log::{EventLog, LogBuilder};
 
 /// Error raised while parsing the text log format.
@@ -36,6 +40,13 @@ pub enum LogParseError {
         /// 1-based line number.
         line: usize,
     },
+    /// A line is not valid UTF-8 (strict mode only; lenient quarantines).
+    InvalidUtf8 {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An [`crate::IngestLimits`] resource guard was exceeded.
+    Limit(LimitExceeded),
 }
 
 impl fmt::Display for LogParseError {
@@ -46,6 +57,10 @@ impl fmt::Display for LogParseError {
                 f,
                 "line {line}: `<empty>` marker cannot be combined with event names"
             ),
+            LogParseError::InvalidUtf8 { line } => {
+                write!(f, "line {line}: invalid UTF-8")
+            }
+            LogParseError::Limit(l) => l.fmt(f),
         }
     }
 }
@@ -58,38 +73,164 @@ impl From<std::io::Error> for LogParseError {
     }
 }
 
+impl From<LimitExceeded> for LogParseError {
+    fn from(l: LimitExceeded) -> Self {
+        LogParseError::Limit(l)
+    }
+}
+
 /// Marker for an intentionally empty trace.
 const EMPTY_TRACE: &str = "<empty>";
 
 /// Vocabulary directive prefix.
 const EVENTS_DIRECTIVE: &str = "#! events:";
 
-/// Reads a log from the line-oriented text format.
+/// Reads a log from the line-oriented text format (strict mode, no
+/// limits — fails fast on the first malformed line).
 pub fn read_log(reader: impl BufRead) -> Result<EventLog, LogParseError> {
+    read_log_with(reader, &IngestOptions::strict()).map(|ingest| ingest.log)
+}
+
+/// Reads a log from the line-oriented text format under [`IngestOptions`].
+///
+/// In lenient mode, malformed lines (invalid UTF-8, overlong lines, mixed
+/// `<empty>` markers, unknown `#!` directives, overlong traces) are
+/// skipped into the returned [`Quarantine`] instead of aborting the load.
+/// The aggregate guards (`max_events`, `max_traces`) are enforced in both
+/// modes: exceeding them returns [`LogParseError::Limit`].
+pub fn read_log_with(reader: impl BufRead, opts: &IngestOptions) -> Result<Ingest, LogParseError> {
+    let lenient = opts.is_lenient();
+    let limits = opts.limits;
     let mut builder = LogBuilder::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let trimmed = line.trim();
+    let mut quarantine = Quarantine::new();
+    let mut lines = LineReader::new(reader, limits.max_line_bytes);
+    let mut line_no: usize = 0;
+    while let Some((byte_offset, raw)) = lines.next_line()? {
+        line_no += 1;
+        // Quarantine (lenient) or fail (strict) with `cause` for this line.
+        macro_rules! reject {
+            ($cause:expr, $excerpt:expr, $strict_err:expr) => {{
+                if lenient {
+                    quarantine.record(QuarantineEntry {
+                        line: line_no,
+                        byte_offset,
+                        cause: $cause,
+                        excerpt: $excerpt,
+                    });
+                    continue;
+                }
+                return Err($strict_err);
+            }};
+        }
+        let text = match raw {
+            RawLine::Text(text) => text,
+            RawLine::InvalidUtf8 { excerpt } => reject!(
+                QuarantineCause::InvalidUtf8,
+                excerpt,
+                LogParseError::InvalidUtf8 { line: line_no }
+            ),
+            RawLine::TooLong { len, excerpt } => reject!(
+                QuarantineCause::LineTooLong,
+                excerpt,
+                LogParseError::Limit(LimitExceeded {
+                    kind: LimitKind::LineBytes,
+                    observed: len,
+                    max: limits.max_line_bytes,
+                    line: line_no,
+                })
+            ),
+        };
+        let trimmed = text.trim();
         if let Some(rest) = trimmed.strip_prefix(EVENTS_DIRECTIVE) {
             for name in rest.split_whitespace() {
+                check_vocabulary(&builder, [name], &limits, line_no)?;
                 builder.intern(name);
             }
+            continue;
+        }
+        if trimmed.starts_with("#!") && lenient {
+            // Strict mode keeps the historical contract (unknown
+            // directives fall through as comments); lenient surfaces them
+            // so silently ignored directives become visible.
+            quarantine.record(QuarantineEntry {
+                line: line_no,
+                byte_offset,
+                cause: QuarantineCause::UnknownDirective,
+                excerpt: crate::ingest::excerpt(trimmed.as_bytes()),
+            });
             continue;
         }
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let tokens: Vec<&str> = trimmed.split_whitespace().collect();
-        if tokens.contains(&EMPTY_TRACE) {
-            if tokens.len() != 1 {
-                return Err(LogParseError::MixedEmptyMarker { line: i + 1 });
+        if tokens.contains(&EMPTY_TRACE) && tokens.len() != 1 {
+            reject!(
+                QuarantineCause::MixedEmptyMarker,
+                crate::ingest::excerpt(trimmed.as_bytes()),
+                LogParseError::MixedEmptyMarker { line: line_no }
+            );
+        }
+        let is_empty_trace = tokens == [EMPTY_TRACE];
+        if !is_empty_trace && tokens.len() > limits.max_trace_events {
+            reject!(
+                QuarantineCause::TraceTooLong,
+                crate::ingest::excerpt(trimmed.as_bytes()),
+                LogParseError::Limit(LimitExceeded {
+                    kind: LimitKind::TraceEvents,
+                    observed: tokens.len(),
+                    max: limits.max_trace_events,
+                    line: line_no,
+                })
+            );
+        }
+        if builder.trace_count() >= limits.max_traces {
+            return Err(LimitExceeded {
+                kind: LimitKind::Traces,
+                observed: builder.trace_count() + 1,
+                max: limits.max_traces,
+                line: line_no,
             }
+            .into());
+        }
+        if is_empty_trace {
             builder.push_named_trace(std::iter::empty::<&str>());
         } else {
+            check_vocabulary(&builder, tokens.iter().copied(), &limits, line_no)?;
             builder.push_named_trace(tokens);
         }
     }
-    Ok(builder.build())
+    Ok(Ingest {
+        log: builder.build(),
+        quarantine,
+    })
+}
+
+/// Fails if interning `names` would push the vocabulary past
+/// `limits.max_events`. Enforced in both modes: an unbounded vocabulary is
+/// a resource-exhaustion condition, not a single bad line.
+fn check_vocabulary<'a>(
+    builder: &LogBuilder,
+    names: impl IntoIterator<Item = &'a str>,
+    limits: &crate::ingest::IngestLimits,
+    line: usize,
+) -> Result<(), LimitExceeded> {
+    let mut new_names: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for name in names {
+        if builder.events().lookup(name).is_none() {
+            new_names.insert(name);
+        }
+    }
+    let projected = builder.events().len() + new_names.len();
+    if projected > limits.max_events {
+        return Err(LimitExceeded {
+            kind: LimitKind::Events,
+            observed: projected,
+            max: limits.max_events,
+            line,
+        });
+    }
+    Ok(())
 }
 
 /// Writes a log in the line-oriented text format, leading with the
@@ -212,5 +353,132 @@ mod tests {
         let log = roundtrip("  A\t B  \n");
         assert_eq!(log.len(), 1);
         assert_eq!(log.traces()[0].len(), 2);
+    }
+
+    use crate::ingest::{IngestLimits, IngestOptions, LimitKind, QuarantineCause};
+
+    #[test]
+    fn lenient_quarantines_mixed_empty_marker_and_keeps_going() {
+        let input = "A B\nA <empty>\nB C\n";
+        let ingest = read_log_with(input.as_bytes(), &IngestOptions::lenient()).unwrap();
+        assert_eq!(ingest.log.len(), 2);
+        assert_eq!(ingest.quarantine.total(), 1);
+        let e = &ingest.quarantine.entries()[0];
+        assert_eq!(e.line, 2);
+        assert_eq!(e.byte_offset, 4);
+        assert_eq!(e.cause, QuarantineCause::MixedEmptyMarker);
+        assert_eq!(e.excerpt, "A <empty>");
+    }
+
+    #[test]
+    fn lenient_quarantines_invalid_utf8_lines() {
+        let input: &[u8] = b"A B\n\xff\xfe\nC\n";
+        let ingest = read_log_with(input, &IngestOptions::lenient()).unwrap();
+        assert_eq!(ingest.log.len(), 2);
+        assert_eq!(ingest.quarantine.counts().get("invalid_utf8"), Some(&1));
+        // Strict mode reports the same line as a typed error.
+        let err = read_log_with(input, &IngestOptions::strict()).unwrap_err();
+        assert_eq!(err, LogParseError::InvalidUtf8 { line: 2 });
+    }
+
+    #[test]
+    fn lenient_flags_unknown_directives_strict_ignores_them() {
+        let input = "#! schema: v2\nA\n";
+        let strict = read_log_with(input.as_bytes(), &IngestOptions::strict()).unwrap();
+        assert!(strict.quarantine.is_empty());
+        assert_eq!(strict.log.len(), 1);
+        let lenient = read_log_with(input.as_bytes(), &IngestOptions::lenient()).unwrap();
+        assert_eq!(lenient.log.len(), 1);
+        assert_eq!(
+            lenient.quarantine.entries()[0].cause,
+            QuarantineCause::UnknownDirective
+        );
+    }
+
+    #[test]
+    fn line_byte_limit_quarantines_or_errors() {
+        let opts =
+            IngestOptions::lenient().with_limits(IngestLimits::unlimited().with_max_line_bytes(8));
+        let input = "A B\nthis-line-is-way-too-long\nC\n";
+        let ingest = read_log_with(input.as_bytes(), &opts).unwrap();
+        assert_eq!(ingest.log.len(), 2);
+        assert_eq!(ingest.quarantine.counts().get("line_too_long"), Some(&1));
+        let strict = IngestOptions::strict().with_limits(opts.limits);
+        let err = read_log_with(input.as_bytes(), &strict).unwrap_err();
+        match err {
+            LogParseError::Limit(l) => {
+                assert_eq!(l.kind, LimitKind::LineBytes);
+                assert_eq!(l.observed, 25);
+                assert_eq!(l.line, 2);
+            }
+            other => panic!("expected limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_length_limit_quarantines_in_lenient_mode() {
+        let opts = IngestOptions::lenient()
+            .with_limits(IngestLimits::unlimited().with_max_trace_events(2));
+        let ingest = read_log_with("A B\nA B C\n<empty>\n".as_bytes(), &opts).unwrap();
+        assert_eq!(ingest.log.len(), 2);
+        assert_eq!(ingest.quarantine.counts().get("trace_too_long"), Some(&1));
+    }
+
+    #[test]
+    fn trace_count_limit_is_fatal_in_both_modes() {
+        let limits = IngestLimits::unlimited().with_max_traces(2);
+        for opts in [
+            IngestOptions::strict().with_limits(limits),
+            IngestOptions::lenient().with_limits(limits),
+        ] {
+            let err = read_log_with("A\nB\nC\n".as_bytes(), &opts).unwrap_err();
+            match err {
+                LogParseError::Limit(l) => assert_eq!(l.kind, LimitKind::Traces),
+                other => panic!("expected limit error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn vocabulary_limit_is_fatal_in_both_modes() {
+        let limits = IngestLimits::unlimited().with_max_events(2);
+        for opts in [
+            IngestOptions::strict().with_limits(limits),
+            IngestOptions::lenient().with_limits(limits),
+        ] {
+            let err = read_log_with("A B\nA C\n".as_bytes(), &opts).unwrap_err();
+            match err {
+                LogParseError::Limit(l) => {
+                    assert_eq!(l.kind, LimitKind::Events);
+                    assert_eq!(l.line, 2);
+                }
+                other => panic!("expected limit error, got {other:?}"),
+            }
+        }
+        // The events directive is guarded the same way.
+        let err = read_log_with(
+            "#! events: A B C\n".as_bytes(),
+            &IngestOptions::strict().with_limits(limits),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LogParseError::Limit(_)));
+    }
+
+    #[test]
+    fn strict_ok_inputs_are_lenient_ok_with_empty_quarantine() {
+        let input = "#! events: z a\n# comment\nA B\n<empty>\nz a\n";
+        let strict = read_log_with(input.as_bytes(), &IngestOptions::strict()).unwrap();
+        let lenient = read_log_with(input.as_bytes(), &IngestOptions::lenient()).unwrap();
+        assert!(lenient.quarantine.is_empty());
+        assert_eq!(strict.log, lenient.log);
+    }
+
+    #[test]
+    fn quarantine_reports_are_deterministic() {
+        let input: &[u8] = b"A <empty>\n\xff\nB C D\n#! weird\n";
+        let a = read_log_with(input, &IngestOptions::lenient()).unwrap();
+        let b = read_log_with(input, &IngestOptions::lenient()).unwrap();
+        assert_eq!(a.quarantine, b.quarantine);
+        assert_eq!(a.quarantine.render(), b.quarantine.render());
     }
 }

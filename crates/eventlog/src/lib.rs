@@ -16,7 +16,10 @@
 //! Plus the supporting pieces the experiments need: projection onto event
 //! subsets and trace prefixes (how Figures 7–10 vary the event-set size and
 //! trace count), log statistics for Table 3, and a line-oriented text format
-//! for persisting logs.
+//! for persisting logs. Both the text and CSV readers support hardened
+//! ingestion: a lenient mode that skips malformed lines into a
+//! [`Quarantine`] report, and [`IngestLimits`] resource guards that turn
+//! exhaustion attacks into typed [`LimitExceeded`] errors.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -25,16 +28,21 @@ mod csv;
 mod depgraph;
 mod event;
 mod index;
+mod ingest;
 mod io;
 mod log;
 mod stats;
 mod trace;
 
-pub use csv::{read_csv_log, write_csv_log, CsvLogError};
+pub use csv::{read_csv_log, read_csv_log_with, write_csv_log, CsvLogError};
 pub use depgraph::DepGraph;
 pub use event::{EventId, EventSet};
 pub use index::TraceIndex;
-pub use io::{read_log, write_log, LogParseError};
+pub use ingest::{
+    Ingest, IngestLimits, IngestMode, IngestOptions, LimitExceeded, LimitKind, Quarantine,
+    QuarantineCause, QuarantineEntry, MAX_EXCERPT_BYTES, MAX_QUARANTINE_ENTRIES,
+};
+pub use io::{read_log, read_log_with, write_log, LogParseError};
 pub use log::{EventLog, LogBuilder};
 pub use stats::LogStats;
 pub use trace::Trace;

@@ -194,6 +194,11 @@ impl LogBuilder {
         self.traces.len()
     }
 
+    /// The vocabulary interned so far.
+    pub fn events(&self) -> &EventSet {
+        &self.events
+    }
+
     /// Finalizes into an [`EventLog`].
     pub fn build(self) -> EventLog {
         EventLog {

@@ -27,6 +27,18 @@ pub enum Pattern {
     And(Vec<Pattern>),
 }
 
+/// Maximum nesting depth of a pattern built through the smart
+/// constructors. Bounds every recursive traversal of the AST
+/// (`initials`, `finals`, `map_events`, matching, graph-form
+/// construction) so a hostile pattern can never overflow the stack.
+pub const MAX_DEPTH: usize = 256;
+
+/// Maximum number of direct children of an `AND` operator. This
+/// formalizes the matcher's realization invariant: `AND` blocks are
+/// tracked with a 32-bit mask, so arity beyond 32 was previously only a
+/// `debug_assert`.
+pub const MAX_AND_ARITY: usize = 32;
+
 /// Errors from the smart constructors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PatternError {
@@ -34,6 +46,16 @@ pub enum PatternError {
     EmptyOperator,
     /// The same event appears more than once within the pattern.
     DuplicateEvent(EventId),
+    /// The pattern nests deeper than [`MAX_DEPTH`].
+    NestingTooDeep {
+        /// Depth the pattern would have had.
+        depth: usize,
+    },
+    /// An `AND` operator has more than [`MAX_AND_ARITY`] children.
+    TooManyChildren {
+        /// Children found.
+        found: usize,
+    },
 }
 
 impl fmt::Display for PatternError {
@@ -42,6 +64,12 @@ impl fmt::Display for PatternError {
             PatternError::EmptyOperator => write!(f, "SEQ/AND requires at least one child"),
             PatternError::DuplicateEvent(e) => {
                 write!(f, "event {e} occurs more than once in the pattern")
+            }
+            PatternError::NestingTooDeep { depth } => {
+                write!(f, "pattern nests {depth} levels deep (max {MAX_DEPTH})")
+            }
+            PatternError::TooManyChildren { found } => {
+                write!(f, "AND has {found} children (max {MAX_AND_ARITY})")
             }
         }
     }
@@ -78,10 +106,40 @@ impl Pattern {
             Some(last) => {
                 children.push(last);
                 let p = make(children);
+                if let Pattern::And(ps) = &p {
+                    if ps.len() > MAX_AND_ARITY {
+                        return Err(PatternError::TooManyChildren { found: ps.len() });
+                    }
+                }
+                // Depth first (iteratively, so even raw-built deep children
+                // are measured safely) — it gates the recursive traversals
+                // below and everywhere else in the crate.
+                let depth = p.depth();
+                if depth > MAX_DEPTH {
+                    return Err(PatternError::NestingTooDeep { depth });
+                }
                 p.check_distinct()?;
                 Ok(p)
             }
         }
+    }
+
+    /// Nesting depth: 1 for a single event, 1 + max child depth for
+    /// operators. Computed with an explicit stack, so it is safe to call
+    /// on ASTs of any depth (including raw-built ones that bypassed the
+    /// smart constructors).
+    pub fn depth(&self) -> usize {
+        let mut max = 0;
+        let mut stack: Vec<(&Pattern, usize)> = vec![(self, 1)];
+        while let Some((p, d)) = stack.pop() {
+            max = max.max(d);
+            if let Pattern::Seq(ps) | Pattern::And(ps) = p {
+                for c in ps {
+                    stack.push((c, d + 1));
+                }
+            }
+        }
+        max
     }
 
     /// Convenience: `SEQ` of single events.
@@ -111,12 +169,13 @@ impl Pattern {
     }
 
     fn collect_events(&self, out: &mut Vec<EventId>) {
-        match self {
-            Pattern::Event(e) => out.push(*e),
-            Pattern::Seq(ps) | Pattern::And(ps) => {
-                for p in ps {
-                    p.collect_events(out);
-                }
+        // Iterative so it is safe on arbitrarily deep (raw-built) ASTs;
+        // children are pushed in reverse to preserve left-to-right order.
+        let mut stack: Vec<&Pattern> = vec![self];
+        while let Some(p) = stack.pop() {
+            match p {
+                Pattern::Event(e) => out.push(*e),
+                Pattern::Seq(ps) | Pattern::And(ps) => stack.extend(ps.iter().rev()),
             }
         }
     }
@@ -129,12 +188,18 @@ impl Pattern {
         evs
     }
 
-    /// Number of events, `|p|` in the paper's notation.
+    /// Number of events, `|p|` in the paper's notation. Iterative, so it
+    /// is safe on arbitrarily deep ASTs.
     pub fn size(&self) -> usize {
-        match self {
-            Pattern::Event(_) => 1,
-            Pattern::Seq(ps) | Pattern::And(ps) => ps.iter().map(Pattern::size).sum(),
+        let mut n = 0;
+        let mut stack: Vec<&Pattern> = vec![self];
+        while let Some(p) = stack.pop() {
+            match p {
+                Pattern::Event(_) => n += 1,
+                Pattern::Seq(ps) | Pattern::And(ps) => stack.extend(ps.iter()),
+            }
         }
+        n
     }
 
     /// Whether the pattern is a single event (a *vertex pattern*).
@@ -225,6 +290,30 @@ impl Pattern {
         PatternDisplay {
             pattern: self,
             events,
+        }
+    }
+}
+
+impl Drop for Pattern {
+    /// Iterative drop: the default (compiler-generated) drop glue recurses
+    /// per nesting level, so dropping a raw-built AST thousands of levels
+    /// deep would overflow the stack. Children are moved onto an explicit
+    /// stack instead, making drops O(size) with O(width) auxiliary memory
+    /// and constant stack depth.
+    fn drop(&mut self) {
+        let ps = match self {
+            Pattern::Event(_) => return,
+            Pattern::Seq(ps) | Pattern::And(ps) => ps,
+        };
+        if ps.iter().all(Pattern::is_vertex) {
+            return; // Flat operator: default glue is already non-recursive.
+        }
+        let mut stack: Vec<Pattern> = std::mem::take(ps);
+        while let Some(mut p) = stack.pop() {
+            if let Pattern::Seq(cs) | Pattern::And(cs) = &mut p {
+                stack.append(cs);
+            }
+            // `p` now has no children and drops without recursing.
         }
     }
 }
@@ -351,5 +440,58 @@ mod tests {
         let names = EventSet::from_names(["A", "B", "C", "D"]);
         let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap(), e(3)]).unwrap();
         assert_eq!(p.display(&names).to_string(), "SEQ(A,AND(B,C),D)");
+    }
+
+    /// Builds a raw (constructor-bypassing) chain `Seq(e, Seq(e, …))` of
+    /// the given depth.
+    fn raw_deep(depth: usize) -> Pattern {
+        let mut p = e(0);
+        for _ in 0..depth {
+            p = Pattern::Seq(vec![e(1), p]);
+        }
+        p
+    }
+
+    #[test]
+    fn depth_is_iterative_and_correct() {
+        assert_eq!(e(0).depth(), 1);
+        let p = Pattern::seq(vec![e(0), Pattern::and(vec![e(1), e(2)]).unwrap()]).unwrap();
+        assert_eq!(p.depth(), 3);
+        // Does not overflow on a raw 100k-deep AST.
+        assert_eq!(raw_deep(100_000).depth(), 100_001);
+    }
+
+    #[test]
+    fn deep_raw_asts_drop_without_overflow() {
+        let p = raw_deep(200_000);
+        assert_eq!(p.size(), 200_001);
+        drop(p); // Iterative Drop: must not blow the stack.
+    }
+
+    #[test]
+    fn constructors_reject_excessive_nesting() {
+        // Build a legal pattern at exactly MAX_DEPTH, then one deeper.
+        let mut p = e(0);
+        for i in 1..MAX_DEPTH as u32 {
+            p = Pattern::seq(vec![e(i), p]).unwrap();
+        }
+        assert_eq!(p.depth(), MAX_DEPTH);
+        let err = Pattern::seq(vec![e(MAX_DEPTH as u32), p]).unwrap_err();
+        assert_eq!(
+            err,
+            PatternError::NestingTooDeep {
+                depth: MAX_DEPTH + 1
+            }
+        );
+    }
+
+    #[test]
+    fn and_arity_is_capped_at_the_bitmask_width() {
+        let ok = Pattern::and((0..32).map(e).collect::<Vec<_>>()).unwrap();
+        assert!(matches!(ok, Pattern::And(_)));
+        let err = Pattern::and((0..33).map(e).collect::<Vec<_>>()).unwrap_err();
+        assert_eq!(err, PatternError::TooManyChildren { found: 33 });
+        // SEQ arity is not capped (no bitmask involved).
+        assert!(Pattern::seq((0..100).map(e).collect::<Vec<_>>()).is_ok());
     }
 }

@@ -119,6 +119,10 @@ pub fn edge_groups(p: &Pattern) -> Vec<Vec<(EventId, EventId)>> {
     groups
 }
 
+// Recursion audit (`collect_groups`, `collect_edges`): recursion depth
+// equals the AST depth, which the ast.rs smart constructors cap at
+// `crate::MAX_DEPTH`, so these traversals cannot overflow the stack on
+// constructor-built patterns.
 fn collect_groups(p: &Pattern, out: &mut Vec<Vec<(EventId, EventId)>>) {
     match p {
         Pattern::Event(_) => {}

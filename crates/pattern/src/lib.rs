@@ -41,7 +41,7 @@ mod index;
 mod matcher;
 mod parser;
 
-pub use ast::{Pattern, PatternError};
+pub use ast::{Pattern, PatternError, MAX_AND_ARITY, MAX_DEPTH};
 pub use discovery::{discover_patterns, DiscoveryConfig};
 pub use frequency::{
     pattern_freq, pattern_support, pattern_support_stats, pattern_support_with_fuel,
@@ -53,4 +53,4 @@ pub use matcher::{
     is_realizable, is_realizable_with_fuel, linearizations, matches_window, trace_matches,
     Interrupted, MAX_ENUMERABLE_EVENTS,
 };
-pub use parser::{parse_pattern, ParsePatternError};
+pub use parser::{parse_pattern, ParsePatternError, MAX_PARSE_DEPTH};

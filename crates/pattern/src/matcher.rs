@@ -212,6 +212,13 @@ pub fn is_realizable_with_fuel(
 /// Continuation-passing search: does some linearization of `p` follow
 /// `prev` (passing `edge_ok` on every adjacency, including `prev -> first`)
 /// such that the continuation `k` accepts its last event?
+///
+/// Recursion audit: continuation nesting is bounded by the pattern *size*
+/// (one stacked closure per event), not just its depth. Size is bounded in
+/// turn by the vocabulary — patterns carry pairwise-distinct events — and
+/// the vocabulary of ingested logs is capped by
+/// `evematch_eventlog::IngestLimits::max_events`, so hostile inputs cannot
+/// drive this recursion arbitrarily deep.
 fn realize(
     p: &Pattern,
     prev: Option<EventId>,
@@ -229,7 +236,11 @@ fn realize(
         }
         Pattern::Seq(ps) => realize_seq(ps, prev, edge_ok, k),
         Pattern::And(ps) => {
-            debug_assert!(ps.len() <= 32);
+            // Arity ≤ 32 is a hard smart-constructor invariant
+            // (`PatternError::TooManyChildren`), so the bitmask cannot be
+            // truncated for constructor-built patterns; the debug_assert
+            // only guards raw-built ASTs.
+            debug_assert!(ps.len() <= crate::MAX_AND_ARITY);
             realize_and(ps, (1u32 << ps.len()) - 1, prev, edge_ok, k)
         }
     }

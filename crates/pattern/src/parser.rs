@@ -10,6 +10,12 @@ use evematch_eventlog::EventSet;
 
 use crate::ast::{Pattern, PatternError};
 
+/// Maximum operator nesting the parser accepts. This bounds the parser's
+/// *memory* (one work-list frame per open operator); it is deliberately
+/// larger than [`crate::MAX_DEPTH`] so deeply-wrapped singletons — which
+/// collapse during construction and produce a shallow AST — still parse.
+pub const MAX_PARSE_DEPTH: usize = 4096;
+
 /// Errors from [`parse_pattern`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ParsePatternError {
@@ -29,6 +35,11 @@ pub enum ParsePatternError {
         /// Byte offset of the first trailing character.
         offset: usize,
     },
+    /// Operators nest deeper than [`MAX_PARSE_DEPTH`].
+    TooDeep {
+        /// Byte offset of the operator that crossed the bound.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for ParsePatternError {
@@ -42,6 +53,10 @@ impl fmt::Display for ParsePatternError {
             ParsePatternError::TrailingInput { offset } => {
                 write!(f, "unexpected trailing input at byte {offset}")
             }
+            ParsePatternError::TooDeep { offset } => write!(
+                f,
+                "operator at byte {offset} nests deeper than {MAX_PARSE_DEPTH} levels"
+            ),
         }
     }
 }
@@ -75,6 +90,12 @@ struct Parser<'a> {
     events: &'a EventSet,
 }
 
+/// One open operator on the parser's explicit work-list.
+struct Frame {
+    make: fn(Vec<Pattern>) -> Result<Pattern, PatternError>,
+    children: Vec<Pattern>,
+}
+
 impl Parser<'_> {
     fn skip_ws(&mut self) {
         let rest = &self.input[self.pos..];
@@ -85,36 +106,65 @@ impl Parser<'_> {
         self.input[self.pos..].chars().next()
     }
 
+    /// Parses one pattern with an explicit work-list instead of recursion:
+    /// stack depth is constant regardless of input nesting, and memory is
+    /// bounded by [`MAX_PARSE_DEPTH`] frames, so a hostile
+    /// `SEQ(SEQ(SEQ(…` string can neither overflow the stack nor claim
+    /// unbounded memory.
     fn pattern(&mut self) -> Result<Pattern, ParsePatternError> {
-        self.skip_ws();
-        let start = self.pos;
-        let name = self.token()?;
-        self.skip_ws();
-        let is_op = matches!(self.peek(), Some('('));
-        if is_op {
-            let make: fn(Vec<Pattern>) -> Result<Pattern, PatternError> =
-                match name.to_ascii_uppercase().as_str() {
-                    "SEQ" => Pattern::seq,
-                    "AND" => Pattern::and,
-                    _ => {
-                        return Err(ParsePatternError::Syntax {
-                            offset: start,
-                            expected: "operator SEQ or AND before `(`",
-                        })
-                    }
-                };
-            self.pos += 1; // consume '('
-            let mut children = vec![self.pattern()?];
+        let mut stack: Vec<Frame> = Vec::new();
+        loop {
+            // Descend: read the start of one sub-pattern. Operators open a
+            // frame and loop back for their first child.
+            self.skip_ws();
+            let start = self.pos;
+            let name = self.token()?;
+            self.skip_ws();
+            let mut completed = if matches!(self.peek(), Some('(')) {
+                let make: fn(Vec<Pattern>) -> Result<Pattern, PatternError> =
+                    match name.to_ascii_uppercase().as_str() {
+                        "SEQ" => Pattern::seq,
+                        "AND" => Pattern::and,
+                        _ => {
+                            return Err(ParsePatternError::Syntax {
+                                offset: start,
+                                expected: "operator SEQ or AND before `(`",
+                            })
+                        }
+                    };
+                if stack.len() >= MAX_PARSE_DEPTH {
+                    return Err(ParsePatternError::TooDeep { offset: start });
+                }
+                self.pos += 1; // consume '('
+                stack.push(Frame {
+                    make,
+                    children: Vec::new(),
+                });
+                continue;
+            } else {
+                let id = self
+                    .events
+                    .lookup(&name)
+                    .ok_or_else(|| ParsePatternError::UnknownEvent(name.clone()))?;
+                Pattern::Event(id)
+            };
+            // Ascend: feed the completed sub-pattern to the innermost open
+            // operator; every `)` closes one frame and keeps ascending.
             loop {
+                let Some(mut frame) = stack.pop() else {
+                    return Ok(completed);
+                };
+                frame.children.push(completed);
                 self.skip_ws();
                 match self.peek() {
                     Some(',') => {
                         self.pos += 1;
-                        children.push(self.pattern()?);
+                        stack.push(frame);
+                        break; // next child of this operator
                     }
                     Some(')') => {
                         self.pos += 1;
-                        break;
+                        completed = (frame.make)(frame.children)?;
                     }
                     _ => {
                         return Err(ParsePatternError::Syntax {
@@ -124,13 +174,6 @@ impl Parser<'_> {
                     }
                 }
             }
-            Ok(make(children)?)
-        } else {
-            let id = self
-                .events
-                .lookup(&name)
-                .ok_or_else(|| ParsePatternError::UnknownEvent(name.clone()))?;
-            Ok(Pattern::Event(id))
         }
     }
 
@@ -250,5 +293,58 @@ mod tests {
         let p = parse_pattern("SEQ(A,AND(B,C),D)", &v).unwrap();
         let shown = p.display(&v).to_string();
         assert_eq!(parse_pattern(&shown, &v).unwrap(), p);
+    }
+
+    /// `SEQ(SEQ(…SEQ(A)…))` with `n` wrappers.
+    fn deep_singletons(n: usize) -> String {
+        let mut s = String::with_capacity(n * 5 + 1);
+        for _ in 0..n {
+            s.push_str("SEQ(");
+        }
+        s.push('A');
+        for _ in 0..n {
+            s.push(')');
+        }
+        s
+    }
+
+    #[test]
+    fn deeply_wrapped_singletons_collapse_without_overflow() {
+        // Within the parse-depth bound: singleton wrappers collapse to the
+        // bare event, so the resulting AST is depth 1.
+        let input = deep_singletons(MAX_PARSE_DEPTH);
+        let p = parse_pattern(&input, &voc()).unwrap();
+        assert_eq!(p, Pattern::Event(EventId(0)));
+    }
+
+    #[test]
+    fn nesting_past_the_parse_bound_errors_cleanly() {
+        let input = deep_singletons(MAX_PARSE_DEPTH + 1);
+        let err = parse_pattern(&input, &voc()).unwrap_err();
+        assert!(matches!(err, ParsePatternError::TooDeep { .. }));
+        assert!(err.to_string().contains("nests deeper"));
+        // Way past the bound (10k+ levels) is just as clean — no overflow.
+        let err = parse_pattern(&deep_singletons(50_000), &voc()).unwrap_err();
+        assert!(matches!(err, ParsePatternError::TooDeep { .. }));
+    }
+
+    #[test]
+    fn non_collapsing_nesting_past_max_depth_is_invalid() {
+        // SEQ(A, SEQ(B, SEQ(C, …))) with real branching cannot collapse, so
+        // it trips the AST depth cap (not the parser bound). Use a large
+        // vocabulary to get past the distinctness requirement.
+        let names: Vec<String> = (0..400).map(|i| format!("e{i}")).collect();
+        let v = EventSet::from_names(names.iter().map(String::as_str));
+        let mut s = String::new();
+        for name in names.iter().take(300) {
+            s.push_str(&format!("SEQ({name},"));
+        }
+        s.push_str("e300");
+        s.push_str(&")".repeat(300));
+        let err = parse_pattern(&s, &v).unwrap_err();
+        assert_eq!(
+            err,
+            ParsePatternError::Invalid(PatternError::NestingTooDeep { depth: 257 })
+        );
     }
 }

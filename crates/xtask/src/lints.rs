@@ -1,4 +1,4 @@
-//! The tidy lints (T1–T7) and the waiver machinery.
+//! The tidy lints (T1–T8) and the waiver machinery.
 //!
 //! Each lint is a pure function from a scanned file (or manifest text) to
 //! violations, so the unit tests below can drive them with inline
@@ -44,6 +44,15 @@ pub const PRINT_FREE_CRATES: &[&str] = &[
     "bench", "core", "datagen", "eval", "evematch", "eventlog", "graph", "pattern",
 ];
 
+/// Crates that produce result artifacts (CSVs, metrics snapshots, search
+/// traces, checkpoint journals) and therefore must route every file write
+/// through `core::persist` (lint T8). A raw `File::create`/`fs::write`
+/// tears on a crash — a kill mid-write leaves a truncated artifact that a
+/// later resume or analysis script silently trusts. Unlike the other
+/// source lints this one covers `src/bin/` too: the repro binaries are
+/// exactly where artifact writes tend to creep in.
+pub const ARTIFACT_WRITE_CRATES: &[&str] = &["bench", "core", "eval", "evematch"];
+
 /// A tidy lint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
@@ -57,6 +66,8 @@ pub enum Lint {
     NoRawDeadline,
     /// T7: no `println!`/`eprintln!` in library crates.
     NoPrintln,
+    /// T8: no raw `File::create`/`fs::write` in artifact-producing crates.
+    NoRawArtifactWrite,
     /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
     CrateAttrs,
     /// T5: every crate manifest inherits `[workspace.lints]`.
@@ -76,6 +87,7 @@ impl Lint {
             Lint::NoFloatEq => "no-float-eq",
             Lint::NoRawDeadline => "no-raw-deadline",
             Lint::NoPrintln => "no-println",
+            Lint::NoRawArtifactWrite => "no-raw-artifact-write",
             Lint::CrateAttrs => "crate-attrs",
             Lint::LintsTable => "lints-table",
             Lint::UnusedWaiver => "unused-waiver",
@@ -92,6 +104,7 @@ impl Lint {
                 | Lint::NoFloatEq
                 | Lint::NoRawDeadline
                 | Lint::NoPrintln
+                | Lint::NoRawArtifactWrite
         )
     }
 
@@ -103,6 +116,7 @@ impl Lint {
             "no-float-eq",
             "no-raw-deadline",
             "no-println",
+            "no-raw-artifact-write",
         ]
     }
 }
@@ -141,6 +155,20 @@ pub fn is_library_source(path: &str) -> bool {
         return false;
     };
     in_crate.starts_with("src/") && !in_crate.starts_with("src/bin/")
+}
+
+/// Whether `path` is crate *runtime* source: under `src/` — including
+/// `src/bin/`, unlike [`is_library_source`] — but not in a `tests/`,
+/// `benches/`, or `examples/` tree. Lint T8 uses this wider scope
+/// because the repro binaries write artifacts too.
+pub fn is_runtime_source(path: &str) -> bool {
+    let Some(rest) = path.strip_prefix("crates/") else {
+        return false;
+    };
+    let Some((_, in_crate)) = rest.split_once('/') else {
+        return false;
+    };
+    in_crate.starts_with("src/")
 }
 
 /// T1: flags `unwrap()`, `expect(`, and the panicking macros in library
@@ -302,6 +330,45 @@ pub fn check_no_println(file: &ScannedFile) -> Vec<Violation> {
                         "library code must not invoke `{needle}`: take a `&mut dyn Write` \
                          sink from the caller or record telemetry instead (or waive with \
                          `// tidy-allow: no-println -- <why this output is the caller's intent>`)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// T8: flags raw `File::create` / `fs::write` in the artifact-producing
+/// crates (including their binaries).
+///
+/// A process can die between `create` and the final `write`/`flush`, and
+/// what remains on disk is a truncated file with the *final* name — the
+/// checkpoint-resume machinery (or a human rerunning a plot script) then
+/// trusts a torn artifact. `core::persist::atomic_write` /
+/// `atomic_write_with` stage into a temp sibling, fsync, and rename, so a
+/// crash leaves either the old artifact or the new one, never a hybrid.
+/// Writers that genuinely need raw file creation (the `persist`
+/// implementation itself, non-artifact scratch files) carry a waiver
+/// saying why tearing is acceptable there.
+pub fn check_no_raw_artifact_write(file: &ScannedFile) -> Vec<Violation> {
+    const NEEDLES: &[&str] = &["File::create", "fs::write"];
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for needle in NEEDLES {
+            if find_token(&line.code, needle).is_some() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::NoRawArtifactWrite,
+                    format!(
+                        "artifact-producing crates must not call `{needle}` directly \
+                         (a crash mid-write leaves a torn file under the final name): \
+                         use `core::persist::atomic_write`/`atomic_write_with` (or waive \
+                         with `// tidy-allow: no-raw-artifact-write -- <why tearing is \
+                         acceptable here>`)"
                     ),
                 ));
             }
@@ -688,6 +755,47 @@ mod tests {
         let f = scanned("crates/core/src/x.rs", src);
         let v = apply_waivers(&f, check_no_println(&f));
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T8 ----
+
+    #[test]
+    fn t8_fires_on_raw_artifact_writes() {
+        let src =
+            "fn f() {\n  let f = std::fs::File::create(&path)?;\n  fs::write(&path, bytes)?;\n}";
+        let f = scanned("crates/bench/src/lib.rs", src);
+        let v = check_no_raw_artifact_write(&f);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::NoRawArtifactWrite));
+    }
+
+    #[test]
+    fn t8_ignores_lookalikes_tests_comments_and_strings() {
+        // `fs::write_log`-style helpers and `File::create`-in-prose must
+        // not fire; the needles are boundary-checked and comment-blanked.
+        let src = "fn f() {\n  eventlog::write_log(&mut w, &log)?;\n  fs::write_something(&p)?;\n  // use File::create here? no: see persist\n  let s = \"fs::write\";\n}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { std::fs::write(&p, b\"fixture\").unwrap(); }\n}";
+        let f = scanned("crates/eval/src/x.rs", src);
+        assert!(check_no_raw_artifact_write(&f).is_empty());
+    }
+
+    #[test]
+    fn t8_respects_waivers() {
+        let src = "fn f() {\n  let file = fs::File::create(&tmp)?; // tidy-allow: no-raw-artifact-write -- this is the atomic_write implementation itself\n}";
+        let f = scanned("crates/core/src/persist.rs", src);
+        let v = apply_waivers(&f, check_no_raw_artifact_write(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn t8_scope_includes_binaries() {
+        // Unlike T1–T7, artifact hygiene applies to `src/bin/` too — the
+        // repro binaries are exactly where raw artifact writes creep in.
+        assert!(is_runtime_source("crates/bench/src/lib.rs"));
+        assert!(is_runtime_source("crates/bench/src/bin/repro_all.rs"));
+        assert!(is_runtime_source("crates/evematch/src/bin/evematch.rs"));
+        assert!(!is_runtime_source("crates/core/tests/integration.rs"));
+        assert!(!is_runtime_source("crates/bench/benches/matching.rs"));
+        assert!(!is_runtime_source("tests/adversarial.rs"));
     }
 
     // ---- T4 ----

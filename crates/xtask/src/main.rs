@@ -58,6 +58,10 @@ LINTS (see DESIGN.md §6):
     no-println     T7  no println!/eprintln!/print!/eprint! in library crates
                        (xtask, src/bin/ and test code exempt): take a Write
                        sink from the caller or record telemetry instead
+    no-raw-artifact-write T8 no File::create/fs::write in the artifact-producing
+                       crates (bench, core, eval, evematch) INCLUDING src/bin/:
+                       route result writes through core::persist::atomic_write
+                       so a crash never leaves a torn file under the final name
     unused-waiver      a tidy-allow waiver that suppressed nothing
     bad-waiver         a tidy-allow waiver that does not parse
 

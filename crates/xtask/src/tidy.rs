@@ -6,9 +6,9 @@ use std::path::{Path, PathBuf};
 
 use crate::lints::{
     apply_waivers, check_crate_attrs, check_lints_table, check_no_float_eq, check_no_hash_iter,
-    check_no_panic, check_no_println, check_no_raw_deadline, is_library_source, Violation,
-    DETERMINISTIC_CRATES, FLOAT_ORD_CRATES, PANIC_FREE_CRATES, PRINT_FREE_CRATES,
-    RAW_DEADLINE_CRATES,
+    check_no_panic, check_no_println, check_no_raw_artifact_write, check_no_raw_deadline,
+    is_library_source, is_runtime_source, Violation, ARTIFACT_WRITE_CRATES, DETERMINISTIC_CRATES,
+    FLOAT_ORD_CRATES, PANIC_FREE_CRATES, PRINT_FREE_CRATES, RAW_DEADLINE_CRATES,
 };
 use crate::scan::ScannedFile;
 
@@ -42,6 +42,9 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
             }
             if PRINT_FREE_CRATES.contains(&crate_name.as_str()) && is_library_source(&rel) {
                 file_violations.extend(check_no_println(&scanned));
+            }
+            if ARTIFACT_WRITE_CRATES.contains(&crate_name.as_str()) && is_runtime_source(&rel) {
+                file_violations.extend(check_no_raw_artifact_write(&scanned));
             }
             violations.extend(apply_waivers(&scanned, file_violations));
         }
@@ -149,6 +152,7 @@ pub fn verify_scopes(root: &Path) -> Result<(), String> {
         .chain(FLOAT_ORD_CRATES)
         .chain(RAW_DEADLINE_CRATES)
         .chain(PRINT_FREE_CRATES)
+        .chain(ARTIFACT_WRITE_CRATES)
     {
         if !present.iter().any(|p| p == scoped) {
             return Err(format!(

@@ -315,3 +315,86 @@ fn source_larger_than_target_is_a_clean_error() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("|V1|"), "{stderr}");
 }
+
+#[test]
+fn strict_mode_rejects_what_lenient_mode_quarantines() {
+    let dir = std::env::temp_dir().join(format!("evematch-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let l1 = dir.join("len1.log");
+    std::fs::write(
+        &l1,
+        b"receive pay check ship\n\xff\xfe garbage\nreceive check pay ship\n",
+    )
+    .unwrap();
+    let l2 = write_temp("len2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\n");
+
+    // Strict (the default): fail fast with the line number, exit 1.
+    let out = bin().arg(&l1).arg(&l2).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2: invalid UTF-8"), "{stderr}");
+
+    // Lenient: the bad line is quarantined, the match still runs, and the
+    // report lands on stderr and in the metrics artifact.
+    let metrics = dir.join("len_metrics.json");
+    let out = bin()
+        .arg("--lenient")
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined 1 line(s)"), "{stderr}");
+    assert!(stderr.contains("invalid_utf8: 1"), "{stderr}");
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        json.contains("\"ingest.quarantined.invalid_utf8\":1"),
+        "{json}"
+    );
+
+    // --quiet keeps the quarantine summary off stderr.
+    let out = bin()
+        .args(["--lenient", "--quiet"])
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        out.stderr.is_empty(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn ingest_limits_are_clean_input_errors() {
+    let l1 = write_temp("lim1.log", L1_TEXT);
+    let l2 = write_temp("lim2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\n");
+    for (flag, needle) in [
+        ("--max-events", "max-events limit exceeded"),
+        ("--max-traces", "max-traces limit exceeded"),
+        ("--max-trace-len", "max-trace-len limit exceeded"),
+        ("--max-line-bytes", "max-line-bytes limit exceeded"),
+    ] {
+        let out = bin().args([flag, "1"]).arg(&l1).arg(&l2).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{flag}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{flag}: {stderr}");
+    }
+    // A generous cap changes nothing.
+    let out = bin()
+        .args(["--quiet", "--max-events", "100", "--max-line-bytes", "4096"])
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
