@@ -1,0 +1,216 @@
+//! `bench` — benchmark subcommands emitting machine-readable `BENCH_*.json`
+//! evidence under the output directory.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench parpool
+//! ```
+//!
+//! ## `bench parpool`
+//!
+//! Measures the parallel support-evaluation kernel (`core::parpool`)
+//! against the sequential baseline on a scan-heavy exact-search workload,
+//! and the cross-method warm-up effect of the shared per-cell support
+//! cache. Emits `BENCH_parpool.json` with:
+//!
+//! * seq-vs-parallel wall-clock and the full deterministic scan counters
+//!   (`eval.log_scans`, `frequency.*`) for both runs — the deterministic
+//!   sections must be byte-identical, and the bench exits with code 3 if
+//!   they are not;
+//! * `parpool.batches` / `parpool.steals` execution-shape facts for the
+//!   parallel run;
+//! * a shared-cache panel: the measured method's `eval.cache.shared_hits`
+//!   and scan savings when another method warmed the cache first.
+//!
+//! Knobs: `EVEMATCH_BENCH_MODULES` (process-model modules, default 2 —
+//! 20 events, the most composite-heavy configuration), `EVEMATCH_TRACES`
+//! (default 3000), `EVEMATCH_SEEDS` (first seed used, default 11),
+//! `EVEMATCH_EVAL_THREADS` (parallel thread count, default 8),
+//! `EVEMATCH_LIMIT_PROCESSED` (processed-mapping cap keeping the exact
+//! search bounded, default 20,000). Wall-clock numbers reflect
+//! the host: on a single-core machine the parallel run shows pool overhead
+//! rather than speedup, which is why `host_parallelism` is recorded in the
+//! artifact.
+//!
+//! Exits with code 2 if the artifact cannot be written.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use evematch_core::telemetry::MetricsSnapshot;
+use evematch_core::Budget;
+use evematch_datagen::datasets;
+use evematch_eval::SupportCachePool;
+use evematch_eval::{Method, RunOutcome};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed run: wall-clock plus the metrics snapshot.
+struct Timed {
+    wall_nanos: u128,
+    out: RunOutcome,
+}
+
+fn timed_run(
+    method: Method,
+    ds: &evematch_datagen::Dataset,
+    budget: Budget,
+    threads: usize,
+    pool: Option<&SupportCachePool>,
+) -> Timed {
+    let start = Instant::now();
+    let out = method.run_with(&ds.pair, &ds.patterns, budget, threads, pool);
+    Timed {
+        wall_nanos: start.elapsed().as_nanos(),
+        out,
+    }
+}
+
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+fn info(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.info.get(name).copied().unwrap_or(0)
+}
+
+/// The scan-facing counters of one run as a JSON object fragment.
+fn push_run(out: &mut String, t: &Timed, threads: usize) {
+    let snap = t.out.metrics();
+    let _ = write!(
+        out,
+        "{{\"threads\":{},\"wall_nanos\":{},\"log_scans\":{},\"candidate_traces\":{},\
+         \"matched_traces\":{},\"index_probes\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"shared_hits\":{},\"parpool_batches\":{},\"parpool_steals\":{}}}",
+        threads,
+        t.wall_nanos,
+        counter(snap, "eval.log_scans"),
+        counter(snap, "frequency.candidate_traces"),
+        counter(snap, "frequency.matched_traces"),
+        counter(snap, "frequency.index_probes"),
+        counter(snap, "eval.cache_hits"),
+        counter(snap, "eval.cache_misses"),
+        counter(snap, "eval.cache.shared_hits"),
+        info(snap, "parpool.batches"),
+        info(snap, "parpool.steals"),
+    );
+}
+
+fn run_parpool() -> ExitCode {
+    let seed = std::env::var("EVEMATCH_SEEDS")
+        .ok()
+        .and_then(|s| s.split(',').next().and_then(|x| x.trim().parse().ok()))
+        .unwrap_or(11u64);
+    let traces = env_or("EVEMATCH_TRACES", 3000usize);
+    let modules = env_or("EVEMATCH_BENCH_MODULES", 2usize);
+    let par_threads = env_or("EVEMATCH_EVAL_THREADS", 8usize).max(2);
+    let cap = env_or("EVEMATCH_LIMIT_PROCESSED", 20_000u64);
+    let budget = Budget::UNLIMITED.with_processed_cap(cap);
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let ds = datasets::larger_synthetic(modules, traces, seed);
+    let method = Method::PatternTight;
+
+    println!(
+        "bench parpool: {} on larger_synthetic({modules}, {traces}, seed {seed}), \
+         cap {cap}, {par_threads} threads (host parallelism {host})",
+        method.name()
+    );
+
+    // Panel 1: sequential vs parallel, each on a cold private cache.
+    let seq = timed_run(method, &ds, budget, 1, None);
+    let par = timed_run(method, &ds, budget, par_threads, None);
+
+    let identical =
+        seq.out.metrics().deterministic_json() == par.out.metrics().deterministic_json();
+    let speedup = seq.wall_nanos as f64 / par.wall_nanos.max(1) as f64;
+    println!(
+        "  seq {:.3}s  par {:.3}s  speedup {speedup:.2}x  deterministic sections identical: {identical}",
+        seq.wall_nanos as f64 / 1e9,
+        par.wall_nanos as f64 / 1e9,
+    );
+
+    // Panel 2: shared-cache warm-up — the advanced heuristic runs first on
+    // the shared pool, then the measured method reuses its scans.
+    let pool = SupportCachePool::new();
+    let warm_method = Method::HeuristicAdvanced;
+    let warm = timed_run(warm_method, &ds, budget, 1, Some(&pool));
+    let warmed = timed_run(method, &ds, budget, 1, Some(&pool));
+    let shared_hits = counter(warmed.out.metrics(), "eval.cache.shared_hits");
+    println!(
+        "  shared cache: {} warmed {} -> shared_hits {shared_hits}, log_scans {} (cold: {})",
+        warm_method.name(),
+        method.name(),
+        counter(warmed.out.metrics(), "eval.log_scans"),
+        counter(seq.out.metrics(), "eval.log_scans"),
+    );
+
+    let mut json = String::from("{\"bench\":\"parpool\",\"workload\":{");
+    let _ = write!(
+        json,
+        "\"dataset\":\"larger_synthetic\",\"modules\":{modules},\"traces\":{traces},\
+         \"seed\":{seed},\"method\":\"{}\",\"processed_cap\":{cap}}},\
+         \"host_parallelism\":{host},",
+        method.name()
+    );
+    json.push_str("\"seq\":");
+    push_run(&mut json, &seq, 1);
+    json.push_str(",\"par\":");
+    push_run(&mut json, &par, par_threads);
+    let _ = write!(
+        json,
+        ",\"speedup\":{speedup:.4},\"identical_outputs\":{identical},\"shared_cache\":{{\
+         \"warm_method\":\"{}\",\"measured_method\":\"{}\",\"shared_hits\":{shared_hits},\
+         \"cold_log_scans\":{},\"warmed_log_scans\":{},\"warm_wall_nanos\":{},\
+         \"warmed_wall_nanos\":{}}}}}",
+        warm_method.name(),
+        method.name(),
+        counter(seq.out.metrics(), "eval.log_scans"),
+        counter(warmed.out.metrics(), "eval.log_scans"),
+        warm.wall_nanos,
+        warmed.wall_nanos,
+    );
+    json.push('\n');
+
+    let path = match evematch_bench::out_dir() {
+        Ok(dir) => dir.join("BENCH_parpool.json"),
+        Err(err) => {
+            eprintln!("error: cannot create output dir: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(err) = evematch_core::persist::atomic_write(&path, json.as_bytes()) {
+        eprintln!("error: failed to write {}: {err}", path.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", path.display());
+
+    if !identical {
+        eprintln!("error: parallel deterministic section diverged from sequential");
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let sub = std::env::args().nth(1).unwrap_or_default();
+    match sub.as_str() {
+        "parpool" => run_parpool(),
+        other => {
+            eprintln!("usage: bench <subcommand>\n  parpool    seq-vs-parallel support evaluation + shared-cache warm-up");
+            if other.is_empty() {
+                ExitCode::from(2)
+            } else {
+                eprintln!("error: unknown subcommand `{other}`");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -58,6 +58,7 @@ pub fn sweep_config() -> SweepConfig {
             "EVEMATCH_WORKERS",
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         ),
+        eval_threads: env_or("EVEMATCH_EVAL_THREADS", 1usize),
         traces: env_or("EVEMATCH_TRACES", 3000usize),
         checkpoint: if resume_requested() {
             out_dir().ok()

@@ -12,7 +12,7 @@ use evematch_eventlog::EventId;
 use crate::assignment::max_weight_assignment;
 use crate::budget::Budget;
 use crate::context::MatchContext;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{EvalConfig, Evaluator};
 use crate::exact::{Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::sim;
@@ -42,7 +42,14 @@ impl EntropyMatcher {
 
     /// Pairs events by occurrence-entropy similarity. Infallible.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let mut eval = Evaluator::with_budget(ctx, self.budget);
+        self.solve_with(ctx, &EvalConfig::from_budget(self.budget))
+    }
+
+    /// Like [`EntropyMatcher::solve`], but with an explicit [`EvalConfig`]
+    /// (`config.budget` replaces `self.budget`); the shared support cache,
+    /// when present, is reused for the final mapping's pattern scores.
+    pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
+        let mut eval = Evaluator::with_config(ctx, config);
         eval.probe_structure();
         let c_rows = eval.telemetry_mut().registry.counter("entropy.weight_rows");
         let (n1, n2) = (ctx.n1(), ctx.n2());

@@ -10,7 +10,7 @@ use evematch_eventlog::{DepGraph, EventId};
 use crate::assignment::max_weight_assignment;
 use crate::budget::{Budget, BudgetMeter};
 use crate::context::MatchContext;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{EvalConfig, Evaluator};
 use crate::exact::{Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::sim;
@@ -66,7 +66,15 @@ impl IterativeMatcher {
     /// Infallible — the method is polynomial and always returns a complete
     /// mapping, even on a tripped budget.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let mut eval = Evaluator::with_budget(ctx, self.budget);
+        self.solve_with(ctx, &EvalConfig::from_budget(self.budget))
+    }
+
+    /// Like [`IterativeMatcher::solve`], but with an explicit
+    /// [`EvalConfig`] (`config.budget` replaces `self.budget`); the shared
+    /// support cache, when present, is reused for the final mapping's
+    /// pattern scores.
+    pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
+        let mut eval = Evaluator::with_config(ctx, config);
         eval.probe_structure();
         let c_rounds = eval.telemetry_mut().registry.counter("iterative.rounds");
         let (n1, n2) = (ctx.n1(), ctx.n2());

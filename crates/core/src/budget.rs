@@ -26,7 +26,18 @@
 //! enforces this via the `no-raw-deadline` lint). The division of labour:
 //! this module may *branch* on the clock (that is what a deadline is),
 //! while telemetry spans only ever *record* it.
+//!
+//! The meter's internals are atomic so one meter can be shared by
+//! reference across the scoped worker threads of `core::parpool`: the
+//! exhaustion latch is a compare-and-swap (the *first* limit to trip wins,
+//! exactly once, no matter which thread observes it), and worker-side
+//! deadline polls that win the latch are counted separately as
+//! *cross-thread trips* (`budget.cross_thread_trips` in telemetry). The
+//! determinism rule is preserved because only the driving thread charges
+//! primary units, and without a deadline neither ticks nor worker ticks
+//! touch any shared state at all.
 
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// Declarative resource limits for one solver invocation.
@@ -124,10 +135,11 @@ impl Budget {
         BudgetMeter {
             budget: *self,
             start: Instant::now(),
-            processed: 0,
-            polls: 0,
-            since_poll: 0,
-            exhausted: None,
+            processed: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            since_poll: AtomicU64::new(0),
+            exhausted: AtomicU8::new(EXHAUSTED_NONE),
+            cross_thread_trips: AtomicU64::new(0),
         }
     }
 }
@@ -173,20 +185,66 @@ impl std::fmt::Display for Exhaustion {
     }
 }
 
+/// Latch encoding of [`Exhaustion`] in the meter's atomic flag.
+const EXHAUSTED_NONE: u8 = 0;
+
+fn encode_exhaustion(e: Exhaustion) -> u8 {
+    match e {
+        Exhaustion::Processed => 1,
+        Exhaustion::Deadline => 2,
+        Exhaustion::Frontier => 3,
+    }
+}
+
+fn decode_exhaustion(v: u8) -> Option<Exhaustion> {
+    match v {
+        1 => Some(Exhaustion::Processed),
+        2 => Some(Exhaustion::Deadline),
+        3 => Some(Exhaustion::Frontier),
+        _ => None,
+    }
+}
+
 /// The running instance of a [`Budget`]: counts work, polls the deadline,
 /// and latches the first limit that trips.
-#[derive(Clone, Debug)]
+///
+/// All methods take `&self`: the counters are atomic and the exhaustion
+/// latch is a compare-and-swap, so a meter can be shared by reference
+/// across the scoped worker threads of `core::parpool`. Determinism is a
+/// protocol, not a property of the struct — only the driving thread may
+/// call [`charge_processed`](Self::charge_processed) and
+/// [`note_frontier`](Self::note_frontier); workers are restricted to
+/// [`tick_worker`](Self::tick_worker), which without a deadline touches
+/// nothing.
+#[derive(Debug)]
 pub struct BudgetMeter {
     budget: Budget,
     start: Instant,
-    processed: u64,
-    polls: u64,
-    since_poll: u32,
-    exhausted: Option<Exhaustion>,
+    processed: AtomicU64,
+    polls: AtomicU64,
+    since_poll: AtomicU64,
+    exhausted: AtomicU8,
+    /// Deadline trips latched from a worker-side poll (`tick_worker`).
+    cross_thread_trips: AtomicU64,
+}
+
+impl Clone for BudgetMeter {
+    fn clone(&self) -> Self {
+        BudgetMeter {
+            budget: self.budget,
+            start: self.start,
+            processed: AtomicU64::new(self.processed.load(Ordering::Relaxed)),
+            polls: AtomicU64::new(self.polls.load(Ordering::Relaxed)),
+            since_poll: AtomicU64::new(self.since_poll.load(Ordering::Relaxed)),
+            exhausted: AtomicU8::new(self.exhausted.load(Ordering::Acquire)),
+            cross_thread_trips: AtomicU64::new(self.cross_thread_trips.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl BudgetMeter {
     /// Charges one unit of primary search work (one candidate mapping).
+    /// Must only be called from the thread driving the search.
     ///
     /// Returns `false` when the budget is exhausted — either already
     /// latched, because this charge would exceed the processed cap (the
@@ -195,21 +253,21 @@ impl BudgetMeter {
     /// because the deadline poll latches first (polled *before* counting,
     /// so `processed()` only ever counts units whose work was actually
     /// performed). On success the unit is counted.
-    pub fn charge_processed(&mut self) -> bool {
-        if self.exhausted.is_some() {
+    pub fn charge_processed(&self) -> bool {
+        if self.is_exhausted() {
             return false;
         }
         if let Some(cap) = self.budget.max_processed {
-            if self.processed >= cap {
-                self.exhausted = Some(Exhaustion::Processed);
+            if self.processed.load(Ordering::Relaxed) >= cap {
+                self.latch(Exhaustion::Processed, false);
                 return false;
             }
         }
-        self.advance_poll();
-        if self.exhausted.is_some() {
+        self.advance_poll(false);
+        if self.is_exhausted() {
             return false;
         }
-        self.processed += 1;
+        self.processed.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -217,21 +275,53 @@ impl BudgetMeter {
     /// a bound evaluation, one VF2 node) without charging the processed
     /// cap. Inner loops call this so a deadline is observed even inside a
     /// single expensive outer step.
-    pub fn tick(&mut self) {
-        if self.exhausted.is_none() {
-            self.advance_poll();
+    pub fn tick(&self) {
+        if !self.is_exhausted() {
+            self.advance_poll(false);
+        }
+    }
+
+    /// [`tick`](Self::tick) from a `core::parpool` worker thread: shares
+    /// the poll cadence, but a deadline trip latched here is additionally
+    /// counted as a cross-thread trip (exactly once per exhaustion, by
+    /// construction of the compare-and-swap latch). Without a deadline
+    /// this touches no shared state at all, so worker ticks cannot perturb
+    /// deterministic (cap-only) runs.
+    pub fn tick_worker(&self) {
+        if self.budget.max_duration.is_none() {
+            return;
+        }
+        if !self.is_exhausted() {
+            self.advance_poll(true);
         }
     }
 
     /// Records the current frontier size, latching [`Exhaustion::Frontier`]
-    /// when it exceeds the cap.
-    pub fn note_frontier(&mut self, len: usize) {
-        if self.exhausted.is_none() {
+    /// when it exceeds the cap. Driving thread only.
+    pub fn note_frontier(&self, len: usize) {
+        if !self.is_exhausted() {
             if let Some(cap) = self.budget.max_frontier {
                 if len > cap {
-                    self.exhausted = Some(Exhaustion::Frontier);
+                    self.latch(Exhaustion::Frontier, false);
                 }
             }
+        }
+    }
+
+    /// Latches `cause` if nothing tripped yet; the CAS guarantees exactly
+    /// one winner. A worker-side deadline win is counted separately.
+    fn latch(&self, cause: Exhaustion, on_worker: bool) {
+        let won = self
+            .exhausted
+            .compare_exchange(
+                EXHAUSTED_NONE,
+                encode_exhaustion(cause),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if won && on_worker {
+            self.cross_thread_trips.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -240,24 +330,22 @@ impl BudgetMeter {
     /// 1+2I, …), so a deadline that elapsed during a long unit is seen at
     /// the next interval boundary at the latest. Without a deadline this
     /// is a no-op, keeping capped runs bit-deterministic and poll-free.
-    fn advance_poll(&mut self) {
+    fn advance_poll(&self, on_worker: bool) {
         if self.budget.max_duration.is_none() {
             return;
         }
-        if self.since_poll == 0 {
-            self.poll_deadline();
-        }
-        self.since_poll += 1;
-        if self.since_poll >= self.budget.poll_interval.max(1) {
-            self.since_poll = 0;
+        let interval = u64::from(self.budget.poll_interval.max(1));
+        let n = self.since_poll.fetch_add(1, Ordering::Relaxed);
+        if n % interval == 0 {
+            self.poll_deadline(on_worker);
         }
     }
 
-    fn poll_deadline(&mut self) {
-        self.polls += 1;
+    fn poll_deadline(&self, on_worker: bool) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
         if let Some(max) = self.budget.max_duration {
             if self.start.elapsed() >= max {
-                self.exhausted = Some(Exhaustion::Deadline);
+                self.latch(Exhaustion::Deadline, on_worker);
             }
         }
     }
@@ -265,25 +353,33 @@ impl BudgetMeter {
     /// The limit that tripped, if any. Sticky: never resets.
     #[must_use]
     pub fn exhaustion(&self) -> Option<Exhaustion> {
-        self.exhausted
+        decode_exhaustion(self.exhausted.load(Ordering::Acquire))
     }
 
     /// `true` once any limit has tripped.
     #[must_use]
     pub fn is_exhausted(&self) -> bool {
-        self.exhausted.is_some()
+        self.exhausted.load(Ordering::Acquire) != EXHAUSTED_NONE
     }
 
     /// Charged primary work units so far.
     #[must_use]
     pub fn processed(&self) -> u64 {
-        self.processed
+        self.processed.load(Ordering::Relaxed)
     }
 
     /// Clock reads performed so far (0 for deadline-free budgets).
     #[must_use]
     pub fn polls(&self) -> u64 {
-        self.polls
+        self.polls.load(Ordering::Relaxed)
+    }
+
+    /// Deadline exhaustions first observed by a worker-thread poll. At
+    /// most 1 per meter (the latch fires once); 0 in every deterministic
+    /// (deadline-free) run.
+    #[must_use]
+    pub fn cross_thread_trips(&self) -> u64 {
+        self.cross_thread_trips.load(Ordering::Relaxed)
     }
 
     /// Wall time since the meter started.
@@ -305,7 +401,7 @@ mod tests {
 
     #[test]
     fn unlimited_budget_never_exhausts_and_never_polls() {
-        let mut m = Budget::UNLIMITED.meter();
+        let m = Budget::UNLIMITED.meter();
         for _ in 0..10_000 {
             assert!(m.charge_processed());
             m.tick();
@@ -317,7 +413,7 @@ mod tests {
 
     #[test]
     fn processed_cap_checks_before_counting() {
-        let mut m = Budget::UNLIMITED.with_processed_cap(3).meter();
+        let m = Budget::UNLIMITED.with_processed_cap(3).meter();
         assert!(m.charge_processed());
         assert!(m.charge_processed());
         assert!(m.charge_processed());
@@ -332,14 +428,14 @@ mod tests {
 
     #[test]
     fn zero_cap_exhausts_on_the_first_charge() {
-        let mut m = Budget::UNLIMITED.with_processed_cap(0).meter();
+        let m = Budget::UNLIMITED.with_processed_cap(0).meter();
         assert!(!m.charge_processed());
         assert_eq!(m.processed(), 0);
     }
 
     #[test]
     fn capped_budgets_never_read_the_clock() {
-        let mut m = Budget::UNLIMITED.with_processed_cap(1000).meter();
+        let m = Budget::UNLIMITED.with_processed_cap(1000).meter();
         for _ in 0..500 {
             m.charge_processed();
             m.tick();
@@ -351,7 +447,7 @@ mod tests {
     fn elapsed_deadline_is_seen_at_the_first_poll() {
         // A zero deadline has already elapsed when metering starts; the
         // very first work unit must observe it.
-        let mut m = Budget::UNLIMITED
+        let m = Budget::UNLIMITED
             .with_deadline(Duration::from_secs(0))
             .meter();
         assert!(!m.charge_processed());
@@ -363,7 +459,7 @@ mod tests {
 
     #[test]
     fn deadline_polls_once_per_interval() {
-        let mut m = Budget::UNLIMITED
+        let m = Budget::UNLIMITED
             .with_deadline(Duration::from_secs(3600))
             .with_poll_interval(10)
             .meter();
@@ -376,7 +472,7 @@ mod tests {
 
     #[test]
     fn ticks_share_the_poll_cadence_with_charges() {
-        let mut m = Budget::UNLIMITED
+        let m = Budget::UNLIMITED
             .with_deadline(Duration::from_secs(3600))
             .with_poll_interval(4)
             .meter();
@@ -391,12 +487,70 @@ mod tests {
 
     #[test]
     fn frontier_cap_latches() {
-        let mut m = Budget::UNLIMITED.with_frontier_cap(8).meter();
+        let m = Budget::UNLIMITED.with_frontier_cap(8).meter();
         m.note_frontier(8);
         assert!(!m.is_exhausted());
         m.note_frontier(9);
         assert_eq!(m.exhaustion(), Some(Exhaustion::Frontier));
         assert!(!m.charge_processed());
+    }
+
+    #[test]
+    fn worker_ticks_without_a_deadline_touch_nothing() {
+        let m = Budget::UNLIMITED.with_processed_cap(5).meter();
+        for _ in 0..1000 {
+            m.tick_worker();
+        }
+        assert_eq!(m.polls(), 0);
+        assert_eq!(m.cross_thread_trips(), 0);
+        assert!(!m.is_exhausted());
+    }
+
+    #[test]
+    fn worker_observed_deadline_latches_and_counts_one_cross_thread_trip() {
+        let m = Budget::UNLIMITED
+            .with_deadline(Duration::ZERO)
+            .with_poll_interval(1)
+            .meter();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        m.tick_worker();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Deadline));
+        assert_eq!(
+            m.cross_thread_trips(),
+            1,
+            "the CAS latch admits exactly one winner"
+        );
+    }
+
+    #[test]
+    fn main_thread_deadline_trip_is_not_a_cross_thread_trip() {
+        let m = Budget::UNLIMITED.with_deadline(Duration::ZERO).meter();
+        assert!(!m.charge_processed());
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Deadline));
+        assert_eq!(m.cross_thread_trips(), 0);
+    }
+
+    #[test]
+    fn concurrent_latch_attempts_keep_the_first_cause() {
+        // Frontier latched on the main thread first; later worker deadline
+        // polls must not overwrite it or count a trip.
+        let m = Budget::UNLIMITED
+            .with_frontier_cap(1)
+            .with_deadline(Duration::ZERO)
+            .with_poll_interval(1)
+            .meter();
+        m.note_frontier(2);
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Frontier));
+        m.tick_worker();
+        assert_eq!(m.exhaustion(), Some(Exhaustion::Frontier));
+        assert_eq!(m.cross_thread_trips(), 0);
     }
 
     #[test]

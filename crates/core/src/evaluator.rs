@@ -1,11 +1,26 @@
 //! Evaluation of pattern contributions `d(p)` under (partial) mappings,
 //! with memoization and Proposition-3 existence pruning.
+//!
+//! The memo is a [`SharedSupportCache`]: a sharded, `RwLock`-striped map
+//! that one solver owns privately by default, or that several solver runs
+//! over the *same* [`MatchContext`] data can share (an experiment-grid
+//! cell runs every method against one context, so the heuristics warm the
+//! exact search's cache — hits on entries another run inserted surface as
+//! `eval.cache.shared_hits`). Parallel successor evaluation goes through
+//! [`Evaluator::prefetch_supports`]: worker threads compute support
+//! *outcomes* without touching the cache, the registry, or the primary
+//! budget counters, and the driving thread then replays the sequential
+//! consumption order, attributing counters exactly as a sequential run
+//! would — which is what keeps scores, tie-breaks and the deterministic
+//! metrics section byte-identical across `--eval-threads` settings.
 
 // The memo cache is only ever point-queried, but BTreeMap keeps the
 // deterministic crates hash-free outright (tidy lint no-hash-iter); keys
 // are a pattern index plus at most a handful of event ids, so ordered
 // lookups cost about the same as hashing the boxed slice.
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use evematch_eventlog::EventId;
 use evematch_graph::{IsoStats, MonoSearch};
@@ -18,8 +33,222 @@ use crate::bounds::PruneReason;
 use crate::budget::{Budget, BudgetMeter};
 use crate::context::MatchContext;
 use crate::mapping::Mapping;
+use crate::parpool;
 use crate::score::sim;
 use crate::telemetry::{CounterId, MetricsSnapshot, Telemetry};
+
+/// Memo key: pattern index plus the image tuple of its sorted events.
+type SupportKey = (u32, Box<[EventId]>);
+
+/// Number of lock stripes in a [`SharedSupportCache`]. Shard choice is a
+/// deterministic hash of the key, so two runs stripe identically.
+const SHARD_COUNT: usize = 16;
+
+/// One memoized support value, tagged with the run that computed it.
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    support: u32,
+    owner: u32,
+}
+
+/// A sharded `(pattern, images) → support` memo shareable across solver
+/// runs over the same [`MatchContext`] data.
+///
+/// Entries are tagged with the inserting run's owner id so a later run can
+/// tell a *shared* hit (another method already paid the scan) from a hit
+/// on its own work. The cache is fingerprinted over both logs and the
+/// pattern set: [`Evaluator::with_config`] silently falls back to a
+/// private cache when the fingerprint does not match its context, so a
+/// cache can never leak support values across grid cells with different
+/// data. Lock poisoning (a panicking solver thread) is recovered by
+/// adopting the poisoned guard — every entry is written atomically under
+/// the lock, so a poisoned shard still holds only complete entries.
+#[derive(Debug)]
+pub struct SharedSupportCache {
+    fingerprint: u64,
+    shards: Vec<RwLock<BTreeMap<SupportKey, CacheEntry>>>,
+    next_owner: AtomicU32,
+}
+
+impl SharedSupportCache {
+    /// A cache bound (by fingerprint) to `ctx`'s logs and pattern set.
+    #[must_use]
+    pub fn for_context(ctx: &MatchContext) -> Self {
+        Self::with_fingerprint(context_fingerprint(ctx))
+    }
+
+    /// A private cache that no other context can validly share. Used for
+    /// solo runs, where the fingerprint is never checked.
+    fn private() -> Self {
+        Self::with_fingerprint(0)
+    }
+
+    fn with_fingerprint(fingerprint: u64) -> Self {
+        SharedSupportCache {
+            fingerprint,
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+            next_owner: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether this cache was built for `ctx`'s data (same logs, same
+    /// pattern set).
+    #[must_use]
+    pub fn matches(&self, ctx: &MatchContext) -> bool {
+        self.fingerprint == context_fingerprint(ctx)
+    }
+
+    /// Registers one solver run as an entry owner.
+    fn register_owner(&self) -> u32 {
+        self.next_owner.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn shard_of(&self, key: &SupportKey) -> usize {
+        let mut h = fnv_seed();
+        h = fnv_u64(h, u64::from(key.0));
+        for e in key.1.iter() {
+            h = fnv_u64(h, e.index() as u64);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn get(&self, key: &SupportKey) -> Option<CacheEntry> {
+        let shard = self.shards[self.shard_of(key)]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.get(key).copied()
+    }
+
+    /// Inserts a support value. An existing entry is kept (it holds the
+    /// same exact value; keeping it preserves first-owner attribution).
+    fn insert(&self, key: SupportKey, support: u32, owner: u32) {
+        let mut shard = self.shards[self.shard_of(&key)]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.entry(key).or_insert(CacheEntry { support, owner });
+    }
+
+    /// Total number of memoized entries (test/diagnostic use).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// Whether no entry has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_seed() -> u64 {
+    FNV_OFFSET
+}
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Deterministic fingerprint of everything a support value can depend on:
+/// both logs' trace contents and the pattern set's structure, frequency
+/// and order (the memo key uses pattern *indices*, so the set's order is
+/// part of identity).
+fn context_fingerprint(ctx: &MatchContext) -> u64 {
+    let mut h = fnv_seed();
+    for log in [ctx.log1(), ctx.log2()] {
+        h = fnv_u64(h, log.event_count() as u64);
+        h = fnv_u64(h, log.len() as u64);
+        for trace in log.traces() {
+            h = fnv_u64(h, trace.events().len() as u64);
+            for &e in trace.events() {
+                h = fnv_u64(h, e.index() as u64);
+            }
+        }
+    }
+    h = fnv_u64(h, ctx.patterns().len() as u64);
+    for ep in ctx.patterns() {
+        h = fnv_u64(h, ep.events.len() as u64);
+        for &e in &ep.events {
+            h = fnv_u64(h, e.index() as u64);
+        }
+        for (a, b) in ep.graph.edges_global() {
+            h = fnv_u64(h, (a.index() as u64) << 32 | b.index() as u64);
+        }
+        h = fnv_u64(h, ep.support as u64);
+        h = fnv_u64(h, ep.freq.to_bits());
+    }
+    h
+}
+
+/// How a solver run evaluates pattern supports: its budget, how many
+/// worker threads batched successor evaluation may use, and an optional
+/// pre-built cache shared with other runs over the same context data.
+#[derive(Clone, Debug, Default)]
+pub struct EvalConfig {
+    /// Resource budget for the run.
+    pub budget: Budget,
+    /// Worker threads for batched successor evaluation; `0` and `1` both
+    /// mean fully sequential (today's default behavior).
+    pub threads: usize,
+    /// A cache built by [`SharedSupportCache::for_context`] on the run's
+    /// context. `None`, or a fingerprint mismatch, gives the run a fresh
+    /// private cache.
+    pub shared_cache: Option<Arc<SharedSupportCache>>,
+}
+
+impl EvalConfig {
+    /// A sequential, privately-cached configuration with `budget`.
+    #[must_use]
+    pub fn from_budget(budget: Budget) -> Self {
+        EvalConfig {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the shared support cache.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<SharedSupportCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+}
+
+/// A support value computed ahead of time on a worker thread, together
+/// with everything the driving thread needs to attribute counters exactly
+/// as the sequential evaluation would have.
+#[derive(Clone, Copy, Debug)]
+struct PrefetchOutcome {
+    /// The exact support, or `None` when the scan was fuel-interrupted
+    /// (only a deadline can do that; the consumer recomputes inline).
+    support: Option<u32>,
+    /// Fuel polls the computation performed (replayed into
+    /// `eval.fuel_spent` when consumed on the fueled path).
+    fuel_polls: u64,
+    /// The scan's work counters.
+    scan: SupportStats,
+    /// Whether Proposition 3 answered without a log scan.
+    existence_pruned: bool,
+}
 
 /// Counters describing how much work an evaluator did — these feed the
 /// "processed mappings" and pruning plots (Figures 7c, 8c, 9c, 10c).
@@ -61,6 +290,7 @@ struct EvalCounters {
     prune_zero_f1: CounterId,
     prune_vertex_cap: CounterId,
     prune_edge_group_cap: CounterId,
+    shared_hits: CounterId,
 }
 
 impl EvalCounters {
@@ -81,6 +311,7 @@ impl EvalCounters {
             prune_zero_f1: reg.counter("bounds.pruned.zero_f1"),
             prune_vertex_cap: reg.counter("bounds.pruned.vertex_cap"),
             prune_edge_group_cap: reg.counter("bounds.pruned.edge_group_cap"),
+            shared_hits: reg.counter("eval.cache.shared_hits"),
         }
     }
 }
@@ -109,13 +340,24 @@ const PROBE_EMBED_CAP: u64 = 4;
 /// `MatchOutcome::metrics` when the run finishes.
 pub struct Evaluator<'a> {
     ctx: &'a MatchContext,
-    cache: BTreeMap<(u32, Box<[EventId]>), u32>,
+    cache: Arc<SharedSupportCache>,
+    /// This run's owner id within `cache`; hits on entries another owner
+    /// inserted count as `eval.cache.shared_hits`.
+    owner: u32,
+    /// Outcomes computed ahead of time by [`Self::prefetch_supports`],
+    /// consumed (and counter-attributed) in sequential order by
+    /// [`Self::mapped_support`].
+    prefetched: BTreeMap<SupportKey, PrefetchOutcome>,
+    /// Worker threads batched prefetches may use (`<= 1` = sequential).
+    threads: usize,
     /// The solver run's budget meter. The evaluator ticks it before every
     /// log scan, so a deadline is observed even inside one expensive outer
     /// search step.
     meter: BudgetMeter,
     tele: Telemetry,
     counters: EvalCounters,
+    parpool_batches: u64,
+    parpool_steals: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -127,15 +369,38 @@ impl<'a> Evaluator<'a> {
 
     /// Creates a fresh evaluator metering `budget`.
     pub fn with_budget(ctx: &'a MatchContext, budget: Budget) -> Self {
+        Self::with_config(ctx, &EvalConfig::from_budget(budget))
+    }
+
+    /// Creates an evaluator from a full [`EvalConfig`]. A shared cache
+    /// whose fingerprint does not match `ctx` is **rejected**: the run
+    /// gets a fresh private cache instead, so stale support values can
+    /// never cross between contexts with different data.
+    pub fn with_config(ctx: &'a MatchContext, config: &EvalConfig) -> Self {
+        let cache = match &config.shared_cache {
+            Some(shared) if shared.matches(ctx) => Arc::clone(shared),
+            _ => Arc::new(SharedSupportCache::private()),
+        };
+        let owner = cache.register_owner();
         let mut tele = Telemetry::new();
         let counters = EvalCounters::register(&mut tele);
         Evaluator {
             ctx,
-            cache: BTreeMap::new(),
-            meter: budget.meter(),
+            cache,
+            owner,
+            prefetched: BTreeMap::new(),
+            threads: config.threads.max(1),
+            meter: config.budget.meter(),
             tele,
             counters,
+            parpool_batches: 0,
+            parpool_steals: 0,
         }
+    }
+
+    /// Worker threads available to batched successor evaluation.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Work counters as the legacy [`EvalStats`] view.
@@ -248,9 +513,16 @@ impl<'a> Evaluator<'a> {
         let mut snap = self.tele.registry.snapshot();
         snap.set_counter("budget.processed", self.meter.processed());
         snap.set_counter("budget.polls", self.meter.polls());
+        // Deterministic by design: without a deadline, worker ticks touch
+        // nothing and this stays 0 for every thread count.
+        snap.set_counter("budget.cross_thread_trips", self.meter.cross_thread_trips());
         if let Some(cause) = self.meter.exhaustion() {
             snap.set_counter(&format!("budget.exhausted.{}", cause.key()), 1);
         }
+        // Execution-shape facts (how the work was scheduled, not what was
+        // computed) go in the non-deterministic info section.
+        snap.set_info("parpool.batches", self.parpool_batches);
+        snap.set_info("parpool.steals", self.parpool_steals);
         snap
     }
 
@@ -331,17 +603,59 @@ impl<'a> Evaluator<'a> {
             _ => {}
         }
         let key = (p_idx as u32, images.to_vec().into_boxed_slice());
-        if let Some(&support) = self.cache.get(&key) {
+        if let Some(entry) = self.cache.get(&key) {
             self.tele.registry.inc(self.counters.cache_hits);
-            return support;
+            if entry.owner != self.owner {
+                self.tele.registry.inc(self.counters.shared_hits);
+            }
+            return entry.support;
         }
-        self.tele.registry.inc(self.counters.cache_misses);
+        let ids = self.counters;
+        self.tele.registry.inc(ids.cache_misses);
         // A realizability check or log scan is the expensive inner unit of
         // work; advance the deadline poll cadence before paying it.
         self.meter.tick();
+        // Replay a prefetched outcome if a worker already paid for this
+        // key, attributing counters exactly as the inline path below would
+        // at *this* point of the sequential order.
+        if let Some(out) = self.prefetched.remove(&key) {
+            if self.meter.is_exhausted() {
+                if let Some(support) = out.support {
+                    // The sequential run would take the grace path here. A
+                    // completed fueled scan produced the same exact value
+                    // (and scan counters) a grace recomputation would, and
+                    // grace evaluations never charge fuel.
+                    self.tele.registry.inc(ids.grace_evals);
+                    if out.existence_pruned {
+                        self.tele.registry.inc(ids.existence_pruned);
+                    } else {
+                        self.tele.registry.inc(ids.log_scans);
+                    }
+                    self.absorb_scan(&out.scan);
+                    self.cache.insert(key, support, self.owner);
+                    return support;
+                }
+                // Interrupted prefetch: fall through to the inline grace
+                // recomputation below.
+            } else if let Some(support) = out.support {
+                // Fueled path, replayed: the worker's fuel polls are the
+                // ones the inline computation would have performed.
+                if out.existence_pruned {
+                    self.tele.registry.inc(ids.existence_pruned);
+                } else {
+                    self.tele.registry.inc(ids.log_scans);
+                }
+                self.tele.registry.add(ids.fuel_spent, out.fuel_polls);
+                self.absorb_scan(&out.scan);
+                self.cache.insert(key, support, self.owner);
+                return support;
+            }
+            // `out.support == None` with a non-exhausted meter cannot
+            // happen (workers only interrupt after the shared meter
+            // latched); recompute inline if it somehow does.
+        }
         let mapped = ep.pattern.map_events(&|e| image_of(ep, e, images));
         let edge_ok = |a: EventId, b: EventId| dep2.has_edge(a, b);
-        let ids = self.counters;
         let mut scan = SupportStats::default();
         // Proposition 3 (sound form): if no allowed order of the mapped
         // pattern can be realized along dependency edges of G2, no trace of
@@ -357,10 +671,10 @@ impl<'a> Evaluator<'a> {
                 pattern_support_stats(&mapped, ctx.log2(), ctx.index2(), &mut scan) as u32
             };
             self.absorb_scan(&scan);
-            self.cache.insert(key, support);
+            self.cache.insert(key, support, self.owner);
             return support;
         }
-        let meter = &mut self.meter;
+        let meter = &self.meter;
         let mut fuel_polls = 0u64;
         let mut fuel = || {
             fuel_polls += 1;
@@ -393,7 +707,7 @@ impl<'a> Evaluator<'a> {
         self.absorb_scan(&scan);
         match support {
             Some(support) => {
-                self.cache.insert(key, support);
+                self.cache.insert(key, support, self.owner);
                 support
             }
             None => {
@@ -407,12 +721,116 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Pre-computes, on up to [`Self::threads`] scoped worker threads, the
+    /// support values behind a batch of upcoming `(pattern, images)`
+    /// evaluations — typically every composite pattern completed by the
+    /// successor children of one expanded search node.
+    ///
+    /// Workers are **side-effect free** against everything that feeds the
+    /// deterministic output: they never touch the cache, the telemetry
+    /// registry, or the primary budget counters; the only shared state a
+    /// worker mutates is the deadline latch (via
+    /// [`BudgetMeter::tick_worker`], a no-op for cap-only budgets). The
+    /// driving thread later consumes each outcome from
+    /// [`Self::mapped_support`] in sequential order, attributing counters
+    /// exactly as an inline evaluation would at that point. Keys already
+    /// cached, already prefetched, or answerable by a fast path are
+    /// skipped; duplicates are computed once. Sequential configurations
+    /// (`threads <= 1`) and exhausted meters make this a no-op.
+    pub fn prefetch_supports(&mut self, keys: &[(usize, Vec<EventId>)]) {
+        if self.threads <= 1 || self.meter.is_exhausted() {
+            return;
+        }
+        let mut seen: std::collections::BTreeSet<SupportKey> = std::collections::BTreeSet::new();
+        let mut todo: Vec<SupportKey> = Vec::new();
+        for (p_idx, images) in keys {
+            let ep = &self.ctx.patterns()[*p_idx];
+            if images.len() != ep.events.len() {
+                continue;
+            }
+            // Fast-path keys (vertex / single-edge patterns) never reach
+            // the cache, so there is nothing to prefetch for them.
+            if ep.size() == 1
+                || (images.len() == 2
+                    && ep.graph.edge_count() == 1
+                    && ep.graph.edges_global().next().is_some())
+            {
+                continue;
+            }
+            let key: SupportKey = (*p_idx as u32, images.clone().into_boxed_slice());
+            if self.prefetched.contains_key(&key) || self.cache.get(&key).is_some() {
+                continue;
+            }
+            if !seen.insert(key.clone()) {
+                continue;
+            }
+            todo.push(key);
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let ctx = self.ctx;
+        let meter = &self.meter;
+        let (outcomes, stats) = parpool::run_batch(self.threads, &todo, |key| {
+            compute_support_outcome(ctx, meter, key.0 as usize, &key.1)
+        });
+        self.parpool_batches += stats.batches;
+        self.parpool_steals += stats.steals;
+        for (key, out) in todo.into_iter().zip(outcomes) {
+            self.prefetched.insert(key, out);
+        }
+    }
+
     /// Folds one support scan's counters into the registry.
     fn absorb_scan(&mut self, scan: &SupportStats) {
         let reg = &mut self.tele.registry;
         reg.add(self.counters.index_probes, scan.index_probes);
         reg.add(self.counters.candidate_traces, scan.candidate_traces);
         reg.add(self.counters.matched_traces, scan.matched_traces);
+    }
+}
+
+/// The worker-side body of [`Evaluator::prefetch_supports`]: the exact
+/// computation [`Evaluator::mapped_support`]'s fueled path performs, minus
+/// every side effect on cache, registry, or primary budget counters. Fuel
+/// polls only observe the deadline ([`BudgetMeter::tick_worker`]), so for
+/// cap-only budgets this touches no shared state at all.
+fn compute_support_outcome(
+    ctx: &MatchContext,
+    meter: &BudgetMeter,
+    p_idx: usize,
+    images: &[EventId],
+) -> PrefetchOutcome {
+    let ep = &ctx.patterns()[p_idx];
+    let dep2 = ctx.dep2();
+    let mapped = ep.pattern.map_events(&|e| image_of(ep, e, images));
+    let edge_ok = |a: EventId, b: EventId| dep2.has_edge(a, b);
+    let mut fuel_polls = 0u64;
+    let mut fuel = || {
+        fuel_polls += 1;
+        meter.tick_worker();
+        !meter.is_exhausted()
+    };
+    let mut scan = SupportStats::default();
+    let (support, existence_pruned) = match is_realizable_with_fuel(&mapped, &edge_ok, &mut fuel) {
+        Ok(false) => (Some(0), true),
+        Ok(true) => match pattern_support_with_fuel_stats(
+            &mapped,
+            ctx.log2(),
+            ctx.index2(),
+            &mut fuel,
+            &mut scan,
+        ) {
+            Ok(s) => (Some(s as u32), false),
+            Err(Interrupted) => (None, false),
+        },
+        Err(Interrupted) => (None, false),
+    };
+    PrefetchOutcome {
+        support,
+        fuel_polls,
+        scan,
+        existence_pruned,
     }
 }
 
@@ -545,5 +963,106 @@ mod tests {
         // B -> y, C -> x: edge y->x never occurs.
         let s = ev.mapped_support(idx, &[EventId(2), EventId(1)]);
         assert_eq!(s, 0);
+    }
+
+    /// A second context over *different* logs: same vocabulary sizes, so a
+    /// stale cache would silently serve wrong supports if the fingerprint
+    /// let it through.
+    fn other_ctx() -> MatchContext {
+        let mut b1 = LogBuilder::new();
+        b1.push_named_trace(["A", "B", "C", "D"]);
+        b1.push_named_trace(["A", "B", "C", "D"]);
+        let mut b2 = LogBuilder::new();
+        b2.push_named_trace(["w", "x", "y", "z"]);
+        b2.push_named_trace(["w", "x", "y", "z"]);
+        let p1 = Pattern::seq(vec![
+            Pattern::event(0),
+            Pattern::and(vec![Pattern::event(1), Pattern::event(2)]).unwrap(),
+            Pattern::event(3),
+        ])
+        .unwrap();
+        MatchContext::new(
+            b1.build(),
+            b2.build(),
+            PatternSetBuilder::new().vertices().edges().complex(p1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fingerprint_rejects_a_cache_from_different_logs() {
+        let c = ctx();
+        let other = other_ctx();
+        let cache = Arc::new(SharedSupportCache::for_context(&c));
+        assert!(cache.matches(&c));
+        assert!(
+            !cache.matches(&other),
+            "a cache fingerprinted for one log pair must not match another"
+        );
+
+        // `with_config` enforces the rejection behaviorally: the evaluator
+        // falls back to a private cache, so the mismatched cache never
+        // receives the other context's entries — and the run is identical
+        // to one that never saw a shared cache.
+        let config = EvalConfig::default().with_shared_cache(Arc::clone(&cache));
+        let mut ev = Evaluator::with_config(&other, &config);
+        let p1_idx = other.patterns().len() - 1;
+        let images: Vec<EventId> = (0..4).map(EventId).collect();
+        let support = ev.mapped_support(p1_idx, &images);
+        assert!(cache.is_empty(), "rejected cache must stay untouched");
+        assert_eq!(ev.metrics_snapshot().counters["eval.cache.shared_hits"], 0);
+        let mut plain = Evaluator::new(&other);
+        assert_eq!(support, plain.mapped_support(p1_idx, &images));
+    }
+
+    #[test]
+    fn accepted_shared_cache_attributes_foreign_hits() {
+        let c = ctx();
+        let cache = Arc::new(SharedSupportCache::for_context(&c));
+        let config = EvalConfig::default().with_shared_cache(Arc::clone(&cache));
+        let p1_idx = c.patterns().len() - 1;
+        let images: Vec<EventId> = (0..4).map(EventId).collect();
+
+        // First evaluator computes and owns the entry.
+        let mut first = Evaluator::with_config(&c, &config);
+        let support = first.mapped_support(p1_idx, &images);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            first.metrics_snapshot().counters["eval.cache.shared_hits"],
+            0
+        );
+
+        // Second evaluator hits the foreign-owned entry without scanning.
+        let mut second = Evaluator::with_config(&c, &config);
+        assert_eq!(second.mapped_support(p1_idx, &images), support);
+        let snap = second.metrics_snapshot();
+        assert_eq!(snap.counters["eval.cache.shared_hits"], 1);
+        assert_eq!(snap.counters["eval.log_scans"], 0);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_for_reads_and_writes() {
+        let c = ctx();
+        let cache = SharedSupportCache::for_context(&c);
+        let key: SupportKey = (7, vec![EventId(0), EventId(1)].into_boxed_slice());
+        cache.insert(key.clone(), 42, 0);
+
+        // Poison exactly the shard holding the key: panic while holding
+        // its write guard.
+        let shard = cache.shard_of(&key);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.shards[shard].write().unwrap();
+            panic!("poison the shard");
+        }));
+        assert!(r.is_err());
+        assert!(cache.shards[shard].is_poisoned());
+
+        // Reads, writes and sizing all recover via `into_inner`: a dead
+        // worker can cost its in-flight value, never the whole memo.
+        assert_eq!(cache.get(&key).map(|e| e.support), Some(42));
+        let key2: SupportKey = (8, vec![EventId(2)].into_boxed_slice());
+        cache.insert(key2.clone(), 9, 1);
+        assert_eq!(cache.get(&key2).map(|e| e.support), Some(9));
+        assert_eq!(cache.len(), 2);
     }
 }

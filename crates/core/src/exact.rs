@@ -51,7 +51,7 @@ use evematch_eventlog::EventId;
 use crate::bounds::BoundKind;
 use crate::budget::{Budget, Exhaustion};
 use crate::context::MatchContext;
-use crate::evaluator::{EvalStats, Evaluator};
+use crate::evaluator::{EvalConfig, EvalStats, Evaluator};
 use crate::mapping::Mapping;
 use crate::score::heuristic_bound;
 use crate::telemetry::{MetricsSnapshot, TraceBuffer};
@@ -198,7 +198,17 @@ impl ExactMatcher {
     /// [`Completion::BudgetExhausted`]. Use [`ExactMatcher::solve_strict`]
     /// for the paper's all-or-nothing (DNF) semantics.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let mut eval = Evaluator::with_budget(ctx, self.budget);
+        self.solve_with(ctx, &EvalConfig::from_budget(self.budget))
+    }
+
+    /// Like [`ExactMatcher::solve`], but with an explicit [`EvalConfig`]
+    /// (budget, worker threads, shared support cache). `config.budget`
+    /// replaces `self.budget` for this run. With `config.threads > 1` each
+    /// expanded node's successor supports are prefetched in parallel and
+    /// consumed in sequential order, so all outputs — mapping, score, gap,
+    /// deterministic metrics — are byte-identical to a sequential run.
+    pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
+        let mut eval = Evaluator::with_config(ctx, config);
         eval.probe_structure();
         let tele = eval.telemetry_mut();
         let c_pops = tele.registry.counter("search.pops");
@@ -212,7 +222,7 @@ impl ExactMatcher {
         let order = ctx.pattern_index().expansion_order();
         debug_assert_eq!(order.len(), n1);
         let mut stats = SearchStats::default();
-        let anytime = !self.budget.is_unlimited();
+        let anytime = !config.budget.is_unlimited();
 
         let root_mapping = Mapping::empty(n1, ctx.n2());
         let root_h = heuristic_bound(&mut eval, &root_mapping, self.bound);
@@ -279,6 +289,27 @@ impl ExactMatcher {
                 }
             }
             let a = order[node.depth as usize];
+            if eval.threads() > 1 {
+                // Collect the composite keys this node's successor batch
+                // will evaluate and scan them on worker threads; the loop
+                // below then consumes the outcomes in child order, keeping
+                // every output byte-identical to the sequential run.
+                let mut keys: Vec<(usize, Vec<EventId>)> = Vec::new();
+                let mut probe = node.mapping.clone();
+                for b in node.mapping.unused_targets() {
+                    probe.insert(a, b);
+                    for p_idx in ctx
+                        .pattern_index()
+                        .newly_completed(a, |e| probe.is_mapped(e))
+                    {
+                        if let Some(images) = eval.images_under(p_idx, &probe) {
+                            keys.push((p_idx, images));
+                        }
+                    }
+                    probe.remove(a);
+                }
+                eval.prefetch_supports(&keys);
+            }
             let mut charging = true;
             for b in node.mapping.unused_targets() {
                 if charging && !eval.meter_mut().charge_processed() {

@@ -29,7 +29,7 @@ use evematch_eventlog::EventId;
 use crate::bounds::BoundKind;
 use crate::budget::Budget;
 use crate::context::MatchContext;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{EvalConfig, Evaluator};
 use crate::exact::{greedy_complete, Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::{score_partial, sim};
@@ -111,7 +111,16 @@ impl AdvancedHeuristic {
     /// Runs Algorithm 3. Infallible — at most `n` augmentations happen,
     /// completed greedily if the budget trips first.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let mut eval = Evaluator::with_budget(ctx, self.budget);
+        self.solve_with(ctx, &EvalConfig::from_budget(self.budget))
+    }
+
+    /// Like [`AdvancedHeuristic::solve`], but with an explicit
+    /// [`EvalConfig`] (`config.budget` replaces `self.budget`). The KM
+    /// rounds themselves stay sequential; the configuration's shared
+    /// support cache lets this run reuse — and warm — scans paid for by
+    /// other methods on the same context data.
+    pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
+        let mut eval = Evaluator::with_config(ctx, config);
         eval.probe_structure();
         let tele = eval.telemetry_mut();
         let c_rounds = tele.registry.counter("km.rounds");

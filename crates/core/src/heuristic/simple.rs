@@ -3,7 +3,7 @@
 use crate::bounds::BoundKind;
 use crate::budget::Budget;
 use crate::context::MatchContext;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{EvalConfig, Evaluator};
 use crate::exact::{greedy_complete, Completion, MatchOutcome, SearchStats};
 use crate::mapping::Mapping;
 use crate::score::{heuristic_bound, score_partial};
@@ -48,7 +48,16 @@ impl SimpleHeuristic {
     /// Runs the greedy descent. Infallible — at most `n1` commitment steps,
     /// completed greedily if the budget trips first.
     pub fn solve(&self, ctx: &MatchContext) -> MatchOutcome {
-        let mut eval = Evaluator::with_budget(ctx, self.budget);
+        self.solve_with(ctx, &EvalConfig::from_budget(self.budget))
+    }
+
+    /// Like [`SimpleHeuristic::solve`], but with an explicit
+    /// [`EvalConfig`]; `config.budget` replaces `self.budget`. With
+    /// `config.threads > 1` each level's candidate supports are prefetched
+    /// in parallel and consumed in sequential order, so the output is
+    /// byte-identical to a sequential run.
+    pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
+        let mut eval = Evaluator::with_config(ctx, config);
         eval.probe_structure();
         let c_levels = eval.telemetry_mut().registry.counter("search.levels");
         let order = ctx.pattern_index().expansion_order();
@@ -59,6 +68,24 @@ impl SimpleHeuristic {
         'levels: for &a in &order {
             stats.visited_nodes += 1;
             eval.telemetry_mut().registry.inc(c_levels);
+            if eval.threads() > 1 {
+                // Prefetch the whole level's composite keys; the ranking
+                // loop below consumes them in candidate order.
+                let mut keys: Vec<(usize, Vec<evematch_eventlog::EventId>)> = Vec::new();
+                for b in mapping.unused_targets() {
+                    mapping.insert(a, b);
+                    for p_idx in ctx
+                        .pattern_index()
+                        .newly_completed(a, |e| mapping.is_mapped(e))
+                    {
+                        if let Some(images) = eval.images_under(p_idx, &mapping) {
+                            keys.push((p_idx, images));
+                        }
+                    }
+                    mapping.remove(a);
+                }
+                eval.prefetch_supports(&keys);
+            }
             let mut best: Option<(f64, f64, evematch_eventlog::EventId)> = None;
             for b in mapping.unused_targets() {
                 if !eval.meter_mut().charge_processed() {

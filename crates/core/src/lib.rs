@@ -43,6 +43,7 @@ mod exact;
 pub mod hardness;
 mod heuristic;
 mod mapping;
+pub mod parpool;
 pub mod persist;
 pub mod score;
 pub mod telemetry;
@@ -53,7 +54,7 @@ pub use bounds::{
 };
 pub use budget::{Budget, BudgetMeter, Exhaustion};
 pub use context::{MatchContext, PatternSetBuilder};
-pub use evaluator::Evaluator;
+pub use evaluator::{EvalConfig, Evaluator, SharedSupportCache};
 pub use exact::{Completion, ExactMatcher, MatchOutcome, SearchError, SearchStats};
 pub use heuristic::{AdvancedHeuristic, SimpleHeuristic};
 pub use mapping::Mapping;

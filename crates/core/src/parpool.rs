@@ -1,0 +1,164 @@
+//! A zero-dependency scoped worker pool for deterministic batch
+//! evaluation.
+//!
+//! [`run_batch`] fans one batch of independent work items out over scoped
+//! threads (`std::thread::scope`, so borrowed data crosses into workers
+//! without `unsafe` or `'static` bounds) and hands the results back **in
+//! item-index order**. Determinism therefore never depends on thread
+//! scheduling: workers race only over *which* item they claim next (a
+//! single shared atomic cursor), never over where a result lands. A
+//! worker's claims after its first are *steals* — work it took beyond the
+//! one item static round-robin would have given it — reported in
+//! [`BatchStats`] as a load-imbalance signal.
+//!
+//! This module and `eval::experiments` are the only sanctioned thread
+//! entry points in the workspace (tidy lint T9, `no-raw-thread-spawn`):
+//! everything else must come through here, which keeps the
+//! "workers are side-effect free, the driver replays sequentially"
+//! discipline of [`crate::Evaluator::prefetch_supports`] auditable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scheduling facts about one [`run_batch`] call (or an accumulation of
+/// them): execution shape, not computation results, so they belong in the
+/// non-deterministic `info` section of a metrics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches dispatched (1 per `run_batch` call).
+    pub batches: u64,
+    /// Items claimed by a worker beyond its first — opportunistic work
+    /// balancing across the shared cursor.
+    pub steals: u64,
+}
+
+/// Maps `f` over `items`, on up to `threads` scoped worker threads, and
+/// returns the results in item order (`out[i] == f(&items[i])`).
+///
+/// `threads <= 1`, an empty batch, or a single item all degrade to a plain
+/// sequential loop on the calling thread. A panicking `f` propagates to
+/// the caller (after the remaining workers drain), never poisons shared
+/// state owned by this module, and never loses the panic payload.
+pub fn run_batch<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, BatchStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let stats = BatchStats {
+        batches: 1,
+        steals: 0,
+    };
+    if threads <= 1 || items.len() <= 1 {
+        return (items.iter().map(&f).collect(), stats);
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut steals = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        got.push((i, f(&items[i])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(got) => {
+                    steals += (got.len() as u64).saturating_sub(1);
+                    indexed.extend(got);
+                }
+                // A worker panicked (f panicked): surface the original
+                // payload on the calling thread once the rest have joined.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    let out = indexed.into_iter().map(|(_, r)| r).collect();
+    (out, BatchStats { batches: 1, steals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sequential_fallback_preserves_order() {
+        let items: Vec<u32> = (0..10).collect();
+        let (out, stats) = run_batch(1, &items, |&x| x * 2);
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<u32>>());
+        assert_eq!(
+            stats,
+            BatchStats {
+                batches: 1,
+                steals: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_results_come_back_in_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let (out, stats) = run_batch(8, &items, |&x| x * x);
+        assert_eq!(out, (0..257).map(|x| x * x).collect::<Vec<u64>>());
+        assert_eq!(stats.batches, 1);
+        // With fewer workers than items, someone must have claimed twice.
+        assert!(stats.steals > 0, "257 items on 8 workers imply steals");
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let (out, _) = run_batch(4, &items, |&i| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_single_item_batches_stay_on_the_caller() {
+        let none: Vec<u8> = Vec::new();
+        let (out, stats) = run_batch(8, &none, |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.steals, 0);
+        let one = [7u8];
+        let (out, stats) = run_batch(8, &one, |&x| x + 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn borrowed_data_crosses_into_workers() {
+        let base = [10u64, 20, 30, 40];
+        let items: Vec<usize> = (0..base.len()).collect();
+        let (out, _) = run_batch(2, &items, |&i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31, 41]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            run_batch(4, &items, |&x| {
+                assert!(x != 9, "boom on nine");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -141,6 +141,7 @@ impl MetricsRegistry {
                 .map(|(n, h)| (n.clone(), h.snapshot()))
                 .collect(),
             timings: self.timings.iter().cloned().collect(),
+            info: BTreeMap::new(),
         }
     }
 }
@@ -167,6 +168,12 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Wall-clock span timings (non-deterministic section).
     pub timings: BTreeMap<String, TimingSnapshot>,
+    /// Execution-shape facts that legitimately vary with the runtime
+    /// environment — e.g. `parpool.batches` / `parpool.steals`, which
+    /// depend on the worker-thread count and scheduling. Kept out of the
+    /// deterministic section so byte-identity across `--eval-threads`
+    /// settings holds, and merged additively like counters.
+    pub info: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -174,6 +181,12 @@ impl MetricsSnapshot {
     /// values — e.g. the budget meter's poll count — into a snapshot.
     pub fn set_counter(&mut self, name: &str, v: u64) {
         self.counters.insert(name.to_owned(), v);
+    }
+
+    /// Sets (or overwrites) one non-deterministic info value (see the
+    /// `info` field).
+    pub fn set_info(&mut self, name: &str, v: u64) {
+        self.info.insert(name.to_owned(), v);
     }
 
     /// Sets (or raises) one gauge.
@@ -199,6 +212,10 @@ impl MetricsSnapshot {
             let slot = self.timings.entry(name.clone()).or_default();
             slot.count += t.count;
             slot.total_nanos = slot.total_nanos.saturating_add(t.total_nanos);
+        }
+        for (name, v) in &other.info {
+            let slot = self.info.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*v);
         }
     }
 
@@ -235,7 +252,8 @@ impl MetricsSnapshot {
     }
 
     /// The whole snapshot as JSON: the deterministic section under
-    /// `"deterministic"`, wall-clock timings under
+    /// `"deterministic"`, execution-shape facts under
+    /// `"non_deterministic"."info"` and wall-clock timings under
     /// `"non_deterministic"."timings"`.
     pub fn to_json_string(&self) -> String {
         let mut out = String::new();
@@ -245,6 +263,9 @@ impl MetricsSnapshot {
         out.push(',');
         json::push_key(&mut out, "non_deterministic");
         out.push('{');
+        json::push_key(&mut out, "info");
+        push_u64_map(&mut out, &self.info);
+        out.push(',');
         json::push_key(&mut out, "timings");
         out.push('{');
         for (i, (name, t)) in self.timings.iter().enumerate() {
@@ -291,7 +312,13 @@ impl MetricsSnapshot {
                 },
             );
         }
-        let json::JsonValue::Obj(timings) = v.get("non_deterministic")?.get("timings")? else {
+        let non_det = v.get("non_deterministic")?;
+        // `info` is absent in snapshots written before it existed; tolerate
+        // that so old journals keep parsing.
+        if let Some(info) = non_det.get("info") {
+            snap.info = json_u64_map(info)?;
+        }
+        let json::JsonValue::Obj(timings) = non_det.get("timings")? else {
             return None;
         };
         for (name, t) in timings {
@@ -447,6 +474,49 @@ mod tests {
         }
         assert!(MetricsSnapshot::from_json("{}").is_none());
         assert!(MetricsSnapshot::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn info_section_round_trips_merges_and_stays_non_deterministic() {
+        let mut a = MetricsSnapshot::default();
+        a.set_counter("n", 1);
+        a.set_info("parpool.batches", 7);
+        a.set_info("parpool.steals", 2);
+        let det = a.deterministic_json();
+        assert!(
+            !det.contains("parpool"),
+            "info leaked into the deterministic section: {det}"
+        );
+        let full = a.to_json_string();
+        let parsed = JsonValue::parse(&full).unwrap();
+        assert_eq!(
+            parsed
+                .get("non_deterministic")
+                .unwrap()
+                .get("info")
+                .unwrap()
+                .get("parpool.batches")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+        let back = MetricsSnapshot::from_json(&full).unwrap();
+        assert_eq!(back, a);
+        let mut b = MetricsSnapshot::default();
+        b.set_info("parpool.batches", 3);
+        a.merge(&b);
+        assert_eq!(a.info["parpool.batches"], 10);
+        assert_eq!(a.info["parpool.steals"], 2);
+    }
+
+    #[test]
+    fn snapshots_without_an_info_section_still_parse() {
+        // A snapshot rendered before the info section existed.
+        let old = "{\"deterministic\":{\"counters\":{\"x\":1},\"gauges\":{},\
+                    \"histograms\":{}},\"non_deterministic\":{\"timings\":{}}}";
+        let snap = MetricsSnapshot::from_json(old).expect("old format parses");
+        assert_eq!(snap.counters["x"], 1);
+        assert!(snap.info.is_empty());
     }
 
     #[test]

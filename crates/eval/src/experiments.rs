@@ -16,7 +16,7 @@ use evematch_core::{Budget, Mapping, MetricsSnapshot};
 use evematch_datagen::{datasets, Dataset};
 
 use crate::checkpoint::{self, MethodRecord};
-use crate::method::{Method, RunOutcome};
+use crate::method::{Method, RunOutcome, SupportCachePool};
 use crate::project::{project_dataset, truncate_traces};
 use crate::report::Table;
 
@@ -31,6 +31,10 @@ pub struct SweepConfig {
     /// Worker threads for the grid (1 = fully sequential, most faithful
     /// timings).
     pub workers: usize,
+    /// Worker threads each *solver run* may use for batched successor
+    /// support evaluation (`--eval-threads`; 1 = sequential). Outputs are
+    /// byte-identical across settings — only wall-clock changes.
+    pub eval_threads: usize,
     /// Trace count for the fixed-trace sweeps (Figures 7 and 9; the paper
     /// uses the full 3,000).
     pub traces: usize,
@@ -50,6 +54,7 @@ impl Default for SweepConfig {
                 .with_processed_cap(2_000_000)
                 .with_deadline(Duration::from_secs(60)),
             workers: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            eval_threads: 1,
             traces: 3000,
             checkpoint: None,
         }
@@ -141,16 +146,24 @@ fn run_job(
     seed: u64,
     methods: &[Method],
     budget: Budget,
+    eval_threads: usize,
     make: &(impl Fn(usize, u64) -> Dataset + Sync),
 ) -> Vec<MethodRecord> {
     let Ok(ds) = std::panic::catch_unwind(AssertUnwindSafe(|| make(x, seed))) else {
         return methods.iter().map(|_| MethodRecord::panicked()).collect();
     };
+    // One support-cache pool per cell: methods run in a fixed order, so
+    // the cache contents every method observes are deterministic, and a
+    // later method reuses scans an earlier one already paid for
+    // (`eval.cache.shared_hits`).
+    let pool = SupportCachePool::new();
     methods
         .iter()
         .map(|m| {
-            std::panic::catch_unwind(AssertUnwindSafe(|| m.run(&ds.pair, &ds.patterns, budget)))
-                .map_or_else(|_| MethodRecord::panicked(), |out| MethodRecord::of(&out))
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                m.run_with(&ds.pair, &ds.patterns, budget, eval_threads, Some(&pool))
+            }))
+            .map_or_else(|_| MethodRecord::panicked(), |out| MethodRecord::of(&out))
         })
         .collect()
 }
@@ -161,7 +174,7 @@ fn run_job(
 /// With `cfg.checkpoint` set, completed jobs found in the journal are
 /// replayed instead of recomputed, and freshly computed jobs are appended
 /// to it (best-effort: an unwritable journal must not take down the run).
-fn run_grid(
+pub fn run_grid(
     figure: &str,
     x_label: &str,
     xs: &[usize],
@@ -206,7 +219,7 @@ fn run_grid(
                 let Some(&(xi, seed)) = jobs.get(i) else {
                     break;
                 };
-                let records = run_job(xs[xi], seed, methods, cfg.budget, &make);
+                let records = run_job(xs[xi], seed, methods, cfg.budget, cfg.eval_threads, &make);
                 if let Some(path) = &journal {
                     let line = checkpoint::journal_line(&fingerprint, xs[xi], seed, &records);
                     let guard = journal_append
@@ -512,6 +525,7 @@ mod tests {
                 .with_processed_cap(200_000)
                 .with_deadline(Duration::from_secs(20)),
             workers: 2,
+            eval_threads: 1,
             traces: 60,
             checkpoint: None,
         }
@@ -575,6 +589,7 @@ mod tests {
             seeds: vec![11, 23],
             budget: Budget::UNLIMITED.with_processed_cap(200_000),
             workers: 2,
+            eval_threads: 1,
             traces: 40,
             checkpoint: dir,
         }
@@ -673,6 +688,7 @@ mod tests {
             seeds: vec![11],
             budget: Budget::UNLIMITED.with_processed_cap(100_000),
             workers: 2,
+            eval_threads: 1,
             traces: 20,
             checkpoint: None,
         };

@@ -1,15 +1,46 @@
 //! The uniform method registry: every approach compared in Section 6.
 
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use evematch_core::{
-    AdvancedHeuristic, BoundKind, Budget, EntropyMatcher, ExactMatcher, IterativeMatcher, Mapping,
-    MatchContext, MetricsSnapshot, PatternSetBuilder, SimpleHeuristic,
+    AdvancedHeuristic, BoundKind, Budget, EntropyMatcher, EvalConfig, ExactMatcher,
+    IterativeMatcher, Mapping, MatchContext, MetricsSnapshot, PatternSetBuilder,
+    SharedSupportCache, SimpleHeuristic,
 };
 use evematch_datagen::LogPair;
 use evematch_pattern::Pattern;
 
 use crate::metrics::MatchQuality;
+
+/// One experiment cell's pool of shared support caches: one cache per
+/// distinct (logs, pattern set) fingerprint — methods evaluating different
+/// pattern sets cannot share memo entries, but every method with the same
+/// set draws from the same cache, so e.g. the heuristics warm the exact
+/// search's memo (`eval.cache.shared_hits` counts the reuse).
+#[derive(Debug, Default)]
+pub struct SupportCachePool {
+    caches: Mutex<Vec<Arc<SharedSupportCache>>>,
+}
+
+impl SupportCachePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pool's cache for `ctx`'s data, created on first request.
+    pub fn cache_for(&self, ctx: &MatchContext) -> Arc<SharedSupportCache> {
+        let mut caches = self.caches.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(c) = caches.iter().find(|c| c.matches(ctx)) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(SharedSupportCache::for_context(ctx));
+        caches.push(Arc::clone(&c));
+        c
+    }
+}
 
 /// One matching approach from the paper's evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -205,6 +236,22 @@ impl Method {
     /// included — index building is part of each approach). The budget
     /// applies to every method, not only the exact searches.
     pub fn run(&self, pair: &LogPair, complex: &[Pattern], budget: Budget) -> RunOutcome {
+        self.run_with(pair, complex, budget, 1, None)
+    }
+
+    /// Like [`Method::run`], but with an evaluation-thread count and an
+    /// optional per-cell [`SupportCachePool`]. `threads > 1` prefetches
+    /// successor-batch support scans on scoped worker threads; outputs stay
+    /// byte-identical to `threads == 1`. A pool lets methods with the same
+    /// pattern set share (and warm) one support memo.
+    pub fn run_with(
+        &self,
+        pair: &LogPair,
+        complex: &[Pattern],
+        budget: Budget,
+        threads: usize,
+        pool: Option<&SupportCachePool>,
+    ) -> RunOutcome {
         let start = Instant::now();
         let ctx = MatchContext::new(
             pair.log1.clone(),
@@ -213,23 +260,23 @@ impl Method {
         )
         // tidy-allow: no-panic -- every generator in datagen grows the vocabulary, so |V1| ≤ |V2| holds for all benchmark pairs
         .expect("log pairs satisfy |V1| ≤ |V2|");
+        let mut config = EvalConfig::from_budget(budget).with_threads(threads);
+        if let Some(pool) = pool {
+            config = config.with_shared_cache(pool.cache_for(&ctx));
+        }
         let out = match self {
             Method::Vertex | Method::VertexEdge | Method::PatternTight => {
-                ExactMatcher::new(BoundKind::Tight)
-                    .with_budget(budget)
-                    .solve(&ctx)
+                ExactMatcher::new(BoundKind::Tight).solve_with(&ctx, &config)
             }
-            Method::PatternSimple => ExactMatcher::new(BoundKind::Simple)
-                .with_budget(budget)
-                .solve(&ctx),
-            Method::Iterative => IterativeMatcher::new().with_budget(budget).solve(&ctx),
-            Method::Entropy => EntropyMatcher::new().with_budget(budget).solve(&ctx),
-            Method::HeuristicSimple => SimpleHeuristic::new(BoundKind::Tight)
-                .with_budget(budget)
-                .solve(&ctx),
-            Method::HeuristicAdvanced => AdvancedHeuristic::new(BoundKind::Tight)
-                .with_budget(budget)
-                .solve(&ctx),
+            Method::PatternSimple => ExactMatcher::new(BoundKind::Simple).solve_with(&ctx, &config),
+            Method::Iterative => IterativeMatcher::new().solve_with(&ctx, &config),
+            Method::Entropy => EntropyMatcher::new().solve_with(&ctx, &config),
+            Method::HeuristicSimple => {
+                SimpleHeuristic::new(BoundKind::Tight).solve_with(&ctx, &config)
+            }
+            Method::HeuristicAdvanced => {
+                AdvancedHeuristic::new(BoundKind::Tight).solve_with(&ctx, &config)
+            }
         };
         match out.completion.optimality_gap() {
             None => RunOutcome::Finished {

@@ -33,6 +33,10 @@
 //!     --limit-secs <N>       wall-clock budget in seconds (default: 60)
 //!     --limit-processed <N>  processed-mapping budget (default: unlimited;
 //!                            deterministic, unlike --limit-secs)
+//!     --eval-threads <N>     worker threads for batched pattern-support
+//!                            evaluation (default: 1 = sequential; any N
+//!                            produces byte-identical output, only
+//!                            wall-clock changes)
 //!     --metrics-out <FILE>   write the run's telemetry snapshot as JSON:
 //!                            a `deterministic` section (counters, gauges,
 //!                            histograms — bit-identical across runs under
@@ -83,6 +87,7 @@ struct Options {
     max_line_bytes: Option<usize>,
     limit_secs: u64,
     limit_processed: Option<u64>,
+    eval_threads: usize,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     progress: bool,
@@ -103,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
         max_line_bytes: None,
         limit_secs: 60,
         limit_processed: None,
+        eval_threads: 1,
         metrics_out: None,
         trace_out: None,
         progress: false,
@@ -166,6 +172,11 @@ fn parse_args() -> Result<Options, String> {
                         .parse()
                         .map_err(|e| format!("--limit-processed: {e}"))?,
                 );
+            }
+            "--eval-threads" => {
+                opts.eval_threads = value("--eval-threads")?
+                    .parse()
+                    .map_err(|e| format!("--eval-threads: {e}"))?;
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
@@ -279,19 +290,17 @@ fn run(opts: &Options) -> Result<bool, String> {
         budget = budget.with_processed_cap(cap);
     }
 
+    let config = EvalConfig::from_budget(budget).with_threads(opts.eval_threads);
+
     let heartbeat = opts.progress.then(Heartbeat::start);
     let outcome = match opts.method.as_str() {
-        "exact" | "vertex" | "vertex-edge" => ExactMatcher::new(opts.bound)
-            .with_budget(budget)
-            .solve(&ctx),
-        "simple" => SimpleHeuristic::new(opts.bound)
-            .with_budget(budget)
-            .solve(&ctx),
-        "advanced" => AdvancedHeuristic::new(opts.bound)
-            .with_budget(budget)
-            .solve(&ctx),
-        "iterative" => IterativeMatcher::new().with_budget(budget).solve(&ctx),
-        "entropy" => EntropyMatcher::new().with_budget(budget).solve(&ctx),
+        "exact" | "vertex" | "vertex-edge" => {
+            ExactMatcher::new(opts.bound).solve_with(&ctx, &config)
+        }
+        "simple" => SimpleHeuristic::new(opts.bound).solve_with(&ctx, &config),
+        "advanced" => AdvancedHeuristic::new(opts.bound).solve_with(&ctx, &config),
+        "iterative" => IterativeMatcher::new().solve_with(&ctx, &config),
+        "entropy" => EntropyMatcher::new().solve_with(&ctx, &config),
         other => return Err(format!("unknown method `{other}`")),
     };
     drop(heartbeat);
@@ -345,6 +354,7 @@ impl Heartbeat {
         use std::sync::atomic::Ordering;
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let seen = stop.clone();
+        // tidy-allow: no-raw-thread-spawn -- stderr heartbeat only; never touches solver state
         let handle = std::thread::spawn(move || {
             let started = std::time::Instant::now();
             let mut polls = 0u64;

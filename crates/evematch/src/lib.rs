@@ -62,9 +62,9 @@ pub use evematch_pattern as pattern;
 pub mod prelude {
     pub use evematch_core::{
         assignment, hardness, persist, score, telemetry, AdvancedHeuristic, BoundKind, Budget,
-        Completion, EntropyMatcher, ExactMatcher, Exhaustion, IterativeMatcher, Mapping,
-        MatchContext, MatchOutcome, MetricsSnapshot, PatternSetBuilder, SearchError,
-        SimpleHeuristic, Telemetry, TraceBuffer, TraceEvent,
+        Completion, EntropyMatcher, EvalConfig, ExactMatcher, Exhaustion, IterativeMatcher,
+        Mapping, MatchContext, MatchOutcome, MetricsSnapshot, PatternSetBuilder, SearchError,
+        SharedSupportCache, SimpleHeuristic, Telemetry, TraceBuffer, TraceEvent,
     };
     pub use evematch_datagen::{
         datasets, heterogenize, Block, Dataset, HeterogenizeConfig, LogPair, ProcessModel,

@@ -1,4 +1,4 @@
-//! The tidy lints (T1–T8) and the waiver machinery.
+//! The tidy lints (T1–T9) and the waiver machinery.
 //!
 //! Each lint is a pure function from a scanned file (or manifest text) to
 //! violations, so the unit tests below can drive them with inline
@@ -44,6 +44,17 @@ pub const PRINT_FREE_CRATES: &[&str] = &[
     "bench", "core", "datagen", "eval", "evematch", "eventlog", "graph", "pattern",
 ];
 
+/// The modules allowed to create threads directly (lint T9): the
+/// deterministic worker pool every solver shares, and the experiment
+/// sweep's job fan-out. Everything else goes through `core::parpool` —
+/// a stray `thread::spawn` in a solver bypasses the deterministic merge
+/// and the cooperative budget, which is exactly how output divergence
+/// across `--eval-threads` settings would creep in.
+pub const THREAD_MODULES: &[&str] = &[
+    "crates/core/src/parpool.rs",
+    "crates/eval/src/experiments.rs",
+];
+
 /// Crates that produce result artifacts (CSVs, metrics snapshots, search
 /// traces, checkpoint journals) and therefore must route every file write
 /// through `core::persist` (lint T8). A raw `File::create`/`fs::write`
@@ -68,6 +79,8 @@ pub enum Lint {
     NoPrintln,
     /// T8: no raw `File::create`/`fs::write` in artifact-producing crates.
     NoRawArtifactWrite,
+    /// T9: no raw `thread::spawn`/`thread::scope` outside the thread modules.
+    NoRawThreadSpawn,
     /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
     CrateAttrs,
     /// T5: every crate manifest inherits `[workspace.lints]`.
@@ -88,6 +101,7 @@ impl Lint {
             Lint::NoRawDeadline => "no-raw-deadline",
             Lint::NoPrintln => "no-println",
             Lint::NoRawArtifactWrite => "no-raw-artifact-write",
+            Lint::NoRawThreadSpawn => "no-raw-thread-spawn",
             Lint::CrateAttrs => "crate-attrs",
             Lint::LintsTable => "lints-table",
             Lint::UnusedWaiver => "unused-waiver",
@@ -105,6 +119,7 @@ impl Lint {
                 | Lint::NoRawDeadline
                 | Lint::NoPrintln
                 | Lint::NoRawArtifactWrite
+                | Lint::NoRawThreadSpawn
         )
     }
 
@@ -117,6 +132,7 @@ impl Lint {
             "no-raw-deadline",
             "no-println",
             "no-raw-artifact-write",
+            "no-raw-thread-spawn",
         ]
     }
 }
@@ -369,6 +385,47 @@ pub fn check_no_raw_artifact_write(file: &ScannedFile) -> Vec<Violation> {
                          use `core::persist::atomic_write`/`atomic_write_with` (or waive \
                          with `// tidy-allow: no-raw-artifact-write -- <why tearing is \
                          acceptable here>`)"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// T9: flags raw thread creation (`thread::spawn`, `thread::scope`) in
+/// runtime source outside the sanctioned [`THREAD_MODULES`].
+///
+/// Parallelism in this workspace is funneled through two doors:
+/// `core::parpool` (whose deterministic in-order merge is what keeps
+/// `--eval-threads N` byte-identical to sequential) and the experiment
+/// sweep's worker fan-out in `eval::experiments`. A thread spawned
+/// anywhere else shares none of that discipline — it can interleave
+/// telemetry, outlive its borrow of the budget meter, or reorder results.
+/// Like T8, the scope includes `src/bin/`; genuinely harmless spawns
+/// (e.g. a progress heartbeat that never touches solver state) carry a
+/// waiver saying why.
+pub fn check_no_raw_thread_spawn(file: &ScannedFile) -> Vec<Violation> {
+    if THREAD_MODULES.contains(&file.path.as_str()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for needle in ["thread::spawn", "thread::scope"] {
+            if find_token(&line.code, needle).is_some() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::NoRawThreadSpawn,
+                    format!(
+                        "runtime code must not call `{needle}` directly: route parallel \
+                         evaluation through `core::parpool` (deterministic merge + shared \
+                         budget) or the sweep fan-out in `eval::experiments` (or waive with \
+                         `// tidy-allow: no-raw-thread-spawn -- <why this thread cannot \
+                         affect solver output>`)"
                     ),
                 ));
             }
@@ -796,6 +853,44 @@ mod tests {
         assert!(!is_runtime_source("crates/core/tests/integration.rs"));
         assert!(!is_runtime_source("crates/bench/benches/matching.rs"));
         assert!(!is_runtime_source("tests/adversarial.rs"));
+    }
+
+    // ---- T9 ----
+
+    #[test]
+    fn t9_fires_on_raw_thread_creation() {
+        let src = "fn f() {\n  std::thread::spawn(|| {});\n  thread::scope(|s| {});\n}";
+        let f = scanned("crates/core/src/exact.rs", src);
+        let v = check_no_raw_thread_spawn(&f);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::NoRawThreadSpawn));
+    }
+
+    #[test]
+    fn t9_exempts_the_thread_modules_and_test_code() {
+        for path in THREAD_MODULES {
+            let f = scanned(
+                path,
+                "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }",
+            );
+            assert!(check_no_raw_thread_spawn(&f).is_empty(), "{path}");
+        }
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { std::thread::spawn(|| {}); }\n}";
+        let f = scanned("crates/core/src/exact.rs", src);
+        assert!(check_no_raw_thread_spawn(&f).is_empty());
+    }
+
+    #[test]
+    fn t9_respects_waivers_and_covers_binaries() {
+        let src = "fn f() {\n  std::thread::spawn(run); // tidy-allow: no-raw-thread-spawn -- progress heartbeat, never touches solver state\n}";
+        let f = scanned("crates/evematch/src/bin/evematch.rs", src);
+        let v = apply_waivers(&f, check_no_raw_thread_spawn(&f));
+        assert!(v.is_empty(), "{v:?}");
+        let bare = scanned(
+            "crates/evematch/src/bin/evematch.rs",
+            "fn f() { std::thread::spawn(run); }",
+        );
+        assert_eq!(check_no_raw_thread_spawn(&bare).len(), 1);
     }
 
     // ---- T4 ----

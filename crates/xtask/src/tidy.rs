@@ -7,8 +7,9 @@ use std::path::{Path, PathBuf};
 use crate::lints::{
     apply_waivers, check_crate_attrs, check_lints_table, check_no_float_eq, check_no_hash_iter,
     check_no_panic, check_no_println, check_no_raw_artifact_write, check_no_raw_deadline,
-    is_library_source, is_runtime_source, Violation, ARTIFACT_WRITE_CRATES, DETERMINISTIC_CRATES,
-    FLOAT_ORD_CRATES, PANIC_FREE_CRATES, PRINT_FREE_CRATES, RAW_DEADLINE_CRATES,
+    check_no_raw_thread_spawn, is_library_source, is_runtime_source, Violation,
+    ARTIFACT_WRITE_CRATES, DETERMINISTIC_CRATES, FLOAT_ORD_CRATES, PANIC_FREE_CRATES,
+    PRINT_FREE_CRATES, RAW_DEADLINE_CRATES, THREAD_MODULES,
 };
 use crate::scan::ScannedFile;
 
@@ -45,6 +46,9 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
             }
             if ARTIFACT_WRITE_CRATES.contains(&crate_name.as_str()) && is_runtime_source(&rel) {
                 file_violations.extend(check_no_raw_artifact_write(&scanned));
+            }
+            if is_runtime_source(&rel) {
+                file_violations.extend(check_no_raw_thread_spawn(&scanned));
             }
             violations.extend(apply_waivers(&scanned, file_violations));
         }
@@ -158,6 +162,14 @@ pub fn verify_scopes(root: &Path) -> Result<(), String> {
             return Err(format!(
                 "tidy scope names crate `{scoped}` but crates/{scoped} does not exist; \
                  update the scope tables in crates/xtask/src/lints.rs"
+            ));
+        }
+    }
+    for module in THREAD_MODULES {
+        if !root.join(module).is_file() {
+            return Err(format!(
+                "tidy exempts `{module}` from no-raw-thread-spawn but the file does not \
+                 exist; update THREAD_MODULES in crates/xtask/src/lints.rs"
             ));
         }
     }

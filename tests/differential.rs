@@ -1,0 +1,341 @@
+//! Differential & concurrency suite for the parallel evaluation kernel.
+//!
+//! Two families of guarantees are locked down here:
+//!
+//! * **Differential correctness** — the exact A\* search (sequential or
+//!   parallel) finds the same optimum as an exhaustive brute-force
+//!   enumeration on randomly generated instances;
+//! * **Thread-count transparency** — `--eval-threads N` is an execution
+//!   detail, never an output detail: for every method, every budget shape
+//!   and the whole experiment grid, mappings, score bits, gap-certificate
+//!   bits and the deterministic telemetry section are byte-identical
+//!   across `N ∈ {1, 2, 8}`.
+
+use proptest::prelude::*;
+
+use evematch::eval::experiments::{run_grid, FigureResult, SweepConfig};
+use evematch::eval::{project_dataset, SupportCachePool};
+use evematch::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// A random log over `n` events (mirrors `tests/proptests.rs`).
+fn log_strategy(n: u32, max_traces: usize) -> impl Strategy<Value = EventLog> {
+    prop::collection::vec(prop::collection::vec(0..n, 1..8usize), 1..=max_traces).prop_map(
+        move |traces| {
+            let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+            let mut b =
+                LogBuilder::with_events(EventSet::from_names(names.iter().map(String::as_str)));
+            for t in traces {
+                b.push_trace(Trace::from(t));
+            }
+            b.build()
+        },
+    )
+}
+
+fn brute_force_best(ctx: &MatchContext) -> f64 {
+    fn go(ctx: &MatchContext, m: &mut Mapping, v1: usize, best: &mut f64) {
+        if v1 == ctx.n1() {
+            *best = best.max(score::pattern_normal_distance(ctx, m));
+            return;
+        }
+        for b in m.unused_targets() {
+            m.insert(EventId(v1 as u32), b);
+            go(ctx, m, v1 + 1, best);
+            m.remove(EventId(v1 as u32));
+        }
+    }
+    let mut m = Mapping::empty(ctx.n1(), ctx.n2());
+    let mut best = f64::NEG_INFINITY;
+    go(ctx, &mut m, 0, &mut best);
+    best
+}
+
+/// Everything a run is allowed to expose: the mapping, the exact bits of
+/// the score and gap certificate, and the deterministic metrics section.
+/// Wall-clock timings and the `info` section (`parpool.*`) are the only
+/// things deliberately excluded.
+/// Everything a run must keep bit-stable across thread counts: the mapping,
+/// the score and gap as exact bit patterns, and the deterministic metrics.
+type Fingerprint = (Mapping, u64, Option<u64>, String);
+
+fn outcome_fp(out: &MatchOutcome) -> Fingerprint {
+    (
+        out.mapping.clone(),
+        out.score.to_bits(),
+        out.completion.optimality_gap().map(f64::to_bits),
+        out.metrics.deterministic_json(),
+    )
+}
+
+fn run_fp(out: &RunOutcome) -> Fingerprint {
+    match out {
+        RunOutcome::Finished { mapping, score, .. } => (
+            mapping.clone(),
+            score.to_bits(),
+            None,
+            out.metrics().deterministic_json(),
+        ),
+        RunOutcome::DidNotFinish { degraded, .. } => (
+            degraded.mapping.clone(),
+            degraded.score.to_bits(),
+            Some(degraded.optimality_gap.to_bits()),
+            out.metrics().deterministic_json(),
+        ),
+    }
+}
+
+/// A small instance with a genuine composite pattern, so the parallel
+/// prefetch path (which only handles non-fast-path keys) actually runs.
+fn composite_ctx(l1: &EventLog, l2: &EventLog) -> Option<MatchContext> {
+    let p = parse_pattern("SEQ(e0, AND(e1, e2), e3)", l1.events()).ok()?;
+    MatchContext::new(
+        l1.clone(),
+        l2.clone(),
+        PatternSetBuilder::new().vertices().edges().complex(p),
+    )
+    .ok()
+}
+
+// ---------------------------------------------------------------------
+// Differential: parallel exact search vs brute force
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The exact A\* search equals brute-force enumeration at every thread
+    /// count, and all thread counts agree bit-for-bit with each other.
+    #[test]
+    fn parallel_exact_search_matches_brute_force(
+        l1 in log_strategy(4, 8),
+        l2 in log_strategy(4, 8),
+    ) {
+        let Some(ctx) = composite_ctx(&l1, &l2) else { return Ok(()) };
+        let best = brute_force_best(&ctx);
+        for bound in [BoundKind::Simple, BoundKind::Tight] {
+            let matcher = ExactMatcher::new(bound);
+            let runs: Vec<_> = THREADS
+                .iter()
+                .map(|&t| {
+                    let config = EvalConfig::from_budget(Budget::UNLIMITED).with_threads(t);
+                    outcome_fp(&matcher.solve_with(&ctx, &config))
+                })
+                .collect();
+            prop_assert!(
+                (f64::from_bits(runs[0].1) - best).abs() < 1e-9,
+                "{bound:?}: sequential score {} vs brute {best}",
+                f64::from_bits(runs[0].1)
+            );
+            for (i, run) in runs.iter().enumerate().skip(1) {
+                prop_assert_eq!(
+                    run, &runs[0],
+                    "{:?}: threads {} diverged from sequential", bound, THREADS[i]
+                );
+            }
+        }
+    }
+
+    /// Anytime runs stay thread-transparent too: under a processed cap the
+    /// degraded mapping, score bits, gap-certificate bits and deterministic
+    /// counters are identical at every thread count, and the certificate
+    /// still contains the brute-force optimum.
+    #[test]
+    fn capped_parallel_runs_are_byte_identical_and_sound(
+        l1 in log_strategy(4, 8),
+        l2 in log_strategy(4, 8),
+        cap in 0u64..12,
+    ) {
+        let Some(ctx) = composite_ctx(&l1, &l2) else { return Ok(()) };
+        let best = brute_force_best(&ctx);
+        let budget = Budget::UNLIMITED.with_processed_cap(cap);
+        let matcher = ExactMatcher::new(BoundKind::Tight);
+        let runs: Vec<_> = THREADS
+            .iter()
+            .map(|&t| {
+                let config = EvalConfig::from_budget(budget).with_threads(t);
+                outcome_fp(&matcher.solve_with(&ctx, &config))
+            })
+            .collect();
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            prop_assert_eq!(run, &runs[0], "threads {} diverged", THREADS[i]);
+        }
+        let score = f64::from_bits(runs[0].1);
+        prop_assert!(score <= best + 1e-9, "anytime {score} beats brute {best}");
+        if let Some(gap_bits) = runs[0].2 {
+            let gap = f64::from_bits(gap_bits);
+            prop_assert!(gap >= 0.0 && gap.is_finite());
+            prop_assert!(
+                best <= score + gap + 1e-9,
+                "optimum {best} outside certificate {score} + {gap}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-count transparency for every method
+// ---------------------------------------------------------------------
+
+/// Every registered method, finished and budget-exhausted alike, produces
+/// byte-identical mappings, score bits, gap bits and deterministic metrics
+/// at 1, 2 and 8 evaluation threads.
+#[test]
+fn every_method_is_byte_identical_across_thread_counts() {
+    let ds = project_dataset(&datasets::real_like_sized(60, 60, 11), 6);
+    for budget in [
+        Budget::UNLIMITED.with_processed_cap(50_000),
+        Budget::UNLIMITED.with_processed_cap(9),
+    ] {
+        for m in ALL_METHODS {
+            let runs: Vec<_> = THREADS
+                .iter()
+                .map(|&t| run_fp(&m.run_with(&ds.pair, &ds.patterns, budget, t, None)))
+                .collect();
+            for (i, run) in runs.iter().enumerate().skip(1) {
+                assert_eq!(
+                    run,
+                    &runs[0],
+                    "{} at {} threads diverged from sequential (budget {budget:?})",
+                    m.name(),
+                    THREADS[i]
+                );
+            }
+        }
+    }
+}
+
+/// Sharing a support cache across methods must not change results: a warm
+/// shared cache changes *when* supports are computed (so scan and hit
+/// counters legitimately differ from a cold run), never the mapping, score
+/// or gap certificate any method returns. And with the per-cell method
+/// order fixed, the counters themselves — warm hits included — are still
+/// byte-identical across thread counts.
+#[test]
+fn shared_cache_never_changes_method_results() {
+    let ds = project_dataset(&datasets::real_like_sized(60, 60, 23), 6);
+    let budget = Budget::UNLIMITED.with_processed_cap(50_000);
+    let cold: Vec<_> = ALL_METHODS
+        .iter()
+        .map(|m| run_fp(&m.run_with(&ds.pair, &ds.patterns, budget, 1, None)))
+        .collect();
+    let mut per_thread_fps: Vec<Vec<Fingerprint>> = Vec::new();
+    for &threads in &THREADS {
+        let pool = SupportCachePool::new();
+        let warm: Vec<_> = ALL_METHODS
+            .iter()
+            .map(|m| run_fp(&m.run_with(&ds.pair, &ds.patterns, budget, threads, Some(&pool))))
+            .collect();
+        for (m, (w, c)) in ALL_METHODS.iter().zip(warm.iter().zip(&cold)) {
+            assert_eq!(
+                w.0,
+                c.0,
+                "{} mapping changed under a shared cache",
+                m.name()
+            );
+            assert_eq!(w.1, c.1, "{} score changed under a shared cache", m.name());
+            assert_eq!(w.2, c.2, "{} gap changed under a shared cache", m.name());
+        }
+        per_thread_fps.push(warm);
+    }
+    for (i, fps) in per_thread_fps.iter().enumerate().skip(1) {
+        assert_eq!(
+            fps, &per_thread_fps[0],
+            "shared-cache runs at {} threads diverged from sequential",
+            THREADS[i]
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-method cache warming
+// ---------------------------------------------------------------------
+
+/// The ISSUE's shared-cache acceptance: in a cell where the advanced
+/// heuristic runs before the exact search on one pool, the exact search
+/// replays the heuristic's scans as `eval.cache.shared_hits` and performs
+/// strictly fewer log scans than a cold run.
+#[test]
+fn heuristic_warms_the_exact_search_through_the_shared_cache() {
+    let ds = datasets::larger_synthetic(2, 300, 11);
+    let budget = Budget::UNLIMITED.with_processed_cap(5_000);
+    let cold = Method::PatternTight.run_with(&ds.pair, &ds.patterns, budget, 1, None);
+    let cold_scans = cold.metrics().counters["eval.log_scans"];
+
+    let pool = SupportCachePool::new();
+    let _ = Method::HeuristicAdvanced.run_with(&ds.pair, &ds.patterns, budget, 1, Some(&pool));
+    let warmed = Method::PatternTight.run_with(&ds.pair, &ds.patterns, budget, 1, Some(&pool));
+    let shared = warmed.metrics().counters["eval.cache.shared_hits"];
+    let warm_scans = warmed.metrics().counters["eval.log_scans"];
+
+    assert!(shared > 0, "no cross-method shared hits recorded");
+    assert!(
+        warm_scans < cold_scans,
+        "warm run must scan less: {warm_scans} vs cold {cold_scans}"
+    );
+    // The cold run touches no foreign entries — its cache is private.
+    assert_eq!(cold.metrics().counters["eval.cache.shared_hits"], 0);
+    // And warming never changes what the exact search returns.
+    assert_eq!(run_fp(&cold).0, run_fp(&warmed).0);
+    assert_eq!(run_fp(&cold).1, run_fp(&warmed).1);
+}
+
+// ---------------------------------------------------------------------
+// Grid-level regression: worker-local deltas reduce deterministically
+// ---------------------------------------------------------------------
+
+fn grid(eval_threads: usize) -> FigureResult {
+    let cfg = SweepConfig {
+        seeds: vec![11, 23],
+        budget: Budget::UNLIMITED.with_processed_cap(100_000),
+        workers: 2,
+        eval_threads,
+        traces: 40,
+        checkpoint: None,
+    };
+    run_grid(
+        "FigDiff",
+        "#events",
+        &[4, 5],
+        &[Method::PatternTight, Method::HeuristicAdvanced],
+        &cfg,
+        |x, seed| {
+            let ds = datasets::real_like_sized(cfg.traces, cfg.traces, seed);
+            project_dataset(&ds, x)
+        },
+    )
+}
+
+fn csv(t: &Table) -> String {
+    let mut buf = Vec::new();
+    t.write_csv(&mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// The full experiment grid — result CSVs and the merged per-method
+/// deterministic metrics that feed `<stem>_metrics.json` — is byte-identical
+/// between `eval_threads: 1` and `eval_threads: 8`. This is the regression
+/// guard for the deterministic counter-delta reduce: a merge that raced
+/// worker interleavings would diverge here.
+#[test]
+fn grid_csvs_and_merged_metrics_are_identical_across_eval_threads() {
+    let seq = grid(1);
+    let par = grid(8);
+    assert_eq!(csv(&seq.f_measure), csv(&par.f_measure), "f-measure CSV");
+    assert_eq!(csv(&seq.anytime_f), csv(&par.anytime_f), "anytime CSV");
+    assert_eq!(csv(&seq.processed), csv(&par.processed), "processed CSV");
+    assert_eq!(seq.metrics.len(), par.metrics.len());
+    for ((name, snap), (par_name, par_snap)) in seq.metrics.iter().zip(&par.metrics) {
+        assert_eq!(name, par_name);
+        assert_eq!(
+            snap.deterministic_json(),
+            par_snap.deterministic_json(),
+            "merged deterministic metrics diverged for {name}"
+        );
+    }
+}

@@ -266,31 +266,36 @@ fn exhausted_snapshot_names_the_processed_cap() {
     );
 }
 
-/// A deadline that trips *mid-evaluation* abandons the eval (its fuel poll
-/// says stop) and the snapshot records both the cause and the count of
-/// abandoned evaluations — the ISSUE's fault-injection acceptance.
-#[test]
-fn deadline_tripped_snapshot_counts_interrupted_evals() {
-    use evematch::core::{Evaluator, Exhaustion};
-    // A log big enough that one composite evaluation takes far longer
-    // than the deadline: 20k traces, each matching the AND-heavy pattern,
-    // with the clock polled on every work unit (poll interval 1).
+/// A context whose single composite evaluation takes far longer than a
+/// millisecond-scale deadline: `n` traces, each matching the AND-heavy
+/// pattern, so a fueled scan is guaranteed to observe the deadline from
+/// inside (poll interval 1 is set by the callers).
+fn and_heavy_ctx(n: usize) -> MatchContext {
     let names = ["a", "b", "c", "d", "e", "f"];
     let mut b1 = LogBuilder::new();
     let mut b2 = LogBuilder::new();
-    for i in 0..20_000usize {
+    for i in 0..n {
         let t: Vec<&str> = (0..6).map(|k| names[(k + i) % 6]).collect();
         b1.push_named_trace(t.clone());
         b2.push_named_trace(t);
     }
     let log1 = b1.build();
     let p = parse_pattern("SEQ(AND(a, b, c, d, e), f)", log1.events()).unwrap();
-    let ctx = MatchContext::new(
+    MatchContext::new(
         log1,
         b2.build(),
         PatternSetBuilder::new().vertices().edges().complex(p),
     )
-    .unwrap();
+    .unwrap()
+}
+
+/// A deadline that trips *mid-evaluation* abandons the eval (its fuel poll
+/// says stop) and the snapshot records both the cause and the count of
+/// abandoned evaluations — the ISSUE's fault-injection acceptance.
+#[test]
+fn deadline_tripped_snapshot_counts_interrupted_evals() {
+    use evematch::core::{Evaluator, Exhaustion};
+    let ctx = and_heavy_ctx(20_000);
     let budget = Budget::UNLIMITED
         .with_deadline(Duration::from_millis(2))
         .with_poll_interval(1);
@@ -329,6 +334,93 @@ fn deadline_tripped_snapshot_counts_interrupted_evals() {
         "at least one evaluation must be abandoned mid-flight; counters: {:?}",
         snap.counters
     );
+}
+
+/// A deadline observed *by a worker thread mid-batch* latches the shared
+/// meter exactly once, drains the rest of the batch, and is attributed to
+/// `budget.cross_thread_trips` — the cross-thread half of the ISSUE's
+/// fault-injection acceptance.
+#[test]
+fn worker_side_deadline_trip_is_latched_exactly_once() {
+    use evematch::core::{Evaluator, Exhaustion};
+    let ctx = and_heavy_ctx(20_000);
+    let budget = Budget::UNLIMITED
+        .with_deadline(Duration::from_millis(2))
+        .with_poll_interval(1);
+    let config = EvalConfig::from_budget(budget).with_threads(4);
+    let mut eval = Evaluator::with_config(&ctx, &config);
+    let composite = ctx
+        .patterns()
+        .iter()
+        .position(|ep| ep.size() > 2)
+        .expect("the declared composite is in the pattern set");
+    // Six distinct injective image tuples of the composite: one batch of
+    // six multi-millisecond scans. The driving thread never ticks the
+    // meter here, so if the deadline latches at all it latches from a
+    // worker's poll — and the CAS latch can only be won once.
+    let arity = ctx.patterns()[composite].events.len();
+    let keys: Vec<(usize, Vec<EventId>)> = (0..6u32)
+        .map(|r| {
+            let images = (0..arity as u32)
+                .map(|i| EventId((i + r) % arity as u32))
+                .collect();
+            (composite, images)
+        })
+        .collect();
+    eval.prefetch_supports(&keys);
+    assert_eq!(
+        eval.meter().exhaustion(),
+        Some(Exhaustion::Deadline),
+        "the 2ms deadline must trip inside a worker's fueled scan"
+    );
+    assert_eq!(
+        eval.meter().cross_thread_trips(),
+        1,
+        "a worker-observed exhaustion is counted exactly once"
+    );
+    let snap = eval.metrics_snapshot();
+    assert_eq!(snap.counters.get("budget.cross_thread_trips"), Some(&1));
+    assert_eq!(snap.counters.get("budget.exhausted.deadline"), Some(&1));
+
+    // Replay attribution stays sound after the trip: consuming a
+    // prefetched key on the exhausted meter takes the grace path and
+    // returns the exact support an unbudgeted evaluator computes.
+    let (p_idx, images) = &keys[0];
+    let got = eval.mapped_support(*p_idx, images);
+    let mut fresh = Evaluator::new(&ctx);
+    assert_eq!(got, fresh.mapped_support(*p_idx, images));
+}
+
+/// The full parallel search under a mid-batch deadline still returns a
+/// complete mapping with a sound, finite gap certificate, and its
+/// snapshot names the deadline once.
+#[test]
+fn parallel_deadline_exhaustion_certifies_the_gap() {
+    let ctx = and_heavy_ctx(20_000);
+    let budget = Budget::UNLIMITED
+        .with_deadline(Duration::from_millis(5))
+        .with_poll_interval(1);
+    let config = EvalConfig::from_budget(budget).with_threads(8);
+    let out = ExactMatcher::new(BoundKind::Tight).solve_with(&ctx, &config);
+    assert!(out.mapping.is_complete(), "deadline lost the mapping");
+    assert!(!out.completion.is_finished());
+    let gap = out.completion.optimality_gap().unwrap_or(f64::NAN);
+    assert!(gap.is_finite() && gap >= 0.0, "unsound gap {gap}");
+    assert_eq!(
+        out.metrics.counters.get("budget.exhausted.deadline"),
+        Some(&1),
+        "counters: {:?}",
+        out.metrics.counters
+    );
+    // The latch is once-only no matter which thread observed it: either
+    // the driving thread (0 cross-thread trips) or one worker (1).
+    let trips = out
+        .metrics
+        .counters
+        .get("budget.cross_thread_trips")
+        .copied()
+        .unwrap_or(0);
+    assert!(trips <= 1, "exhaustion latched {trips} times");
 }
 
 // ---------------------------------------------------------------------
