@@ -37,7 +37,7 @@
 //! primary units, and without a deadline neither ticks nor worker ticks
 //! touch any shared state at all.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use crate::sync::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// Declarative resource limits for one solver invocation.
@@ -230,6 +230,9 @@ pub struct BudgetMeter {
 
 impl Clone for BudgetMeter {
     fn clone(&self) -> Self {
+        // ordering: cloning is a single-threaded snapshot; Relaxed loads
+        // of the plain counters suffice, and the latch load is Acquire
+        // for symmetry with `exhaustion()` so a cause is never torn.
         BudgetMeter {
             budget: self.budget,
             start: self.start,
@@ -258,6 +261,9 @@ impl BudgetMeter {
             return false;
         }
         if let Some(cap) = self.budget.max_processed {
+            // ordering: Relaxed — `processed` is written by the driving
+            // thread only (workers never charge), so this load observes the
+            // thread's own prior writes; no cross-thread edge is needed.
             if self.processed.load(Ordering::Relaxed) >= cap {
                 self.latch(Exhaustion::Processed, false);
                 return false;
@@ -267,6 +273,8 @@ impl BudgetMeter {
         if self.is_exhausted() {
             return false;
         }
+        // ordering: Relaxed — single-writer counter (driving thread only);
+        // readers tolerate staleness (it is a statistic, not a guard).
         self.processed.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -311,6 +319,10 @@ impl BudgetMeter {
     /// Latches `cause` if nothing tripped yet; the CAS guarantees exactly
     /// one winner. A worker-side deadline win is counted separately.
     fn latch(&self, cause: Exhaustion, on_worker: bool) {
+        // ordering: AcqRel on success — Release publishes the winner's
+        // cause to `exhaustion()`'s Acquire loads; Acquire orders the
+        // winner's own later reads after the latch. Acquire on failure so
+        // a loser observes the winner's cause. See DESIGN.md §11.
         let won = self
             .exhausted
             .compare_exchange(
@@ -321,6 +333,9 @@ impl BudgetMeter {
             )
             .is_ok();
         if won && on_worker {
+            // ordering: Relaxed — only the single CAS winner ever executes
+            // this increment, so there is no concurrent writer to order
+            // against; readers are post-join statistics consumers.
             self.cross_thread_trips.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -335,6 +350,9 @@ impl BudgetMeter {
             return;
         }
         let interval = u64::from(self.budget.poll_interval.max(1));
+        // ordering: Relaxed — the cadence counter only decides *when* to
+        // read the clock; an occasional cross-thread off-by-one poll is
+        // harmless (the latch CAS is the actual synchronization point).
         let n = self.since_poll.fetch_add(1, Ordering::Relaxed);
         if n % interval == 0 {
             self.poll_deadline(on_worker);
@@ -342,6 +360,8 @@ impl BudgetMeter {
     }
 
     fn poll_deadline(&self, on_worker: bool) {
+        // ordering: Relaxed — poll count is a statistic; no reader infers
+        // other memory state from it.
         self.polls.fetch_add(1, Ordering::Relaxed);
         if let Some(max) = self.budget.max_duration {
             if self.start.elapsed() >= max {
@@ -353,24 +373,31 @@ impl BudgetMeter {
     /// The limit that tripped, if any. Sticky: never resets.
     #[must_use]
     pub fn exhaustion(&self) -> Option<Exhaustion> {
+        // ordering: Acquire — pairs with the Release half of the latch CAS
+        // so an observed cause implies the winner's pre-latch writes are
+        // visible (the sticky-exhaustion contract). See DESIGN.md §11.
         decode_exhaustion(self.exhausted.load(Ordering::Acquire))
     }
 
     /// `true` once any limit has tripped.
     #[must_use]
     pub fn is_exhausted(&self) -> bool {
+        // ordering: Acquire — same pairing as `exhaustion()`: seeing the
+        // latch set must also show the cause that was stored with it.
         self.exhausted.load(Ordering::Acquire) != EXHAUSTED_NONE
     }
 
     /// Charged primary work units so far.
     #[must_use]
     pub fn processed(&self) -> u64 {
+        // ordering: Relaxed — single-writer statistic, read for reporting.
         self.processed.load(Ordering::Relaxed)
     }
 
     /// Clock reads performed so far (0 for deadline-free budgets).
     #[must_use]
     pub fn polls(&self) -> u64 {
+        // ordering: Relaxed — statistic; see `processed()`.
         self.polls.load(Ordering::Relaxed)
     }
 
@@ -379,6 +406,8 @@ impl BudgetMeter {
     /// (deadline-free) run.
     #[must_use]
     pub fn cross_thread_trips(&self) -> u64 {
+        // ordering: Relaxed — read after workers joined (the scope join is
+        // the happens-before edge), purely for telemetry.
         self.cross_thread_trips.load(Ordering::Relaxed)
     }
 

@@ -18,9 +18,9 @@
 // deterministic crates hash-free outright (tidy lint no-hash-iter); keys
 // are a pattern index plus at most a handful of event ids, so ordered
 // lookups cost about the same as hashing the boxed slice.
+use crate::sync::{AtomicU32, Ordering, PoisonError, RwLock};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::Arc;
 
 use evematch_eventlog::EventId;
 use evematch_graph::{IsoStats, MonoSearch};
@@ -102,6 +102,9 @@ impl SharedSupportCache {
 
     /// Registers one solver run as an entry owner.
     fn register_owner(&self) -> u32 {
+        // ordering: Relaxed — owner ids only need uniqueness, which the
+        // fetch_add's atomicity provides; entry data is published by the
+        // shard RwLock, never by this counter. See DESIGN.md §11.
         self.next_owner.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -143,6 +146,50 @@ impl SharedSupportCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Model-checking accessors, compiled only under `--cfg evematch_model`:
+/// they expose just enough of the private shard machinery for
+/// `crates/modelcheck` to drive the poisoned-shard-recovery invariant over
+/// every bounded interleaving. Never part of the normal API surface.
+#[cfg(evematch_model)]
+impl SharedSupportCache {
+    /// A private (fingerprint-free) cache for model scenarios.
+    #[must_use]
+    pub fn model_private() -> Self {
+        Self::private()
+    }
+
+    /// [`Self::register_owner`] for model scenarios.
+    #[must_use]
+    pub fn model_register_owner(&self) -> u32 {
+        self.register_owner()
+    }
+
+    /// [`Self::insert`] keyed by `(pattern, images)`, for model scenarios.
+    pub fn model_insert(&self, pattern: u32, images: &[EventId], support: u32, owner: u32) {
+        self.insert((pattern, images.into()), support, owner);
+    }
+
+    /// [`Self::get`], returning `(support, owner)`, for model scenarios.
+    #[must_use]
+    pub fn model_get(&self, pattern: u32, images: &[EventId]) -> Option<(u32, u32)> {
+        self.get(&(pattern, images.into()))
+            .map(|e| (e.support, e.owner))
+    }
+
+    /// Panics while holding the write guard of the shard that stores
+    /// `(pattern, images)`, poisoning it — the model scenario's stand-in
+    /// for a solver thread dying mid-insert.
+    ///
+    /// # Panics
+    /// Always (that is its purpose).
+    pub fn model_poison_shard(&self, pattern: u32, images: &[EventId]) {
+        let key: SupportKey = (pattern, images.into());
+        let _guard = self.shards[self.shard_of(&key)].write();
+        // tidy-allow: no-panic -- deliberate: model-only helper whose entire job is poisoning a shard
+        panic!("model: poison the shard");
     }
 }
 
@@ -1064,5 +1111,63 @@ mod tests {
         cache.insert(key2.clone(), 9, 1);
         assert_eq!(cache.get(&key2).map(|e| e.support), Some(9));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn poisoning_racing_a_concurrent_writer_keeps_first_owner_attribution() {
+        // A solver thread dies holding a shard's write guard while another
+        // thread keeps inserting into the *same* shard. Whatever the
+        // interleaving, the pre-existing entry must keep its original
+        // owner/support, the concurrent writer's distinct key must land,
+        // and the shard must stay fully usable. (The bounded model checker
+        // in crates/modelcheck proves this over every schedule up to its
+        // preemption bound; this test exercises real OS scheduling.)
+        let c = ctx();
+        let cache = SharedSupportCache::for_context(&c);
+        let key: SupportKey = (7, vec![EventId(0), EventId(1)].into_boxed_slice());
+        cache.insert(key.clone(), 42, 0);
+        let shard = cache.shard_of(&key);
+        // A second key steered into the same shard, so writer and poisoner
+        // genuinely contend on one lock.
+        let same_shard_key: SupportKey = (0..u32::MAX)
+            .map(|p| (p, vec![EventId(2)].into_boxed_slice()))
+            .find(|k| cache.shard_of(k) == shard && *k != key)
+            .expect("some key lands in the same shard");
+
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for _ in 0..64 {
+                    cache.insert(same_shard_key.clone(), 9, 1);
+                    // Same-key re-inserts must also never displace the
+                    // original entry, poisoned shard or not.
+                    cache.insert(key.clone(), 42, 1);
+                }
+            });
+            let poisoner = scope.spawn(|| {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let _guard = cache.shards[shard]
+                        .write()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    panic!("poison the shard mid-race");
+                }));
+                assert!(caught.is_err());
+            });
+            writer.join().expect("writer never panics");
+            poisoner.join().expect("poisoner's panic is caught inside");
+        });
+
+        assert!(cache.shards[shard].is_poisoned());
+        let entry = cache.get(&key).expect("original entry survives");
+        assert_eq!(
+            (entry.support, entry.owner),
+            (42, 0),
+            "first owner attribution"
+        );
+        let raced = cache.get(&same_shard_key).expect("concurrent insert lands");
+        assert_eq!((raced.support, raced.owner), (9, 1));
+        // The poisoned shard keeps serving both reads and writes.
+        let after: SupportKey = (u32::MAX, vec![EventId(3)].into_boxed_slice());
+        cache.insert(after.clone(), 5, 2);
+        assert_eq!(cache.get(&after).map(|e| e.support), Some(5));
     }
 }

@@ -46,6 +46,7 @@ mod mapping;
 pub mod parpool;
 pub mod persist;
 pub mod score;
+pub mod sync;
 pub mod telemetry;
 
 pub use baseline::{EntropyMatcher, IterativeConfig, IterativeMatcher};

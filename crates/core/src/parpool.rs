@@ -17,7 +17,60 @@
 //! "workers are side-effect free, the driver replays sequentially"
 //! discipline of [`crate::Evaluator::prefetch_supports`] auditable.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Ordering};
+
+/// The shared claim cursor of one [`run_batch`] call: hands out item
+/// indices `0..len` to racing workers, each index to exactly one worker.
+///
+/// Extracted as a named type so the bounded model checker
+/// (`crates/modelcheck`) can exercise precisely the object `run_batch`
+/// races on: the no-double-assign / no-skip invariant is checked over
+/// every bounded interleaving, not just the schedules the host happens to
+/// produce.
+#[derive(Debug)]
+pub struct ClaimCursor {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl ClaimCursor {
+    /// A cursor over the item indices `0..len`.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Claims the next unassigned item index, or `None` when the batch is
+    /// drained. Each index in `0..len` is returned exactly once across all
+    /// threads.
+    pub fn claim(&self) -> Option<usize> {
+        // ordering: Relaxed suffices — the fetch_add's atomicity alone
+        // guarantees unique indices, and the claimed item's data is
+        // published to workers by the thread::scope spawn (and results
+        // back by join), not by this counter. See DESIGN.md §11.
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i < self.len {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Number of items the cursor hands out.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cursor has nothing to hand out.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// Scheduling facts about one [`run_batch`] call (or an accumulation of
 /// them): execution shape, not computation results, so they belong in the
@@ -52,7 +105,7 @@ where
         return (items.iter().map(&f).collect(), stats);
     }
     let workers = threads.min(items.len());
-    let cursor = AtomicUsize::new(0);
+    let cursor = ClaimCursor::new(items.len());
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
     let mut steals = 0u64;
     std::thread::scope(|scope| {
@@ -60,11 +113,7 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     let mut got: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
+                    while let Some(i) = cursor.claim() {
                         got.push((i, f(&items[i])));
                     }
                     got
@@ -92,7 +141,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::AtomicU64;
 
     #[test]
     fn sequential_fallback_preserves_order() {
@@ -140,6 +189,18 @@ mod tests {
         let (out, stats) = run_batch(8, &one, |&x| x + 1);
         assert_eq!(out, vec![8]);
         assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn claim_cursor_hands_out_each_index_once_and_then_none() {
+        let cursor = ClaimCursor::new(3);
+        assert_eq!(cursor.len(), 3);
+        assert!(!cursor.is_empty());
+        let claims: Vec<_> = std::iter::from_fn(|| cursor.claim()).collect();
+        assert_eq!(claims, vec![0, 1, 2]);
+        assert_eq!(cursor.claim(), None);
+        assert!(ClaimCursor::new(0).is_empty());
+        assert_eq!(ClaimCursor::new(0).claim(), None);
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! Instrumented stand-ins for the `std::sync` primitives, compiled only
+//! under `--cfg evematch_model`. Each type wraps the real `std` primitive —
+//! so poisoning, blocking and memory effects stay genuine — and reports
+//! every operation to the [`super::model`] scheduler as a sync point.
+//! Outside an active model run (the scheduler's thread-local context is
+//! unset) every call degrades to plain delegation, so the ordinary test
+//! suite still passes when built with the cfg.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError, TryLockError};
+
+use super::model;
+use super::model::LockMode;
+
+macro_rules! instrumented_atomic {
+    ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            #[must_use]
+            pub const fn new(value: $prim) -> Self {
+                Self { inner: <$std>::new(value) }
+            }
+
+            /// Loads the value; a model sync point.
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $prim {
+                model::sync_point();
+                self.inner.load(order)
+            }
+
+            /// Stores a value; a model sync point.
+            #[inline]
+            pub fn store(&self, value: $prim, order: Ordering) {
+                model::sync_point();
+                self.inner.store(value, order);
+            }
+
+            /// Atomically swaps in a value, returning the previous one; a
+            /// model sync point.
+            #[inline]
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                model::sync_point();
+                self.inner.swap(value, order)
+            }
+
+            /// Atomically compares and exchanges; a model sync point.
+            ///
+            /// # Errors
+            /// Returns the actual value when it differs from `current`.
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                model::sync_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+macro_rules! instrumented_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Atomically adds, returning the previous value; a model sync
+            /// point.
+            #[inline]
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                model::sync_point();
+                self.inner.fetch_add(value, order)
+            }
+        }
+    };
+}
+
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU8`].
+    AtomicU8,
+    std::sync::atomic::AtomicU8,
+    u8
+);
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+instrumented_atomic_arith!(AtomicUsize, usize);
+instrumented_atomic_arith!(AtomicU64, u64);
+instrumented_atomic_arith!(AtomicU32, u32);
+instrumented_atomic_arith!(AtomicU8, u8);
+
+/// Instrumented [`std::sync::Mutex`]: the scheduler models blocking and
+/// grants the lock; a real `std::sync::Mutex` underneath carries the data
+/// and the poison bit.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]. Dropping releases the underlying
+/// `std` guard first, then tells the scheduler the lock is free (fields
+/// drop in declaration order; no `Drop` impl, so [`Condvar::wait`] can
+/// destructure it).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: std::sync::MutexGuard<'a, T>,
+    held: Option<model::HeldLock>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    ///
+    /// # Errors
+    /// Returns a [`PoisonError`] carrying the value when poisoned.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking (in scheduler terms under a model run)
+    /// until it is available.
+    ///
+    /// # Errors
+    /// Returns a [`PoisonError`] carrying the guard when poisoned.
+    ///
+    /// # Panics
+    /// Panics when the scheduler grants a lock that `std` reports busy —
+    /// an internal model-checker invariant violation, never reachable from
+    /// correct scheduler bookkeeping.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match model::acquire(model::lock_addr(self), LockMode::Write) {
+            Some(held) => match self.inner.try_lock() {
+                Ok(guard) => Ok(MutexGuard {
+                    inner: guard,
+                    held: Some(held),
+                }),
+                Err(TryLockError::Poisoned(poisoned)) => Err(PoisonError::new(MutexGuard {
+                    inner: poisoned.into_inner(),
+                    held: Some(held),
+                })),
+                Err(TryLockError::WouldBlock) => {
+                    panic!("model scheduler granted a mutex that std reports busy")
+                }
+            },
+            None => match self.inner.lock() {
+                Ok(guard) => Ok(MutexGuard {
+                    inner: guard,
+                    held: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    inner: poisoned.into_inner(),
+                    held: None,
+                })),
+            },
+        }
+    }
+
+    /// Whether a panic has poisoned this mutex.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Instrumented [`std::sync::RwLock`] with the same structure as [`Mutex`]:
+/// scheduler-modeled blocking (readers share, writers exclude) over a real
+/// `std::sync::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    #[allow(dead_code)] // held for its Drop (scheduler release notification)
+    held: Option<model::HeldLock>,
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[allow(dead_code)] // held for its Drop (scheduler release notification)
+    held: Option<model::HeldLock>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    ///
+    /// # Errors
+    /// Returns a [`PoisonError`] carrying the value when poisoned.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    ///
+    /// # Errors
+    /// Returns a [`PoisonError`] carrying the guard when poisoned.
+    ///
+    /// # Panics
+    /// Panics on scheduler/`std` disagreement (internal invariant, as for
+    /// [`Mutex::lock`]).
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match model::acquire(model::lock_addr(self), LockMode::Read) {
+            Some(held) => match self.inner.try_read() {
+                Ok(guard) => Ok(RwLockReadGuard {
+                    inner: guard,
+                    held: Some(held),
+                }),
+                Err(TryLockError::Poisoned(poisoned)) => Err(PoisonError::new(RwLockReadGuard {
+                    inner: poisoned.into_inner(),
+                    held: Some(held),
+                })),
+                Err(TryLockError::WouldBlock) => {
+                    panic!("model scheduler granted a read lock that std reports busy")
+                }
+            },
+            None => match self.inner.read() {
+                Ok(guard) => Ok(RwLockReadGuard {
+                    inner: guard,
+                    held: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(RwLockReadGuard {
+                    inner: poisoned.into_inner(),
+                    held: None,
+                })),
+            },
+        }
+    }
+
+    /// Acquires exclusive write access.
+    ///
+    /// # Errors
+    /// Returns a [`PoisonError`] carrying the guard when poisoned.
+    ///
+    /// # Panics
+    /// Panics on scheduler/`std` disagreement (internal invariant, as for
+    /// [`Mutex::lock`]).
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match model::acquire(model::lock_addr(self), LockMode::Write) {
+            Some(held) => match self.inner.try_write() {
+                Ok(guard) => Ok(RwLockWriteGuard {
+                    inner: guard,
+                    held: Some(held),
+                }),
+                Err(TryLockError::Poisoned(poisoned)) => Err(PoisonError::new(RwLockWriteGuard {
+                    inner: poisoned.into_inner(),
+                    held: Some(held),
+                })),
+                Err(TryLockError::WouldBlock) => {
+                    panic!("model scheduler granted a write lock that std reports busy")
+                }
+            },
+            None => match self.inner.write() {
+                Ok(guard) => Ok(RwLockWriteGuard {
+                    inner: guard,
+                    held: None,
+                }),
+                Err(poisoned) => Err(PoisonError::new(RwLockWriteGuard {
+                    inner: poisoned.into_inner(),
+                    held: None,
+                })),
+            },
+        }
+    }
+
+    /// Whether a panic has poisoned this lock.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Instrumented [`std::sync::Condvar`]. No runtime crate uses it today; the
+/// shim exists so future parallel work starts on the instrumented layer.
+/// Under an active model run, waiting is unsupported (the scheduler has no
+/// futex model) and panics with a clear message rather than deadlocking.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Blocks the current thread until notified.
+    ///
+    /// # Errors
+    /// Returns a [`PoisonError`] carrying the guard when the mutex is
+    /// poisoned.
+    ///
+    /// # Panics
+    /// Panics under an active model run: condvar waits are not modeled.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        assert!(
+            !model::scheduler_active(),
+            "Condvar::wait is not supported under the model scheduler"
+        );
+        let MutexGuard { inner, held } = guard;
+        match self.inner.wait(inner) {
+            Ok(reacquired) => Ok(MutexGuard {
+                inner: reacquired,
+                held,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                inner: poisoned.into_inner(),
+                held,
+            })),
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The workspace's single gateway to synchronization primitives.
+//!
+//! Every runtime crate uses these names instead of `std::sync` directly
+//! (enforced by tidy lint T12, `sync-confinement`). In a normal build this
+//! module is nothing but re-exports — zero cost, zero behavior change. Under
+//! `--cfg evematch_model` (set via `RUSTFLAGS`, never a cargo feature, so it
+//! cannot leak into tier-1 builds through feature unification) the same names
+//! resolve to instrumented wrappers that report every atomic operation, lock
+//! acquisition and release to the deterministic interleaving scheduler in
+//! [`model`], which explores bounded thread schedules loom/shuttle-style.
+//!
+//! The shim deliberately exposes only the API subset the workspace uses:
+//! integer/bool atomics (`load`/`store`/`fetch_add`/`swap`/
+//! `compare_exchange`), `Mutex`, `RwLock` and `Condvar` with std's poisoning
+//! semantics intact. Poisoning is load-bearing here — `SharedSupportCache`
+//! recovers poisoned shards via [`PoisonError::into_inner`] — so the
+//! instrumented wrappers keep real `std` locks underneath and forward
+//! poison state unchanged.
+//!
+//! See DESIGN.md §11 for the memory-ordering contract this module's callers
+//! must justify (tidy lint T10, `ordering-justification`).
+
+#[cfg(not(evematch_model))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize};
+#[cfg(not(evematch_model))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{LockResult, PoisonError, TryLockError, WaitTimeoutResult};
+
+#[cfg(evematch_model)]
+mod instrumented;
+#[cfg(evematch_model)]
+pub mod model;
+#[cfg(evematch_model)]
+pub use instrumented::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard, RwLock,
+    RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomics_behave_like_std_outside_a_model_run() {
+        let n = AtomicUsize::new(3);
+        assert_eq!(n.fetch_add(2, Ordering::Relaxed), 3);
+        assert_eq!(n.load(Ordering::Relaxed), 5);
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::Release);
+        assert!(flag.load(Ordering::Acquire));
+        let w = AtomicU8::new(0);
+        assert_eq!(
+            w.compare_exchange(0, 7, Ordering::AcqRel, Ordering::Acquire),
+            Ok(0)
+        );
+        assert_eq!(
+            w.compare_exchange(0, 9, Ordering::AcqRel, Ordering::Acquire),
+            Err(7)
+        );
+    }
+
+    #[test]
+    fn locks_preserve_poisoning_semantics() {
+        let lock = std::sync::Arc::new(Mutex::new(41_u32));
+        let poisoner = std::sync::Arc::clone(&lock);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.lock().expect("first acquisition succeeds");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(joined.is_err());
+        assert!(lock.is_poisoned());
+        let mut recovered = lock.lock().unwrap_or_else(PoisonError::into_inner);
+        *recovered += 1;
+        assert_eq!(*recovered, 42);
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trip() {
+        let lock = RwLock::new(vec![1, 2]);
+        lock.write().expect("not poisoned").push(3);
+        assert_eq!(lock.read().expect("not poisoned").len(), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_a_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let signaller = std::sync::Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*signaller;
+            *lock.lock().expect("not poisoned") = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock().expect("not poisoned");
+        while !*ready {
+            ready = cv.wait(ready).expect("not poisoned");
+        }
+        handle.join().expect("signaller does not panic");
+    }
+}

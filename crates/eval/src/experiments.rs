@@ -6,10 +6,10 @@
 //! reproduce the dataset-characteristics and random-log tables. The
 //! `repro_*` binaries in `evematch-bench` print and save these.
 
+use evematch_core::sync::{AtomicUsize, Mutex, Ordering, PoisonError};
 use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 use evematch_core::{Budget, Mapping, MetricsSnapshot};
@@ -210,12 +210,16 @@ pub fn run_grid(
     }
     let results: Mutex<BTreeMap<(usize, u64), Vec<MethodRecord>>> = Mutex::new(done);
     let journal_append = Mutex::new(());
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
     let workers = cfg.workers.clamp(1, jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // ordering: Relaxed — the fetch_add's atomicity alone makes
+                // job claims unique; job data flows through the scope
+                // spawn/join edges, not this counter (same claim-cursor
+                // contract as core::parpool, DESIGN.md §11).
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(xi, seed)) = jobs.get(i) else {
                     break;
                 };

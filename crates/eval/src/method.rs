@@ -1,6 +1,7 @@
 //! The uniform method registry: every approach compared in Section 6.
 
-use std::sync::{Arc, Mutex, PoisonError};
+use evematch_core::sync::{Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use evematch_core::{

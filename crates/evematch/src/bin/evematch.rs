@@ -345,19 +345,22 @@ fn run(opts: &Options) -> Result<bool, String> {
 /// (`--progress`). Dropping it stops the thread; the 200 ms poll keeps the
 /// drop latency low without spamming stderr.
 struct Heartbeat {
-    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    stop: std::sync::Arc<evematch::core::sync::AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Heartbeat {
     fn start() -> Self {
-        use std::sync::atomic::Ordering;
-        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        use evematch::core::sync::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
         let seen = stop.clone();
         // tidy-allow: no-raw-thread-spawn -- stderr heartbeat only; never touches solver state
         let handle = std::thread::spawn(move || {
             let started = std::time::Instant::now();
             let mut polls = 0u64;
+            // ordering: Relaxed — a one-way stop flag for a progress
+            // printer; observing it one 200 ms poll late only costs one
+            // extra heartbeat line, and no other state rides on it.
             while !seen.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(200));
                 polls += 1;
@@ -378,7 +381,10 @@ impl Heartbeat {
 
 impl Drop for Heartbeat {
     fn drop(&mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        // ordering: Relaxed — see the reader's justification above; the
+        // join right below is the real synchronization with the thread.
+        self.stop
+            .store(true, evematch::core::sync::Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

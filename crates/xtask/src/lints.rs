@@ -52,8 +52,44 @@ pub const PRINT_FREE_CRATES: &[&str] = &[
 /// across `--eval-threads` settings would creep in.
 pub const THREAD_MODULES: &[&str] = &[
     "crates/core/src/parpool.rs",
+    "crates/core/src/sync/model.rs",
     "crates/eval/src/experiments.rs",
 ];
+
+/// The instrumented sync shim (`core::sync`): the one module tree allowed
+/// to name raw `std::sync` primitives (lint T12), and whose lock wrappers
+/// are exempt from the lock-discipline lint (T11) — it *implements* the
+/// discipline the rest of the workspace is held to.
+pub const SYNC_SHIM_DIR: &str = "crates/core/src/sync/";
+
+/// `std::sync` items that may be named anywhere: they carry no
+/// synchronization the model scheduler would need to interpose on.
+/// Everything else (atomics, locks, channels, once-cells) must come
+/// through `core::sync` so `--cfg evematch_model` builds can record and
+/// replay every synchronization decision.
+pub const SYNC_ALLOWED: &[&str] = &[
+    "Arc",
+    "Weak",
+    "PoisonError",
+    "LockResult",
+    "TryLockError",
+    "WaitTimeoutResult",
+];
+
+/// Modules that exist only for `--cfg evematch_model` builds and are
+/// exempt from the no-panic lint (T1): the model scheduler's panics are
+/// internal-invariant checks and teardown signals in cfg-gated tooling
+/// that never ships in a tier-1 build.
+pub const MODEL_MODULES: &[&str] = &[
+    "crates/core/src/sync/instrumented.rs",
+    "crates/core/src/sync/model.rs",
+];
+
+/// How many lines above an atomic `Ordering::` use an `// ordering:`
+/// comment may sit and still justify it (lint T10). The window covers
+/// multi-line `compare_exchange` argument lists and struct literals whose
+/// shared justification sits above the expression.
+pub const ORDERING_LOOKBACK: usize = 10;
 
 /// Crates that produce result artifacts (CSVs, metrics snapshots, search
 /// traces, checkpoint journals) and therefore must route every file write
@@ -81,6 +117,14 @@ pub enum Lint {
     NoRawArtifactWrite,
     /// T9: no raw `thread::spawn`/`thread::scope` outside the thread modules.
     NoRawThreadSpawn,
+    /// T10: every atomic `Ordering::` argument carries an `// ordering:`
+    /// justification comment.
+    OrderingJustified,
+    /// T11: lock discipline — no nested guard acquisition, no guard held
+    /// across a user-supplied closure call.
+    LockDiscipline,
+    /// T12: raw `std::sync` atomics/locks only inside `core::sync`.
+    SyncConfinement,
     /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
     CrateAttrs,
     /// T5: every crate manifest inherits `[workspace.lints]`.
@@ -102,6 +146,9 @@ impl Lint {
             Lint::NoPrintln => "no-println",
             Lint::NoRawArtifactWrite => "no-raw-artifact-write",
             Lint::NoRawThreadSpawn => "no-raw-thread-spawn",
+            Lint::OrderingJustified => "ordering-justified",
+            Lint::LockDiscipline => "lock-discipline",
+            Lint::SyncConfinement => "sync-confinement",
             Lint::CrateAttrs => "crate-attrs",
             Lint::LintsTable => "lints-table",
             Lint::UnusedWaiver => "unused-waiver",
@@ -120,6 +167,9 @@ impl Lint {
                 | Lint::NoPrintln
                 | Lint::NoRawArtifactWrite
                 | Lint::NoRawThreadSpawn
+                | Lint::OrderingJustified
+                | Lint::LockDiscipline
+                | Lint::SyncConfinement
         )
     }
 
@@ -133,6 +183,9 @@ impl Lint {
             "no-println",
             "no-raw-artifact-write",
             "no-raw-thread-spawn",
+            "ordering-justified",
+            "lock-discipline",
+            "sync-confinement",
         ]
     }
 }
@@ -393,8 +446,9 @@ pub fn check_no_raw_artifact_write(file: &ScannedFile) -> Vec<Violation> {
     out
 }
 
-/// T9: flags raw thread creation (`thread::spawn`, `thread::scope`) in
-/// runtime source outside the sanctioned [`THREAD_MODULES`].
+/// T9: flags raw thread creation (`thread::spawn`, `thread::scope`,
+/// `thread::Builder`) in runtime source outside the sanctioned
+/// [`THREAD_MODULES`].
 ///
 /// Parallelism in this workspace is funneled through two doors:
 /// `core::parpool` (whose deterministic in-order merge is what keeps
@@ -414,7 +468,7 @@ pub fn check_no_raw_thread_spawn(file: &ScannedFile) -> Vec<Violation> {
         if line.in_test_code {
             continue;
         }
-        for needle in ["thread::spawn", "thread::scope"] {
+        for needle in ["thread::spawn", "thread::scope", "thread::Builder"] {
             if find_token(&line.code, needle).is_some() {
                 out.push(Violation::new(
                     &file.path,
@@ -432,6 +486,427 @@ pub fn check_no_raw_thread_spawn(file: &ScannedFile) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// T10: flags atomic `Ordering::` arguments with no `// ordering:`
+/// justification comment on the same line or within the
+/// [`ORDERING_LOOKBACK`] lines above.
+///
+/// Every memory-ordering choice in this workspace is an argument about
+/// *which* happens-before edges a synchronization site needs (DESIGN.md
+/// §11 records the contracts for the claim cursor, the deadline latch,
+/// and the shard locks). An uncommented `Ordering::Relaxed` is
+/// indistinguishable from an unconsidered one; the comment forces the
+/// argument to be written down where the next reader (and reviewer) can
+/// check it against the contract. Only the five atomic orderings are
+/// matched — `cmp::Ordering::Less`-style comparator code never fires.
+pub fn check_ordering_justified(file: &ScannedFile) -> Vec<Violation> {
+    const ATOMIC_ORDERINGS: &[&str] = &[
+        "Ordering::Relaxed",
+        "Ordering::Acquire",
+        "Ordering::Release",
+        "Ordering::AcqRel",
+        "Ordering::SeqCst",
+    ];
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        let Some(which) = ATOMIC_ORDERINGS
+            .iter()
+            .find(|needle| find_token(&line.code, needle).is_some())
+        else {
+            continue;
+        };
+        let window_start = idx.saturating_sub(ORDERING_LOOKBACK);
+        let justified = file.lines[window_start..=idx]
+            .iter()
+            .any(|l| l.comment.trim_start().starts_with("ordering:"));
+        if !justified {
+            out.push(Violation::new(
+                &file.path,
+                idx + 1,
+                Lint::OrderingJustified,
+                format!(
+                    "`{which}` lacks an `// ordering:` justification within the \
+                     preceding {ORDERING_LOOKBACK} lines: say why this ordering \
+                     gives every happens-before edge the site needs (see \
+                     DESIGN.md §11), or waive with `// tidy-allow: \
+                     ordering-justified -- <why>`"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// T11: lock discipline over the `core::sync` guards.
+///
+/// Three lexical rules, each aimed at a deadlock or reentrancy class the
+/// model checker can only catch where a harness already exists:
+///
+/// 1. No two lock acquisitions in one expression (`a.lock()` feeding
+///    `b.lock()` orders two locks implicitly).
+/// 2. No acquisition while a `let`-bound guard is still live — nested
+///    guards across `SharedSupportCache` shards (or any two locks) are
+///    an ordering commitment nothing enforces globally. Release the
+///    first guard (`drop(guard)`) or narrow its scope first.
+/// 3. No call of a user-supplied closure parameter while a guard is
+///    live — the closure can call back into the same lock and
+///    self-deadlock (std locks are not reentrant).
+///
+/// The sync shim itself ([`SYNC_SHIM_DIR`]) is exempt: its wrappers and
+/// scheduler *implement* acquisition, and the model scheduler serializes
+/// their internal lock use.
+pub fn check_lock_discipline(file: &ScannedFile) -> Vec<Violation> {
+    const ACQUIRE_TOKENS: &[&str] = &[".lock()", ".read()", ".write()"];
+    if file.path.starts_with(SYNC_SHIM_DIR) {
+        return Vec::new();
+    }
+    struct LiveGuard {
+        name: String,
+        depth: i64,
+        line: usize,
+    }
+    let mut out = Vec::new();
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut closure_params: Vec<String> = Vec::new();
+    let mut depth: i64 = 0;
+    // A `let` binding whose initializer continues past its first physical
+    // line: (name, depth, 1-based start line, initializer-acquired-a-lock).
+    let mut pending_let: Option<(String, i64, usize, bool)> = None;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if line.in_test_code {
+            depth += opens - closes;
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        if find_token(code, "fn").is_some() {
+            closure_params.clear();
+        }
+        closure_params.extend(capture_closure_params(code));
+        guards.retain(|g| find_token(code, &format!("drop({})", g.name)).is_none());
+        let acquisitions: usize = ACQUIRE_TOKENS.iter().map(|t| count_token(code, t)).sum();
+        if acquisitions >= 2 {
+            out.push(Violation::new(
+                &file.path,
+                idx + 1,
+                Lint::LockDiscipline,
+                "two lock acquisitions in one expression implicitly order two \
+                 locks: acquire them in separate statements with an explicit \
+                 `drop` between (or waive with `// tidy-allow: lock-discipline \
+                 -- <why the ordering is safe>`)",
+            ));
+        }
+        if acquisitions >= 1 {
+            if let Some(g) = guards.last() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::LockDiscipline,
+                    format!(
+                        "acquires a lock while guard `{}` (line {}) is still \
+                         held: nested guard acquisition is an unenforced \
+                         lock-ordering commitment — `drop({})` first or narrow \
+                         its scope (or waive with `// tidy-allow: \
+                         lock-discipline -- <why the nesting cannot deadlock>`)",
+                        g.name, g.line, g.name
+                    ),
+                ));
+            }
+        }
+        if !guards.is_empty() {
+            for param in &closure_params {
+                if find_token(code, &format!("{param}(")).is_some() {
+                    let g = &guards[guards.len() - 1];
+                    out.push(Violation::new(
+                        &file.path,
+                        idx + 1,
+                        Lint::LockDiscipline,
+                        format!(
+                            "calls user-supplied closure `{param}` while guard \
+                             `{}` (line {}) is held: the closure can re-enter \
+                             the same lock and self-deadlock — compute outside \
+                             the guard (or waive with `// tidy-allow: \
+                             lock-discipline -- <why the closure cannot touch \
+                             this lock>`)",
+                            g.name, g.line
+                        ),
+                    ));
+                }
+            }
+        }
+        let statement_ends = code.trim_end().ends_with(';');
+        if let Some(name) = let_binding_name(code) {
+            if statement_ends {
+                if acquisitions >= 1 {
+                    guards.push(LiveGuard {
+                        name,
+                        depth,
+                        line: idx + 1,
+                    });
+                }
+            } else {
+                pending_let = Some((name, depth, idx + 1, acquisitions >= 1));
+            }
+        } else if let Some((name, d, l, acquired)) = pending_let.take() {
+            let acquired = acquired || acquisitions >= 1;
+            if statement_ends {
+                if acquired {
+                    guards.push(LiveGuard {
+                        name,
+                        depth: d,
+                        line: l,
+                    });
+                }
+            } else {
+                pending_let = Some((name, d, l, acquired));
+            }
+        }
+        depth += opens - closes;
+        guards.retain(|g| g.depth <= depth);
+    }
+    out
+}
+
+/// T12: sync-primitive confinement — raw `std::sync` names outside
+/// [`SYNC_SHIM_DIR`] are limited to the [`SYNC_ALLOWED`] items.
+///
+/// The instrumented shim is only sound if it is the *only* door: one
+/// `use std::sync::Mutex` in a solver and the model checker silently
+/// explores a world that no longer matches the build. `Arc` and the
+/// poison/result vocabulary types stay allowed — they carry no
+/// synchronization decision to interpose on.
+pub fn check_sync_confinement(file: &ScannedFile) -> Vec<Violation> {
+    if file.path.starts_with(SYNC_SHIM_DIR) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Inside a multi-line `use std::sync::{…}` group.
+    let mut in_group = false;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        if in_group {
+            let (body, closed) = match code.find('}') {
+                Some(end) => (&code[..end], true),
+                None => (code.as_str(), false),
+            };
+            if !line.in_test_code {
+                flag_disallowed_group_items(&file.path, idx + 1, body, &mut out);
+            }
+            if closed {
+                in_group = false;
+            }
+            continue;
+        }
+        let mut from = 0;
+        while let Some(pos) = code[from..].find("std::sync::") {
+            let start = from + pos;
+            let after = start + "std::sync::".len();
+            from = after;
+            let rest = &code[after..];
+            if let Some(body) = rest.strip_prefix('{') {
+                match body.find('}') {
+                    Some(end) => {
+                        if !line.in_test_code {
+                            flag_disallowed_group_items(
+                                &file.path,
+                                idx + 1,
+                                &body[..end],
+                                &mut out,
+                            );
+                        }
+                    }
+                    None => {
+                        if !line.in_test_code {
+                            flag_disallowed_group_items(&file.path, idx + 1, body, &mut out);
+                        }
+                        in_group = true;
+                    }
+                }
+                continue;
+            }
+            let segment: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if segment.is_empty() || line.in_test_code {
+                continue;
+            }
+            if !SYNC_ALLOWED.contains(&segment.as_str()) {
+                out.push(sync_confinement_violation(&file.path, idx + 1, &segment));
+            }
+        }
+    }
+    out
+}
+
+/// Flags every disallowed identifier in (part of) a `use std::sync::{…}`
+/// group body.
+fn flag_disallowed_group_items(path: &str, line: usize, body: &str, out: &mut Vec<Violation>) {
+    for item in body.split(',') {
+        // `atomic::AtomicUsize as A` → judge the head segment (`atomic`).
+        let head: String = item
+            .trim()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !head.is_empty() && !SYNC_ALLOWED.contains(&head.as_str()) {
+            out.push(sync_confinement_violation(path, line, &head));
+        }
+    }
+}
+
+fn sync_confinement_violation(path: &str, line: usize, name: &str) -> Violation {
+    Violation::new(
+        path,
+        line,
+        Lint::SyncConfinement,
+        format!(
+            "raw `std::sync::{name}` outside `core::sync`: import it from \
+             `core::sync` (`evematch_core::sync`) so `--cfg evematch_model` \
+             builds can interpose the recording scheduler — only {} may be \
+             named directly (or waive with `// tidy-allow: sync-confinement \
+             -- <why the shim cannot serve here>`)",
+            SYNC_ALLOWED.join("/")
+        ),
+    )
+}
+
+/// Counts boundary-checked occurrences of `token` in `code`.
+fn count_token(code: &str, token: &str) -> usize {
+    let mut n = 0;
+    let mut from = 0;
+    while let Some(pos) = find_token(&code[from..], token) {
+        n += 1;
+        from += pos + token.len();
+    }
+    n
+}
+
+/// The identifier bound by a simple `let [mut] name =`/`: …` statement
+/// opener, if this line is one. Pattern bindings (`let Some(x)`,
+/// `let (a, b)`) return `None` — a destructured guard is vanishingly rare
+/// and the lint prefers silence over guessing.
+fn let_binding_name(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        return None;
+    }
+    let after = rest[name.len()..].trim_start();
+    (after.starts_with('=') || after.starts_with(':')).then_some(name)
+}
+
+/// Closure-typed parameter names visible on this line: `name: impl Fn…`
+/// and `name: F`/`name: &F` where the same line also bounds `F: Fn…`.
+/// Lexical and line-local by design — a multi-line `where` clause is out
+/// of reach, which errs toward silence, never toward false positives.
+fn capture_closure_params(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("impl Fn") {
+        let at = from + pos;
+        if let Some(name) = param_name_before_colon(code, at) {
+            out.push(name);
+        }
+        from = at + "impl Fn".len();
+    }
+    // Generic-parameter form: collect `G: Fn…` bounds, then `name: G` params.
+    let mut generics: Vec<String> = Vec::new();
+    for bound in ["Fn(", "Fn<", "FnMut", "FnOnce"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(bound) {
+            let at = from + pos;
+            if let Some(generic) = bound_name_before_colon(code, at) {
+                if !generics.contains(&generic) {
+                    generics.push(generic);
+                }
+            }
+            from = at + bound.len();
+        }
+    }
+    for generic in &generics {
+        let needle = format!(": {generic}");
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(needle.as_str()) {
+            let at = from + pos;
+            let end = at + needle.len();
+            let terminated = matches!(
+                code[end..].chars().next(),
+                None | Some(',' | ')' | '>' | ' ')
+            );
+            if terminated {
+                if let Some(name) = param_name_before_colon(code, at + 1) {
+                    if !out.contains(&name) {
+                        out.push(name);
+                    }
+                }
+            }
+            from = end;
+        }
+    }
+    out
+}
+
+/// The parameter identifier preceding the `:` just before byte `at`
+/// (skipping `&`, `&mut`, and whitespace after the colon).
+fn param_name_before_colon(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 && matches!(bytes[i - 1], b' ' | b'&') {
+        i -= 1;
+    }
+    if i >= 4 && &code[i - 4..i] == "mut " {
+        i -= 4;
+        while i > 0 && matches!(bytes[i - 1], b' ' | b'&') {
+            i -= 1;
+        }
+    }
+    if i == 0 || bytes[i - 1] != b':' {
+        return None;
+    }
+    i -= 1;
+    let mut start = i;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    let name = &code[start..i];
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+        .then(|| name.to_string())
+}
+
+/// The single-segment generic name preceding the `:` just before byte
+/// `at`, e.g. the `F` of `F: FnOnce…`.
+fn bound_name_before_colon(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = at;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    if i == 0 || bytes[i - 1] != b':' {
+        return None;
+    }
+    i -= 1;
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let mut start = i;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    let name = &code[start..i];
+    (!name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+        .then(|| name.to_string())
 }
 
 /// Counts `==`/`!=` operators with a float literal on either side.
@@ -582,23 +1057,35 @@ pub fn check_lints_table(path: &str, manifest: &str) -> Vec<Violation> {
 
 /// Applies the file's waivers to `violations`: suppressed violations are
 /// dropped; unused or malformed waivers become violations themselves.
+///
+/// Staleness is tracked *per lint name*, not per waiver: a
+/// `tidy-allow: no-panic, no-println` comment where only the `no-panic`
+/// half still matches a finding reports the `no-println` half as stale,
+/// so waivers cannot quietly accrete lint names their line no longer
+/// needs.
 pub fn apply_waivers(file: &ScannedFile, violations: Vec<Violation>) -> Vec<Violation> {
     let known: &[&str] = Lint::waivable_names();
-    let mut used = vec![false; file.waivers.len()];
+    let mut used: Vec<Vec<bool>> = file
+        .waivers
+        .iter()
+        .map(|w| vec![false; w.lints.len()])
+        .collect();
     let mut out = Vec::new();
     'violation: for v in violations {
         if v.lint.waivable() {
             for (w_idx, w) in file.waivers.iter().enumerate() {
-                if w.target_line == v.line && w.lints.iter().any(|l| l == v.lint.name()) {
-                    used[w_idx] = true;
-                    continue 'violation;
+                if w.target_line == v.line {
+                    if let Some(l_idx) = w.lints.iter().position(|l| l == v.lint.name()) {
+                        used[w_idx][l_idx] = true;
+                        continue 'violation;
+                    }
                 }
             }
         }
         out.push(v);
     }
     for (w_idx, w) in file.waivers.iter().enumerate() {
-        for lint_name in &w.lints {
+        for (l_idx, lint_name) in w.lints.iter().enumerate() {
             if !known.contains(&lint_name.as_str()) {
                 out.push(Violation::new(
                     &file.path,
@@ -610,19 +1097,18 @@ pub fn apply_waivers(file: &ScannedFile, violations: Vec<Violation>) -> Vec<Viol
                         known.join(", ")
                     ),
                 ));
+            } else if !used[w_idx][l_idx] {
+                out.push(Violation::new(
+                    &file.path,
+                    w.at_line,
+                    Lint::UnusedWaiver,
+                    format!(
+                        "waiver for `{lint_name}` suppressed nothing on line {}: \
+                         remove the stale lint name",
+                        w.target_line
+                    ),
+                ));
             }
-        }
-        if !used[w_idx] && w.lints.iter().any(|l| known.contains(&l.as_str())) {
-            out.push(Violation::new(
-                &file.path,
-                w.at_line,
-                Lint::UnusedWaiver,
-                format!(
-                    "waiver for `{}` suppressed nothing on line {}: remove it",
-                    w.lints.join(", "),
-                    w.target_line
-                ),
-            ));
         }
     }
     for err in &file.waiver_errors {
@@ -963,5 +1449,189 @@ mod tests {
         assert!(f.waivers.is_empty());
         assert!(f.waiver_errors.is_empty());
         assert!(apply_waivers(&f, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn stale_lint_names_within_a_waiver_are_reported_individually() {
+        // `no-panic` still suppresses a finding; `no-println` no longer
+        // matches anything and must be called out as stale on its own.
+        let src =
+            "fn f() {\n  a.unwrap(); // tidy-allow: no-panic, no-println -- startup invariant\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_no_panic(&f));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::UnusedWaiver);
+        assert!(v[0].message.contains("no-println"), "{}", v[0].message);
+        assert!(!v[0].message.contains("no-panic`"), "{}", v[0].message);
+    }
+
+    // ---- T10 ----
+
+    #[test]
+    fn t10_fires_on_unjustified_atomic_orderings_only() {
+        let src = "fn f(n: &AtomicUsize) {\n  n.fetch_add(1, Ordering::Relaxed);\n  if a.cmp(&b) == Ordering::Less {}\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_ordering_justified(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::OrderingJustified);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn t10_accepts_same_line_and_lookback_justifications() {
+        let src = "fn f(n: &AtomicUsize) {\n  n.store(1, Ordering::Release); // ordering: Release — publishes the init\n  // ordering: AcqRel on success pairs with the Acquire loads;\n  // Acquire on failure observes the winner's write.\n  let _ = n.compare_exchange(\n    0,\n    1,\n    Ordering::AcqRel,\n    Ordering::Acquire,\n  );\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_ordering_justified(&f).is_empty());
+    }
+
+    #[test]
+    fn t10_lookback_window_is_bounded_and_tests_are_exempt() {
+        let pad = "  noop();\n".repeat(ORDERING_LOOKBACK + 1);
+        let src = format!(
+            "fn f(n: &AtomicUsize) {{\n  // ordering: Relaxed — too far above\n{pad}  n.load(Ordering::Relaxed);\n}}"
+        );
+        let f = scanned("crates/core/src/x.rs", &src);
+        assert_eq!(check_ordering_justified(&f).len(), 1);
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { n.load(Ordering::Relaxed); }\n}";
+        let t = scanned("crates/core/src/x.rs", test_src);
+        assert!(check_ordering_justified(&t).is_empty());
+    }
+
+    #[test]
+    fn t10_respects_waivers() {
+        let src = "fn f(n: &AtomicUsize) {\n  n.load(Ordering::SeqCst); // tidy-allow: ordering-justified -- exploratory diagnostics counter\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_ordering_justified(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T11 ----
+
+    #[test]
+    fn t11_fires_on_nested_guard_acquisition() {
+        let src = "fn f(&self) {\n  let guard = self.a.lock().unwrap_or_else(PoisonError::into_inner);\n  let other = self.b.lock().unwrap_or_else(PoisonError::into_inner);\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_lock_discipline(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].lint, Lint::LockDiscipline);
+        assert!(v[0].message.contains("`guard`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn t11_fires_on_two_acquisitions_in_one_expression() {
+        let src =
+            "fn f(&self) {\n  let (a, b) = (self.a.lock().unwrap(), self.b.lock().unwrap());\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_lock_discipline(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn t11_drop_and_scope_exit_release_guards() {
+        // Explicit drop, then a block-scoped guard: the later acquisitions
+        // see no live guard and must not fire.
+        let src = "fn f(&self) {\n  let guard = self.a.lock().unwrap();\n  drop(guard);\n  let other = self.b.lock().unwrap();\n}\nfn g(&self) {\n  {\n    let inner = self.a.lock().unwrap();\n  }\n  let after = self.b.lock().unwrap();\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_lock_discipline(&f).is_empty());
+    }
+
+    #[test]
+    fn t11_tracks_multi_line_let_chains() {
+        // The binding and the `.lock()` sit on different physical lines —
+        // the shape `SharedSupportCache` and the sweep journal actually use.
+        let src = "fn f(&self) {\n  let shard = self.shards[i]\n    .read()\n    .unwrap_or_else(PoisonError::into_inner);\n  let other = self.shards[j].read().unwrap_or_else(PoisonError::into_inner);\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_lock_discipline(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`shard`"), "{}", v[0].message);
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn t11_fires_on_closure_call_under_guard() {
+        let src = "fn f(&self, compute: impl Fn() -> u32) {\n  let mut shard = self.shards[i].write().unwrap();\n  shard.insert(k, compute());\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_lock_discipline(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`compute`"), "{}", v[0].message);
+        // Generic-bound form: `F: FnOnce` + `f: F`.
+        let generic = "fn g<F: FnOnce() -> u32>(&self, make: F) {\n  let guard = self.a.lock().unwrap();\n  let v = make();\n}";
+        let g = scanned("crates/core/src/x.rs", generic);
+        assert_eq!(check_lock_discipline(&g).len(), 1);
+        // Calling the closure with no guard held is fine.
+        let free = "fn h(&self, make: impl Fn() -> u32) {\n  let v = make();\n  let guard = self.a.lock().unwrap();\n}";
+        let h = scanned("crates/core/src/x.rs", free);
+        assert!(check_lock_discipline(&h).is_empty());
+    }
+
+    #[test]
+    fn t11_exempts_the_sync_shim_and_respects_waivers() {
+        let nested = "fn f(&self) {\n  let a = self.a.lock().unwrap();\n  let b = self.b.lock().unwrap();\n}";
+        let shim = scanned("crates/core/src/sync/instrumented.rs", nested);
+        assert!(check_lock_discipline(&shim).is_empty());
+        let src = "fn f(&self) {\n  let a = self.a.lock().unwrap();\n  let b = self.b.lock().unwrap(); // tidy-allow: lock-discipline -- a is always taken before b, documented order\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_lock_discipline(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T12 ----
+
+    #[test]
+    fn t12_fires_on_raw_sync_primitives_and_grouped_imports() {
+        let src = "use std::sync::Mutex;\nuse std::sync::atomic::AtomicUsize;\nuse std::sync::{Arc, RwLock};\nfn f() { let c = std::sync::mpsc::channel(); }";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_sync_confinement(&f);
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::SyncConfinement));
+        assert!(v[1].message.contains("atomic"), "{}", v[1].message);
+        assert!(v[2].message.contains("RwLock"), "{}", v[2].message);
+    }
+
+    #[test]
+    fn t12_allows_arc_and_the_poison_vocabulary() {
+        let src = "use std::sync::Arc;\nuse std::sync::{PoisonError, Weak};\nfn f(e: std::sync::TryLockError<()>) {}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_sync_confinement(&f).is_empty());
+    }
+
+    #[test]
+    fn t12_handles_multi_line_grouped_imports() {
+        let src = "use std::sync::{\n  Arc,\n  Mutex,\n};\nfn f() {}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_sync_confinement(&f);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Mutex"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn t12_exempts_the_sync_shim_tests_and_respects_waivers() {
+        let shim = scanned(
+            "crates/core/src/sync/mod.rs",
+            "pub use std::sync::{Condvar, Mutex, RwLock};",
+        );
+        assert!(check_sync_confinement(&shim).is_empty());
+        let test_src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  use std::sync::Mutex;\n}";
+        let t = scanned("crates/core/src/x.rs", test_src);
+        assert!(check_sync_confinement(&t).is_empty());
+        let src = "use std::sync::OnceLock; // tidy-allow: sync-confinement -- process-global registry, set before threads exist\nfn f() {}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = apply_waivers(&f, check_sync_confinement(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn t9_fires_on_thread_builder_and_exempts_the_model_scheduler() {
+        let f = scanned(
+            "crates/core/src/exact.rs",
+            "fn f() { std::thread::Builder::new().spawn(|| {}); }",
+        );
+        assert_eq!(check_no_raw_thread_spawn(&f).len(), 1);
+        let model = scanned(
+            "crates/core/src/sync/model.rs",
+            "fn f() { std::thread::Builder::new().spawn(|| {}); }",
+        );
+        assert!(check_no_raw_thread_spawn(&model).is_empty());
     }
 }

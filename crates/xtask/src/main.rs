@@ -44,6 +44,10 @@ cargo xtask — workspace maintenance tasks
 USAGE:
     cargo xtask tidy        run the static-analysis pass (exit 1 on violations)
     cargo xtask tidy --list print the lint catalogue and exit
+    cargo xtask tidy --format json
+                            emit findings as JSON on stdout
+                            ({\"findings\":[{path,line,lint,message}…],\"count\":N});
+                            exit codes match the plain-text mode
 
 LINTS (see DESIGN.md §6):
     no-panic       T1  no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!
@@ -62,13 +66,37 @@ LINTS (see DESIGN.md §6):
                        crates (bench, core, eval, evematch) INCLUDING src/bin/:
                        route result writes through core::persist::atomic_write
                        so a crash never leaves a torn file under the final name
-    unused-waiver      a tidy-allow waiver that suppressed nothing
+    no-raw-thread-spawn T9 no thread::spawn/thread::scope/thread::Builder outside
+                       core::parpool, core::sync::model, and eval::experiments
+                       (INCLUDING src/bin/): stray threads bypass the
+                       deterministic merge and the cooperative budget
+    ordering-justified T10 every atomic Ordering:: argument carries an
+                       `// ordering:` justification comment on the same line or
+                       within the 10 lines above (memory-ordering contracts:
+                       DESIGN.md §11)
+    lock-discipline    T11 no nested guard acquisition, no two acquisitions in
+                       one expression, no user-supplied closure called while a
+                       guard is held (core::sync itself exempt)
+    sync-confinement   T12 raw std::sync atomics/locks/channels only inside
+                       core::sync; everything else imports the instrumented
+                       shim so --cfg evematch_model builds can interpose
+                       (Arc/Weak and the poison vocabulary stay allowed)
+    unused-waiver      a tidy-allow waiver lint name that suppressed nothing
+                       (tracked per name, so stale names inside multi-lint
+                       waivers are caught too)
     bad-waiver         a tidy-allow waiver that does not parse
 
 WAIVERS:
     <code>  // tidy-allow: <lint>[, <lint>…] -- <justification>
     A waiver on its own line applies to the next code line.
 ";
+
+/// Output shape for `tidy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,7 +105,13 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             ExitCode::SUCCESS
         }
-        Some("tidy") => run_tidy(),
+        Some("tidy") => match parse_format(&args[1..]) {
+            Ok(format) => run_tidy(format),
+            Err(message) => {
+                eprintln!("{message}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -89,27 +123,130 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_tidy() -> ExitCode {
+/// Parses `--format <text|json>` from the arguments after `tidy`.
+fn parse_format(args: &[String]) -> Result<Format, String> {
+    let mut format = Format::Text;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                Some(other) => return Err(format!("unknown format `{other}` (text|json)")),
+                None => return Err("--format needs a value (text|json)".to_string()),
+            },
+            other => return Err(format!("unknown tidy flag `{other}`")),
+        }
+    }
+    Ok(format)
+}
+
+fn run_tidy(format: Format) -> ExitCode {
     let root = workspace_root();
     if let Err(message) = tidy::verify_scopes(&root) {
         eprintln!("tidy: {message}");
         return ExitCode::FAILURE;
     }
     match tidy::run(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("tidy: workspace is clean");
-            ExitCode::SUCCESS
-        }
         Ok(violations) => {
-            for v in &violations {
-                println!("{}", render(v));
+            match format {
+                Format::Text => {
+                    if violations.is_empty() {
+                        println!("tidy: workspace is clean");
+                    } else {
+                        for v in &violations {
+                            println!("{}", render(v));
+                        }
+                        println!("\ntidy: {} violation(s)", violations.len());
+                    }
+                }
+                Format::Json => println!("{}", render_json(&violations)),
             }
-            println!("\ntidy: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(message) => {
             eprintln!("tidy: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Renders the findings as a single-line JSON document. Hand-rolled
+/// because xtask is dependency-free by design; the escaper covers
+/// everything [`json_escape`] documents, which is everything a path,
+/// lint name, or lint message can contain.
+fn render_json(violations: &[Violation]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (idx, v) in violations.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&v.path),
+            v.line,
+            v.lint.name(),
+            json_escape(&v.message)
+        ));
+    }
+    out.push_str(&format!("],\"count\":{}}}", violations.len()));
+    out
+}
+
+/// Escapes a string for a JSON string literal: `"`, `\`, and control
+/// characters (as `\n`/`\t`/`\r` or `\u00XX`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lints::Lint;
+
+    #[test]
+    fn json_rendering_escapes_and_counts() {
+        let violations = vec![Violation {
+            path: "crates/core/src/x.rs".to_string(),
+            line: 3,
+            lint: Lint::NoPanic,
+            message: "uses `panic!(\"boom\")`\nbadly".to_string(),
+        }];
+        let doc = render_json(&violations);
+        assert_eq!(
+            doc,
+            "{\"findings\":[{\"path\":\"crates/core/src/x.rs\",\"line\":3,\
+             \"lint\":\"no-panic\",\"message\":\"uses `panic!(\\\"boom\\\")`\\nbadly\"}],\
+             \"count\":1}"
+        );
+        assert_eq!(render_json(&[]), "{\"findings\":[],\"count\":0}");
+    }
+
+    #[test]
+    fn format_flag_parses_and_rejects_unknowns() {
+        assert_eq!(parse_format(&[]), Ok(Format::Text));
+        let json = ["--format".to_string(), "json".to_string()];
+        assert_eq!(parse_format(&json), Ok(Format::Json));
+        let text = ["--format".to_string(), "text".to_string()];
+        assert_eq!(parse_format(&text), Ok(Format::Text));
+        assert!(parse_format(&["--format".to_string()]).is_err());
+        assert!(parse_format(&["--format".to_string(), "yaml".to_string()]).is_err());
+        assert!(parse_format(&["--bogus".to_string()]).is_err());
     }
 }

@@ -210,6 +210,37 @@ fn every_method_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// Oversubscription transparency: a thread count far above the host's
+/// parallelism (32 workers on the CI containers' 1–4 cores) forces the OS
+/// to time-slice workers mid-batch, maximally perturbing claim order on
+/// the shared `ClaimCursor` — and the in-order merge must still make the
+/// outputs byte-identical to sequential. This is the real-thread
+/// companion to the bounded-schedule claim-cursor proof in
+/// `crates/modelcheck`: the model checker shows no schedule can
+/// double-assign or skip; this shows the merge erases whatever schedule
+/// the OS actually picks, even a pathological one.
+#[test]
+fn oversubscribed_thread_counts_stay_byte_identical() {
+    const OVERSUBSCRIBED: usize = 32;
+    let ds = project_dataset(&datasets::real_like_sized(60, 60, 17), 6);
+    for budget in [
+        Budget::UNLIMITED.with_processed_cap(50_000),
+        Budget::UNLIMITED.with_processed_cap(9),
+    ] {
+        for m in ALL_METHODS {
+            let sequential = run_fp(&m.run_with(&ds.pair, &ds.patterns, budget, 1, None));
+            let oversubscribed =
+                run_fp(&m.run_with(&ds.pair, &ds.patterns, budget, OVERSUBSCRIBED, None));
+            assert_eq!(
+                oversubscribed,
+                sequential,
+                "{} at {OVERSUBSCRIBED} threads diverged from sequential (budget {budget:?})",
+                m.name()
+            );
+        }
+    }
+}
+
 /// Sharing a support cache across methods must not change results: a warm
 /// shared cache changes *when* supports are computed (so scan and hit
 /// counters legitimately differ from a cold run), never the mapping, score
