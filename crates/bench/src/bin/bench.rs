@@ -16,7 +16,8 @@
 //!
 //! * seq-vs-parallel wall-clock and the full deterministic scan counters
 //!   (`eval.log_scans`, `frequency.*`) for both runs — the deterministic
-//!   sections must be byte-identical, and the bench exits with code 3 if
+//!   sections must be byte-identical, and the bench prints the first
+//!   diverging metric key (with both values) and exits with code 3 if
 //!   they are not;
 //! * `parpool.batches` / `parpool.steals` execution-shape facts for the
 //!   parallel run;
@@ -75,6 +76,31 @@ fn timed_run(
 
 fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
     snap.counters.get(name).copied().unwrap_or(0)
+}
+
+/// The first key (in section, then key order) whose value differs between
+/// the two deterministic sections, with both values rendered — so a
+/// determinism regression names the diverging metric instead of forcing a
+/// JSON-blob eyeball diff. Returns `(section.key, seq value, par value)`;
+/// a key missing on one side renders as `<absent>`.
+fn first_divergence(
+    seq: &MetricsSnapshot,
+    par: &MetricsSnapshot,
+) -> Option<(String, String, String)> {
+    fn diff_maps<V: PartialEq + std::fmt::Debug>(
+        section: &str,
+        a: &std::collections::BTreeMap<String, V>,
+        b: &std::collections::BTreeMap<String, V>,
+    ) -> Option<(String, String, String)> {
+        let render = |v: Option<&V>| v.map_or_else(|| "<absent>".into(), |v| format!("{v:?}"));
+        a.keys()
+            .chain(b.keys())
+            .find(|k| a.get(*k) != b.get(*k))
+            .map(|k| (format!("{section}.{k}"), render(a.get(k)), render(b.get(k))))
+    }
+    diff_maps("counters", &seq.counters, &par.counters)
+        .or_else(|| diff_maps("gauges", &seq.gauges, &par.gauges))
+        .or_else(|| diff_maps("histograms", &seq.histograms, &par.histograms))
 }
 
 fn info(snap: &MetricsSnapshot, name: &str) -> u64 {
@@ -194,6 +220,14 @@ fn run_parpool() -> ExitCode {
 
     if !identical {
         eprintln!("error: parallel deterministic section diverged from sequential");
+        match first_divergence(seq.out.metrics(), par.out.metrics()) {
+            Some((key, seq_v, par_v)) => {
+                eprintln!("  first divergence: {key}\n    seq: {seq_v}\n    par: {par_v}");
+            }
+            // The JSON strings differed but the typed maps agree — the
+            // serializer itself is non-deterministic, which is its own bug.
+            None => eprintln!("  (no diverging key: serialization is non-deterministic)"),
+        }
         return ExitCode::from(3);
     }
     ExitCode::SUCCESS

@@ -18,11 +18,17 @@
 //! * `EVEMATCH_RESUME` (or the `--resume` flag on any `repro_*` binary) —
 //!   checkpoint each completed sweep job to `<out>/<figure>.journal` and
 //!   replay completed jobs on rerun, so a killed reproduction resumes
-//!   instead of starting over.
+//!   instead of starting over;
+//! * `EVEMATCH_FAULT_SCHEDULE` / `EVEMATCH_FAULT_SEED` — arm the
+//!   deterministic failpoint registry (`evematch_core::fault`) for chaos
+//!   runs; when armed, the grid's fault telemetry is saved as
+//!   `<out>/fault_telemetry.json` so CI can assert the injected faults
+//!   were actually hit and recovered.
 //!
 //! Every artifact is written atomically (temp file + fsync + rename, see
-//! `evematch_core::persist`), and the binaries exit with code 2 when an
-//! artifact cannot be written.
+//! `evematch_core::persist`); transient write failures retry under the
+//! default backoff policy, and the binaries exit with code 2 when an
+//! artifact still cannot be written.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -31,6 +37,7 @@ use std::io::{self, Write};
 use std::path::PathBuf;
 use std::time::Duration;
 
+use evematch_core::retry::{RealClock, RetryPolicy};
 use evematch_core::Budget;
 use evematch_eval::experiments::{FigureResult, SweepConfig};
 use evematch_eval::Table;
@@ -43,8 +50,28 @@ fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-/// The sweep configuration derived from the environment.
+/// Arms the deterministic failpoint registry from
+/// `EVEMATCH_FAULT_SCHEDULE` / `EVEMATCH_FAULT_SEED` (see
+/// `evematch_core::fault` for the spec grammar); a no-op when the
+/// schedule variable is unset. Returns whether a schedule is armed.
+///
+/// # Panics
+/// On a malformed schedule spec: silently running the fault-free grid
+/// would make a chaos run vacuous.
+pub fn arm_faults_from_env() -> bool {
+    let Ok(spec) = std::env::var("EVEMATCH_FAULT_SCHEDULE") else {
+        return false;
+    };
+    let seed = env_or("EVEMATCH_FAULT_SEED", 0u64);
+    evematch_core::fault::arm(&spec, seed).expect("EVEMATCH_FAULT_SCHEDULE must parse");
+    true
+}
+
+/// The sweep configuration derived from the environment. Also arms the
+/// failpoint registry when the chaos env knobs are set, so every
+/// `repro_*` binary honors them without per-binary wiring.
 pub fn sweep_config() -> SweepConfig {
+    arm_faults_from_env();
     let seeds: Vec<u64> = std::env::var("EVEMATCH_SEEDS").map_or_else(
         |_| vec![11, 23, 37],
         |s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
@@ -65,6 +92,7 @@ pub fn sweep_config() -> SweepConfig {
         } else {
             None
         },
+        retry: RetryPolicy::io_default(),
     }
 }
 
@@ -95,8 +123,27 @@ pub fn out_dir() -> io::Result<PathBuf> {
 pub fn emit(out: &mut dyn Write, table: &Table, stem: &str) -> io::Result<()> {
     writeln!(out, "{table}")?;
     let path = out_dir()?.join(format!("{stem}.csv"));
-    evematch_core::persist::atomic_write_with(&path, |w| table.write_csv(w))?;
+    write_artifact(&path, |p| {
+        evematch_core::persist::atomic_write_with(p, |w| table.write_csv(w))
+    })?;
     writeln!(out, "wrote {}", path.display())
+}
+
+/// Writes one artifact through the supervised retry path: transient
+/// failures (a flaky disk, an injected fault) back off and retry under
+/// the default policy before the typed, attempt-annotated error is
+/// surfaced to the binary's exit-code-2 path.
+fn write_artifact(path: &PathBuf, write: impl FnMut(&PathBuf) -> io::Result<()>) -> io::Result<()> {
+    let mut write = write;
+    let mut clock = RealClock;
+    evematch_core::retry::retry_io(
+        &RetryPolicy::io_default(),
+        "bench.artifact",
+        &mut clock,
+        || write(path),
+    )
+    .map(|_| ())
+    .map_err(evematch_core::retry::RetryExhausted::into_io)
 }
 
 /// Writes all panels of a figure to `out` and the output dir, plus the
@@ -108,8 +155,37 @@ pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) -> io::R
     emit(out, &fig.time, &format!("{stem}b_time"))?;
     emit(out, &fig.processed, &format!("{stem}c_processed"))?;
     let path = out_dir()?.join(format!("{stem}_metrics.json"));
-    evematch_core::persist::atomic_write(&path, (figure_metrics_json(fig) + "\n").as_bytes())?;
-    writeln!(out, "wrote {}", path.display())
+    write_artifact(&path, |p| {
+        evematch_core::persist::atomic_write(p, (figure_metrics_json(fig) + "\n").as_bytes())
+    })?;
+    writeln!(out, "wrote {}", path.display())?;
+    if evematch_core::fault::is_armed() {
+        let path = out_dir()?.join("fault_telemetry.json");
+        write_artifact(&path, |p| {
+            evematch_core::persist::atomic_write(p, (fault_telemetry_json() + "\n").as_bytes())
+        })?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
+    Ok(())
+}
+
+/// The registry's fault telemetry (`fault.injected.*` / `fault.retries.*`
+/// / `fault.exhausted.*`) as one flat JSON object — the chaos CI job's
+/// evidence that injected faults were actually hit and recovered rather
+/// than silently skipped.
+pub fn fault_telemetry_json() -> String {
+    let mut out = String::from("{");
+    for (i, (key, n)) in evematch_core::fault::telemetry().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        push_escaped(&mut out, key);
+        out.push_str("\":");
+        out.push_str(&n.to_string());
+    }
+    out.push('}');
+    out
 }
 
 /// The figure's merged per-method telemetry as one JSON object keyed by
@@ -122,17 +198,22 @@ pub fn figure_metrics_json(fig: &FigureResult) -> String {
             out.push(',');
         }
         out.push('"');
-        for c in name.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
+        push_escaped(&mut out, name);
         out.push_str("\":");
         out.push_str(&snap.to_json_string());
     }
     out.push('}');
     out
+}
+
+/// JSON string-escapes `s` into `out` (quotes, backslashes, controls).
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
 }

@@ -40,11 +40,13 @@ pub mod budget;
 mod context;
 mod evaluator;
 mod exact;
+pub mod fault;
 pub mod hardness;
 mod heuristic;
 mod mapping;
 pub mod parpool;
 pub mod persist;
+pub mod retry;
 pub mod score;
 pub mod sync;
 pub mod telemetry;

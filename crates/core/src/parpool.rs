@@ -101,8 +101,23 @@ where
         batches: 1,
         steals: 0,
     };
+    // Failpoint `parpool.worker`: an armed `panic` action here simulates a
+    // worker crash (caught and retried by the grid supervisor upstream); a
+    // `delay` action simulates a stalled worker.
+    let worker_faultpoint = || {
+        if let Some(action) = crate::fault::hit("parpool.worker") {
+            crate::fault::apply_infallible("parpool.worker", action);
+        }
+    };
     if threads <= 1 || items.len() <= 1 {
-        return (items.iter().map(&f).collect(), stats);
+        let out = items
+            .iter()
+            .map(|item| {
+                worker_faultpoint();
+                f(item)
+            })
+            .collect();
+        return (out, stats);
     }
     let workers = threads.min(items.len());
     let cursor = ClaimCursor::new(items.len());
@@ -114,6 +129,7 @@ where
                 scope.spawn(|| {
                     let mut got: Vec<(usize, R)> = Vec::new();
                     while let Some(i) = cursor.claim() {
+                        worker_faultpoint();
                         got.push((i, f(&items[i])));
                     }
                     got

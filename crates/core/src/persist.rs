@@ -37,6 +37,7 @@ fn temp_sibling(path: &Path) -> PathBuf {
 fn sync_parent_dir(path: &Path) {
     if let Some(parent) = path.parent() {
         if let Ok(dir) = fs::File::open(parent) {
+            // tidy-allow: no-unclassified-io -- best-effort durability hint; atomicity holds without it
             let _ = dir.sync_all();
         }
     }
@@ -61,17 +62,22 @@ pub fn atomic_write_with(
     let path = path.as_ref();
     let tmp = temp_sibling(path);
     let result = (|| {
+        crate::faultpoint!("persist.create_temp");
         // tidy-allow: no-raw-artifact-write -- this is the atomic_write implementation itself
         let file = fs::File::create(&tmp)?;
         let mut buf = io::BufWriter::new(file);
+        crate::faultpoint!("persist.write");
         fill(&mut buf)?;
         buf.flush()?;
+        crate::faultpoint!("persist.fsync");
         buf.get_ref().sync_all()?;
+        crate::faultpoint!("persist.rename");
         fs::rename(&tmp, path)?;
         sync_parent_dir(path);
         Ok(())
     })();
     if result.is_err() {
+        // tidy-allow: no-unclassified-io -- cleanup of the temp sibling; the primary error is already propagating
         let _ = fs::remove_file(&tmp);
     }
     result
@@ -99,7 +105,23 @@ pub fn append_line_durable(path: impl AsRef<Path>, line: &str) -> io::Result<()>
     let mut buf = Vec::with_capacity(line.len() + 1);
     buf.extend_from_slice(line.as_bytes());
     buf.push(b'\n');
+    // Failpoint `persist.append`: `torn` writes a newline-less prefix of
+    // the payload and then fails transiently — exactly the on-disk state a
+    // crash mid-append leaves behind, which journal readers must tolerate.
+    match crate::fault::hit("persist.append") {
+        Some(crate::fault::FaultAction::Torn) => {
+            file.write_all(&buf[..buf.len() / 2])?;
+            file.sync_all()?;
+            return Err(crate::fault::injected_error(
+                "persist.append",
+                crate::fault::FaultClass::Transient,
+            ));
+        }
+        Some(action) => crate::fault::apply_io("persist.append", action)?,
+        None => {}
+    }
     file.write_all(&buf)?;
+    crate::faultpoint!("persist.append_fsync");
     file.sync_all()
 }
 

@@ -12,6 +12,8 @@ use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
 use std::time::Duration;
 
+use evematch_core::fault::{self, FaultClass};
+use evematch_core::retry::{Clock, RealClock, RetryPolicy};
 use evematch_core::{Budget, Mapping, MetricsSnapshot};
 use evematch_datagen::{datasets, Dataset};
 
@@ -44,6 +46,11 @@ pub struct SweepConfig {
     /// resume after a kill (their `--resume` flag). `None` disables
     /// checkpointing.
     pub checkpoint: Option<PathBuf>,
+    /// Supervisor retry policy for transient cell failures (worker
+    /// panics, injected `grid.cell` faults) and journal appends: bounded
+    /// exponential backoff, then the cell is quarantined as a typed DNF.
+    /// `RetryPolicy::no_retries()` restores the pre-supervisor behavior.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SweepConfig {
@@ -57,6 +64,7 @@ impl Default for SweepConfig {
             eval_threads: 1,
             traces: 3000,
             checkpoint: None,
+            retry: RetryPolicy::io_default(),
         }
     }
 }
@@ -137,9 +145,58 @@ impl Cell {
     }
 }
 
+/// Runs one supervised unit of grid work (dataset generation or a single
+/// method run). Each attempt first consults the `grid.cell` failpoint,
+/// then runs `op` behind `catch_unwind`. Worker panics and injected
+/// faults that classify as [`FaultClass::Transient`] are retried under
+/// `retry`'s bounded exponential backoff; when the attempt budget is
+/// spent — or the fault is permanent/corrupt, where retrying is futile —
+/// the unit is quarantined and the typed DNF record to use is returned as
+/// the `Err`. On success, the number of retries it took rides along so
+/// the cell's record can carry `fault.retries.grid.cell`.
+fn supervise<T>(retry: &RetryPolicy, op: impl Fn() -> T) -> Result<(T, u64), Box<MethodRecord>> {
+    let mut clock = RealClock;
+    let mut retries: u32 = 0;
+    loop {
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fault::io_guard("grid.cell").map_err(|e| fault::classify_io(&e))?;
+            Ok(op())
+        }));
+        // A panic is a crashed worker: routinely transient (the rerun sees
+        // a fresh world), so it shares the transient retry path.
+        let (class, panicked) = match attempt {
+            Ok(Ok(value)) => {
+                fault::note_retries("grid.cell", u64::from(retries));
+                return Ok((value, u64::from(retries)));
+            }
+            Ok(Err(class)) => (class, false),
+            Err(_) => (FaultClass::Transient, true),
+        };
+        if class == FaultClass::Transient && retries + 1 < retry.max_attempts.max(1) {
+            clock.sleep(retry.backoff(retries));
+            retries += 1;
+            continue;
+        }
+        fault::note_retries("grid.cell", u64::from(retries));
+        fault::note_exhausted("grid.cell");
+        let mut rec = if panicked {
+            MethodRecord::panicked()
+        } else {
+            MethodRecord::quarantined(class, u64::from(retries))
+        };
+        if panicked && retries > 0 {
+            rec.metrics
+                .set_counter("fault.retries.grid.cell", u64::from(retries));
+        }
+        // Boxed: the DNF record is cold-path and much larger than `T`.
+        return Err(Box::new(rec));
+    }
+}
+
 /// One `(x, seed)` job: dataset generation plus every method's run, each
-/// behind `catch_unwind` so a panicking solver (or generator) degrades
-/// its own record to a marked DNF instead of killing the other methods'
+/// a supervised unit (see [`supervise`]) so a panicking solver (or
+/// generator) is retried a bounded number of times and then degrades its
+/// own record to a typed DNF instead of killing the other methods'
 /// results or poisoning the grid's locks.
 fn run_job(
     x: usize,
@@ -147,10 +204,12 @@ fn run_job(
     methods: &[Method],
     budget: Budget,
     eval_threads: usize,
+    retry: &RetryPolicy,
     make: &(impl Fn(usize, u64) -> Dataset + Sync),
 ) -> Vec<MethodRecord> {
-    let Ok(ds) = std::panic::catch_unwind(AssertUnwindSafe(|| make(x, seed))) else {
-        return methods.iter().map(|_| MethodRecord::panicked()).collect();
+    let ds = match supervise(retry, || make(x, seed)) {
+        Ok((ds, _)) => ds,
+        Err(rec) => return methods.iter().map(|_| (*rec).clone()).collect(),
     };
     // One support-cache pool per cell: methods run in a fixed order, so
     // the cache contents every method observes are deterministic, and a
@@ -160,10 +219,18 @@ fn run_job(
     methods
         .iter()
         .map(|m| {
-            std::panic::catch_unwind(AssertUnwindSafe(|| {
+            match supervise(retry, || {
                 m.run_with(&ds.pair, &ds.patterns, budget, eval_threads, Some(&pool))
-            }))
-            .map_or_else(|_| MethodRecord::panicked(), |out| MethodRecord::of(&out))
+            }) {
+                Ok((out, retries)) => {
+                    let mut rec = MethodRecord::of(&out);
+                    if retries > 0 {
+                        rec.metrics.set_counter("fault.retries.grid.cell", retries);
+                    }
+                    rec
+                }
+                Err(rec) => *rec,
+            }
         })
         .collect()
 }
@@ -223,13 +290,38 @@ pub fn run_grid(
                 let Some(&(xi, seed)) = jobs.get(i) else {
                     break;
                 };
-                let records = run_job(xs[xi], seed, methods, cfg.budget, cfg.eval_threads, &make);
+                let records = run_job(
+                    xs[xi],
+                    seed,
+                    methods,
+                    cfg.budget,
+                    cfg.eval_threads,
+                    &cfg.retry,
+                    &make,
+                );
                 if let Some(path) = &journal {
                     let line = checkpoint::journal_line(&fingerprint, xs[xi], seed, &records);
                     let guard = journal_append
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner);
-                    let _ = evematch_core::persist::append_line_durable(path, &line);
+                    // Supervised best-effort: transient append failures
+                    // (including injected torn writes) seal whatever torn
+                    // bytes they left and retry under backoff, so a flaky
+                    // disk costs milliseconds instead of a recompute on
+                    // resume. A permanently unwritable journal still must
+                    // not take down the run — the grid keeps its results.
+                    let mut clock = RealClock;
+                    let _ = evematch_core::retry::retry_io(
+                        &cfg.retry,
+                        "journal.append",
+                        &mut clock,
+                        || {
+                            evematch_core::persist::append_line_durable(path, &line).map_err(|e| {
+                                checkpoint::seal_torn_tail(path);
+                                e
+                            })
+                        },
+                    );
                     drop(guard);
                 }
                 results
@@ -532,6 +624,7 @@ mod tests {
             eval_threads: 1,
             traces: 60,
             checkpoint: None,
+            retry: RetryPolicy::io_default(),
         }
     }
 
@@ -596,6 +689,7 @@ mod tests {
             eval_threads: 1,
             traces: 40,
             checkpoint: dir,
+            retry: RetryPolicy::io_default(),
         }
     }
 
@@ -695,6 +789,9 @@ mod tests {
             eval_threads: 1,
             traces: 20,
             checkpoint: None,
+            // No retries: the generator panics deterministically, so the
+            // test asserts the quarantine outcome without backoff waits.
+            retry: RetryPolicy::no_retries(),
         };
         let fig = run_grid(
             "FigP",

@@ -51,6 +51,14 @@
 //!                            the mapping lines and, on degraded runs, the
 //!                            machine-readable `# degraded` header, which
 //!                            is always emitted
+//!     --fault-schedule <S>   arm the deterministic failpoint registry with
+//!                            a schedule spec (see `core::fault`; e.g.
+//!                            `ingest.read=fail-transient x1`); injected
+//!                            faults surface through the same typed
+//!                            transient/permanent/corrupt taxonomy and
+//!                            retry/error paths as real ones
+//!     --fault-seed <N>       seed for the schedule's `%permille`
+//!                            probability draws (default: 0)
 //! ```
 //!
 //! Budgets apply to every `--method`, not only the exact search. When a
@@ -92,6 +100,8 @@ struct Options {
     trace_out: Option<String>,
     progress: bool,
     quiet: bool,
+    fault_schedule: Option<String>,
+    fault_seed: u64,
     logs: Vec<String>,
 }
 
@@ -113,6 +123,8 @@ fn parse_args() -> Result<Options, String> {
         trace_out: None,
         progress: false,
         quiet: false,
+        fault_schedule: None,
+        fault_seed: 0,
         logs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -182,6 +194,12 @@ fn parse_args() -> Result<Options, String> {
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
             "--progress" => opts.progress = true,
             "--quiet" => opts.quiet = true,
+            "--fault-schedule" => opts.fault_schedule = Some(value("--fault-schedule")?),
+            "--fault-seed" => {
+                opts.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err("help".into());
             }
@@ -221,7 +239,12 @@ fn ingest_options(opts: &Options) -> IngestOptions {
 
 fn load_log(path: &str, format: Option<&str>, ingest: &IngestOptions) -> Result<Ingest, String> {
     let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let reader = BufReader::new(file);
+    // The `ingest.read` failpoint wraps the reader here (rather than
+    // inside `eventlog`, which sits below `core` in the crate DAG), so an
+    // armed schedule can inject transient/corrupt read errors into
+    // ingestion; when disarmed the wrapper is a single relaxed load per
+    // buffer refill.
+    let reader = fault::FaultyRead::new(BufReader::new(file), "ingest.read");
     let is_csv = match format {
         Some("csv") => true,
         Some("text") => false,
@@ -250,6 +273,9 @@ fn load_patterns(path: &str, log1: &EventLog) -> Result<Vec<Pattern>, String> {
 
 /// Whether the run finished within budget (`false` = degraded result).
 fn run(opts: &Options) -> Result<bool, String> {
+    if let Some(spec) = &opts.fault_schedule {
+        fault::arm(spec, opts.fault_seed).map_err(|e| format!("--fault-schedule: {e}"))?;
+    }
     let ingest = ingest_options(opts);
     let in1 = load_log(&opts.logs[0], opts.format.as_deref(), &ingest)?;
     let in2 = load_log(&opts.logs[1], opts.format.as_deref(), &ingest)?;
@@ -308,7 +334,9 @@ fn run(opts: &Options) -> Result<bool, String> {
     if let Some(path) = &opts.metrics_out {
         // Fold the ingestion quarantine counts into the run's snapshot so
         // one artifact tells the whole story (merge adds counters, so the
-        // two logs' counts accumulate).
+        // two logs' counts accumulate). When a fault schedule is armed,
+        // the fault telemetry rides along the same way — the evidence
+        // that injected faults were hit and recovered, not skipped.
         let mut snap = outcome.metrics.clone();
         for q in [&in1.quarantine, &in2.quarantine] {
             let mut tmp = MetricsSnapshot::default();
@@ -317,12 +345,21 @@ fn run(opts: &Options) -> Result<bool, String> {
             }
             snap.merge(&tmp);
         }
-        persist::atomic_write(path, (snap.to_json_string() + "\n").as_bytes())
-            .map_err(|e| format!("{path}: {e}"))?;
+        if fault::is_armed() {
+            let mut tmp = MetricsSnapshot::default();
+            for (name, n) in fault::telemetry() {
+                tmp.set_counter(&name, n);
+            }
+            snap.merge(&tmp);
+        }
+        write_artifact(path, |p| {
+            persist::atomic_write(p, (snap.to_json_string() + "\n").as_bytes())
+        })?;
     }
     if let Some(path) = &opts.trace_out {
-        persist::atomic_write_with(path, |w| outcome.trace.write_jsonl(w))
-            .map_err(|e| format!("{path}: {e}"))?;
+        write_artifact(path, |p| {
+            persist::atomic_write_with(p, |w| outcome.trace.write_jsonl(w))
+        })?;
     }
 
     if let Some(gap) = outcome.completion.optimality_gap() {
@@ -339,6 +376,25 @@ fn run(opts: &Options) -> Result<bool, String> {
         );
     }
     Ok(outcome.completion.is_finished())
+}
+
+/// Writes one CLI artifact through the supervised retry path: transient
+/// failures (real or injected) back off and retry under the default
+/// policy before the typed, attempt-annotated error reaches the exit-1
+/// path.
+fn write_artifact(
+    path: &str,
+    mut write: impl FnMut(&str) -> std::io::Result<()>,
+) -> Result<(), String> {
+    let mut clock = retry::RealClock;
+    retry::retry_io(
+        &retry::RetryPolicy::io_default(),
+        "cli.artifact",
+        &mut clock,
+        || write(path),
+    )
+    .map(|_| ())
+    .map_err(|e| format!("{path}: {}", e.into_io()))
 }
 
 /// A stderr heartbeat printed about once a second while the solver runs
@@ -413,7 +469,8 @@ fn main() -> ExitCode {
                  [--patterns FILE] [--format text|csv] [--bound simple|tight] \
                  [--lenient] [--max-events N] [--max-traces N] [--max-trace-len N] \
                  [--max-line-bytes N] [--limit-secs N] [--limit-processed N] \
-                 [--metrics-out FILE] [--trace-out FILE] [--progress] [--quiet] LOG1 LOG2"
+                 [--metrics-out FILE] [--trace-out FILE] [--progress] [--quiet] \
+                 [--fault-schedule SPEC] [--fault-seed N] LOG1 LOG2"
             );
             if msg == "help" {
                 ExitCode::SUCCESS

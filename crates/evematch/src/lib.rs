@@ -61,10 +61,10 @@ pub use evematch_pattern as pattern;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use evematch_core::{
-        assignment, hardness, persist, score, telemetry, AdvancedHeuristic, BoundKind, Budget,
-        Completion, EntropyMatcher, EvalConfig, ExactMatcher, Exhaustion, IterativeMatcher,
-        Mapping, MatchContext, MatchOutcome, MetricsSnapshot, PatternSetBuilder, SearchError,
-        SharedSupportCache, SimpleHeuristic, Telemetry, TraceBuffer, TraceEvent,
+        assignment, fault, hardness, persist, retry, score, telemetry, AdvancedHeuristic,
+        BoundKind, Budget, Completion, EntropyMatcher, EvalConfig, ExactMatcher, Exhaustion,
+        IterativeMatcher, Mapping, MatchContext, MatchOutcome, MetricsSnapshot, PatternSetBuilder,
+        SearchError, SharedSupportCache, SimpleHeuristic, Telemetry, TraceBuffer, TraceEvent,
     };
     pub use evematch_datagen::{
         datasets, heterogenize, Block, Dataset, HeterogenizeConfig, LogPair, ProcessModel,

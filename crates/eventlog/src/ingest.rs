@@ -563,6 +563,54 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_cap_boundary_exactly_at_cap_stores_everything() {
+        // Exactly MAX_QUARANTINE_ENTRIES records: every entry is stored
+        // verbatim and the render claims no truncation.
+        let mut q = Quarantine::new();
+        for i in 0..MAX_QUARANTINE_ENTRIES {
+            q.record(QuarantineEntry {
+                line: i + 1,
+                byte_offset: 0,
+                cause: QuarantineCause::InvalidUtf8,
+                excerpt: String::new(),
+            });
+        }
+        assert_eq!(q.entries().len(), MAX_QUARANTINE_ENTRIES);
+        assert_eq!(q.total(), MAX_QUARANTINE_ENTRIES as u64);
+        assert_eq!(
+            q.entries().last().map(|e| e.line),
+            Some(MAX_QUARANTINE_ENTRIES)
+        );
+        assert!(
+            !q.render().contains("more not stored"),
+            "at exactly the cap nothing was dropped, so the render must not claim truncation"
+        );
+    }
+
+    #[test]
+    fn quarantine_cap_boundary_one_over_drops_only_the_last() {
+        // One past the cap: the first MAX_QUARANTINE_ENTRIES entries stay
+        // verbatim (the overflow entry is the one not stored), the total
+        // stays exact, and the render discloses the truncation.
+        let mut q = Quarantine::new();
+        for i in 0..=MAX_QUARANTINE_ENTRIES {
+            q.record(QuarantineEntry {
+                line: i + 1,
+                byte_offset: 0,
+                cause: QuarantineCause::InvalidUtf8,
+                excerpt: String::new(),
+            });
+        }
+        assert_eq!(q.entries().len(), MAX_QUARANTINE_ENTRIES);
+        assert_eq!(q.total(), MAX_QUARANTINE_ENTRIES as u64 + 1);
+        assert_eq!(
+            q.entries().last().map(|e| e.line),
+            Some(MAX_QUARANTINE_ENTRIES)
+        );
+        assert!(q.render().contains("more not stored"));
+    }
+
+    #[test]
     fn limit_exceeded_displays_all_fields() {
         let e = LimitExceeded {
             kind: LimitKind::Events,

@@ -1,4 +1,4 @@
-//! The tidy lints (T1–T9) and the waiver machinery.
+//! The tidy lints (T1–T13) and the waiver machinery.
 //!
 //! Each lint is a pure function from a scanned file (or manifest text) to
 //! violations, so the unit tests below can drive them with inline
@@ -100,6 +100,15 @@ pub const ORDERING_LOOKBACK: usize = 10;
 /// exactly where artifact writes tend to creep in.
 pub const ARTIFACT_WRITE_CRATES: &[&str] = &["bench", "core", "eval", "evematch"];
 
+/// Crates whose runtime source must classify every swallowed I/O error
+/// (lint T13). A `.ok()` / `let _ =` on an I/O result erases the
+/// [`core::fault`] taxonomy: the caller can no longer tell a transient
+/// hiccup (retry it) from a permanent failure (surface it) from
+/// corruption (quarantine it). Swallowing is sometimes right — a
+/// best-effort parent-dir fsync, a telemetry write — but each such site
+/// carries a waiver saying *why* the class does not matter there.
+pub const IO_CLASSIFIED_CRATES: &[&str] = &["bench", "core", "eval", "evematch"];
+
 /// A tidy lint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
@@ -125,6 +134,10 @@ pub enum Lint {
     LockDiscipline,
     /// T12: raw `std::sync` atomics/locks only inside `core::sync`.
     SyncConfinement,
+    /// T13: no silently swallowed I/O errors in the fault-classified
+    /// crates — every discarded `io::Result` routes through the
+    /// `core::fault` taxonomy or carries a waiver.
+    UnclassifiedIo,
     /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
     CrateAttrs,
     /// T5: every crate manifest inherits `[workspace.lints]`.
@@ -149,6 +162,7 @@ impl Lint {
             Lint::OrderingJustified => "ordering-justified",
             Lint::LockDiscipline => "lock-discipline",
             Lint::SyncConfinement => "sync-confinement",
+            Lint::UnclassifiedIo => "no-unclassified-io",
             Lint::CrateAttrs => "crate-attrs",
             Lint::LintsTable => "lints-table",
             Lint::UnusedWaiver => "unused-waiver",
@@ -170,6 +184,7 @@ impl Lint {
                 | Lint::OrderingJustified
                 | Lint::LockDiscipline
                 | Lint::SyncConfinement
+                | Lint::UnclassifiedIo
         )
     }
 
@@ -186,6 +201,7 @@ impl Lint {
             "ordering-justified",
             "lock-discipline",
             "sync-confinement",
+            "no-unclassified-io",
         ]
     }
 }
@@ -775,6 +791,89 @@ fn sync_confinement_violation(path: &str, line: usize, name: &str) -> Violation 
             SYNC_ALLOWED.join("/")
         ),
     )
+}
+
+/// T13: flags lines that perform an I/O operation *and* swallow its
+/// result, without routing the error through the `core::fault` taxonomy.
+///
+/// The fault/retry machinery only works if errors keep their class all
+/// the way up: a `let _ = file.sync_all();` turns a transient injected
+/// (or real) failure into silence — no retry, no quarantine, no
+/// telemetry, and the chaos CI's byte-identity assertion passes vacuously
+/// because the fault was never *seen*. The lint is lexical and
+/// line-local: an I/O needle plus a swallow needle on one line, with no
+/// classification needle (`classify_io`, `io_guard`, `retry_io`,
+/// `from_io`, or anything `fault::`-qualified) in sight. Genuinely
+/// best-effort sites (parent-dir fsync hints, a seal-before-retry) carry
+/// a waiver saying why the error class is irrelevant there.
+pub fn check_no_unclassified_io(file: &ScannedFile) -> Vec<Violation> {
+    const IO_NEEDLES: &[&str] = &[
+        "File::open",
+        "File::create",
+        "fs::write",
+        "fs::read",
+        "fs::read_to_string",
+        "fs::rename",
+        "fs::remove_file",
+        "fs::create_dir_all",
+        "sync_all",
+        "sync_data",
+        "write_all",
+        "fill_buf",
+        "read_line",
+        "atomic_write",
+        "atomic_write_with",
+        "append_line_durable",
+        ".flush()",
+    ];
+    const SWALLOW_NEEDLES: &[&str] = &[
+        ".ok()",
+        ".unwrap_or",
+        ".unwrap_or_else",
+        ".unwrap_or_default",
+        ".map_or",
+        ".map_or_else",
+        ".is_ok()",
+        ".is_err()",
+        "let _ =",
+    ];
+    const CLASSIFY_NEEDLES: &[&str] = &["classify_io", "io_guard", "retry_io", "from_io"];
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        let code = &line.code;
+        let Some(io_op) = IO_NEEDLES
+            .iter()
+            .find(|needle| find_token(code, needle).is_some())
+        else {
+            continue;
+        };
+        let swallows = SWALLOW_NEEDLES
+            .iter()
+            .any(|needle| find_token(code, needle).is_some());
+        let classified = CLASSIFY_NEEDLES
+            .iter()
+            .any(|needle| find_token(code, needle).is_some())
+            || code.contains("fault::");
+        if swallows && !classified {
+            out.push(Violation::new(
+                &file.path,
+                idx + 1,
+                Lint::UnclassifiedIo,
+                format!(
+                    "swallows the result of `{io_op}` without classifying the \
+                     error: route it through `core::fault::classify_io` / \
+                     `core::retry::retry_io` so transient, permanent, and \
+                     corrupt failures keep their meaning (or waive with \
+                     `// tidy-allow: no-unclassified-io -- <why the error \
+                     class is irrelevant here>`)"
+                ),
+            ));
+        }
+    }
+    out
 }
 
 /// Counts boundary-checked occurrences of `token` in `code`.
@@ -1619,6 +1718,45 @@ mod tests {
         let f = scanned("crates/core/src/x.rs", src);
         let v = apply_waivers(&f, check_sync_confinement(&f));
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T13 ----
+
+    #[test]
+    fn t13_fires_on_swallowed_io_results() {
+        let src = "fn f() {\n  let _ = dir.sync_all();\n  fs::remove_file(&tmp).ok();\n  file.write_all(buf).unwrap_or_default();\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        let v = check_no_unclassified_io(&f);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::UnclassifiedIo));
+    }
+
+    #[test]
+    fn t13_ignores_classified_propagated_and_non_io_swallows() {
+        // Propagated with `?`, routed through the taxonomy, or swallowing
+        // something that is not an I/O result at all — none of these fire.
+        let src = "fn f() -> io::Result<()> {\n  file.sync_all()?;\n  retry_io(&policy, \"s\", &mut clock, || fs::rename(&a, &b)).ok();\n  map.get(&k).map_err(|e| fault::classify_io(&e)).ok();\n  let _ = queue.pop();\n  Ok(())\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_no_unclassified_io(&f).is_empty());
+    }
+
+    #[test]
+    fn t13_skips_test_code_and_respects_waivers() {
+        let test_src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { let _ = fs::remove_file(&p); }\n}";
+        let t = scanned("crates/core/src/x.rs", test_src);
+        assert!(check_no_unclassified_io(&t).is_empty());
+        let src = "fn f() {\n  let _ = dir.sync_all(); // tidy-allow: no-unclassified-io -- best-effort durability hint, rename already happened\n}";
+        let f = scanned("crates/core/src/persist.rs", src);
+        let v = apply_waivers(&f, check_no_unclassified_io(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn t13_scope_covers_binaries_like_t8() {
+        // Same rationale as T8: the repro binaries write artifacts, so
+        // their swallowed I/O errors matter just as much as the libraries'.
+        assert!(IO_CLASSIFIED_CRATES.contains(&"bench"));
+        assert!(is_runtime_source("crates/bench/src/bin/repro_all.rs"));
     }
 
     #[test]

@@ -81,6 +81,11 @@ LINTS (see DESIGN.md §6):
                        core::sync; everything else imports the instrumented
                        shim so --cfg evematch_model builds can interpose
                        (Arc/Weak and the poison vocabulary stay allowed)
+    no-unclassified-io T13 no silently swallowed I/O results (.ok(), let _ =,
+                       unwrap_or…) in bench/core/eval/evematch runtime code:
+                       route errors through core::fault::classify_io or
+                       core::retry::retry_io so transient/permanent/corrupt
+                       failures keep their class (best-effort sites waive)
     unused-waiver      a tidy-allow waiver lint name that suppressed nothing
                        (tracked per name, so stale names inside multi-lint
                        waivers are caught too)

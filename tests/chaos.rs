@@ -1,0 +1,254 @@
+//! Chaos suite for the deterministic failpoint registry (`core::fault`)
+//! and the supervised retry path (`core::retry`): an experiment grid run
+//! under seeded fault schedules must converge — after retries, torn-tail
+//! sealing, and journal resume — to results *byte-identical* to the
+//! fault-free run, with the fault telemetry proving the faults were
+//! actually injected and recovered rather than silently skipped.
+//!
+//! Budgets here are pure processed caps, so the deterministic panels
+//! (f-measure, anytime f-measure, processed mappings) are byte-stable;
+//! wall-clock panels are excluded by construction. The same invariant is
+//! enforced at full reproduction scale by the chaos job in CI.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use evematch::eval::experiments::{run_grid, FigureResult, SweepConfig};
+use evematch::eval::project_dataset;
+use evematch::prelude::*;
+
+/// The fault registry is process-global, so every test here — including
+/// its *unarmed* reference runs — must be serialized: a reference grid
+/// racing another test's armed schedule would absorb its faults.
+/// `fault::arm_scoped` only serializes armed sections, hence this wider
+/// file-local lock (lock order: SERIAL before the registry scope).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A small grid under a pure processed cap (no wall-clock budget, so
+/// every panel this suite compares is deterministic).
+fn grid(workers: usize, checkpoint: Option<PathBuf>) -> FigureResult {
+    let cfg = SweepConfig {
+        seeds: vec![11, 23],
+        budget: Budget::UNLIMITED.with_processed_cap(50_000),
+        workers,
+        eval_threads: 2,
+        traces: 40,
+        checkpoint,
+        retry: retry::RetryPolicy::io_default(),
+    };
+    run_grid(
+        "FigChaos",
+        "#events",
+        &[4, 5],
+        &[Method::PatternTight, Method::HeuristicAdvanced],
+        &cfg,
+        |x, seed| {
+            let ds = datasets::real_like_sized(cfg.traces, cfg.traces, seed);
+            project_dataset(&ds, x)
+        },
+    )
+}
+
+/// A one-cell grid on the composite-heavy workload (`larger_synthetic`
+/// with 2 modules — 20 events), where the exact search prefetches
+/// composite supports through `core::parpool`: the workload that makes
+/// the `parpool.worker` failpoint reachable.
+fn parpool_grid() -> FigureResult {
+    let cfg = SweepConfig {
+        seeds: vec![11],
+        budget: Budget::UNLIMITED.with_processed_cap(5_000),
+        workers: 1,
+        eval_threads: 2,
+        traces: 300,
+        checkpoint: None,
+        retry: retry::RetryPolicy::io_default(),
+    };
+    run_grid(
+        "FigChaosPar",
+        "#events",
+        &[20],
+        &[Method::PatternTight],
+        &cfg,
+        |_, seed| datasets::larger_synthetic(2, cfg.traces, seed),
+    )
+}
+
+fn csv(t: &Table) -> String {
+    let mut buf = Vec::new();
+    t.write_csv(&mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+/// The three deterministic panels as CSV bytes — what "byte-identical to
+/// the fault-free run" means throughout this suite. The merged metrics
+/// are deliberately excluded: a recovered cell legitimately carries its
+/// `fault.retries.grid.cell` counter, which is evidence, not divergence.
+fn det_panels(fig: &FigureResult) -> [String; 3] {
+    [
+        csv(&fig.f_measure),
+        csv(&fig.anytime_f),
+        csv(&fig.processed),
+    ]
+}
+
+fn telemetry_value(key: &str) -> Option<u64> {
+    fault::telemetry()
+        .into_iter()
+        .find_map(|(k, n)| (k == key).then_some(n))
+}
+
+/// Injected-fault evidence: at least one site injected, at least one
+/// supervised retry, and no site exhausted its retry budget.
+fn assert_recovered_telemetry(label: &str) {
+    let telemetry = fault::telemetry();
+    assert!(
+        telemetry
+            .iter()
+            .any(|(k, n)| k.starts_with("fault.injected.") && *n > 0),
+        "{label}: no fault was injected — the schedule never fired: {telemetry:?}"
+    );
+    assert!(
+        telemetry
+            .iter()
+            .any(|(k, n)| k.starts_with("fault.retries.") && *n > 0),
+        "{label}: faults were injected but nothing retried: {telemetry:?}"
+    );
+    assert!(
+        !telemetry
+            .iter()
+            .any(|(k, _)| k.starts_with("fault.exhausted.")),
+        "{label}: a retry budget was exhausted; this schedule must recover: {telemetry:?}"
+    );
+}
+
+/// A fresh scratch directory for checkpoint journals.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("evematch-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The tentpole acceptance at test scale: three seeded fault schedules —
+/// transient cell failures, injected delays plus a worker panic, and a
+/// torn journal append with failing fsyncs — each produce deterministic
+/// panels byte-identical to the fault-free grid, and a post-chaos resume
+/// from the surviving journal replays to the same bytes.
+#[test]
+fn seeded_fault_schedules_recover_to_byte_identical_results() {
+    let _serial = serial();
+    let reference = det_panels(&grid(2, None));
+
+    // Schedule 1: the first two supervised cell attempts fail transiently
+    // and are retried under backoff.
+    {
+        let _armed = fault::arm_scoped("grid.cell=fail-transient x2", 1).unwrap();
+        let fig = grid(2, None);
+        assert_eq!(det_panels(&fig), reference, "schedule 1 diverged");
+        assert_recovered_telemetry("schedule 1");
+        assert_eq!(telemetry_value("fault.injected.grid.cell"), Some(2));
+    }
+
+    // Schedule 2: an injected I/O delay on the first cell attempt plus
+    // one parpool worker panic, which the supervisor treats as a
+    // transient worker crash and re-runs. Runs on the composite-heavy
+    // workload, where the exact search actually fans support evaluation
+    // out to parpool workers.
+    let parpool_reference = det_panels(&parpool_grid());
+    {
+        let _armed =
+            fault::arm_scoped("grid.cell=delay(10) x1; parpool.worker=panic x1", 2).unwrap();
+        let fig = parpool_grid();
+        assert_eq!(det_panels(&fig), parpool_reference, "schedule 2 diverged");
+        let telemetry = fault::telemetry();
+        assert_eq!(telemetry_value("fault.injected.parpool.worker"), Some(1));
+        assert!(
+            telemetry
+                .iter()
+                .any(|(k, n)| k.starts_with("fault.retries.") && *n > 0),
+            "schedule 2: the panicked worker was not retried: {telemetry:?}"
+        );
+        assert!(
+            !telemetry
+                .iter()
+                .any(|(k, _)| k.starts_with("fault.exhausted.")),
+            "schedule 2: exhausted a retry budget: {telemetry:?}"
+        );
+    }
+
+    // Schedule 3: a torn journal append (half the line reaches disk, then
+    // a transient error) plus two failing append fsyncs. The supervised
+    // journal writer must seal the torn tail before retrying, so the
+    // journal stays replayable.
+    let dir = scratch_dir("journal");
+    {
+        let _armed = fault::arm_scoped(
+            "persist.append=torn x1; persist.append_fsync=fail-transient x2",
+            3,
+        )
+        .unwrap();
+        let fig = grid(2, Some(dir.clone()));
+        assert_eq!(det_panels(&fig), reference, "schedule 3 diverged");
+        assert_recovered_telemetry("schedule 3");
+        assert_eq!(telemetry_value("fault.injected.persist.append"), Some(1));
+    }
+
+    // Resume, fault-free, from the journal the chaos run left behind:
+    // replayed jobs must reproduce the same bytes.
+    let resumed = grid(2, Some(dir.clone()));
+    assert_eq!(
+        det_panels(&resumed),
+        reference,
+        "post-chaos resume diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The retry-budget boundary, at grid level. `io_default` allows 4
+/// attempts per supervised operation: exactly 3 injected failures (at
+/// cap) recover on the final attempt and the grid matches the fault-free
+/// run; 4 injected failures (one over) exhaust the budget and the first
+/// cell is quarantined as a typed transient DNF instead.
+#[test]
+fn retry_cap_boundary_exactly_at_cap_recovers_one_over_quarantines() {
+    let _serial = serial();
+    // workers: 1 pins which supervised operation the schedule's fires
+    // land on (the first cell's generation), making both halves exact.
+    let reference = det_panels(&grid(1, None));
+
+    // Exactly at cap: 3 failures, then the 4th and final attempt runs
+    // fault-free and recovers.
+    {
+        let _armed = fault::arm_scoped("grid.cell=fail-transient x3", 7).unwrap();
+        let fig = grid(1, None);
+        assert_eq!(det_panels(&fig), reference, "at-cap run diverged");
+        assert_eq!(telemetry_value("fault.retries.grid.cell"), Some(3));
+        assert_eq!(telemetry_value("fault.exhausted.grid.cell"), None);
+    }
+
+    // One over: the 4th attempt fails too, the budget is spent, and the
+    // cell is quarantined as a typed transient DNF.
+    {
+        let _armed = fault::arm_scoped("grid.cell=fail-transient x4", 7).unwrap();
+        let fig = grid(1, None);
+        assert_ne!(
+            det_panels(&fig),
+            reference,
+            "one-over run must quarantine a cell, not match the reference"
+        );
+        assert_eq!(telemetry_value("fault.exhausted.grid.cell"), Some(1));
+        let quarantined: u64 = fig
+            .metrics
+            .iter()
+            .filter_map(|(_, snap)| snap.counters.get("grid.cell_quarantined.transient"))
+            .sum();
+        assert!(
+            quarantined >= 1,
+            "no typed quarantine counter surfaced in the merged metrics"
+        );
+    }
+}

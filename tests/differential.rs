@@ -328,6 +328,7 @@ fn grid(eval_threads: usize) -> FigureResult {
         eval_threads,
         traces: 40,
         checkpoint: None,
+        retry: retry::RetryPolicy::io_default(),
     };
     run_grid(
         "FigDiff",

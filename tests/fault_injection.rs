@@ -21,6 +21,21 @@ fn circulant(n: u32) -> DiGraph {
     )
 }
 
+/// The tight wall-clock deadline used by the deadline scenarios: 50ms by
+/// default, overridable via `EVEMATCH_TEST_DEADLINE_MS`. On a loaded or
+/// heavily-shared CI machine the process can lose the CPU for longer than
+/// the deadline itself, making a hardcoded 50ms budget flaky; raising the
+/// env knob stretches the budget (and its slack scales with it below)
+/// without weakening what the tests assert — that solvers return within
+/// deadline-plus-bounded-slack, whatever the deadline is.
+fn test_deadline() -> Duration {
+    let ms = std::env::var("EVEMATCH_TEST_DEADLINE_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50u64);
+    Duration::from_millis(ms)
+}
+
 /// Deadline-based fuel closure over a [`BudgetMeter`]: ticks count work
 /// units, and the clock is polled once per poll interval.
 fn deadline_fuel(meter: &mut evematch::core::BudgetMeter) -> impl FnMut() -> bool + '_ {
@@ -37,15 +52,16 @@ fn pathological_vf2_respects_a_50ms_deadline() {
     // the instance that used to run unbounded.
     let pattern = circulant(16);
     let target = circulant(24);
-    let deadline = Duration::from_millis(50);
+    let deadline = test_deadline();
     let mut meter = Budget::UNLIMITED.with_deadline(deadline).meter();
     let start = Instant::now();
     let result = MonoSearch::new(&pattern, &target).find_with_fuel(&mut deadline_fuel(&mut meter));
     let elapsed = start.elapsed();
     // One poll interval of extension steps costs microseconds; half a
-    // second of slack absorbs scheduler noise on slow CI machines.
+    // second of slack (scaling with a raised EVEMATCH_TEST_DEADLINE_MS)
+    // absorbs scheduler noise on slow CI machines.
     assert!(
-        elapsed < deadline + Duration::from_millis(500),
+        elapsed < deadline + Duration::from_millis(500).max(deadline),
         "VF2 overran its deadline: {elapsed:?}"
     );
     if let Err(Interrupted) = result {
@@ -156,16 +172,17 @@ fn fig1_like_pattern_simple_cap_two_acceptance() {
 #[test]
 fn every_solver_returns_within_a_wall_clock_deadline() {
     let ds = datasets::real_like_sized(300, 300, 23);
-    let deadline = Duration::from_millis(50);
+    let deadline = test_deadline();
     let budget = Budget::UNLIMITED.with_deadline(deadline);
     for m in ALL_METHODS {
         let start = Instant::now();
         let out = m.run(&ds.pair, &ds.patterns, budget);
         let elapsed = start.elapsed();
         // Context construction is not metered (it is linear and part of
-        // every approach); grant it and the poll slack two seconds total.
+        // every approach); grant it and the poll slack two seconds total,
+        // scaling with a raised EVEMATCH_TEST_DEADLINE_MS.
         assert!(
-            elapsed < deadline + Duration::from_secs(2),
+            elapsed < deadline + Duration::from_secs(2).max(deadline),
             "{} overran: {elapsed:?}",
             m.name()
         );
