@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! bench parpool
+//! bench profile
 //! ```
 //!
 //! ## `bench parpool`
@@ -33,6 +34,26 @@
 //! the host: on a single-core machine the parallel run shows pool overhead
 //! rather than speedup, which is why `host_parallelism` is recorded in the
 //! artifact.
+//!
+//! ## `bench profile`
+//!
+//! Runs the hierarchical phase profiler over the same scan-heavy workload
+//! under a *pure-cap* budget (processed-mapping cap only, no wall-clock
+//! deadline, so the deterministic section is bit-stable across hosts and
+//! reruns) and emits `BENCH_profile.json` in the shape `xtask perf append`
+//! ingests:
+//!
+//! * `work` — the flattened deterministic work counters
+//!   (`"<phase-path>/<column>": n`), byte-identical across
+//!   `EVEMATCH_EVAL_THREADS`; the perf-trajectory gate
+//!   (`cargo xtask perf check`) alerts on regressions in these;
+//! * `wall_nanos` — the flattened per-phase wall clocks plus
+//!   `overlay/<name>` entries, advisory only (host-dependent).
+//!
+//! The deterministic sections of a sequential and a parallel run are
+//! compared first; a divergence prints both documents' first differing
+//! byte region and exits with code 3 — the artifact is only written from
+//! a verified profile. Same knobs as `bench parpool`.
 //!
 //! Exits with code 2 if the artifact cannot be written.
 
@@ -233,12 +254,106 @@ fn run_parpool() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_profile() -> ExitCode {
+    let seed = std::env::var("EVEMATCH_SEEDS")
+        .ok()
+        .and_then(|s| s.split(',').next().and_then(|x| x.trim().parse().ok()))
+        .unwrap_or(11u64);
+    let traces = env_or("EVEMATCH_TRACES", 3000usize);
+    let modules = env_or("EVEMATCH_BENCH_MODULES", 2usize);
+    let par_threads = env_or("EVEMATCH_EVAL_THREADS", 8usize).max(2);
+    let cap = env_or("EVEMATCH_LIMIT_PROCESSED", 20_000u64);
+    // Pure cap — a wall-clock deadline would make the charged work
+    // host-dependent and the perf gate's counters noisy.
+    let budget = Budget::UNLIMITED.with_processed_cap(cap);
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let ds = datasets::larger_synthetic(modules, traces, seed);
+    let method = Method::PatternTight;
+
+    println!(
+        "bench profile: {} on larger_synthetic({modules}, {traces}, seed {seed}), \
+         cap {cap} (pure), {par_threads} threads (host parallelism {host})",
+        method.name()
+    );
+
+    let seq = timed_run(method, &ds, budget, 1, None);
+    let par = timed_run(method, &ds, budget, par_threads, None);
+
+    let seq_det = seq.out.profile().deterministic_json();
+    let par_det = par.out.profile().deterministic_json();
+    if seq_det != par_det {
+        eprintln!("error: profile deterministic section diverged across thread counts");
+        let split = seq_det
+            .bytes()
+            .zip(par_det.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(seq_det.len().min(par_det.len()));
+        let lo = split.saturating_sub(40);
+        eprintln!(
+            "  seq[{lo}..]: {}",
+            &seq_det[lo..(split + 40).min(seq_det.len())]
+        );
+        eprintln!(
+            "  par[{lo}..]: {}",
+            &par_det[lo..(split + 40).min(par_det.len())]
+        );
+        return ExitCode::from(3);
+    }
+    let profile = seq.out.profile();
+    println!(
+        "  seq {:.3}s  par {:.3}s  deterministic sections identical: true",
+        seq.wall_nanos as f64 / 1e9,
+        par.wall_nanos as f64 / 1e9,
+    );
+
+    let mut json = String::from("{\"bench\":\"profile\",\"workload\":{");
+    let _ = write!(
+        json,
+        "\"dataset\":\"larger_synthetic\",\"modules\":{modules},\"traces\":{traces},\
+         \"seed\":{seed},\"method\":\"{}\",\"processed_cap\":{cap}}},\
+         \"host_parallelism\":{host},\"work\":{{",
+        method.name()
+    );
+    for (i, (key, n)) in profile.flat_work().iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "\"{key}\":{n}");
+    }
+    json.push_str("},\"wall_nanos\":{");
+    for (i, (key, n)) in profile.flat_wall().iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "\"{key}\":{n}");
+    }
+    json.push_str("}}\n");
+
+    let path = match evematch_bench::out_dir() {
+        Ok(dir) => dir.join("BENCH_profile.json"),
+        Err(err) => {
+            eprintln!("error: cannot create output dir: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(err) = evematch_core::persist::atomic_write(&path, json.as_bytes()) {
+        eprintln!("error: failed to write {}: {err}", path.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let sub = std::env::args().nth(1).unwrap_or_default();
     match sub.as_str() {
         "parpool" => run_parpool(),
+        "profile" => run_profile(),
         other => {
-            eprintln!("usage: bench <subcommand>\n  parpool    seq-vs-parallel support evaluation + shared-cache warm-up");
+            eprintln!(
+                "usage: bench <subcommand>\n  parpool    seq-vs-parallel support evaluation + shared-cache warm-up\n  profile    phase-profiled run under a pure cap; emits BENCH_profile.json for `xtask perf`"
+            );
             if other.is_empty() {
                 ExitCode::from(2)
             } else {

@@ -147,8 +147,13 @@ fn write_artifact(path: &PathBuf, write: impl FnMut(&PathBuf) -> io::Result<()>)
 }
 
 /// Writes all panels of a figure to `out` and the output dir, plus the
-/// sweep's merged per-method telemetry as `<stem>_metrics.json` next to
-/// the CSVs.
+/// sweep's merged per-method telemetry as `<stem>_metrics.json` and the
+/// merged per-method phase profiles as three views next to the CSVs:
+/// `<stem>_profile.json` (full snapshot per method),
+/// `<stem>_profile_trace.json` (a combined Chrome `trace_event` file,
+/// one process per method — load in `chrome://tracing` / Perfetto) and
+/// `<stem>_profile.folded` (method-prefixed folded stacks for flamegraph
+/// tooling).
 pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) -> io::Result<()> {
     emit(out, &fig.f_measure, &format!("{stem}a_fmeasure"))?;
     emit(out, &fig.anytime_f, &format!("{stem}a_anytime_fmeasure"))?;
@@ -159,6 +164,20 @@ pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) -> io::R
         evematch_core::persist::atomic_write(p, (figure_metrics_json(fig) + "\n").as_bytes())
     })?;
     writeln!(out, "wrote {}", path.display())?;
+    for (name, render) in [
+        (
+            "_profile.json",
+            figure_profile_json as fn(&FigureResult) -> String,
+        ),
+        ("_profile_trace.json", figure_profile_trace),
+        ("_profile.folded", figure_profile_folded),
+    ] {
+        let path = out_dir()?.join(format!("{stem}{name}"));
+        write_artifact(&path, |p| {
+            evematch_core::persist::atomic_write(p, (render(fig) + "\n").as_bytes())
+        })?;
+        writeln!(out, "wrote {}", path.display())?;
+    }
     if evematch_core::fault::is_armed() {
         let path = out_dir()?.join("fault_telemetry.json");
         write_artifact(&path, |p| {
@@ -203,6 +222,57 @@ pub fn figure_metrics_json(fig: &FigureResult) -> String {
         out.push_str(&snap.to_json_string());
     }
     out.push('}');
+    out
+}
+
+/// The figure's merged per-method phase profiles as one JSON object keyed
+/// by method name; each value is the full snapshot (`deterministic` +
+/// `non_deterministic` sections).
+pub fn figure_profile_json(fig: &FigureResult) -> String {
+    let mut out = String::from("{");
+    for (i, (name, profile)) in fig.profiles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        push_escaped(&mut out, name);
+        out.push_str("\":");
+        out.push_str(&profile.to_json_string());
+    }
+    out.push('}');
+    out
+}
+
+/// The figure's merged profiles as one combined Chrome `trace_event`
+/// file: one trace process per method (pid = column index + 1), so the
+/// whole grid loads as a single Perfetto view.
+pub fn figure_profile_trace(fig: &FigureResult) -> String {
+    let mut events = Vec::new();
+    for (i, (name, profile)) in fig.profiles.iter().enumerate() {
+        profile.chrome_trace_events(i as u64 + 1, name, &mut events);
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(ev);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// The figure's merged profiles as method-prefixed folded stacks
+/// (`Method;phase;subphase self_nanos` lines) for flamegraph tooling.
+pub fn figure_profile_folded(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    for (name, profile) in &fig.profiles {
+        out.push_str(&profile.to_folded(name));
+    }
+    // Strip the final newline: emit_figure appends exactly one.
+    while out.ends_with('\n') {
+        out.pop();
+    }
     out
 }
 

@@ -50,6 +50,7 @@ impl EntropyMatcher {
     /// when present, is reused for the final mapping's pattern scores.
     pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
         let mut eval = Evaluator::with_config(ctx, config);
+        eval.telemetry_mut().profile.open("search");
         eval.probe_structure();
         let c_rows = eval.telemetry_mut().registry.counter("entropy.weight_rows");
         let (n1, n2) = (ctx.n1(), ctx.n2());
@@ -65,7 +66,11 @@ impl EntropyMatcher {
         for &a in &h1 {
             // One weight row is the inner work unit for deadline polling.
             eval.meter_mut().tick();
-            eval.telemetry_mut().registry.inc(c_rows);
+            let tele = eval.telemetry_mut();
+            tele.registry.inc(c_rows);
+            tele.profile
+                .charge(crate::telemetry::WorkCol::MeterTicks, 1);
+            tele.profile.charge(crate::telemetry::WorkCol::Pops, 1);
             weights.push(h2.iter().map(|&b| sim(a, b)).collect());
         }
         let assignment = max_weight_assignment(&weights);
@@ -97,10 +102,9 @@ impl EntropyMatcher {
             eval: eval.stats(),
         };
         let elapsed = eval.meter().elapsed();
-        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        eval.telemetry_mut()
-            .registry
-            .record_timing("search.solve", nanos);
+        // Closing the phase tree mirrors the `search` root's wall into the
+        // registry's timing section as `search.solve`.
+        let profile = eval.telemetry_mut().finish_phases();
         MatchOutcome {
             mapping,
             score,
@@ -109,6 +113,7 @@ impl EntropyMatcher {
             completion,
             metrics: eval.metrics_snapshot(),
             trace: std::mem::take(&mut eval.telemetry_mut().trace),
+            profile,
         }
     }
 }

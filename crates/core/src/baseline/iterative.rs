@@ -75,6 +75,7 @@ impl IterativeMatcher {
     /// pattern scores.
     pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
         let mut eval = Evaluator::with_config(ctx, config);
+        eval.telemetry_mut().profile.open("search");
         eval.probe_structure();
         let c_rounds = eval.telemetry_mut().registry.counter("iterative.rounds");
         let (n1, n2) = (ctx.n1(), ctx.n2());
@@ -82,7 +83,9 @@ impl IterativeMatcher {
         // a zero cap therefore skips all fixpoint iterations too.
         eval.meter_mut().charge_processed();
         let (cur, rounds) = propagated_similarity(ctx, &self.config, eval.meter_mut());
-        eval.telemetry_mut().registry.add(c_rounds, rounds);
+        let tele = eval.telemetry_mut();
+        tele.registry.add(c_rounds, rounds);
+        tele.profile.charge(crate::telemetry::WorkCol::Pops, rounds);
         let assignment = max_weight_assignment(&cur);
         let mapping = Mapping::from_pairs(
             n1,
@@ -112,10 +115,9 @@ impl IterativeMatcher {
             eval: eval.stats(),
         };
         let elapsed = eval.meter().elapsed();
-        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        eval.telemetry_mut()
-            .registry
-            .record_timing("search.solve", nanos);
+        // Closing the phase tree mirrors the `search` root's wall into the
+        // registry's timing section as `search.solve`.
+        let profile = eval.telemetry_mut().finish_phases();
         MatchOutcome {
             mapping,
             score,
@@ -124,6 +126,7 @@ impl IterativeMatcher {
             completion,
             metrics: eval.metrics_snapshot(),
             trace: std::mem::take(&mut eval.telemetry_mut().trace),
+            profile,
         }
     }
 }

@@ -35,7 +35,7 @@ use crate::context::MatchContext;
 use crate::mapping::Mapping;
 use crate::parpool;
 use crate::score::sim;
-use crate::telemetry::{CounterId, MetricsSnapshot, Telemetry};
+use crate::telemetry::{CounterId, MetricsSnapshot, ProgressBeacon, Telemetry, WorkCol};
 
 /// Memo key: pattern index plus the image tuple of its sorted events.
 type SupportKey = (u32, Box<[EventId]>);
@@ -253,6 +253,10 @@ pub struct EvalConfig {
     /// context. `None`, or a fingerprint mismatch, gives the run a fresh
     /// private cache.
     pub shared_cache: Option<Arc<SharedSupportCache>>,
+    /// A live-progress beacon attached to the run's phase profiler, so a
+    /// heartbeat thread can report the open phase path and charged-work
+    /// rate (`evematch --progress`). `None` costs nothing.
+    pub beacon: Option<Arc<ProgressBeacon>>,
 }
 
 impl EvalConfig {
@@ -276,6 +280,13 @@ impl EvalConfig {
     #[must_use]
     pub fn with_shared_cache(mut self, cache: Arc<SharedSupportCache>) -> Self {
         self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Attaches a live-progress beacon (see [`EvalConfig::beacon`]).
+    #[must_use]
+    pub fn with_beacon(mut self, beacon: Arc<ProgressBeacon>) -> Self {
+        self.beacon = Some(beacon);
         self
     }
 }
@@ -430,6 +441,9 @@ impl<'a> Evaluator<'a> {
         };
         let owner = cache.register_owner();
         let mut tele = Telemetry::new();
+        if let Some(beacon) = &config.beacon {
+            tele.profile.attach_beacon(Arc::clone(beacon));
+        }
         let counters = EvalCounters::register(&mut tele);
         Evaluator {
             ctx,
@@ -503,6 +517,9 @@ impl<'a> Evaluator<'a> {
         if reg.counter_value(probes) > 0 {
             return;
         }
+        // One "probe" phase per run (the early return above keeps the
+        // phase's call count at 1 regardless of how often solvers re-ask).
+        self.tele.profile.open("probe");
         let target = self.ctx.dep2().graph();
         let mut total = IsoStats::default();
         let mut probed = 0u64;
@@ -551,6 +568,7 @@ impl<'a> Evaluator<'a> {
                 ("embeddings".to_owned(), found),
             ],
         );
+        self.tele.profile.close();
     }
 
     /// Freezes this run's metrics, folding in the budget meter's view:
@@ -652,16 +670,39 @@ impl<'a> Evaluator<'a> {
         let key = (p_idx as u32, images.to_vec().into_boxed_slice());
         if let Some(entry) = self.cache.get(&key) {
             self.tele.registry.inc(self.counters.cache_hits);
+            // A hit is still one cache-layer evaluation, charged to the
+            // phase the *caller* has open (typically `search`).
+            self.tele.profile.charge(WorkCol::Evals, 1);
+            self.tele.profile.charge(WorkCol::CacheHits, 1);
             if entry.owner != self.owner {
                 self.tele.registry.inc(self.counters.shared_hits);
             }
             return entry.support;
         }
+        // The slow path (every cache miss, including prefetched replays)
+        // is the `support-eval` phase: its call count equals
+        // `eval.cache_misses`, which is invariant across `--eval-threads`
+        // because prefetched outcomes replay through this same path in
+        // sequential consumption order.
+        self.tele.profile.open("support-eval");
+        self.tele.profile.charge(WorkCol::Evals, 1);
+        self.tele.profile.charge(WorkCol::CacheMisses, 1);
+        let support = self.mapped_support_slow(key, p_idx, images);
+        self.tele.profile.close();
+        support
+    }
+
+    /// The cache-miss body of [`Self::mapped_support`], bracketed by the
+    /// `support-eval` profiler phase at the single call site above.
+    fn mapped_support_slow(&mut self, key: SupportKey, p_idx: usize, images: &[EventId]) -> u32 {
+        let ctx = self.ctx;
+        let ep = &ctx.patterns()[p_idx];
         let ids = self.counters;
         self.tele.registry.inc(ids.cache_misses);
         // A realizability check or log scan is the expensive inner unit of
         // work; advance the deadline poll cadence before paying it.
         self.meter.tick();
+        self.tele.profile.charge(WorkCol::MeterTicks, 1);
         // Replay a prefetched outcome if a worker already paid for this
         // key, attributing counters exactly as the inline path below would
         // at *this* point of the sequential order.
@@ -693,6 +734,9 @@ impl<'a> Evaluator<'a> {
                     self.tele.registry.inc(ids.log_scans);
                 }
                 self.tele.registry.add(ids.fuel_spent, out.fuel_polls);
+                self.tele
+                    .profile
+                    .charge(WorkCol::MeterTicks, out.fuel_polls);
                 self.absorb_scan(&out.scan);
                 self.cache.insert(key, support, self.owner);
                 return support;
@@ -701,6 +745,7 @@ impl<'a> Evaluator<'a> {
             // happen (workers only interrupt after the shared meter
             // latched); recompute inline if it somehow does.
         }
+        let dep2 = ctx.dep2();
         let mapped = ep.pattern.map_events(&|e| image_of(ep, e, images));
         let edge_ok = |a: EventId, b: EventId| dep2.has_edge(a, b);
         let mut scan = SupportStats::default();
@@ -751,6 +796,7 @@ impl<'a> Evaluator<'a> {
             Err(Interrupted) => None,
         };
         self.tele.registry.add(ids.fuel_spent, fuel_polls);
+        self.tele.profile.charge(WorkCol::MeterTicks, fuel_polls);
         self.absorb_scan(&scan);
         match support {
             Some(support) => {
@@ -818,9 +864,19 @@ impl<'a> Evaluator<'a> {
         }
         let ctx = self.ctx;
         let meter = &self.meter;
-        let (outcomes, stats) = parpool::run_batch(self.threads, &todo, |key| {
-            compute_support_outcome(ctx, meter, key.0 as usize, &key.1)
-        });
+        // The batch is a thread-count-dependent *overlay*: it only exists
+        // when threads > 1, so its wall time and worker lanes live in the
+        // profile's non-deterministic section, never in the phase tree.
+        let clock = self.tele.profile.lane_clock();
+        let t0 = clock.now_nanos();
+        let (outcomes, stats, lanes) =
+            parpool::run_batch_traced(self.threads, &todo, Some(&clock), |key| {
+                compute_support_outcome(ctx, meter, key.0 as usize, &key.1)
+            });
+        self.tele
+            .profile
+            .record_overlay("parpool.prefetch", t0, clock.now_nanos());
+        self.tele.profile.record_lanes(&lanes);
         self.parpool_batches += stats.batches;
         self.parpool_steals += stats.steals;
         for (key, out) in todo.into_iter().zip(outcomes) {

@@ -54,7 +54,7 @@ use crate::context::MatchContext;
 use crate::evaluator::{EvalConfig, EvalStats, Evaluator};
 use crate::mapping::Mapping;
 use crate::score::heuristic_bound;
-use crate::telemetry::{MetricsSnapshot, TraceBuffer};
+use crate::telemetry::{MetricsSnapshot, ProfileSnapshot, TraceBuffer, WorkCol};
 
 /// Work counters of one solver run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -134,6 +134,10 @@ pub struct MatchOutcome {
     /// The run's bounded JSONL search trace (empty unless the solver
     /// emitted trace points; see [`crate::telemetry::TraceBuffer`]).
     pub trace: TraceBuffer,
+    /// The run's hierarchical phase profile (see
+    /// [`crate::telemetry::profile`]): deterministic work attribution per
+    /// phase plus quarantined wall-clock and parpool worker lanes.
+    pub profile: ProfileSnapshot,
 }
 
 /// Why a strict search did not produce a mapping.
@@ -209,6 +213,7 @@ impl ExactMatcher {
     /// deterministic metrics — are byte-identical to a sequential run.
     pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
         let mut eval = Evaluator::with_config(ctx, config);
+        eval.telemetry_mut().profile.open("search");
         eval.probe_structure();
         let tele = eval.telemetry_mut();
         let c_pops = tele.registry.counter("search.pops");
@@ -248,6 +253,7 @@ impl ExactMatcher {
             stats.visited_nodes += 1;
             let tele = eval.telemetry_mut();
             tele.registry.inc(c_pops);
+            tele.profile.charge(WorkCol::Pops, 1);
             tele.registry.observe(h_depth, u64::from(node.depth));
             if stats.visited_nodes % TRACE_POP_INTERVAL == 0 {
                 tele.trace.point(
@@ -492,12 +498,10 @@ fn finish(
     stats.processed_mappings = eval.meter().processed();
     stats.polls = eval.meter().polls();
     let elapsed = eval.meter().elapsed();
-    // Wall-clock duration lands in the snapshot's non-deterministic
-    // section; every counter above stays bit-deterministic.
-    let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-    eval.telemetry_mut()
-        .registry
-        .record_timing("search.solve", nanos);
+    // Closing the phase tree mirrors the `search` root's wall-clock into
+    // the registry's non-deterministic timing section as `search.solve`;
+    // every counter above stays bit-deterministic.
+    let profile = eval.telemetry_mut().finish_phases();
     MatchOutcome {
         mapping,
         score,
@@ -506,6 +510,7 @@ fn finish(
         completion,
         metrics: eval.metrics_snapshot(),
         trace: std::mem::take(&mut eval.telemetry_mut().trace),
+        profile,
     }
 }
 
@@ -546,6 +551,7 @@ pub(crate) fn greedy_complete(
         let mut best: Option<(f64, EventId)> = None;
         for b in targets {
             eval.meter_mut().tick();
+            eval.telemetry_mut().profile.charge(WorkCol::MeterTicks, 1);
             m.insert(a, b);
             let mut dg = 0.0;
             for p_idx in ctx.pattern_index().newly_completed(a, |e| m.is_mapped(e)) {

@@ -121,6 +121,7 @@ impl AdvancedHeuristic {
     /// other methods on the same context data.
     pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
         let mut eval = Evaluator::with_config(ctx, config);
+        eval.telemetry_mut().profile.open("search");
         eval.probe_structure();
         let tele = eval.telemetry_mut();
         let c_rounds = tele.registry.counter("km.rounds");
@@ -132,6 +133,7 @@ impl AdvancedHeuristic {
         let n = ctx.n2();
 
         if n == 0 {
+            let profile = eval.telemetry_mut().finish_phases();
             return MatchOutcome {
                 mapping: Mapping::empty(0, 0),
                 score: 0.0,
@@ -140,6 +142,7 @@ impl AdvancedHeuristic {
                 completion: Completion::Finished,
                 metrics: eval.metrics_snapshot(),
                 trace: std::mem::take(&mut eval.telemetry_mut().trace),
+                profile,
             };
         }
 
@@ -155,7 +158,9 @@ impl AdvancedHeuristic {
 
         'km: while match_row.iter().any(Option::is_none) {
             stats.visited_nodes += 1;
-            eval.telemetry_mut().registry.inc(c_rounds);
+            let tele = eval.telemetry_mut();
+            tele.registry.inc(c_rounds);
+            tele.profile.charge(crate::telemetry::WorkCol::Pops, 1);
             // Build the maximal alternating tree of every unmatched root
             // and score every augmenting path it offers. Candidates are
             // ranked by true `g + h`; ties (ubiquitous early, when few
@@ -247,10 +252,9 @@ impl AdvancedHeuristic {
         stats.processed_mappings = eval.meter().processed();
         stats.polls = eval.meter().polls();
         let elapsed = eval.meter().elapsed();
-        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        eval.telemetry_mut()
-            .registry
-            .record_timing("search.solve", nanos);
+        // Closing the phase tree mirrors the `search` root's wall into the
+        // registry's timing section as `search.solve`.
+        let profile = eval.telemetry_mut().finish_phases();
         MatchOutcome {
             mapping,
             score,
@@ -259,6 +263,7 @@ impl AdvancedHeuristic {
             completion,
             metrics: eval.metrics_snapshot(),
             trace: std::mem::take(&mut eval.telemetry_mut().trace),
+            profile,
         }
     }
 }

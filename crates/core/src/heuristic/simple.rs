@@ -58,6 +58,7 @@ impl SimpleHeuristic {
     /// byte-identical to a sequential run.
     pub fn solve_with(&self, ctx: &MatchContext, config: &EvalConfig) -> MatchOutcome {
         let mut eval = Evaluator::with_config(ctx, config);
+        eval.telemetry_mut().profile.open("search");
         eval.probe_structure();
         let c_levels = eval.telemetry_mut().registry.counter("search.levels");
         let order = ctx.pattern_index().expansion_order();
@@ -67,7 +68,9 @@ impl SimpleHeuristic {
 
         'levels: for &a in &order {
             stats.visited_nodes += 1;
-            eval.telemetry_mut().registry.inc(c_levels);
+            let tele = eval.telemetry_mut();
+            tele.registry.inc(c_levels);
+            tele.profile.charge(crate::telemetry::WorkCol::Pops, 1);
             if eval.threads() > 1 {
                 // Prefetch the whole level's composite keys; the ranking
                 // loop below consumes them in candidate order.
@@ -148,10 +151,9 @@ impl SimpleHeuristic {
         stats.processed_mappings = eval.meter().processed();
         stats.polls = eval.meter().polls();
         let elapsed = eval.meter().elapsed();
-        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        eval.telemetry_mut()
-            .registry
-            .record_timing("search.solve", nanos);
+        // Closing the phase tree mirrors the `search` root's wall into the
+        // registry's timing section as `search.solve`.
+        let profile = eval.telemetry_mut().finish_phases();
         MatchOutcome {
             mapping,
             score: g,
@@ -160,6 +162,7 @@ impl SimpleHeuristic {
             completion,
             metrics: eval.metrics_snapshot(),
             trace: std::mem::take(&mut eval.telemetry_mut().trace),
+            profile,
         }
     }
 }

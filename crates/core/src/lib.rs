@@ -61,4 +61,7 @@ pub use evaluator::{EvalConfig, Evaluator, SharedSupportCache};
 pub use exact::{Completion, ExactMatcher, MatchOutcome, SearchError, SearchStats};
 pub use heuristic::{AdvancedHeuristic, SimpleHeuristic};
 pub use mapping::Mapping;
-pub use telemetry::{MetricsSnapshot, Telemetry, TraceBuffer, TraceEvent};
+pub use telemetry::{
+    LaneClock, LaneEvent, LaneStat, MetricsSnapshot, OverlayStat, PhaseProfiler, ProfileNode,
+    ProfileSnapshot, ProgressBeacon, Telemetry, TraceBuffer, TraceEvent, WorkCol,
+};

@@ -18,6 +18,7 @@
 //! discipline of [`crate::Evaluator::prefetch_supports`] auditable.
 
 use crate::sync::{AtomicUsize, Ordering};
+use crate::telemetry::profile::{LaneClock, LaneEvent};
 
 /// The shared claim cursor of one [`run_batch`] call: hands out item
 /// indices `0..len` to racing workers, each index to exactly one worker.
@@ -97,6 +98,28 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let (out, stats, _) = run_batch_traced(threads, items, None, f);
+    (out, stats)
+}
+
+/// [`run_batch`] with optional per-worker lane tracing: when `clock` is
+/// `Some`, every claim records a [`LaneEvent`] (worker index, item index,
+/// steal flag, start/end timestamps on the clock's epoch) destined for
+/// the profiler's worker timelines. Timestamps are recorded, never
+/// branched on, so tracing cannot perturb which worker computes what —
+/// and results still come back in item order regardless. The sequential
+/// fallback records no lanes (there is no worker to attribute them to).
+pub fn run_batch_traced<T, R, F>(
+    threads: usize,
+    items: &[T],
+    clock: Option<&LaneClock>,
+    f: F,
+) -> (Vec<R>, BatchStats, Vec<LaneEvent>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let stats = BatchStats {
         batches: 1,
         steals: 0,
@@ -117,30 +140,46 @@ where
                 f(item)
             })
             .collect();
-        return (out, stats);
+        return (out, stats, Vec::new());
     }
     let workers = threads.min(items.len());
     let cursor = ClaimCursor::new(items.len());
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
     let mut steals = 0u64;
+    let mut lanes: Vec<LaneEvent> = Vec::new();
     std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let f = &f;
+        let worker_faultpoint = &worker_faultpoint;
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                scope.spawn(move || {
                     let mut got: Vec<(usize, R)> = Vec::new();
+                    let mut events: Vec<LaneEvent> = Vec::new();
                     while let Some(i) = cursor.claim() {
+                        let t0 = clock.map(LaneClock::now_nanos);
                         worker_faultpoint();
                         got.push((i, f(&items[i])));
+                        if let (Some(clock), Some(t0)) = (clock, t0) {
+                            events.push(LaneEvent {
+                                worker: u32::try_from(w).unwrap_or(u32::MAX),
+                                item: u32::try_from(i).unwrap_or(u32::MAX),
+                                steal: got.len() > 1,
+                                start_nanos: t0,
+                                end_nanos: clock.now_nanos(),
+                            });
+                        }
                     }
-                    got
+                    (got, events)
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(got) => {
+                Ok((got, events)) => {
                     steals += (got.len() as u64).saturating_sub(1);
                     indexed.extend(got);
+                    lanes.extend(events);
                 }
                 // A worker panicked (f panicked): surface the original
                 // payload on the calling thread once the rest have joined.
@@ -151,7 +190,7 @@ where
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert_eq!(indexed.len(), items.len());
     let out = indexed.into_iter().map(|(_, r)| r).collect();
-    (out, BatchStats { batches: 1, steals })
+    (out, BatchStats { batches: 1, steals }, lanes)
 }
 
 #[cfg(test)]
@@ -225,6 +264,29 @@ mod tests {
         let items: Vec<usize> = (0..base.len()).collect();
         let (out, _) = run_batch(2, &items, |&i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31, 41]);
+    }
+
+    #[test]
+    fn traced_batches_record_one_lane_event_per_item() {
+        let profiler = crate::telemetry::PhaseProfiler::new();
+        let clock = profiler.lane_clock();
+        let items: Vec<u64> = (0..64).collect();
+        let (out, stats, lanes) = run_batch_traced(4, &items, Some(&clock), |&x| x + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+        assert_eq!(lanes.len(), items.len());
+        // Every item appears exactly once across the lanes.
+        let mut seen: Vec<u32> = lanes.iter().map(|e| e.item).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<u32>>());
+        // Steal accounting matches the batch stats.
+        let steal_events = lanes.iter().filter(|e| e.steal).count() as u64;
+        assert_eq!(steal_events, stats.steals);
+        assert!(lanes.iter().all(|e| e.end_nanos >= e.start_nanos));
+        // The untraced and sequential paths record nothing.
+        let (_, _, lanes) = run_batch_traced(4, &items, None, |&x| x);
+        assert!(lanes.is_empty());
+        let (_, _, lanes) = run_batch_traced(1, &items, Some(&clock), |&x| x);
+        assert!(lanes.is_empty());
     }
 
     #[test]

@@ -22,11 +22,21 @@
 //!   `deterministic_json` and clearly marked `non_deterministic` in the
 //!   full JSON output.
 //!
-//! [`Span`] is, next to `core::budget`, the only place in the solver
-//! crates that reads the wall clock — and unlike the budget meter it only
-//! ever *records* time, it never branches on it, so determinism of the
-//! search itself is unaffected. The `no-raw-deadline` tidy lint pins both
-//! modules down.
+//! [`Span`] and the [`profile`] phase profiler are, next to
+//! `core::budget`, the only places in the solver crates that read the
+//! wall clock — and unlike the budget meter they only ever *record*
+//! time, they never branch on it, so determinism of the search itself is
+//! unaffected. The `no-raw-deadline` tidy lint pins all three modules
+//! down, and the `phase-discipline` lint keeps raw span recording from
+//! reappearing outside `core::telemetry`.
+//!
+//! # Phase profile
+//!
+//! The [`profile`] module layers a hierarchical phase tree on top of the
+//! flat registry: phases opened via the [`crate::phase!`] macro carry
+//! deterministic work columns (charged to the innermost open phase) next
+//! to quarantined wall-clock stats, and parpool batches land on
+//! per-worker lanes. See the module docs and `DESIGN.md` §13.
 //!
 //! # Trace stream
 //!
@@ -37,6 +47,7 @@
 //! on [`TraceEvent`].
 
 pub mod json;
+pub mod profile;
 
 mod hist;
 mod registry;
@@ -44,27 +55,51 @@ mod span;
 mod trace;
 
 pub use hist::HistogramSnapshot;
+pub use profile::{
+    LaneClock, LaneEvent, LaneStat, OverlayStat, PhaseProfiler, ProfileNode, ProfileSnapshot,
+    ProgressBeacon, WorkCol,
+};
 pub use registry::{
     CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, TimingSnapshot,
 };
 pub use span::Span;
 pub use trace::{TraceBuffer, TraceEvent, TraceKind, DEFAULT_TRACE_CAP};
 
-/// One solver run's telemetry: the metrics registry plus the bounded
-/// trace-event buffer. Owned by the `Evaluator`, surfaced through
-/// `MatchOutcome::metrics` and the `evematch --metrics-out/--trace-out`
-/// flags.
+/// One solver run's telemetry: the metrics registry, the bounded
+/// trace-event buffer, and the hierarchical phase profiler. Owned by the
+/// `Evaluator`, surfaced through `MatchOutcome::metrics` /
+/// `MatchOutcome::profile` and the `evematch
+/// --metrics-out/--trace-out/--profile-out` flags.
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     /// Named counters / gauges / histograms / timings.
     pub registry: MetricsRegistry,
     /// Bounded in-memory search trace (JSONL on request).
     pub trace: TraceBuffer,
+    /// Hierarchical phase tree with work attribution and worker lanes.
+    pub profile: PhaseProfiler,
 }
 
 impl Telemetry {
     /// Fresh, empty telemetry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Closes every open phase, mirrors each root phase's wall-clock into
+    /// the registry's (non-deterministic) timing section — the `search`
+    /// root keeps its historical `search.solve` timing name; other roots
+    /// record as `phase.<name>` — and returns the finished snapshot.
+    pub fn finish_phases(&mut self) -> ProfileSnapshot {
+        let snap = self.profile.finish();
+        for root in &snap.roots {
+            if root.name == "search" {
+                self.registry.record_timing("search.solve", root.wall_nanos);
+            } else {
+                self.registry
+                    .record_timing(&format!("phase.{}", root.name), root.wall_nanos);
+            }
+        }
+        snap
     }
 }

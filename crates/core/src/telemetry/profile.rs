@@ -1,0 +1,1327 @@
+//! Hierarchical phase profiler: where a solver's time and *work* go.
+//!
+//! The flat registry answers "how much work happened"; this module
+//! answers "in which phase". A [`PhaseProfiler`] maintains a tree of
+//! named phases (`ingest → index → search → support-eval → emit`, nested
+//! arbitrarily) opened and closed with [`PhaseProfiler::open`] /
+//! [`PhaseProfiler::close`] or the [`phase!`] macro. Each node carries
+//! two strictly separated kinds of data, mirroring the registry's split
+//! (DESIGN.md §8):
+//!
+//! * **deterministic work attribution** — call counts plus the
+//!   [`WorkCol`] columns (meter ticks, evals, pops, cache hits/misses,
+//!   fault retries), charged to the innermost open phase via
+//!   [`PhaseProfiler::charge`]. Under pure caps these are pure functions
+//!   of the work performed, so [`ProfileSnapshot::deterministic_json`]
+//!   is byte-identical across `--eval-threads` settings;
+//! * **non-deterministic wall clock** — per-phase inclusive nanos with
+//!   min/max per call, parpool *overlays* (thread-count-dependent phases
+//!   such as the prefetch batch, quarantined here so they can never leak
+//!   into the deterministic tree), and per-worker *lanes* recording every
+//!   batch claim/steal with real timestamps.
+//!
+//! A [`ProfileSnapshot`] is mergeable (grids fold per-method cells) and
+//! exports three artifact formats: the two-section profile JSON, a
+//! Chrome `trace_event` JSON viewable in `about:tracing` / Perfetto
+//! ([`ProfileSnapshot::to_chrome_trace`]), and a folded-stack file
+//! consumable by `inferno` / `flamegraph.pl`
+//! ([`ProfileSnapshot::to_folded`]).
+//!
+//! Like `telemetry::span`, this module only ever *records* the clock —
+//! nothing here branches on time, so search determinism is unaffected;
+//! the `no-raw-deadline` tidy lint pins it down as a sanctioned clock
+//! module, and the `phase-discipline` lint (T14) keeps raw span
+//! recording from growing back outside `core::telemetry`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use super::json::{push_key, push_string, JsonValue};
+use crate::sync::{AtomicU64, Mutex, Ordering, PoisonError};
+
+/// Number of deterministic work columns on each phase node.
+pub const WORK_COLS: usize = 6;
+
+/// Cap on raw per-worker lane events kept in memory; the excess is
+/// counted in [`ProfileSnapshot::dropped_lane_events`] (deterministic
+/// drop accounting, like the trace buffer). Per-worker aggregates in
+/// [`ProfileSnapshot::lanes`] keep counting past the cap.
+pub const LANE_EVENT_CAP: usize = 4096;
+
+/// A deterministic work column charged to the innermost open phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkCol {
+    /// Budget-meter ticks (deadline polls / fuel units consumed).
+    MeterTicks = 0,
+    /// Composite pattern-support evaluations reaching the cache layer.
+    Evals = 1,
+    /// Search-node expansions (frontier pops, level candidates).
+    Pops = 2,
+    /// Support-cache hits.
+    CacheHits = 3,
+    /// Support-cache misses (each pays a log scan).
+    CacheMisses = 4,
+    /// Supervised retries of faulted operations charged to this phase.
+    FaultRetries = 5,
+}
+
+/// The JSON key for each column, in enum-index order.
+const WORK_KEYS: [&str; WORK_COLS] = [
+    "meter_ticks",
+    "evals",
+    "pops",
+    "cache_hits",
+    "cache_misses",
+    "fault_retries",
+];
+
+/// Column index for a JSON key, if it names one.
+fn work_col_index(key: &str) -> Option<usize> {
+    WORK_KEYS.iter().position(|k| *k == key)
+}
+
+/// One phase node in a [`ProfileSnapshot`]: name, call count, the
+/// deterministic work columns (exclusive — charged while this phase was
+/// innermost), inclusive wall-clock, and children in first-open order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Phase name (`"search"`, `"support-eval"`, …).
+    pub name: String,
+    /// How many times the phase was opened.
+    pub calls: u64,
+    /// Deterministic work columns, indexed by [`WorkCol`].
+    pub work: [u64; WORK_COLS],
+    /// Total inclusive wall-clock nanos over all calls (non-deterministic).
+    pub wall_nanos: u64,
+    /// Fastest single call, nanos (meaningful only when `calls > 0`).
+    pub wall_min: u64,
+    /// Slowest single call, nanos (meaningful only when `calls > 0`).
+    pub wall_max: u64,
+    /// Child phases, in first-open order (deterministic under pure caps).
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn named(name: &str) -> Self {
+        ProfileNode {
+            name: name.to_owned(),
+            ..ProfileNode::default()
+        }
+    }
+
+    /// Exclusive (self) wall nanos: inclusive minus the children's
+    /// inclusive total, clamped at zero (children measured on their own
+    /// clock reads can nominally exceed the parent by nanoseconds).
+    fn self_wall_nanos(&self) -> u64 {
+        let children: u64 = self
+            .children
+            .iter()
+            .map(|c| c.wall_nanos)
+            .fold(0, u64::saturating_add);
+        self.wall_nanos.saturating_sub(children)
+    }
+
+    fn merge_from(&mut self, other: &ProfileNode) {
+        self.work = std::array::from_fn(|i| self.work[i].saturating_add(other.work[i]));
+        self.wall_nanos = self.wall_nanos.saturating_add(other.wall_nanos);
+        if other.calls > 0 {
+            if self.calls == 0 {
+                self.wall_min = other.wall_min;
+                self.wall_max = other.wall_max;
+            } else {
+                self.wall_min = self.wall_min.min(other.wall_min);
+                self.wall_max = self.wall_max.max(other.wall_max);
+            }
+        }
+        self.calls = self.calls.saturating_add(other.calls);
+        merge_nodes(&mut self.children, &other.children);
+    }
+}
+
+/// Name-matched recursive merge: `other`'s nodes fold into same-named
+/// nodes of `into` (preserving `into`'s order); unseen names append in
+/// `other`'s order, so merging is deterministic.
+fn merge_nodes(into: &mut Vec<ProfileNode>, other: &[ProfileNode]) {
+    for node in other {
+        match into.iter_mut().find(|n| n.name == node.name) {
+            Some(existing) => existing.merge_from(node),
+            None => into.push(node.clone()),
+        }
+    }
+}
+
+/// Aggregate wall-clock stats of a thread-count-dependent overlay phase
+/// (e.g. the parpool prefetch batch). Overlays never enter the
+/// deterministic tree: whether they run at all depends on
+/// `--eval-threads`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverlayStat {
+    /// How many times the overlay ran.
+    pub calls: u64,
+    /// Total wall nanos across runs.
+    pub wall_nanos: u64,
+}
+
+/// One parpool worker-lane event: worker `worker` processed batch item
+/// `item` over `[start_nanos, end_nanos]` (profiler-epoch-relative).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneEvent {
+    /// Worker index within the batch (0-based).
+    pub worker: u32,
+    /// Item index within the batch.
+    pub item: u32,
+    /// Whether this was a steal (any claim after the worker's first).
+    pub steal: bool,
+    /// Start, nanos since the profiler epoch.
+    pub start_nanos: u64,
+    /// End, nanos since the profiler epoch.
+    pub end_nanos: u64,
+}
+
+/// Per-worker aggregate over the lane events (kept even past the raw
+/// event cap).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStat {
+    /// Items claimed by this worker.
+    pub claims: u64,
+    /// Claims after the worker's first (work stolen from the backlog).
+    pub steals: u64,
+    /// Total busy wall nanos.
+    pub busy_nanos: u64,
+}
+
+/// A monotonic clock handed to parpool workers so lane events share the
+/// profiler's epoch. Reading it only ever *records* time (the batch's
+/// results are merged in item order regardless), so worker determinism
+/// is unaffected.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneClock {
+    epoch: Instant,
+}
+
+impl LaneClock {
+    /// Nanos since the owning profiler's epoch (saturating).
+    pub fn now_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Shared live-progress surface for the `--progress` heartbeat: the
+/// profiler (when a beacon is attached) publishes the currently open
+/// phase path and a monotonic count of charged work units; the heartbeat
+/// thread reads both and prints a rate. Costs nothing when no beacon is
+/// attached.
+#[derive(Debug, Default)]
+pub struct ProgressBeacon {
+    path: Mutex<String>,
+    work: AtomicU64,
+}
+
+impl ProgressBeacon {
+    /// A fresh beacon (empty path, zero work).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently open phase path (e.g. `"search/support-eval"`) and
+    /// the cumulative charged work units.
+    pub fn snapshot(&self) -> (String, u64) {
+        let path = self
+            .path
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        // ordering: Relaxed — a monotonic display-only counter; the
+        // heartbeat tolerates reading it a few charges stale, and no
+        // other state is published through it.
+        (path, self.work.load(Ordering::Relaxed))
+    }
+
+    fn set_path(&self, path: &str) {
+        let mut guard = self.path.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.clear();
+        guard.push_str(path);
+    }
+
+    fn add_work(&self, n: u64) {
+        // ordering: Relaxed — see `snapshot`; only the total ever matters
+        // and the fetch_add's atomicity alone keeps it exact.
+        self.work.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Arena node (profiler-internal; snapshots use [`ProfileNode`]).
+#[derive(Clone, Debug)]
+struct Node {
+    name: String,
+    children: Vec<usize>,
+    calls: u64,
+    work: [u64; WORK_COLS],
+    wall_nanos: u64,
+    wall_min: u64,
+    wall_max: u64,
+    /// Epoch-relative open time of the current call (valid while on the
+    /// stack).
+    open_t0: u64,
+}
+
+impl Node {
+    fn named(name: &str) -> Self {
+        Node {
+            name: name.to_owned(),
+            children: Vec::new(),
+            calls: 0,
+            work: [0; WORK_COLS],
+            wall_nanos: 0,
+            wall_min: 0,
+            wall_max: 0,
+            open_t0: 0,
+        }
+    }
+}
+
+/// The live phase tree of one run. Owned by [`super::Telemetry`];
+/// snapshot with [`PhaseProfiler::finish`] (usually via
+/// [`super::Telemetry::finish_phases`], which also mirrors root walls
+/// into the registry's timing section).
+///
+/// Re-opening a name that already exists under the current parent reuses
+/// its node (`calls += 1`), so the tree aggregates rather than grows —
+/// a million `support-eval` calls are one node.
+#[derive(Clone, Debug)]
+pub struct PhaseProfiler {
+    epoch: Instant,
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+    overlays: BTreeMap<String, OverlayStat>,
+    lanes: BTreeMap<u32, LaneStat>,
+    lane_events: Vec<LaneEvent>,
+    dropped_lane_events: u64,
+    beacon: Option<Arc<ProgressBeacon>>,
+}
+
+impl Default for PhaseProfiler {
+    fn default() -> Self {
+        PhaseProfiler {
+            epoch: Instant::now(),
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            overlays: BTreeMap::new(),
+            lanes: BTreeMap::new(),
+            lane_events: Vec::new(),
+            dropped_lane_events: 0,
+            beacon: None,
+        }
+    }
+}
+
+impl PhaseProfiler {
+    /// A fresh profiler whose epoch is now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a progress beacon; subsequent opens/closes/charges
+    /// publish to it.
+    pub fn attach_beacon(&mut self, beacon: Arc<ProgressBeacon>) {
+        self.beacon = Some(beacon);
+    }
+
+    /// Nanos since the profiler epoch (recording-only).
+    pub fn now_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// A clock sharing this profiler's epoch, for parpool lane events.
+    pub fn lane_clock(&self) -> LaneClock {
+        LaneClock { epoch: self.epoch }
+    }
+
+    /// Opens phase `name` under the innermost open phase (or as a root).
+    /// Reuses the same-named child if one exists.
+    pub fn open(&mut self, name: &str) {
+        let siblings = match self.stack.last() {
+            Some(&parent) => &self.nodes[parent].children,
+            None => &self.roots,
+        };
+        let found = siblings
+            .iter()
+            .copied()
+            .find(|&i| self.nodes[i].name == name);
+        let idx = match found {
+            Some(idx) => idx,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(Node::named(name));
+                match self.stack.last() {
+                    Some(&parent) => self.nodes[parent].children.push(idx),
+                    None => self.roots.push(idx),
+                }
+                idx
+            }
+        };
+        let t0 = self.now_nanos();
+        let node = &mut self.nodes[idx];
+        node.calls = node.calls.saturating_add(1);
+        node.open_t0 = t0;
+        self.stack.push(idx);
+        self.publish_path();
+    }
+
+    /// Closes the innermost open phase (no-op when none is open).
+    pub fn close(&mut self) {
+        let Some(idx) = self.stack.pop() else {
+            return;
+        };
+        let now = self.now_nanos();
+        let node = &mut self.nodes[idx];
+        let dur = now.saturating_sub(node.open_t0);
+        node.wall_nanos = node.wall_nanos.saturating_add(dur);
+        if node.calls <= 1 {
+            node.wall_min = dur;
+            node.wall_max = dur;
+        } else {
+            node.wall_min = node.wall_min.min(dur);
+            node.wall_max = node.wall_max.max(dur);
+        }
+        self.publish_path();
+    }
+
+    /// Closes every open phase (deepest first) — the defensive path for
+    /// early returns and exhaustion exits.
+    pub fn close_all(&mut self) {
+        while !self.stack.is_empty() {
+            self.close();
+        }
+    }
+
+    /// Charges `n` units of `col` to the innermost open phase. A no-op
+    /// when no phase is open (library users who never open phases pay
+    /// nothing and get an empty tree).
+    pub fn charge(&mut self, col: WorkCol, n: u64) {
+        if let Some(&idx) = self.stack.last() {
+            let slot = &mut self.nodes[idx].work[col as usize];
+            *slot = slot.saturating_add(n);
+            if let Some(beacon) = &self.beacon {
+                beacon.add_work(n);
+            }
+        }
+    }
+
+    /// The currently open phase path, `/`-joined (empty when idle).
+    pub fn open_path(&self) -> String {
+        let names: Vec<&str> = self
+            .stack
+            .iter()
+            .map(|&i| self.nodes[i].name.as_str())
+            .collect();
+        names.join("/")
+    }
+
+    fn publish_path(&self) {
+        if let Some(beacon) = &self.beacon {
+            beacon.set_path(&self.open_path());
+        }
+    }
+
+    /// Records one run of a thread-count-dependent overlay phase
+    /// (quarantined from the deterministic tree; see [`OverlayStat`]).
+    pub fn record_overlay(&mut self, name: &str, start_nanos: u64, end_nanos: u64) {
+        let stat = self.overlays.entry(name.to_owned()).or_default();
+        stat.calls = stat.calls.saturating_add(1);
+        stat.wall_nanos = stat
+            .wall_nanos
+            .saturating_add(end_nanos.saturating_sub(start_nanos));
+    }
+
+    /// Ingests the lane events of one parpool batch: per-worker
+    /// aggregates always, raw events up to [`LANE_EVENT_CAP`] with
+    /// deterministic drop counting.
+    pub fn record_lanes(&mut self, events: &[LaneEvent]) {
+        for ev in events {
+            let lane = self.lanes.entry(ev.worker).or_default();
+            lane.claims = lane.claims.saturating_add(1);
+            lane.steals = lane.steals.saturating_add(u64::from(ev.steal));
+            lane.busy_nanos = lane
+                .busy_nanos
+                .saturating_add(ev.end_nanos.saturating_sub(ev.start_nanos));
+            if self.lane_events.len() < LANE_EVENT_CAP {
+                self.lane_events.push(*ev);
+            } else {
+                self.dropped_lane_events = self.dropped_lane_events.saturating_add(1);
+            }
+        }
+    }
+
+    /// Grafts a finished snapshot into this profiler as sibling trees of
+    /// the current roots (name-merged), absorbing its overlays and
+    /// lanes. Lets a driver (the CLI) fold a solver's profile into its
+    /// own `ingest`/`index`/`emit` phases before finishing.
+    pub fn graft(&mut self, snap: &ProfileSnapshot) {
+        for root in &snap.roots {
+            let idx = self.intern_root(&root.name);
+            self.graft_node(idx, root);
+        }
+        for (name, stat) in &snap.overlays {
+            let slot = self.overlays.entry(name.clone()).or_default();
+            slot.calls = slot.calls.saturating_add(stat.calls);
+            slot.wall_nanos = slot.wall_nanos.saturating_add(stat.wall_nanos);
+        }
+        for (worker, stat) in &snap.lanes {
+            let lane = self.lanes.entry(*worker).or_default();
+            lane.claims = lane.claims.saturating_add(stat.claims);
+            lane.steals = lane.steals.saturating_add(stat.steals);
+            lane.busy_nanos = lane.busy_nanos.saturating_add(stat.busy_nanos);
+        }
+        for ev in &snap.lane_events {
+            if self.lane_events.len() < LANE_EVENT_CAP {
+                self.lane_events.push(*ev);
+            } else {
+                self.dropped_lane_events = self.dropped_lane_events.saturating_add(1);
+            }
+        }
+        self.dropped_lane_events = self
+            .dropped_lane_events
+            .saturating_add(snap.dropped_lane_events);
+    }
+
+    fn intern_root(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.roots.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::named(name));
+        self.roots.push(idx);
+        idx
+    }
+
+    fn graft_node(&mut self, idx: usize, from: &ProfileNode) {
+        {
+            let node = &mut self.nodes[idx];
+            node.work = std::array::from_fn(|i| node.work[i].saturating_add(from.work[i]));
+            node.wall_nanos = node.wall_nanos.saturating_add(from.wall_nanos);
+            if from.calls > 0 {
+                if node.calls == 0 {
+                    node.wall_min = from.wall_min;
+                    node.wall_max = from.wall_max;
+                } else {
+                    node.wall_min = node.wall_min.min(from.wall_min);
+                    node.wall_max = node.wall_max.max(from.wall_max);
+                }
+            }
+            node.calls = node.calls.saturating_add(from.calls);
+        }
+        for child in &from.children {
+            let child_idx = match self.nodes[idx]
+                .children
+                .iter()
+                .copied()
+                .find(|&i| self.nodes[i].name == child.name)
+            {
+                Some(i) => i,
+                None => {
+                    let i = self.nodes.len();
+                    self.nodes.push(Node::named(&child.name));
+                    self.nodes[idx].children.push(i);
+                    i
+                }
+            };
+            self.graft_node(child_idx, child);
+        }
+    }
+
+    /// Closes every open phase and returns the snapshot. The profiler
+    /// keeps its state (a second `finish` returns the same tree with no
+    /// additional wall time).
+    pub fn finish(&mut self) -> ProfileSnapshot {
+        self.close_all();
+        ProfileSnapshot {
+            roots: self.roots.iter().map(|&i| self.node_snapshot(i)).collect(),
+            overlays: self.overlays.clone(),
+            lanes: self.lanes.clone(),
+            lane_events: self.lane_events.clone(),
+            dropped_lane_events: self.dropped_lane_events,
+        }
+    }
+
+    fn node_snapshot(&self, idx: usize) -> ProfileNode {
+        let node = &self.nodes[idx];
+        ProfileNode {
+            name: node.name.clone(),
+            calls: node.calls,
+            work: node.work,
+            wall_nanos: node.wall_nanos,
+            wall_min: node.wall_min,
+            wall_max: node.wall_max,
+            children: node
+                .children
+                .iter()
+                .map(|&c| self.node_snapshot(c))
+                .collect(),
+        }
+    }
+}
+
+/// Scopes a profiler phase around an expression:
+/// `phase!(profiler, "ingest", { … })` opens the phase, evaluates the
+/// body, closes the phase, and yields the body's value. The profiler
+/// expression must be a place expression (a variable or field access) —
+/// it is named twice. An early return (`?`, `return`) inside the body
+/// skips the close; [`PhaseProfiler::close_all`] in the finish path
+/// repairs the stack, at the cost of that call's wall time extending to
+/// the finish.
+#[macro_export]
+macro_rules! phase {
+    ($prof:expr, $name:expr, $body:expr) => {{
+        $prof.open($name);
+        let __evematch_phase_out = $body;
+        $prof.close();
+        __evematch_phase_out
+    }};
+}
+
+/// A finished, mergeable, serializable phase profile.
+///
+/// Serialized shape (see DESIGN.md §13):
+///
+/// ```json
+/// {"deterministic": {"phases": [{"name": "search", "calls": 1,
+///    "work": {"meter_ticks": 9, …}, "children": […]}]},
+///  "non_deterministic": {"wall": [{"name": "search", "nanos": 12,
+///    "min": 12, "max": 12, "children": […]}],
+///    "overlays": {"parpool.prefetch": {"calls": 2, "wall_nanos": 7}},
+///    "lanes": {"0": {"claims": 3, "steals": 2, "busy_nanos": 5}},
+///    "dropped_lane_events": 0,
+///    "lane_events": [{"worker": 0, "item": 1, "steal": 0,
+///      "start_nanos": 1, "end_nanos": 4}]}}
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSnapshot {
+    /// Root phases in first-open order.
+    pub roots: Vec<ProfileNode>,
+    /// Thread-count-dependent overlay phases (non-deterministic only).
+    pub overlays: BTreeMap<String, OverlayStat>,
+    /// Per-worker lane aggregates.
+    pub lanes: BTreeMap<u32, LaneStat>,
+    /// Raw lane events (bounded; see [`LANE_EVENT_CAP`]).
+    pub lane_events: Vec<LaneEvent>,
+    /// Lane events dropped over the cap (deterministic accounting).
+    pub dropped_lane_events: u64,
+}
+
+impl ProfileSnapshot {
+    /// Whether the snapshot carries no phases at all.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty() && self.overlays.is_empty() && self.lanes.is_empty()
+    }
+
+    /// Folds `other` into `self`: same-named phases merge recursively
+    /// (work summed, walls summed, min/max combined), unseen phases
+    /// append in `other`'s order.
+    pub fn merge(&mut self, other: &ProfileSnapshot) {
+        merge_nodes(&mut self.roots, &other.roots);
+        for (name, stat) in &other.overlays {
+            let slot = self.overlays.entry(name.clone()).or_default();
+            slot.calls = slot.calls.saturating_add(stat.calls);
+            slot.wall_nanos = slot.wall_nanos.saturating_add(stat.wall_nanos);
+        }
+        for (worker, stat) in &other.lanes {
+            let lane = self.lanes.entry(*worker).or_default();
+            lane.claims = lane.claims.saturating_add(stat.claims);
+            lane.steals = lane.steals.saturating_add(stat.steals);
+            lane.busy_nanos = lane.busy_nanos.saturating_add(stat.busy_nanos);
+        }
+        for ev in &other.lane_events {
+            if self.lane_events.len() < LANE_EVENT_CAP {
+                self.lane_events.push(*ev);
+            } else {
+                self.dropped_lane_events = self.dropped_lane_events.saturating_add(1);
+            }
+        }
+        self.dropped_lane_events = self
+            .dropped_lane_events
+            .saturating_add(other.dropped_lane_events);
+    }
+
+    /// Charges `n` units of `col` to the root phase named `root`
+    /// (created if absent) — how the grid supervisor attributes cell
+    /// retries to a record computed without a live profiler.
+    pub fn charge_root(&mut self, root: &str, col: WorkCol, n: u64) {
+        let node = match self.roots.iter_mut().find(|r| r.name == root) {
+            Some(node) => node,
+            None => {
+                self.roots.push(ProfileNode::named(root));
+                // Just pushed, so last() is the new node.
+                match self.roots.last_mut() {
+                    Some(node) => node,
+                    None => return,
+                }
+            }
+        };
+        node.work[col as usize] = node.work[col as usize].saturating_add(n);
+    }
+
+    /// The deterministic section only — byte-identical across
+    /// `--eval-threads` settings under pure caps.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{\"phases\":[");
+        for (i, root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_det_node(&mut out, root);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The full two-section JSON document.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\"deterministic\":");
+        out.push_str(&self.deterministic_json());
+        out.push_str(",\"non_deterministic\":{\"wall\":[");
+        for (i, root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_wall_node(&mut out, root);
+        }
+        out.push_str("],\"overlays\":{");
+        for (i, (name, stat)) in self.overlays.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, name);
+            out.push_str(&format!(
+                "{{\"calls\":{},\"wall_nanos\":{}}}",
+                stat.calls, stat.wall_nanos
+            ));
+        }
+        out.push_str("},\"lanes\":{");
+        for (i, (worker, lane)) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_key(&mut out, &worker.to_string());
+            out.push_str(&format!(
+                "{{\"claims\":{},\"steals\":{},\"busy_nanos\":{}}}",
+                lane.claims, lane.steals, lane.busy_nanos
+            ));
+        }
+        out.push_str(&format!(
+            "}},\"dropped_lane_events\":{},\"lane_events\":[",
+            self.dropped_lane_events
+        ));
+        for (i, ev) in self.lane_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"worker\":{},\"item\":{},\"steal\":{},\"start_nanos\":{},\"end_nanos\":{}}}",
+                ev.worker,
+                ev.item,
+                u8::from(ev.steal),
+                ev.start_nanos,
+                ev.end_nanos
+            ));
+        }
+        out.push_str("]}}");
+        out
+    }
+
+    /// Parses a document produced by [`ProfileSnapshot::to_json_string`].
+    /// Returns `None` on malformed input.
+    pub fn from_json(text: &str) -> Option<ProfileSnapshot> {
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// Parses an already-parsed JSON value. Tolerates an absent
+    /// `non_deterministic` section (walls default to zero), so older or
+    /// stripped documents still load.
+    pub fn from_json_value(v: &JsonValue) -> Option<ProfileSnapshot> {
+        let det = v.get("deterministic")?;
+        let mut roots = Vec::new();
+        for node in det.get("phases")?.as_arr()? {
+            roots.push(parse_det_node(node)?);
+        }
+        let mut snap = ProfileSnapshot {
+            roots,
+            ..ProfileSnapshot::default()
+        };
+        let Some(nd) = v.get("non_deterministic") else {
+            return Some(snap);
+        };
+        if let Some(walls) = nd.get("wall").and_then(JsonValue::as_arr) {
+            fill_walls(&mut snap.roots, walls);
+        }
+        if let Some(JsonValue::Obj(fields)) = nd.get("overlays") {
+            for (name, stat) in fields {
+                snap.overlays.insert(
+                    name.clone(),
+                    OverlayStat {
+                        calls: stat.get("calls").and_then(JsonValue::as_u64).unwrap_or(0),
+                        wall_nanos: stat
+                            .get("wall_nanos")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
+                    },
+                );
+            }
+        }
+        if let Some(JsonValue::Obj(fields)) = nd.get("lanes") {
+            for (worker, lane) in fields {
+                let Ok(worker) = worker.parse::<u32>() else {
+                    continue;
+                };
+                snap.lanes.insert(
+                    worker,
+                    LaneStat {
+                        claims: lane.get("claims").and_then(JsonValue::as_u64).unwrap_or(0),
+                        steals: lane.get("steals").and_then(JsonValue::as_u64).unwrap_or(0),
+                        busy_nanos: lane
+                            .get("busy_nanos")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
+                    },
+                );
+            }
+        }
+        snap.dropped_lane_events = nd
+            .get("dropped_lane_events")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0);
+        if let Some(events) = nd.get("lane_events").and_then(JsonValue::as_arr) {
+            for ev in events {
+                snap.lane_events.push(LaneEvent {
+                    worker: ev
+                        .get("worker")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0)
+                        .min(u64::from(u32::MAX)) as u32,
+                    item: ev
+                        .get("item")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0)
+                        .min(u64::from(u32::MAX)) as u32,
+                    steal: ev.get("steal").and_then(JsonValue::as_u64).unwrap_or(0) != 0,
+                    start_nanos: ev
+                        .get("start_nanos")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(0),
+                    end_nanos: ev.get("end_nanos").and_then(JsonValue::as_u64).unwrap_or(0),
+                });
+            }
+        }
+        Some(snap)
+    }
+
+    /// Flat deterministic work counters, keyed `path/column` (plus
+    /// `path/calls`) with `/`-joined phase paths — the shape `xtask
+    /// perf` records and diffs.
+    pub fn flat_work(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for root in &self.roots {
+            flatten_work(root, "", &mut out);
+        }
+        out
+    }
+
+    /// Flat per-phase inclusive wall nanos, keyed by `/`-joined path
+    /// (advisory-only in `xtask perf`).
+    pub fn flat_wall(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for root in &self.roots {
+            flatten_wall(root, "", &mut out);
+        }
+        for (name, stat) in &self.overlays {
+            out.insert(format!("overlay/{name}"), stat.wall_nanos);
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (load in `about:tracing` or Perfetto).
+    ///
+    /// Thread 0 shows the *aggregated* phase tree laid out sequentially
+    /// from t=0 (each node one slice of its total inclusive wall;
+    /// children packed left-to-right inside the parent) — a profile
+    /// view, not a timeline. Worker lanes (tid = worker+1) and the
+    /// parpool overlay thread use real epoch-relative timestamps.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events = Vec::new();
+        self.chrome_trace_events(1, "evematch", &mut events);
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(ev);
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Pushes this snapshot's trace events under process id `pid` named
+    /// `process_name` — lets a grid export pack one process per method
+    /// into a single trace file.
+    pub fn chrome_trace_events(&self, pid: u64, process_name: &str, out: &mut Vec<String>) {
+        let mut meta = String::from("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        meta.push_str(&pid.to_string());
+        meta.push_str(",\"args\":{\"name\":");
+        push_string(&mut meta, process_name);
+        meta.push_str("}}");
+        out.push(meta);
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"phases\"}}}}"
+        ));
+        let mut t = 0u64;
+        for root in &self.roots {
+            push_trace_slice(out, pid, 0, root, t);
+            t = t.saturating_add(root.wall_nanos);
+        }
+        for worker in self.lanes.keys() {
+            out.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\
+                 \"args\":{{\"name\":\"worker {worker}\"}}}}",
+                worker + 1
+            ));
+        }
+        for ev in &self.lane_events {
+            let name = if ev.steal { "steal" } else { "claim" };
+            out.push(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\
+                 \"tid\":{},\"args\":{{\"item\":{}}}}}",
+                ev.start_nanos / 1000,
+                ev.end_nanos.saturating_sub(ev.start_nanos) / 1000,
+                ev.worker + 1,
+                ev.item
+            ));
+        }
+        if !self.overlays.is_empty() {
+            out.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":1000,\
+                 \"args\":{{\"name\":\"parpool overlays\"}}}}"
+            ));
+            let mut t = 0u64;
+            for (name, stat) in &self.overlays {
+                let mut ev = String::from("{\"name\":");
+                push_string(&mut ev, name);
+                ev.push_str(&format!(
+                    ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":1000,\
+                     \"args\":{{\"calls\":{}}}}}",
+                    t / 1000,
+                    stat.wall_nanos / 1000,
+                    stat.calls
+                ));
+                out.push(ev);
+                t = t.saturating_add(stat.wall_nanos);
+            }
+        }
+    }
+
+    /// Folded-stack lines (`a;b;c <self-nanos>`) consumable by
+    /// `inferno` / `flamegraph.pl`. Each line's value is the phase's
+    /// *exclusive* wall nanos. `prefix` (a method name, or `""`)
+    /// becomes the stack root of every line.
+    pub fn to_folded(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for root in &self.roots {
+            push_folded(&mut out, prefix, root);
+        }
+        for (name, stat) in &self.overlays {
+            if prefix.is_empty() {
+                out.push_str(&format!("{name} {}\n", stat.wall_nanos));
+            } else {
+                out.push_str(&format!("{prefix};{name} {}\n", stat.wall_nanos));
+            }
+        }
+        out
+    }
+}
+
+fn push_det_node(out: &mut String, node: &ProfileNode) {
+    out.push_str("{\"name\":");
+    push_string(out, &node.name);
+    out.push_str(&format!(",\"calls\":{},\"work\":{{", node.calls));
+    // Alphabetical key order keeps the document canonical regardless of
+    // the enum's numbering.
+    let mut keys: Vec<usize> = (0..WORK_COLS).collect();
+    keys.sort_by_key(|&i| WORK_KEYS[i]);
+    for (j, &i) in keys.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        push_key(out, WORK_KEYS[i]);
+        out.push_str(&node.work[i].to_string());
+    }
+    out.push_str("},\"children\":[");
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_det_node(out, child);
+    }
+    out.push_str("]}");
+}
+
+fn push_wall_node(out: &mut String, node: &ProfileNode) {
+    out.push_str("{\"name\":");
+    push_string(out, &node.name);
+    out.push_str(&format!(
+        ",\"nanos\":{},\"min\":{},\"max\":{},\"children\":[",
+        node.wall_nanos, node.wall_min, node.wall_max
+    ));
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_wall_node(out, child);
+    }
+    out.push_str("]}");
+}
+
+fn parse_det_node(v: &JsonValue) -> Option<ProfileNode> {
+    let mut node = ProfileNode::named(v.get("name")?.as_str()?);
+    node.calls = v.get("calls").and_then(JsonValue::as_u64).unwrap_or(0);
+    if let Some(JsonValue::Obj(fields)) = v.get("work") {
+        for (key, value) in fields {
+            if let (Some(i), Some(n)) = (work_col_index(key), value.as_u64()) {
+                node.work[i] = n;
+            }
+        }
+    }
+    if let Some(children) = v.get("children").and_then(JsonValue::as_arr) {
+        for child in children {
+            node.children.push(parse_det_node(child)?);
+        }
+    }
+    Some(node)
+}
+
+/// Copies wall stats from the parsed `wall` array into the name-matched
+/// deterministic nodes (position-then-name match; mismatches are left
+/// at zero rather than guessed).
+fn fill_walls(nodes: &mut [ProfileNode], walls: &[JsonValue]) {
+    for node in nodes.iter_mut() {
+        let Some(wall) = walls
+            .iter()
+            .find(|w| w.get("name").and_then(JsonValue::as_str) == Some(node.name.as_str()))
+        else {
+            continue;
+        };
+        node.wall_nanos = wall.get("nanos").and_then(JsonValue::as_u64).unwrap_or(0);
+        node.wall_min = wall.get("min").and_then(JsonValue::as_u64).unwrap_or(0);
+        node.wall_max = wall.get("max").and_then(JsonValue::as_u64).unwrap_or(0);
+        if let Some(children) = wall.get("children").and_then(JsonValue::as_arr) {
+            fill_walls(&mut node.children, children);
+        }
+    }
+}
+
+fn flatten_work(node: &ProfileNode, parent: &str, out: &mut BTreeMap<String, u64>) {
+    let path = if parent.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{parent}/{}", node.name)
+    };
+    out.insert(format!("{path}/calls"), node.calls);
+    for (key, n) in WORK_KEYS.iter().zip(node.work.iter()) {
+        out.insert(format!("{path}/{key}"), *n);
+    }
+    for child in &node.children {
+        flatten_work(child, &path, out);
+    }
+}
+
+fn flatten_wall(node: &ProfileNode, parent: &str, out: &mut BTreeMap<String, u64>) {
+    let path = if parent.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{parent}/{}", node.name)
+    };
+    out.insert(path.clone(), node.wall_nanos);
+    for child in &node.children {
+        flatten_wall(child, &path, out);
+    }
+}
+
+fn push_trace_slice(out: &mut Vec<String>, pid: u64, tid: u64, node: &ProfileNode, t0: u64) {
+    let mut ev = String::from("{\"name\":");
+    push_string(&mut ev, &node.name);
+    ev.push_str(&format!(
+        ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"calls\":{}",
+        t0 / 1000,
+        node.wall_nanos / 1000,
+        node.calls
+    ));
+    for (key, n) in WORK_KEYS.iter().zip(node.work.iter()) {
+        if *n > 0 {
+            ev.push_str(&format!(",\"{key}\":{n}"));
+        }
+    }
+    ev.push_str("}}");
+    out.push(ev);
+    let mut t = t0;
+    for child in &node.children {
+        push_trace_slice(out, pid, tid, child, t);
+        t = t.saturating_add(child.wall_nanos);
+    }
+}
+
+fn push_folded(out: &mut String, prefix: &str, node: &ProfileNode) {
+    let stack = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix};{}", node.name)
+    };
+    out.push_str(&format!("{stack} {}\n", node.self_wall_nanos()));
+    for child in &node.children {
+        push_folded(out, &stack, child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileSnapshot {
+        let mut p = PhaseProfiler::new();
+        p.open("search");
+        p.charge(WorkCol::Pops, 3);
+        p.open("support-eval");
+        p.charge(WorkCol::Evals, 5);
+        p.charge(WorkCol::CacheMisses, 2);
+        p.close();
+        p.open("support-eval");
+        p.charge(WorkCol::Evals, 1);
+        p.close();
+        p.charge(WorkCol::CacheHits, 4);
+        p.close();
+        p.record_overlay("parpool.prefetch", 10, 30);
+        p.record_lanes(&[
+            LaneEvent {
+                worker: 0,
+                item: 0,
+                steal: false,
+                start_nanos: 1,
+                end_nanos: 5,
+            },
+            LaneEvent {
+                worker: 1,
+                item: 2,
+                steal: true,
+                start_nanos: 2,
+                end_nanos: 9,
+            },
+        ]);
+        p.finish()
+    }
+
+    #[test]
+    fn tree_aggregates_and_attributes_to_innermost() {
+        let snap = sample();
+        assert_eq!(snap.roots.len(), 1);
+        let search = &snap.roots[0];
+        assert_eq!(search.name, "search");
+        assert_eq!(search.calls, 1);
+        assert_eq!(search.work[WorkCol::Pops as usize], 3);
+        assert_eq!(search.work[WorkCol::CacheHits as usize], 4);
+        // Two opens of the same child reuse one aggregating node.
+        assert_eq!(search.children.len(), 1);
+        let se = &search.children[0];
+        assert_eq!(se.calls, 2);
+        assert_eq!(se.work[WorkCol::Evals as usize], 6);
+        assert_eq!(se.work[WorkCol::CacheMisses as usize], 2);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let parsed = ProfileSnapshot::from_json(&snap.to_json_string()).expect("parses");
+        assert_eq!(parsed, snap);
+        // And the deterministic section alone still loads (walls zero).
+        let det_doc = format!("{{\"deterministic\":{}}}", snap.deterministic_json());
+        let det = ProfileSnapshot::from_json(&det_doc).expect("parses");
+        assert_eq!(det.roots[0].name, "search");
+        assert_eq!(det.roots[0].wall_nanos, 0);
+        assert_eq!(
+            det.roots[0].work[WorkCol::Pops as usize],
+            snap.roots[0].work[WorkCol::Pops as usize]
+        );
+    }
+
+    #[test]
+    fn deterministic_json_excludes_wall_clock() {
+        let det = sample().deterministic_json();
+        assert!(!det.contains("nanos"), "wall leaked: {det}");
+        assert!(!det.contains("lanes"), "lanes leaked: {det}");
+        assert!(det.contains("\"evals\":6"), "work missing: {det}");
+    }
+
+    #[test]
+    fn merge_sums_work_and_combines_extremes() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.roots[0].calls, 2);
+        assert_eq!(a.roots[0].work[WorkCol::Pops as usize], 6);
+        assert_eq!(a.roots[0].children[0].work[WorkCol::Evals as usize], 12);
+        assert_eq!(a.overlays["parpool.prefetch"].calls, 2);
+        assert_eq!(a.lanes[&1].steals, 2);
+        let min = a.roots[0].wall_min;
+        let max = a.roots[0].wall_max;
+        assert!(min <= max);
+    }
+
+    #[test]
+    fn merge_appends_unseen_phases_in_order() {
+        let mut a = ProfileSnapshot::default();
+        a.charge_root("ingest", WorkCol::FaultRetries, 1);
+        let mut b = ProfileSnapshot::default();
+        b.charge_root("search", WorkCol::Pops, 2);
+        a.merge(&b);
+        let names: Vec<&str> = a.roots.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["ingest", "search"]);
+    }
+
+    #[test]
+    fn close_all_repairs_a_dangling_stack() {
+        let mut p = PhaseProfiler::new();
+        p.open("a");
+        p.open("b");
+        p.open("c");
+        let snap = p.finish();
+        assert_eq!(snap.roots.len(), 1);
+        assert_eq!(snap.roots[0].children[0].children[0].name, "c");
+        assert_eq!(p.open_path(), "");
+    }
+
+    #[test]
+    fn charges_without_an_open_phase_are_dropped() {
+        let mut p = PhaseProfiler::new();
+        p.charge(WorkCol::Evals, 7);
+        assert!(p.finish().is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_covers_phases_and_lanes() {
+        let trace = sample().to_chrome_trace();
+        let doc = JsonValue::parse(&trace).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents array");
+        let slices: Vec<&JsonValue> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        // 2 phase slices + 2 lane events + 1 overlay.
+        assert_eq!(slices.len(), 5);
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M")));
+        // Worker 1's steal landed on tid 2 with its item index.
+        assert!(slices.iter().any(|e| {
+            e.get("name").and_then(JsonValue::as_str) == Some("steal")
+                && e.get("tid").and_then(JsonValue::as_u64) == Some(2)
+                && e.get("args")
+                    .and_then(|a| a.get("item"))
+                    .and_then(JsonValue::as_u64)
+                    == Some(2)
+        }));
+    }
+
+    #[test]
+    fn folded_stacks_use_exclusive_time() {
+        let mut snap = sample();
+        // Pin walls so the exclusive arithmetic is checkable.
+        snap.roots[0].wall_nanos = 100;
+        snap.roots[0].children[0].wall_nanos = 30;
+        let folded = snap.to_folded("Exact");
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"Exact;search 70"), "{folded}");
+        assert!(lines.contains(&"Exact;search;support-eval 30"), "{folded}");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("Exact;parpool.prefetch ")),
+            "{folded}"
+        );
+    }
+
+    #[test]
+    fn flat_work_keys_are_slash_paths() {
+        let flat = sample().flat_work();
+        assert_eq!(flat["search/pops"], 3);
+        assert_eq!(flat["search/support-eval/evals"], 6);
+        assert_eq!(flat["search/support-eval/calls"], 2);
+        let wall = sample().flat_wall();
+        assert!(wall.contains_key("search/support-eval"));
+        assert_eq!(wall["overlay/parpool.prefetch"], 20);
+    }
+
+    #[test]
+    fn graft_folds_a_snapshot_into_a_live_profiler() {
+        let mut p = PhaseProfiler::new();
+        p.open("ingest");
+        p.close();
+        p.graft(&sample());
+        p.open("emit");
+        p.close();
+        let snap = p.finish();
+        let names: Vec<&str> = snap.roots.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["ingest", "search", "emit"]);
+        assert_eq!(snap.roots[1].children[0].work[WorkCol::Evals as usize], 6);
+        assert_eq!(snap.lanes.len(), 2);
+    }
+
+    #[test]
+    fn lane_event_cap_drops_deterministically() {
+        let mut p = PhaseProfiler::new();
+        let ev = LaneEvent {
+            worker: 0,
+            item: 0,
+            steal: false,
+            start_nanos: 0,
+            end_nanos: 1,
+        };
+        let events = vec![ev; LANE_EVENT_CAP + 10];
+        p.record_lanes(&events);
+        let snap = p.finish();
+        assert_eq!(snap.lane_events.len(), LANE_EVENT_CAP);
+        assert_eq!(snap.dropped_lane_events, 10);
+        assert_eq!(snap.lanes[&0].claims, (LANE_EVENT_CAP + 10) as u64);
+    }
+
+    #[test]
+    fn beacon_publishes_path_and_work() {
+        let beacon = Arc::new(ProgressBeacon::new());
+        let mut p = PhaseProfiler::new();
+        p.attach_beacon(beacon.clone());
+        p.open("search");
+        p.open("support-eval");
+        p.charge(WorkCol::Evals, 3);
+        let (path, work) = beacon.snapshot();
+        assert_eq!(path, "search/support-eval");
+        assert_eq!(work, 3);
+        p.close_all();
+        let (path, _) = beacon.snapshot();
+        assert_eq!(path, "");
+    }
+
+    #[test]
+    fn phase_macro_scopes_and_yields() {
+        let mut p = PhaseProfiler::new();
+        let v = crate::phase!(p, "ingest", {
+            p.charge(WorkCol::MeterTicks, 1);
+            42
+        });
+        assert_eq!(v, 42);
+        let snap = p.finish();
+        assert_eq!(snap.roots[0].name, "ingest");
+        assert_eq!(snap.roots[0].work[WorkCol::MeterTicks as usize], 1);
+    }
+}

@@ -126,6 +126,13 @@ impl MetricsRegistry {
                 }
             }
         };
+        if slot.count == 0 {
+            slot.min_nanos = nanos;
+            slot.max_nanos = nanos;
+        } else {
+            slot.min_nanos = slot.min_nanos.min(nanos);
+            slot.max_nanos = slot.max_nanos.max(nanos);
+        }
         slot.count += 1;
         slot.total_nanos = slot.total_nanos.saturating_add(nanos);
     }
@@ -153,6 +160,10 @@ pub struct TimingSnapshot {
     pub count: u64,
     /// Summed duration in nanoseconds.
     pub total_nanos: u64,
+    /// Fastest recorded span, nanoseconds (0 until the first record).
+    pub min_nanos: u64,
+    /// Slowest recorded span, nanoseconds (0 until the first record).
+    pub max_nanos: u64,
 }
 
 /// A frozen view of a [`MetricsRegistry`], split into the deterministic
@@ -210,6 +221,15 @@ impl MetricsSnapshot {
         }
         for (name, t) in &other.timings {
             let slot = self.timings.entry(name.clone()).or_default();
+            if t.count > 0 {
+                if slot.count == 0 {
+                    slot.min_nanos = t.min_nanos;
+                    slot.max_nanos = t.max_nanos;
+                } else {
+                    slot.min_nanos = slot.min_nanos.min(t.min_nanos);
+                    slot.max_nanos = slot.max_nanos.max(t.max_nanos);
+                }
+            }
             slot.count += t.count;
             slot.total_nanos = slot.total_nanos.saturating_add(t.total_nanos);
         }
@@ -275,8 +295,8 @@ impl MetricsSnapshot {
             json::push_key(&mut out, name);
             let _ = write!(
                 out,
-                "{{\"count\":{},\"total_nanos\":{}}}",
-                t.count, t.total_nanos
+                "{{\"count\":{},\"total_nanos\":{},\"min_nanos\":{},\"max_nanos\":{}}}",
+                t.count, t.total_nanos, t.min_nanos, t.max_nanos
             );
         }
         out.push_str("}}}");
@@ -327,6 +347,16 @@ impl MetricsSnapshot {
                 TimingSnapshot {
                     count: t.get("count")?.as_u64()?,
                     total_nanos: t.get("total_nanos")?.as_u64()?,
+                    // Absent in snapshots written before the extremes
+                    // existed; tolerate that so old journals keep parsing.
+                    min_nanos: t
+                        .get("min_nanos")
+                        .and_then(json::JsonValue::as_u64)
+                        .unwrap_or(0),
+                    max_nanos: t
+                        .get("max_nanos")
+                        .and_then(json::JsonValue::as_u64)
+                        .unwrap_or(0),
                 },
             );
         }
@@ -517,6 +547,55 @@ mod tests {
         let snap = MetricsSnapshot::from_json(old).expect("old format parses");
         assert_eq!(snap.counters["x"], 1);
         assert!(snap.info.is_empty());
+    }
+
+    #[test]
+    fn timings_track_min_and_max_extremes() {
+        let mut reg = MetricsRegistry::new();
+        reg.record_timing("t", 50);
+        reg.record_timing("t", 10);
+        reg.record_timing("t", 90);
+        let snap = reg.snapshot();
+        assert_eq!(snap.timings["t"].count, 3);
+        assert_eq!(snap.timings["t"].total_nanos, 150);
+        assert_eq!(snap.timings["t"].min_nanos, 10);
+        assert_eq!(snap.timings["t"].max_nanos, 90);
+        // The extremes survive the JSON round trip.
+        let back = MetricsSnapshot::from_json(&snap.to_json_string()).unwrap();
+        assert_eq!(back.timings["t"], snap.timings["t"]);
+        // Merging combines extremes calls-aware: an empty slot copies, a
+        // populated one takes min-of-mins / max-of-maxes.
+        let mut other = MetricsSnapshot::default();
+        other.timings.insert(
+            "t".into(),
+            TimingSnapshot {
+                count: 1,
+                total_nanos: 5,
+                min_nanos: 5,
+                max_nanos: 5,
+            },
+        );
+        let mut merged = snap.clone();
+        merged.merge(&other);
+        assert_eq!(merged.timings["t"].min_nanos, 5);
+        assert_eq!(merged.timings["t"].max_nanos, 90);
+        // Merging a zero-count slot leaves extremes untouched.
+        let mut zero = MetricsSnapshot::default();
+        zero.timings.insert("t".into(), TimingSnapshot::default());
+        merged.merge(&zero);
+        assert_eq!(merged.timings["t"].min_nanos, 5);
+    }
+
+    #[test]
+    fn timings_without_extremes_still_parse() {
+        // A snapshot rendered before min/max existed.
+        let old = "{\"deterministic\":{\"counters\":{},\"gauges\":{},\
+                    \"histograms\":{}},\"non_deterministic\":{\"timings\":\
+                    {\"solve\":{\"count\":2,\"total_nanos\":100}}}}";
+        let snap = MetricsSnapshot::from_json(old).expect("old format parses");
+        assert_eq!(snap.timings["solve"].count, 2);
+        assert_eq!(snap.timings["solve"].min_nanos, 0);
+        assert_eq!(snap.timings["solve"].max_nanos, 0);
     }
 
     #[test]

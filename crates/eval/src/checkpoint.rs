@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use evematch_core::telemetry::json::{self, JsonValue};
-use evematch_core::{Budget, MetricsSnapshot};
+use evematch_core::{Budget, MetricsSnapshot, ProfileSnapshot};
 
 use crate::method::{Method, RunOutcome};
 
@@ -44,6 +44,10 @@ pub(crate) struct MethodRecord {
     pub finished: bool,
     /// The run's telemetry snapshot.
     pub metrics: MetricsSnapshot,
+    /// The run's hierarchical phase profile (empty for panicked and
+    /// quarantined cells, and for entries journaled before the profile
+    /// field existed).
+    pub profile: ProfileSnapshot,
 }
 
 impl MethodRecord {
@@ -56,6 +60,7 @@ impl MethodRecord {
             processed: out.processed(),
             finished: out.finished(),
             metrics: out.metrics().clone(),
+            profile: out.profile().clone(),
         }
     }
 
@@ -72,6 +77,7 @@ impl MethodRecord {
             processed: 0,
             finished: false,
             metrics,
+            profile: ProfileSnapshot::default(),
         }
     }
 
@@ -92,6 +98,7 @@ impl MethodRecord {
             processed: 0,
             finished: false,
             metrics,
+            profile: ProfileSnapshot::default(),
         }
     }
 
@@ -116,6 +123,9 @@ impl MethodRecord {
         out.push(',');
         json::push_key(out, "metrics");
         out.push_str(&self.metrics.to_json_string());
+        out.push(',');
+        json::push_key(out, "profile");
+        out.push_str(&self.profile.to_json_string());
         out.push('}');
     }
 
@@ -131,6 +141,12 @@ impl MethodRecord {
             processed: v.get("proc")?.as_u64()?,
             finished,
             metrics: MetricsSnapshot::from_json_value(v.get("metrics")?)?,
+            // Absent in journals written before the profile existed — an
+            // empty profile, not a rejected line.
+            profile: match v.get("profile") {
+                Some(p) => ProfileSnapshot::from_json_value(p)?,
+                None => ProfileSnapshot::default(),
+            },
         })
     }
 }
@@ -288,6 +304,7 @@ mod tests {
             processed: u64::MAX - 1,
             finished: true,
             metrics,
+            profile: ProfileSnapshot::default(),
         }
     }
 

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use evematch_core::fault::{self, FaultClass};
 use evematch_core::retry::{Clock, RealClock, RetryPolicy};
-use evematch_core::{Budget, Mapping, MetricsSnapshot};
+use evematch_core::{Budget, Mapping, MetricsSnapshot, ProfileSnapshot, WorkCol};
 use evematch_datagen::{datasets, Dataset};
 
 use crate::checkpoint::{self, MethodRecord};
@@ -87,6 +87,11 @@ pub struct FigureResult {
     /// [`MetricsSnapshot::merge`]). The `repro_*` binaries save this as
     /// `<stem>_metrics.json` next to the CSV panels.
     pub metrics: Vec<(String, MetricsSnapshot)>,
+    /// Per-method phase profiles, merged over every `(x, seed)` cell
+    /// (work counters summed, root walls accumulated — see
+    /// [`ProfileSnapshot::merge`]). The `repro_*` binaries save these as
+    /// `<stem>_profile.json` plus Chrome-trace and folded-stack views.
+    pub profiles: Vec<(String, ProfileSnapshot)>,
 }
 
 /// Aggregate of one (x, method) cell over the seeds.
@@ -226,6 +231,11 @@ fn run_job(
                     let mut rec = MethodRecord::of(&out);
                     if retries > 0 {
                         rec.metrics.set_counter("fault.retries.grid.cell", retries);
+                        // Attribute the supervised retries to the run's
+                        // search root so the profile's work columns carry
+                        // the fault story too.
+                        rec.profile
+                            .charge_root("search", WorkCol::FaultRetries, retries);
                     }
                     rec
                 }
@@ -339,10 +349,12 @@ pub fn run_grid(
     // byte-identical deterministic panels.
     let mut cells = vec![vec![Cell::default(); methods.len()]; xs.len()];
     let mut merged = vec![MetricsSnapshot::default(); methods.len()];
+    let mut merged_profiles = vec![ProfileSnapshot::default(); methods.len()];
     for ((xi, _seed), records) in &results {
         for (mi, rec) in records.iter().enumerate() {
             cells[*xi][mi].add(rec);
             merged[mi].merge(&rec.metrics);
+            merged_profiles[mi].merge(&rec.profile);
         }
     }
 
@@ -392,12 +404,18 @@ pub fn run_grid(
         .map(|m| m.name().to_owned())
         .zip(merged)
         .collect();
+    let profiles = methods
+        .iter()
+        .map(|m| m.name().to_owned())
+        .zip(merged_profiles)
+        .collect();
     FigureResult {
         f_measure,
         anytime_f,
         time,
         processed,
         metrics,
+        profiles,
     }
 }
 
@@ -648,6 +666,18 @@ mod tests {
             assert!(
                 snap.counters.get("budget.processed").copied().unwrap_or(0) > 0,
                 "{name}: merged snapshot has no processed work"
+            );
+        }
+        // One merged phase profile per method: an index root and a search
+        // root, the latter carrying charged work.
+        assert_eq!(fig.profiles.len(), EXACT_FIGURE_METHODS.len());
+        for (name, profile) in &fig.profiles {
+            let names: Vec<&str> = profile.roots.iter().map(|r| r.name.as_str()).collect();
+            assert_eq!(names, ["index", "search"], "{name}: roots {names:?}");
+            let work = profile.flat_work();
+            assert!(
+                work.get("search/pops").copied().unwrap_or(0) > 0,
+                "{name}: search root has no pops"
             );
         }
     }

@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 
 use evematch_core::{
     AdvancedHeuristic, BoundKind, Budget, EntropyMatcher, EvalConfig, ExactMatcher,
-    IterativeMatcher, Mapping, MatchContext, MetricsSnapshot, PatternSetBuilder,
-    SharedSupportCache, SimpleHeuristic,
+    IterativeMatcher, Mapping, MatchContext, MetricsSnapshot, PatternSetBuilder, PhaseProfiler,
+    ProfileSnapshot, SharedSupportCache, SimpleHeuristic,
 };
 use evematch_datagen::LogPair;
 use evematch_pattern::Pattern;
@@ -112,6 +112,8 @@ pub enum RunOutcome {
         processed: u64,
         /// Telemetry snapshot of the run (see `evematch_core::telemetry`).
         metrics: MetricsSnapshot,
+        /// Hierarchical phase profile of the run (index + search roots).
+        profile: ProfileSnapshot,
     },
     /// The method exhausted its budget — the paper's "cannot return
     /// results" entries in Figure 12. The paper-faithful row reports DNF
@@ -128,6 +130,8 @@ pub enum RunOutcome {
         /// Telemetry snapshot of the run (see `evematch_core::telemetry`);
         /// its `budget.exhausted.*` counter names the tripped limit.
         metrics: MetricsSnapshot,
+        /// Hierarchical phase profile of the run (index + search roots).
+        profile: ProfileSnapshot,
     },
 }
 
@@ -186,6 +190,24 @@ impl RunOutcome {
         match self {
             RunOutcome::Finished { metrics, .. } | RunOutcome::DidNotFinish { metrics, .. } => {
                 metrics
+            }
+        }
+    }
+
+    /// The run's hierarchical phase profile.
+    pub fn profile(&self) -> &ProfileSnapshot {
+        match self {
+            RunOutcome::Finished { profile, .. } | RunOutcome::DidNotFinish { profile, .. } => {
+                profile
+            }
+        }
+    }
+
+    /// Mutable access to the run's phase profile (retry attribution).
+    pub fn profile_mut(&mut self) -> &mut ProfileSnapshot {
+        match self {
+            RunOutcome::Finished { profile, .. } | RunOutcome::DidNotFinish { profile, .. } => {
+                profile
             }
         }
     }
@@ -254,13 +276,22 @@ impl Method {
         pool: Option<&SupportCachePool>,
     ) -> RunOutcome {
         let start = Instant::now();
-        let ctx = MatchContext::new(
-            pair.log1.clone(),
-            pair.log2.clone(),
-            self.pattern_set(complex),
-        )
-        // tidy-allow: no-panic -- every generator in datagen grows the vocabulary, so |V1| ≤ |V2| holds for all benchmark pairs
-        .expect("log pairs satisfy |V1| ≤ |V2|");
+        // Context construction (dependency graphs + pattern index) is this
+        // harness's "index" phase; the solver contributes its own `search`
+        // root, so the merged profile reads index → search per run.
+        let mut indexer = PhaseProfiler::new();
+        let ctx = evematch_core::phase!(
+            indexer,
+            "index",
+            MatchContext::new(
+                pair.log1.clone(),
+                pair.log2.clone(),
+                self.pattern_set(complex),
+            )
+            // tidy-allow: no-panic -- every generator in datagen grows the vocabulary, so |V1| ≤ |V2| holds for all benchmark pairs
+            .expect("log pairs satisfy |V1| ≤ |V2|")
+        );
+        let mut profile = indexer.finish();
         let mut config = EvalConfig::from_budget(budget).with_threads(threads);
         if let Some(pool) = pool {
             config = config.with_shared_cache(pool.cache_for(&ctx));
@@ -279,6 +310,7 @@ impl Method {
                 AdvancedHeuristic::new(BoundKind::Tight).solve_with(&ctx, &config)
             }
         };
+        profile.merge(&out.profile);
         match out.completion.optimality_gap() {
             None => RunOutcome::Finished {
                 quality: MatchQuality::of(&out.mapping, &pair.truth),
@@ -287,6 +319,7 @@ impl Method {
                 elapsed: start.elapsed(),
                 processed: out.stats.processed_mappings,
                 metrics: out.metrics,
+                profile,
             },
             Some(optimality_gap) => RunOutcome::DidNotFinish {
                 elapsed: start.elapsed(),
@@ -298,6 +331,7 @@ impl Method {
                     optimality_gap,
                 },
                 metrics: out.metrics,
+                profile,
             },
         }
     }

@@ -45,8 +45,22 @@
 //!     --trace-out <FILE>     write the run's search trace as JSON Lines
 //!                            (one event per line, deterministic `seq`
 //!                            numbering; see `core::telemetry`)
+//!     --profile-out <FILE>   write the run's hierarchical phase profile
+//!                            (ingest → index → search → emit) as JSON: a
+//!                            `deterministic` section (per-phase work
+//!                            counters, byte-identical across runs and
+//!                            --eval-threads under pure caps) and a
+//!                            `non_deterministic` section (wall clocks,
+//!                            parpool overlays, worker lanes). Two sibling
+//!                            views ride along: `<stem>_trace.json`
+//!                            (Chrome `trace_event`, load in Perfetto) and
+//!                            `<stem>.folded` (folded stacks for
+//!                            flamegraph tooling). Also honoured from the
+//!                            EVEMATCH_PROFILE_OUT env var
 //!     --progress             print a heartbeat line to stderr about once a
-//!                            second while the solver runs
+//!                            second while the solver runs, naming the
+//!                            innermost open profiler phase and the charged
+//!                            work rate since the previous beat
 //!     --quiet                suppress the stderr summaries; stdout keeps
 //!                            the mapping lines and, on degraded runs, the
 //!                            machine-readable `# degraded` header, which
@@ -98,6 +112,7 @@ struct Options {
     eval_threads: usize,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    profile_out: Option<String>,
     progress: bool,
     quiet: bool,
     fault_schedule: Option<String>,
@@ -121,6 +136,7 @@ fn parse_args() -> Result<Options, String> {
         eval_threads: 1,
         metrics_out: None,
         trace_out: None,
+        profile_out: std::env::var("EVEMATCH_PROFILE_OUT").ok(),
         progress: false,
         quiet: false,
         fault_schedule: None,
@@ -192,6 +208,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--profile-out" => opts.profile_out = Some(value("--profile-out")?),
             "--progress" => opts.progress = true,
             "--quiet" => opts.quiet = true,
             "--fault-schedule" => opts.fault_schedule = Some(value("--fault-schedule")?),
@@ -276,9 +293,23 @@ fn run(opts: &Options) -> Result<bool, String> {
     if let Some(spec) = &opts.fault_schedule {
         fault::arm(spec, opts.fault_seed).map_err(|e| format!("--fault-schedule: {e}"))?;
     }
+    // The CLI-level phase profiler: ingest and index are measured here,
+    // the solver's own tree (search, probe, support-eval) is grafted in
+    // after the run, and emit closes the story. A beacon (for --progress)
+    // rides on both this profiler and the solver's.
+    let mut profiler = PhaseProfiler::new();
+    let beacon = opts
+        .progress
+        .then(|| std::sync::Arc::new(ProgressBeacon::new()));
+    if let Some(b) = &beacon {
+        profiler.attach_beacon(b.clone());
+    }
     let ingest = ingest_options(opts);
-    let in1 = load_log(&opts.logs[0], opts.format.as_deref(), &ingest)?;
-    let in2 = load_log(&opts.logs[1], opts.format.as_deref(), &ingest)?;
+    let (in1, in2) = evematch::core::phase!(profiler, "ingest", {
+        let in1 = load_log(&opts.logs[0], opts.format.as_deref(), &ingest)?;
+        let in2 = load_log(&opts.logs[1], opts.format.as_deref(), &ingest)?;
+        (in1, in2)
+    });
     if !opts.quiet {
         for (path, q) in [
             (&opts.logs[0], &in1.quarantine),
@@ -310,15 +341,19 @@ fn run(opts: &Options) -> Result<bool, String> {
             .edges()
             .complex_all(patterns.iter().cloned()),
     };
-    let ctx = MatchContext::new(log1, log2, builder).map_err(|e| e.to_string())?;
+    let ctx = evematch::core::phase!(profiler, "index", MatchContext::new(log1, log2, builder))
+        .map_err(|e| e.to_string())?;
     let mut budget = Budget::UNLIMITED.with_deadline(Duration::from_secs(opts.limit_secs));
     if let Some(cap) = opts.limit_processed {
         budget = budget.with_processed_cap(cap);
     }
 
-    let config = EvalConfig::from_budget(budget).with_threads(opts.eval_threads);
+    let mut config = EvalConfig::from_budget(budget).with_threads(opts.eval_threads);
+    if let Some(b) = &beacon {
+        config = config.with_beacon(b.clone());
+    }
 
-    let heartbeat = opts.progress.then(Heartbeat::start);
+    let heartbeat = beacon.as_ref().map(|b| Heartbeat::start(b.clone()));
     let outcome = match opts.method.as_str() {
         "exact" | "vertex" | "vertex-edge" => {
             ExactMatcher::new(opts.bound).solve_with(&ctx, &config)
@@ -330,7 +365,9 @@ fn run(opts: &Options) -> Result<bool, String> {
         other => return Err(format!("unknown method `{other}`")),
     };
     drop(heartbeat);
+    profiler.graft(&outcome.profile);
 
+    profiler.open("emit");
     if let Some(path) = &opts.metrics_out {
         // Fold the ingestion quarantine counts into the run's snapshot so
         // one artifact tells the whole story (merge adds counters, so the
@@ -369,6 +406,26 @@ fn run(opts: &Options) -> Result<bool, String> {
     for (a, b) in outcome.mapping.pairs() {
         println!("{}\t{}", names1.events().name(a), names2.events().name(b));
     }
+    profiler.close();
+
+    if let Some(path) = &opts.profile_out {
+        // The profile's own serialization cannot profile itself — the
+        // emit phase above covers the other artifacts and the mapping.
+        let profile = profiler.finish();
+        write_artifact(path, |p| {
+            persist::atomic_write(p, (profile.to_json_string() + "\n").as_bytes())
+        })?;
+        let stem = path.strip_suffix(".json").unwrap_or(path);
+        let trace_path = format!("{stem}_trace.json");
+        write_artifact(&trace_path, |p| {
+            persist::atomic_write(p, (profile.to_chrome_trace() + "\n").as_bytes())
+        })?;
+        let folded_path = format!("{stem}.folded");
+        write_artifact(&folded_path, |p| {
+            persist::atomic_write(p, profile.to_folded("").as_bytes())
+        })?;
+    }
+
     if !opts.quiet {
         eprintln!(
             "pattern normal distance {:.4}; {} mappings processed in {:.2?}",
@@ -398,15 +455,17 @@ fn write_artifact(
 }
 
 /// A stderr heartbeat printed about once a second while the solver runs
-/// (`--progress`). Dropping it stops the thread; the 200 ms poll keeps the
-/// drop latency low without spamming stderr.
+/// (`--progress`): the innermost open profiler phase from the attached
+/// [`ProgressBeacon`] plus the charged-work rate since the previous beat.
+/// Dropping it stops the thread; the 200 ms poll keeps the drop latency
+/// low without spamming stderr.
 struct Heartbeat {
     stop: std::sync::Arc<evematch::core::sync::AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Heartbeat {
-    fn start() -> Self {
+    fn start(beacon: std::sync::Arc<ProgressBeacon>) -> Self {
         use evematch::core::sync::{AtomicBool, Ordering};
         let stop = std::sync::Arc::new(AtomicBool::new(false));
         let seen = stop.clone();
@@ -414,6 +473,8 @@ impl Heartbeat {
         let handle = std::thread::spawn(move || {
             let started = std::time::Instant::now();
             let mut polls = 0u64;
+            let mut last_work = 0u64;
+            let mut last_t = started;
             // ordering: Relaxed — a one-way stop flag for a progress
             // printer; observing it one 200 ms poll late only costs one
             // extra heartbeat line, and no other state rides on it.
@@ -421,8 +482,14 @@ impl Heartbeat {
                 std::thread::sleep(Duration::from_millis(200));
                 polls += 1;
                 if polls % 5 == 0 && !seen.load(Ordering::Relaxed) {
+                    let (path, work) = beacon.snapshot();
+                    let dt = last_t.elapsed().as_secs_f64().max(1e-9);
+                    let rate = (work.saturating_sub(last_work)) as f64 / dt;
+                    last_work = work;
+                    last_t = std::time::Instant::now();
+                    let phase = if path.is_empty() { "idle" } else { &path };
                     eprintln!(
-                        "evematch: still solving ({:.1}s elapsed)",
+                        "evematch: [{phase}] {work} work units ({rate:.0}/s, {:.1}s elapsed)",
                         started.elapsed().as_secs_f64()
                     );
                 }
@@ -469,7 +536,8 @@ fn main() -> ExitCode {
                  [--patterns FILE] [--format text|csv] [--bound simple|tight] \
                  [--lenient] [--max-events N] [--max-traces N] [--max-trace-len N] \
                  [--max-line-bytes N] [--limit-secs N] [--limit-processed N] \
-                 [--metrics-out FILE] [--trace-out FILE] [--progress] [--quiet] \
+                 [--metrics-out FILE] [--trace-out FILE] [--profile-out FILE] \
+                 [--progress] [--quiet] \
                  [--fault-schedule SPEC] [--fault-seed N] LOG1 LOG2"
             );
             if msg == "help" {

@@ -1,10 +1,12 @@
 //! `cargo xtask` — workspace maintenance tasks.
 //!
-//! The only task today is `tidy`, the custom static-analysis pass
-//! (modeled on rust-lang/rust's `tidy`) that enforces the determinism and
-//! panic-freedom invariants the reproduction's results depend on. See
-//! `DESIGN.md` §6 and the README's "Tidy" section for the lint catalogue
-//! and the waiver syntax.
+//! Two tasks today: `tidy`, the custom static-analysis pass (modeled on
+//! rust-lang/rust's `tidy`) that enforces the determinism and
+//! panic-freedom invariants the reproduction's results depend on, and
+//! `perf`, the perf-trajectory history and regression gate over the
+//! bench binaries' deterministic work counters. See `DESIGN.md` §6 and
+//! §13 and the README's "Tidy" section for the lint catalogue and the
+//! waiver syntax.
 //!
 //! Zero dependencies by design: the build containers are offline, and a
 //! lint pass must never be the thing that fails to build.
@@ -14,7 +16,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+mod jsonv;
 mod lints;
+mod perf;
 mod scan;
 mod tidy;
 
@@ -48,6 +52,15 @@ USAGE:
                             emit findings as JSON on stdout
                             ({\"findings\":[{path,line,lint,message}…],\"count\":N});
                             exit codes match the plain-text mode
+    cargo xtask perf append <artifact.json>… [--sha S] [--history FILE]
+                            normalize bench artifacts into results/perf_history.jsonl
+    cargo xtask perf diff <A.json> <B.json>
+                            compare two artifacts/history lines counter by counter
+    cargo xtask perf check <artifact.json>… [--threshold PCT] [--history FILE]
+                            regression gate: exit 2 when a deterministic work
+                            counter grew beyond the threshold (default 10%)
+                            vs its baseline; wall-clock deltas are advisory
+    cargo xtask perf --help full perf usage
 
 LINTS (see DESIGN.md §6):
     no-panic       T1  no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented!
@@ -86,6 +99,12 @@ LINTS (see DESIGN.md §6):
                        route errors through core::fault::classify_io or
                        core::retry::retry_io so transient/permanent/corrupt
                        failures keep their class (best-effort sites waive)
+    phase-discipline   T14 no raw Span::start/record_timing/record_span in
+                       runtime code outside core::telemetry (INCLUDING
+                       src/bin/): attribute time by opening a profiler phase
+                       (core::phase!) so walls stay quarantined in the
+                       non-deterministic profile section and the perf gate
+                       sees the work they cover
     unused-waiver      a tidy-allow waiver lint name that suppressed nothing
                        (tracked per name, so stale names inside multi-lint
                        waivers are caught too)
@@ -117,6 +136,7 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("perf") => perf::run(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -204,7 +224,7 @@ fn render_json(violations: &[Violation]) -> String {
 
 /// Escapes a string for a JSON string literal: `"`, `\`, and control
 /// characters (as `\n`/`\t`/`\r` or `\u00XX`).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,681 @@
+//! `cargo xtask perf` — the perf-trajectory history and regression gate.
+//!
+//! The workspace's bench binaries emit JSON artifacts whose `work`
+//! section holds *deterministic* work counters (phase-profiler columns
+//! like `search/pops`, byte-identical across thread counts) next to
+//! advisory `wall_nanos`. This module turns those artifacts into a
+//! trajectory:
+//!
+//! * `perf append <artifact>…` normalizes each artifact into one line of
+//!   `results/perf_history.jsonl`, stamped with the current git SHA, the
+//!   host's available parallelism, and the recording time;
+//! * `perf diff <A> <B>` compares two artifacts (or history lines)
+//!   counter by counter;
+//! * `perf check <artifact>…` finds each artifact's baseline — the most
+//!   recent history entry with the same bench name and workload — and
+//!   **exits 2** when any deterministic work counter grew beyond the
+//!   noise threshold (default 10%). Wall-clock changes are reported but
+//!   never gate: wall time measures the host, work counters measure the
+//!   algorithm.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use crate::json_escape;
+use crate::jsonv::Json;
+
+/// The default regression threshold, in percent: a deterministic work
+/// counter may grow by up to this much before the gate fails. The
+/// counters are exact, so this headroom only absorbs *intended* small
+/// drifts (a tweaked tie-break reordering a handful of expansions), not
+/// measurement noise.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+
+/// The default history file, relative to the workspace root.
+pub const DEFAULT_HISTORY: &str = "results/perf_history.jsonl";
+
+const PERF_USAGE: &str = "\
+cargo xtask perf — perf-trajectory history and regression gate
+
+USAGE:
+    cargo xtask perf append <artifact.json>… [--sha <SHA>] [--history <FILE>]
+        normalize bench artifacts into history lines (git SHA, host
+        parallelism, unix time, deterministic work counters, wall nanos)
+        and append them to results/perf_history.jsonl
+
+    cargo xtask perf diff <A.json> <B.json>
+        compare two artifacts or history lines counter by counter
+
+    cargo xtask perf check <artifact.json>… [--threshold <PCT>] [--history <FILE>]
+        compare each artifact against its baseline (the latest history
+        entry with the same bench + workload); exit 2 when any
+        deterministic work counter regressed beyond the threshold
+        (default 10%). Wall-clock deltas are advisory only. Artifacts
+        with no baseline pass with a note.
+";
+
+/// One normalized perf observation: an artifact or history line reduced
+/// to its identity (bench + workload), provenance (sha, host, time), and
+/// measurements (work counters + wall nanos).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// Git revision the observation was recorded at (`unknown` outside a
+    /// repository).
+    pub sha: String,
+    /// Unix seconds at recording time (0 for raw artifacts).
+    pub recorded_unix: u64,
+    /// `std::thread::available_parallelism()` on the recording host.
+    pub host_parallelism: u64,
+    /// The bench name (`profile`, `parpool`, …).
+    pub bench: String,
+    /// The workload descriptor as canonical minified JSON — the baseline
+    /// match key alongside `bench`.
+    pub workload: String,
+    /// Deterministic work counters, in source order.
+    pub work: Vec<(String, u64)>,
+    /// Advisory wall-clock nanos, in source order.
+    pub wall: Vec<(String, u64)>,
+}
+
+/// One gate finding for a single counter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// Counter name (`search/pops`, …).
+    pub key: String,
+    /// Baseline value.
+    pub before: u64,
+    /// Current value.
+    pub after: u64,
+    /// Signed percent change (`+20.0` for a 20% increase).
+    pub pct: f64,
+}
+
+/// Entry point for `cargo xtask perf …`.
+pub fn run(args: &[String]) -> ExitCode {
+    let result = match args.first().map(String::as_str) {
+        Some("append") => append(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("--help" | "-h") | None => {
+            print!("{PERF_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown perf subcommand `{other}`")),
+    };
+    match result {
+        Ok(code) => ExitCode::from(code),
+        Err(message) => {
+            eprintln!("perf: {message}\n\n{PERF_USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Flags shared by `append` and `check`: positional artifact paths plus
+/// `--sha`, `--history`, `--threshold`.
+struct PerfArgs {
+    paths: Vec<PathBuf>,
+    sha: Option<String>,
+    history: PathBuf,
+    threshold: f64,
+}
+
+fn parse_args(args: &[String]) -> Result<PerfArgs, String> {
+    let mut out = PerfArgs {
+        paths: Vec::new(),
+        sha: None,
+        history: crate::workspace_root().join(DEFAULT_HISTORY),
+        threshold: DEFAULT_THRESHOLD_PCT,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sha" => {
+                out.sha = Some(
+                    it.next()
+                        .ok_or_else(|| "--sha needs a value".to_string())?
+                        .clone(),
+                );
+            }
+            "--history" => {
+                out.history = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--history needs a value".to_string())?,
+                );
+            }
+            "--threshold" => {
+                let raw = it
+                    .next()
+                    .ok_or_else(|| "--threshold needs a value (percent)".to_string())?;
+                out.threshold = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad threshold `{raw}` (want a percent)"))?;
+                if out.threshold.is_nan() || out.threshold < 0.0 {
+                    return Err(format!("threshold must be non-negative, got `{raw}`"));
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown perf flag `{flag}`")),
+            path => out.paths.push(PathBuf::from(path)),
+        }
+    }
+    if out.paths.is_empty() {
+        return Err("expected at least one artifact path".to_string());
+    }
+    Ok(out)
+}
+
+// ---- append ----
+
+fn append(args: &[String]) -> Result<u8, String> {
+    let parsed = parse_args(args)?;
+    let sha = parsed.sha.clone().unwrap_or_else(git_sha);
+    let now = unix_now();
+    let mut lines = String::new();
+    let mut benches = Vec::new();
+    for path in &parsed.paths {
+        let mut entry = load_entry(path)?;
+        entry.sha.clone_from(&sha);
+        entry.recorded_unix = now;
+        benches.push(entry.bench.clone());
+        lines.push_str(&render_entry(&entry));
+        lines.push('\n');
+    }
+    if let Some(dir) = parsed.history.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    }
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&parsed.history)
+        .map_err(|e| format!("cannot open {}: {e}", parsed.history.display()))?;
+    file.write_all(lines.as_bytes())
+        .map_err(|e| format!("cannot append to {}: {e}", parsed.history.display()))?;
+    println!(
+        "perf: appended {} entr{} ({}) at {sha} -> {}",
+        benches.len(),
+        if benches.len() == 1 { "y" } else { "ies" },
+        benches.join(", "),
+        parsed.history.display()
+    );
+    Ok(0)
+}
+
+/// Renders one history line. The `work`/`wall_nanos` sections are kept
+/// flat so `diff`/`check` (and a human with grep) read them directly.
+pub fn render_entry(entry: &Entry) -> String {
+    let mut out = format!(
+        "{{\"schema\":1,\"sha\":\"{}\",\"recorded_unix\":{},\"host_parallelism\":{},\
+         \"bench\":\"{}\",\"workload\":{},\"work\":{{",
+        json_escape(&entry.sha),
+        entry.recorded_unix,
+        entry.host_parallelism,
+        json_escape(&entry.bench),
+        entry.workload,
+    );
+    for (i, (key, n)) in entry.work.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", json_escape(key));
+    }
+    out.push_str("},\"wall_nanos\":{");
+    for (i, (key, n)) in entry.wall.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", json_escape(key));
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---- diff ----
+
+fn diff(args: &[String]) -> Result<u8, String> {
+    let parsed = parse_args(args)?;
+    if parsed.paths.len() != 2 {
+        return Err(format!(
+            "diff takes exactly two paths, got {}",
+            parsed.paths.len()
+        ));
+    }
+    let a = load_entry(&parsed.paths[0])?;
+    let b = load_entry(&parsed.paths[1])?;
+    if (a.bench.as_str(), a.workload.as_str()) != (b.bench.as_str(), b.workload.as_str()) {
+        println!(
+            "perf: note: comparing different workloads ({} {} vs {} {})",
+            a.bench, a.workload, b.bench, b.workload
+        );
+    }
+    println!("perf diff: work counters (deterministic)");
+    print_deltas(&work_deltas(&a.work, &b.work));
+    println!("perf diff: wall nanos (advisory, host-dependent)");
+    print_deltas(&work_deltas(&a.wall, &b.wall));
+    Ok(0)
+}
+
+fn print_deltas(deltas: &[Delta]) {
+    if deltas.is_empty() {
+        println!("  (no common counters)");
+        return;
+    }
+    for d in deltas {
+        println!(
+            "  {:<40} {:>14} -> {:>14}  {:+.2}%",
+            d.key, d.before, d.after, d.pct
+        );
+    }
+}
+
+// ---- check ----
+
+fn check(args: &[String]) -> Result<u8, String> {
+    let parsed = parse_args(args)?;
+    let history = read_history(&parsed.history)?;
+    let mut regressed = false;
+    for path in &parsed.paths {
+        let current = load_entry(path)?;
+        let Some(baseline) = find_baseline(&history, &current) else {
+            println!(
+                "perf check: {} — no baseline for bench `{}` with this workload \
+                 (first run): pass; record one with `cargo xtask perf append`",
+                path.display(),
+                current.bench
+            );
+            continue;
+        };
+        let verdicts = gate(baseline, &current, parsed.threshold);
+        report(path, baseline, &current, &verdicts, parsed.threshold);
+        if !verdicts.regressions.is_empty() {
+            regressed = true;
+        }
+    }
+    Ok(if regressed { 2 } else { 0 })
+}
+
+/// The gate's verdict over one artifact/baseline pair.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Verdicts {
+    /// Work counters that grew beyond the threshold — these fail the gate.
+    pub regressions: Vec<Delta>,
+    /// Work counters that shrank beyond the threshold — reported as
+    /// improvements (and a hint to refresh the baseline).
+    pub improvements: Vec<Delta>,
+    /// Wall-clock deltas — never gate.
+    pub wall: Vec<Delta>,
+}
+
+/// Applies the regression gate: a deterministic work counter that
+/// *increased* by more than `threshold_pct` percent is a regression.
+/// Counters present on only one side are ignored (a renamed phase is a
+/// baseline-refresh event, not a perf event); wall nanos are computed for
+/// reporting but never fail the gate.
+pub fn gate(baseline: &Entry, current: &Entry, threshold_pct: f64) -> Verdicts {
+    let mut out = Verdicts::default();
+    for d in work_deltas(&baseline.work, &current.work) {
+        if d.pct > threshold_pct {
+            out.regressions.push(d);
+        } else if d.pct < -threshold_pct {
+            out.improvements.push(d);
+        }
+    }
+    out.wall = work_deltas(&baseline.wall, &current.wall);
+    out
+}
+
+/// Per-counter deltas over the keys common to both sides, in the
+/// baseline's order.
+pub fn work_deltas(before: &[(String, u64)], after: &[(String, u64)]) -> Vec<Delta> {
+    let mut out = Vec::new();
+    for (key, b) in before {
+        let Some((_, a)) = after.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        let pct = if *b == 0 {
+            if *a == 0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            (*a as f64 - *b as f64) / (*b as f64) * 100.0
+        };
+        out.push(Delta {
+            key: key.clone(),
+            before: *b,
+            after: *a,
+            pct,
+        });
+    }
+    out
+}
+
+fn report(path: &Path, baseline: &Entry, current: &Entry, v: &Verdicts, threshold: f64) {
+    println!(
+        "perf check: {} vs baseline {} (recorded {}): bench `{}`, threshold {threshold}%",
+        path.display(),
+        baseline.sha,
+        baseline.recorded_unix,
+        current.bench
+    );
+    if v.regressions.is_empty() {
+        println!(
+            "  work counters within threshold ({} compared)",
+            work_deltas(&baseline.work, &current.work).len()
+        );
+    } else {
+        println!("  WORK-COUNTER REGRESSIONS:");
+        print_deltas(&v.regressions);
+    }
+    if !v.improvements.is_empty() {
+        println!("  improvements (consider `perf append` to refresh the baseline):");
+        print_deltas(&v.improvements);
+    }
+    if !v.wall.is_empty() {
+        println!("  wall nanos (advisory):");
+        print_deltas(&v.wall);
+    }
+}
+
+/// The most recent history entry matching the artifact's bench name and
+/// canonical workload.
+pub fn find_baseline<'h>(history: &'h [Entry], current: &Entry) -> Option<&'h Entry> {
+    history
+        .iter()
+        .rev()
+        .find(|e| e.bench == current.bench && e.workload == current.workload)
+}
+
+// ---- input normalization ----
+
+fn load_entry(path: &Path) -> Result<Entry, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc =
+        Json::parse(text.trim()).map_err(|e| format!("{}: not valid JSON: {e}", path.display()))?;
+    normalize(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parses `results/perf_history.jsonl`: one normalized entry per
+/// non-empty line. A missing file is an empty history (first run).
+pub fn read_history(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line)
+            .map_err(|e| format!("{}:{}: not valid JSON: {e}", path.display(), idx + 1))?;
+        out.push(normalize(&doc).map_err(|e| format!("{}:{}: {e}", path.display(), idx + 1))?);
+    }
+    Ok(out)
+}
+
+/// Normalizes a bench artifact or a history line into an [`Entry`].
+///
+/// Two artifact shapes are understood:
+/// * flat (`bench profile` and history lines): top-level `work` and
+///   `wall_nanos` objects are taken as-is;
+/// * seq/par (`bench parpool`): the sequential run's counters become
+///   `seq/<counter>` work entries (the seq run is the deterministic
+///   reference), and the two runs' wall clocks become `seq`/`par` wall
+///   entries.
+pub fn normalize(doc: &Json) -> Result<Entry, String> {
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field `bench`".to_string())?
+        .to_string();
+    let workload = doc
+        .get("workload")
+        .map_or_else(|| "{}".to_string(), Json::render);
+    let host_parallelism = doc
+        .get("host_parallelism")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let sha = doc
+        .get("sha")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let recorded_unix = doc.get("recorded_unix").and_then(Json::as_u64).unwrap_or(0);
+    let (work, wall) = if let Some(pairs) = doc.get("work").and_then(Json::as_obj) {
+        let work = counters_of(pairs);
+        let wall = doc
+            .get("wall_nanos")
+            .and_then(Json::as_obj)
+            .map(counters_of)
+            .unwrap_or_default();
+        (work, wall)
+    } else if let Some(seq) = doc.get("seq").and_then(Json::as_obj) {
+        let mut work = Vec::new();
+        let mut wall = Vec::new();
+        for (key, value) in seq {
+            let Some(n) = value.as_u64() else { continue };
+            match key.as_str() {
+                "threads" => {}
+                "wall_nanos" => wall.push(("seq".to_string(), n)),
+                _ => work.push((format!("seq/{key}"), n)),
+            }
+        }
+        if let Some(n) = doc
+            .get("par")
+            .and_then(|p| p.get("wall_nanos"))
+            .and_then(Json::as_u64)
+        {
+            wall.push(("par".to_string(), n));
+        }
+        (work, wall)
+    } else {
+        return Err("no `work` or `seq` section to read counters from".to_string());
+    };
+    Ok(Entry {
+        sha,
+        recorded_unix,
+        host_parallelism,
+        bench,
+        workload,
+        work,
+        wall,
+    })
+}
+
+fn counters_of(pairs: &[(String, Json)]) -> Vec<(String, u64)> {
+    pairs
+        .iter()
+        .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+        .collect()
+}
+
+// ---- provenance ----
+
+/// The current git revision (short), or `unknown` outside a repository.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(crate::workspace_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(bench: &str, work: &[(&str, u64)]) -> Entry {
+        Entry {
+            sha: "abc123".to_string(),
+            recorded_unix: 1,
+            host_parallelism: 8,
+            bench: bench.to_string(),
+            workload: "{\"seed\":11}".to_string(),
+            work: work.iter().map(|(k, n)| ((*k).to_string(), *n)).collect(),
+            wall: vec![("search".to_string(), 1_000_000)],
+        }
+    }
+
+    #[test]
+    fn a_twenty_percent_work_regression_fails_the_gate() {
+        let baseline = entry(
+            "profile",
+            &[("search/pops", 1000), ("search/meter_ticks", 500)],
+        );
+        let current = entry(
+            "profile",
+            &[("search/pops", 1200), ("search/meter_ticks", 500)],
+        );
+        let v = gate(&baseline, &current, DEFAULT_THRESHOLD_PCT);
+        assert_eq!(v.regressions.len(), 1, "{v:?}");
+        assert_eq!(v.regressions[0].key, "search/pops");
+        assert_eq!(v.regressions[0].before, 1000);
+        assert_eq!(v.regressions[0].after, 1200);
+        assert!((v.regressions[0].pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_exits_2_on_a_synthetic_plus_twenty_percent_regression() {
+        // End-to-end through the `check` subcommand: a committed baseline,
+        // then an artifact whose pops counter grew 20%.
+        let dir = std::env::temp_dir().join(format!("xtask-perf-check-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let history = dir.join("perf_history.jsonl");
+        let baseline = entry("profile", &[("search/pops", 1000)]);
+        fs::write(&history, render_entry(&baseline) + "\n").unwrap();
+        let artifact = dir.join("BENCH_profile.json");
+        fs::write(
+            &artifact,
+            "{\"bench\":\"profile\",\"workload\":{\"seed\":11},\"host_parallelism\":8,\
+             \"work\":{\"search/pops\":1200},\"wall_nanos\":{\"search\":999}}\n",
+        )
+        .unwrap();
+        let args = vec![
+            artifact.display().to_string(),
+            "--history".to_string(),
+            history.display().to_string(),
+        ];
+        assert_eq!(check(&args), Ok(2));
+        // Within threshold (+0.5%): passes.
+        fs::write(
+            &artifact,
+            "{\"bench\":\"profile\",\"workload\":{\"seed\":11},\"host_parallelism\":8,\
+             \"work\":{\"search/pops\":1005},\"wall_nanos\":{\"search\":999}}\n",
+        )
+        .unwrap();
+        assert_eq!(check(&args), Ok(0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn within_threshold_and_improvements_pass() {
+        let baseline = entry("profile", &[("search/pops", 1000), ("search/evals", 400)]);
+        let current = entry("profile", &[("search/pops", 1050), ("search/evals", 200)]);
+        let v = gate(&baseline, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(v.regressions.is_empty(), "{v:?}");
+        assert_eq!(v.improvements.len(), 1);
+        assert_eq!(v.improvements[0].key, "search/evals");
+    }
+
+    #[test]
+    fn wall_deltas_never_gate() {
+        let mut baseline = entry("profile", &[("search/pops", 1000)]);
+        baseline.wall = vec![("search".to_string(), 1_000)];
+        let mut current = entry("profile", &[("search/pops", 1000)]);
+        current.wall = vec![("search".to_string(), 10_000)]; // 10x slower wall
+        let v = gate(&baseline, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(v.regressions.is_empty(), "{v:?}");
+        assert_eq!(v.wall.len(), 1);
+    }
+
+    #[test]
+    fn new_and_removed_counters_are_ignored_by_the_gate() {
+        let baseline = entry("profile", &[("search/pops", 1000), ("old/phase", 5)]);
+        let current = entry("profile", &[("search/pops", 1000), ("new/phase", 9999)]);
+        let v = gate(&baseline, &current, DEFAULT_THRESHOLD_PCT);
+        assert!(v.regressions.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn baseline_matching_is_by_bench_and_workload_latest_wins() {
+        let mut other = entry("parpool", &[("seq/log_scans", 10)]);
+        other.workload = "{\"seed\":11}".to_string();
+        let old = entry("profile", &[("search/pops", 500)]);
+        let new = entry("profile", &[("search/pops", 800)]);
+        let mut different = entry("profile", &[("search/pops", 1)]);
+        different.workload = "{\"seed\":99}".to_string();
+        let history = vec![other, old, new, different];
+        let current = entry("profile", &[("search/pops", 800)]);
+        assert_eq!(find_baseline(&history, &current), Some(&history[2]));
+        assert_eq!(find_baseline(&history, &current).unwrap().work[0].1, 800);
+    }
+
+    #[test]
+    fn normalizes_flat_and_seq_par_artifacts() {
+        let profile = Json::parse(
+            "{\"bench\":\"profile\",\"workload\":{\"seed\":11},\"host_parallelism\":4,\
+             \"work\":{\"search/pops\":7},\"wall_nanos\":{\"search\":123}}",
+        )
+        .unwrap();
+        let e = normalize(&profile).unwrap();
+        assert_eq!(e.bench, "profile");
+        assert_eq!(e.workload, "{\"seed\":11}");
+        assert_eq!(e.work, vec![("search/pops".to_string(), 7)]);
+        assert_eq!(e.wall, vec![("search".to_string(), 123)]);
+
+        let parpool = Json::parse(
+            "{\"bench\":\"parpool\",\"workload\":{\"seed\":11},\"host_parallelism\":4,\
+             \"seq\":{\"threads\":1,\"wall_nanos\":50,\"log_scans\":20,\"cache_hits\":3},\
+             \"par\":{\"threads\":8,\"wall_nanos\":9,\"log_scans\":20,\"cache_hits\":3},\
+             \"speedup\":5.5}",
+        )
+        .unwrap();
+        let e = normalize(&parpool).unwrap();
+        assert_eq!(
+            e.work,
+            vec![
+                ("seq/log_scans".to_string(), 20),
+                ("seq/cache_hits".to_string(), 3),
+            ]
+        );
+        assert_eq!(
+            e.wall,
+            vec![("seq".to_string(), 50), ("par".to_string(), 9)]
+        );
+    }
+
+    #[test]
+    fn history_lines_round_trip_through_render_and_normalize() {
+        let e = entry("profile", &[("search/pops", 42), ("index/calls", 1)]);
+        let line = render_entry(&e);
+        let back = normalize(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn zero_baseline_counters_do_not_divide_by_zero() {
+        let d = work_deltas(
+            &[("a".to_string(), 0), ("b".to_string(), 0)],
+            &[("a".to_string(), 0), ("b".to_string(), 5)],
+        );
+        assert_eq!(d[0].pct, 0.0);
+        assert_eq!(d[1].pct, 100.0);
+    }
+}

@@ -8,10 +8,10 @@ use crate::lints::{
     apply_waivers, check_crate_attrs, check_lints_table, check_lock_discipline, check_no_float_eq,
     check_no_hash_iter, check_no_panic, check_no_println, check_no_raw_artifact_write,
     check_no_raw_deadline, check_no_raw_thread_spawn, check_no_unclassified_io,
-    check_ordering_justified, check_sync_confinement, is_library_source, is_runtime_source,
-    Violation, ARTIFACT_WRITE_CRATES, DETERMINISTIC_CRATES, FLOAT_ORD_CRATES, IO_CLASSIFIED_CRATES,
-    MODEL_MODULES, PANIC_FREE_CRATES, PRINT_FREE_CRATES, RAW_DEADLINE_CRATES, SYNC_SHIM_DIR,
-    THREAD_MODULES,
+    check_ordering_justified, check_phase_discipline, check_sync_confinement, is_library_source,
+    is_runtime_source, Violation, ARTIFACT_WRITE_CRATES, DETERMINISTIC_CRATES, FLOAT_ORD_CRATES,
+    IO_CLASSIFIED_CRATES, MODEL_MODULES, PANIC_FREE_CRATES, PHASE_MODULE_DIR, PRINT_FREE_CRATES,
+    RAW_DEADLINE_CRATES, SYNC_SHIM_DIR, THREAD_MODULES,
 };
 use crate::scan::ScannedFile;
 
@@ -60,6 +60,7 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
                 file_violations.extend(check_ordering_justified(&scanned));
                 file_violations.extend(check_lock_discipline(&scanned));
                 file_violations.extend(check_sync_confinement(&scanned));
+                file_violations.extend(check_phase_discipline(&scanned));
             }
             violations.extend(apply_waivers(&scanned, file_violations));
         }
@@ -197,6 +198,12 @@ pub fn verify_scopes(root: &Path) -> Result<(), String> {
         return Err(format!(
             "tidy confines raw `std::sync` to `{SYNC_SHIM_DIR}` but the directory does \
              not exist; update SYNC_SHIM_DIR in crates/xtask/src/lints.rs"
+        ));
+    }
+    if !root.join(PHASE_MODULE_DIR).is_dir() {
+        return Err(format!(
+            "tidy confines raw timing primitives to `{PHASE_MODULE_DIR}` but the \
+             directory does not exist; update PHASE_MODULE_DIR in crates/xtask/src/lints.rs"
         ));
     }
     Ok(())

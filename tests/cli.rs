@@ -292,6 +292,143 @@ fn capped_metrics_out_runs_are_byte_identical_in_counters() {
 }
 
 #[test]
+fn profile_out_writes_three_parseable_artifacts() {
+    let l1 = write_temp("pr1.log", L1_TEXT);
+    let l2 = write_temp("pr2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    let pats = write_temp("pr.pats", "SEQ(receive, AND(pay, check), ship)\n");
+    let profile = write_temp("pr.json", "");
+    let out = bin()
+        .args(["--quiet", "--method", "exact", "--patterns"])
+        .arg(&pats)
+        .arg("--profile-out")
+        .arg(&profile)
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Artifact 1: the two-section snapshot, parseable back into a
+    // ProfileSnapshot, with the CLI's full phase taxonomy.
+    let json = std::fs::read_to_string(&profile).unwrap();
+    let snap = evematch::prelude::ProfileSnapshot::from_json(&json)
+        .unwrap_or_else(|| panic!("profile does not parse: {json}"));
+    for needle in [
+        "\"deterministic\"",
+        "\"non_deterministic\"",
+        "\"ingest\"",
+        "\"index\"",
+        "\"search\"",
+        "\"emit\"",
+    ] {
+        assert!(json.contains(needle), "profile missing {needle}: {json}");
+    }
+    assert!(
+        snap.flat_work().get("search/pops").copied().unwrap_or(0) > 0,
+        "profile carries no search work: {json}"
+    );
+    // Artifact 2: the Chrome trace_event view.
+    let trace_path = profile.with_file_name("pr_trace.json");
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let v = evematch::core::telemetry::json::JsonValue::parse(&trace)
+        .unwrap_or_else(|| panic!("trace is not valid JSON: {trace}"));
+    let events = v
+        .get("traceEvents")
+        .and_then(evematch::core::telemetry::json::JsonValue::as_arr)
+        .unwrap_or_else(|| panic!("no traceEvents array: {trace}"));
+    assert!(!events.is_empty(), "{trace}");
+    // Artifact 3: the folded-stack view, one `stack nanos` line each.
+    let folded = std::fs::read_to_string(profile.with_file_name("pr.folded")).unwrap();
+    assert!(!folded.trim().is_empty());
+    for line in folded.lines() {
+        let (stack, nanos) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("folded line has no value: `{line}`"));
+        nanos
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad folded value: `{line}`"));
+        assert!(!stack.is_empty(), "`{line}`");
+    }
+    assert!(folded.contains("search"), "{folded}");
+}
+
+#[test]
+fn profile_out_env_var_is_honored() {
+    let l1 = write_temp("pe1.log", L1_TEXT);
+    let l2 = write_temp("pe2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    let profile = write_temp("pe.json", "");
+    let out = bin()
+        .args(["--quiet", "--method", "vertex"])
+        .env("EVEMATCH_PROFILE_OUT", &profile)
+        .arg(&l1)
+        .arg(&l2)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&profile).unwrap();
+    assert!(
+        evematch::prelude::ProfileSnapshot::from_json(&json).is_some(),
+        "env-routed profile does not parse: {json}"
+    );
+}
+
+/// The profiler-level byte-identity acceptance criterion at CLI scale:
+/// under a pure processed cap, the `deterministic` section of the profile
+/// artifact is byte-identical across `--eval-threads 1/2/8` (walls,
+/// overlays and lanes live in the non-deterministic section and are free
+/// to differ).
+#[test]
+fn capped_profile_out_det_sections_are_byte_identical_across_eval_threads() {
+    let l1 = write_temp("pd1.log", L1_TEXT);
+    let l2 = write_temp("pd2.log", "K4 K1 K7 K2\nK4 K7 K1 K2\nK4 K1 K7 K2\n");
+    let pats = write_temp("pd.pats", "SEQ(receive, AND(pay, check), ship)\n");
+    let deterministic_section = |threads: &str| {
+        let path = write_temp(&format!("pd_t{threads}.json"), "");
+        let out = bin()
+            .args([
+                "--quiet",
+                "--method",
+                "exact",
+                "--limit-processed",
+                "100000",
+                "--eval-threads",
+                threads,
+                "--patterns",
+            ])
+            .arg(&pats)
+            .arg("--profile-out")
+            .arg(&path)
+            .arg(&l1)
+            .arg(&l2)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        let end = json
+            .find(",\"non_deterministic\"")
+            .unwrap_or_else(|| panic!("no non_deterministic section: {json}"));
+        json[..end].to_owned()
+    };
+    let t1 = deterministic_section("1");
+    let t2 = deterministic_section("2");
+    let t8 = deterministic_section("8");
+    assert_eq!(t1, t2, "profile det section diverged at --eval-threads 2");
+    assert_eq!(t1, t8, "profile det section diverged at --eval-threads 8");
+    assert!(t1.contains("\"search\""), "{t1}");
+}
+
+#[test]
 fn bad_limit_processed_value_is_a_usage_error() {
     let l1 = write_temp("v1.log", L1_TEXT);
     let l2 = write_temp("v2.log", "x y z w\n");
