@@ -6,6 +6,7 @@
 //! ```text
 //! bench parpool
 //! bench profile
+//! bench verify [dir]
 //! ```
 //!
 //! ## `bench parpool`
@@ -54,6 +55,16 @@
 //! compared first; a divergence prints both documents' first differing
 //! byte region and exits with code 3 — the artifact is only written from
 //! a verified profile. Same knobs as `bench parpool`.
+//!
+//! ## `bench verify [dir]`
+//!
+//! Walks an output directory (default: the `EVEMATCH_OUT` / `results`
+//! directory) and checks every artifact's integrity offline — `.evmi`
+//! checksum sidecars for whole-file artifacts, the framed header and
+//! per-record trailers for `*.journal` files (see
+//! `evematch_core::persist::integrity`). Prints a per-file report; exits
+//! 0 when everything verifies (files without integrity data are warnings)
+//! and 2 on any corruption or orphaned sidecar.
 //!
 //! Exits with code 2 if the artifact cannot be written.
 
@@ -233,7 +244,7 @@ fn run_parpool() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Err(err) = evematch_core::persist::atomic_write(&path, json.as_bytes()) {
+    if let Err(err) = evematch_core::persist::atomic_write_verified(&path, json.as_bytes()) {
         eprintln!("error: failed to write {}: {err}", path.display());
         return ExitCode::from(2);
     }
@@ -337,7 +348,7 @@ fn run_profile() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if let Err(err) = evematch_core::persist::atomic_write(&path, json.as_bytes()) {
+    if let Err(err) = evematch_core::persist::atomic_write_verified(&path, json.as_bytes()) {
         eprintln!("error: failed to write {}: {err}", path.display());
         return ExitCode::from(2);
     }
@@ -345,14 +356,43 @@ fn run_profile() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `bench verify [dir]` — the offline integrity walk; see the module docs.
+fn run_verify(dir_arg: Option<String>) -> ExitCode {
+    let dir = match dir_arg {
+        Some(d) => std::path::PathBuf::from(d),
+        None => match evematch_bench::out_dir() {
+            Ok(dir) => dir,
+            Err(err) => {
+                eprintln!("error: cannot resolve output dir: {err}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match evematch_core::persist::integrity::verify_dir(&dir) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let sub = std::env::args().nth(1).unwrap_or_default();
     match sub.as_str() {
         "parpool" => run_parpool(),
         "profile" => run_profile(),
+        "verify" => run_verify(std::env::args().nth(2)),
         other => {
             eprintln!(
-                "usage: bench <subcommand>\n  parpool    seq-vs-parallel support evaluation + shared-cache warm-up\n  profile    phase-profiled run under a pure cap; emits BENCH_profile.json for `xtask perf`"
+                "usage: bench <subcommand>\n  parpool    seq-vs-parallel support evaluation + shared-cache warm-up\n  profile    phase-profiled run under a pure cap; emits BENCH_profile.json for `xtask perf`\n  verify     offline integrity check of an output directory (default: results)"
             );
             if other.is_empty() {
                 ExitCode::from(2)

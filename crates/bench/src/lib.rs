@@ -26,9 +26,12 @@
 //!   were actually hit and recovered.
 //!
 //! Every artifact is written atomically (temp file + fsync + rename, see
-//! `evematch_core::persist`); transient write failures retry under the
-//! default backoff policy, and the binaries exit with code 2 when an
-//! artifact still cannot be written.
+//! `evematch_core::persist`) and *verified*: each write also emits a
+//! `.evmi` checksum sidecar (`evematch_core::persist::integrity`), which
+//! `bench verify <dir>` / `evematch verify <dir>` re-check offline.
+//! Transient write failures retry under the default backoff policy, and
+//! the binaries exit with code 2 when an artifact still cannot be
+//! written.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -93,6 +96,7 @@ pub fn sweep_config() -> SweepConfig {
             None
         },
         retry: RetryPolicy::io_default(),
+        verify_journal: true,
     }
 }
 
@@ -124,7 +128,7 @@ pub fn emit(out: &mut dyn Write, table: &Table, stem: &str) -> io::Result<()> {
     writeln!(out, "{table}")?;
     let path = out_dir()?.join(format!("{stem}.csv"));
     write_artifact(&path, |p| {
-        evematch_core::persist::atomic_write_with(p, |w| table.write_csv(w))
+        evematch_core::persist::atomic_write_with_verified(p, |w| table.write_csv(w))
     })?;
     writeln!(out, "wrote {}", path.display())
 }
@@ -161,7 +165,10 @@ pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) -> io::R
     emit(out, &fig.processed, &format!("{stem}c_processed"))?;
     let path = out_dir()?.join(format!("{stem}_metrics.json"));
     write_artifact(&path, |p| {
-        evematch_core::persist::atomic_write(p, (figure_metrics_json(fig) + "\n").as_bytes())
+        evematch_core::persist::atomic_write_verified(
+            p,
+            (figure_metrics_json(fig) + "\n").as_bytes(),
+        )
     })?;
     writeln!(out, "wrote {}", path.display())?;
     for (name, render) in [
@@ -174,14 +181,17 @@ pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) -> io::R
     ] {
         let path = out_dir()?.join(format!("{stem}{name}"));
         write_artifact(&path, |p| {
-            evematch_core::persist::atomic_write(p, (render(fig) + "\n").as_bytes())
+            evematch_core::persist::atomic_write_verified(p, (render(fig) + "\n").as_bytes())
         })?;
         writeln!(out, "wrote {}", path.display())?;
     }
     if evematch_core::fault::is_armed() {
         let path = out_dir()?.join("fault_telemetry.json");
         write_artifact(&path, |p| {
-            evematch_core::persist::atomic_write(p, (fault_telemetry_json() + "\n").as_bytes())
+            evematch_core::persist::atomic_write_verified(
+                p,
+                (fault_telemetry_json() + "\n").as_bytes(),
+            )
         })?;
         writeln!(out, "wrote {}", path.display())?;
     }
@@ -189,9 +199,10 @@ pub fn emit_figure(out: &mut dyn Write, fig: &FigureResult, stem: &str) -> io::R
 }
 
 /// The registry's fault telemetry (`fault.injected.*` / `fault.retries.*`
-/// / `fault.exhausted.*`) as one flat JSON object — the chaos CI job's
-/// evidence that injected faults were actually hit and recovered rather
-/// than silently skipped.
+/// / `fault.exhausted.*` / `integrity.*`) as one flat JSON object — the
+/// chaos CI job's evidence that injected faults were actually hit and
+/// recovered (and corrupt records quarantined) rather than silently
+/// skipped.
 pub fn fault_telemetry_json() -> String {
     let mut out = String::from("{");
     for (i, (key, n)) in evematch_core::fault::telemetry().iter().enumerate() {

@@ -209,6 +209,7 @@ struct Registry {
     injected: BTreeMap<String, u64>,
     retries: BTreeMap<String, u64>,
     exhausted: BTreeMap<String, u64>,
+    integrity: BTreeMap<String, u64>,
 }
 
 impl Registry {
@@ -218,6 +219,7 @@ impl Registry {
             injected: BTreeMap::new(),
             retries: BTreeMap::new(),
             exhausted: BTreeMap::new(),
+            integrity: BTreeMap::new(),
         }
     }
 }
@@ -250,6 +252,7 @@ pub fn arm(spec: &str, seed: u64) -> Result<(), String> {
     reg.injected.clear();
     reg.retries.clear();
     reg.exhausted.clear();
+    reg.integrity.clear();
     drop(reg);
     // ordering: Relaxed — see the ARMED declaration; the mutex above
     // publishes the schedule itself.
@@ -359,11 +362,21 @@ pub fn note_exhausted(site: &str) {
     *registry().exhausted.entry(site.to_owned()).or_insert(0) += 1;
 }
 
+/// Records one integrity-policy event under `kind` (a snake_case label
+/// such as `journal_quarantined.checksum_mismatch` or
+/// `journal_rebuilt.version_skew`): `integrity.<kind>` in [`telemetry`].
+/// Readers that quarantine or rebuild damaged persisted state call this
+/// so every such decision is counted, never silent.
+pub fn note_integrity(kind: &str) {
+    *registry().integrity.entry(kind.to_owned()).or_insert(0) += 1;
+}
+
 /// Snapshot of the fault telemetry counters, in deterministic key order:
 /// `fault.injected.<site>` (times a trigger fired),
 /// `fault.retries.<site>` (supervised retries that recovered or kept
 /// trying), `fault.exhausted.<site>` (gave up: retry budget spent or the
-/// fault was not transient).
+/// fault was not transient), and `integrity.<kind>` (typed corruption
+/// quarantine/rebuild decisions — see [`note_integrity`]).
 #[must_use]
 pub fn telemetry() -> Vec<(String, u64)> {
     let reg = registry();
@@ -376,6 +389,9 @@ pub fn telemetry() -> Vec<(String, u64)> {
     }
     for (site, n) in &reg.exhausted {
         out.push((format!("fault.exhausted.{site}"), *n));
+    }
+    for (kind, n) in &reg.integrity {
+        out.push((format!("integrity.{kind}"), *n));
     }
     out
 }

@@ -13,13 +13,32 @@
 //! are expected to tolerate exactly one trailing partial line (see
 //! `evematch_eval`'s experiment checkpointing).
 //!
+//! Both primitives carry integrity and observability hooks:
+//!
+//! * [`atomic_write_verified`] / [`atomic_write_with_verified`] also emit
+//!   the artifact's `.evmi` checksum sidecar (see [`integrity`]), which
+//!   [`integrity::read_verified`] and the offline `evematch verify`
+//!   subcommand check end-to-end;
+//! * after the rename (and after an append that creates a journal) the
+//!   parent directory is fsynced — [`fsync_dir_of`] — so the directory
+//!   entry itself survives a crash, with the `persist.fsync_dir`
+//!   failpoint covering that window;
+//! * every durable-state transition is recorded by [`iotrace`] when the
+//!   crash-consistency explorer is tracing.
+//!
 //! The xtask tidy lint `no-raw-artifact-write` (T8) flags raw
 //! `File::create`/`fs::write` of artifacts elsewhere in the workspace and
-//! points here.
+//! points here; `no-unverified-artifact-read` (T15) does the same for raw
+//! reads of result artifacts, pointing at [`integrity::read_verified`].
+
+pub mod integrity;
+pub mod iotrace;
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+
+use iotrace::IoOp;
 
 /// The temp-file sibling used by [`atomic_write`] for `name`.
 fn temp_sibling(path: &Path) -> PathBuf {
@@ -30,17 +49,34 @@ fn temp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(format!(".{name}.tmp"))
 }
 
-/// Best-effort fsync of `path`'s parent directory, so the rename itself
-/// is durable. Ignored on failure: directory fsync is not supported on
-/// every platform/filesystem, and the rename's atomicity does not depend
-/// on it — only its durability across power loss.
-fn sync_parent_dir(path: &Path) {
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = fs::File::open(parent) {
-            // tidy-allow: no-unclassified-io -- best-effort durability hint; atomicity holds without it
-            let _ = dir.sync_all();
+/// Fsyncs `path`'s parent directory so a preceding rename or file
+/// creation is durable in the directory *entry*, not just the inode — a
+/// crash after rename but before the directory block reaches disk can
+/// otherwise lose the whole artifact. Routed through the
+/// `persist.fsync_dir` failpoint so the crash-consistency explorer covers
+/// exactly that window. `Unsupported` from `sync_all` is tolerated (not
+/// every platform/filesystem can fsync a directory handle, and the
+/// rename's *atomicity* never depended on it); every other error
+/// propagates — silently ignoring them was the durability bug this
+/// replaces.
+fn fsync_dir_of(path: &Path) -> io::Result<()> {
+    crate::fault::io_guard("persist.fsync_dir")?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    // tidy-allow: no-unverified-artifact-read -- directory handle for fsync, no artifact bytes read
+    let dir = fs::File::open(parent)?;
+    if let Err(e) = dir.sync_all() {
+        if e.kind() != io::ErrorKind::Unsupported {
+            return Err(e);
         }
+        return Ok(());
     }
+    iotrace::record(|| IoOp::FsyncDir {
+        dir: parent.to_path_buf(),
+    });
+    Ok(())
 }
 
 /// Atomically replaces `path` with `bytes`.
@@ -65,15 +101,33 @@ pub fn atomic_write_with(
         crate::faultpoint!("persist.create_temp");
         // tidy-allow: no-raw-artifact-write -- this is the atomic_write implementation itself
         let file = fs::File::create(&tmp)?;
+        iotrace::record_path(|p| IoOp::CreateTemp { path: p }, &tmp);
         let mut buf = io::BufWriter::new(file);
         crate::faultpoint!("persist.write");
-        fill(&mut buf)?;
+        if iotrace::is_active() {
+            // Tracing buffers the fill so the recorded op carries the
+            // exact bytes the crash explorer will replay.
+            let mut bytes = Vec::new();
+            fill(&mut bytes)?;
+            buf.write_all(&bytes)?;
+            iotrace::record(|| IoOp::WriteFile {
+                path: tmp.clone(),
+                bytes,
+            });
+        } else {
+            fill(&mut buf)?;
+        }
         buf.flush()?;
         crate::faultpoint!("persist.fsync");
         buf.get_ref().sync_all()?;
+        iotrace::record_path(|p| IoOp::Fsync { path: p }, &tmp);
         crate::faultpoint!("persist.rename");
         fs::rename(&tmp, path)?;
-        sync_parent_dir(path);
+        iotrace::record(|| IoOp::Rename {
+            from: tmp.clone(),
+            to: path.to_path_buf(),
+        });
+        fsync_dir_of(path)?;
         Ok(())
     })();
     if result.is_err() {
@@ -98,6 +152,7 @@ pub fn append_line_durable(path: impl AsRef<Path>, line: &str) -> io::Result<()>
             "journal lines must not contain embedded newlines",
         ));
     }
+    let created = !path.as_ref().exists();
     let mut file = fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -121,8 +176,43 @@ pub fn append_line_durable(path: impl AsRef<Path>, line: &str) -> io::Result<()>
         None => {}
     }
     file.write_all(&buf)?;
+    iotrace::record(|| IoOp::Append {
+        path: path.as_ref().to_path_buf(),
+        bytes: buf.clone(),
+    });
     crate::faultpoint!("persist.append_fsync");
-    file.sync_all()
+    file.sync_all()?;
+    iotrace::record_path(|p| IoOp::AppendFsync { path: p }, path.as_ref());
+    if created {
+        // The append created the journal: make its directory entry
+        // durable too, or a crash can lose the whole file.
+        fsync_dir_of(path.as_ref())?;
+    }
+    Ok(())
+}
+
+/// Like [`atomic_write`], but also emits the artifact's `.evmi` integrity
+/// sidecar (see [`integrity`]) so `verify` subcommands and
+/// [`integrity::read_verified`] can prove the bytes end-to-end. The
+/// sidecar is written second — a crash between the two writes leaves a
+/// stale sidecar that verification reports as corruption, never silent
+/// acceptance of mixed state.
+pub fn atomic_write_verified(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    atomic_write(path, bytes)?;
+    integrity::write_sidecar(path, bytes)
+}
+
+/// Like [`atomic_write_with`], but verified: the fill is materialized into
+/// a buffer (the sidecar needs the complete bytes to checksum) and written
+/// through [`atomic_write_verified`].
+pub fn atomic_write_with_verified(
+    path: impl AsRef<Path>,
+    fill: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut bytes = Vec::new();
+    fill(&mut bytes)?;
+    atomic_write_verified(path, &bytes)
 }
 
 #[cfg(test)]

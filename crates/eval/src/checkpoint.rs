@@ -7,14 +7,24 @@
 //! journal first and only computes the missing jobs, so a `repro_*`
 //! binary killed mid-grid resumes instead of starting over.
 //!
-//! Robustness properties:
+//! Robustness properties (the integrity framing is DESIGN.md §14):
 //!
-//! * every entry carries a *grid fingerprint* (figure, axis, methods,
-//!   seeds, traces, budget), so a journal left by a differently-shaped or
-//!   differently-configured run is ignored wholesale rather than mixed in;
-//! * torn trailing lines (the crash case `append_line_durable` documents),
-//!   malformed lines and foreign entries are silently skipped — the worst
-//!   outcome of a damaged journal is recomputation, never wrong numbers;
+//! * the journal starts with a framed header (`#%EVMJ` magic, format
+//!   version, CRC-64 of the grid fingerprint, header CRC-32) and every
+//!   record line carries a ` #c=<crc32>` trailer, both verified on load;
+//! * every entry also carries the full *grid fingerprint* (figure, axis,
+//!   methods, seeds, traces, budget) in-band, so a journal left by a
+//!   differently-shaped or differently-configured run — detected at the
+//!   header before a single record is parsed — is rebuilt wholesale
+//!   rather than mixed in;
+//! * damage is never a panic and never silent acceptance: a torn tail
+//!   (the crash case `append_line_durable` documents) is sealed with a
+//!   ` #sealed` marker and tolerated, a checksum-failing record is
+//!   deterministically quarantined and counted
+//!   (`integrity.journal_quarantined.<kind>`, bounded by
+//!   [`MAX_QUARANTINED_RECORDS`]), and a header from a newer format
+//!   version triggers a counted rebuild-from-scratch — the worst outcome
+//!   of a damaged journal is recomputation, never wrong numbers;
 //! * `f64` panel values are journaled as `to_bits()` integers, so a
 //!   replayed record is *bit-identical* to the freshly computed one and a
 //!   resumed grid renders byte-identical deterministic panels.
@@ -22,10 +32,15 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+use evematch_core::persist::integrity::{self, IntegrityError, JournalHeader, SEAL_MARKER};
 use evematch_core::telemetry::json::{self, JsonValue};
 use evematch_core::{Budget, MetricsSnapshot, ProfileSnapshot};
 
 use crate::method::{Method, RunOutcome};
+
+/// Quarantine bound: a journal with more checksum-failing records than
+/// this is too damaged to trust selectively and is rebuilt wholesale.
+pub(crate) const MAX_QUARANTINED_RECORDS: usize = 1000;
 
 /// Everything the grid aggregation needs from one method's run on one
 /// `(x, seed)` job — the unit stored in the checkpoint journal.
@@ -225,31 +240,144 @@ fn parse_entry(
     Some((x, seed, records))
 }
 
-/// Replays a journal: the completed jobs of *this* grid, keyed by
-/// `(index-of-x, seed)`. Unreadable files (missing on a first run) and
-/// unusable lines yield an empty or partial map — those jobs are simply
-/// recomputed. The file is read as *bytes* and decoded line by line: a
-/// torn tail that splits a multi-byte UTF-8 sequence (metrics keys are
-/// not ASCII-only) poisons only its own line, not the whole journal —
-/// `read_to_string` here would throw away every completed job over one
-/// torn byte. Duplicate entries (a crash between append and the next
-/// poll can rerun a job) resolve to the last occurrence.
+/// What a journal replay decided: the reusable jobs, and whether the file
+/// must be rebuilt from scratch (with the typed reason, for the warning
+/// and the `integrity.journal_rebuilt.<reason>` counter).
+pub(crate) struct JournalLoad {
+    /// Completed jobs of *this* grid, keyed by `(index-of-x, seed)`.
+    pub done: BTreeMap<(usize, u64), Vec<MethodRecord>>,
+    /// `Some(reason)` when the journal cannot be appended to and the grid
+    /// must start a fresh one ("missing" is the ordinary first-run case
+    /// and carries no warning).
+    pub rebuild: Option<&'static str>,
+}
+
+/// Replays a journal: verifies the header and every record's checksum
+/// trailer, classifying damage into the [`IntegrityError`] policy —
+/// rebuild for header-level failures (version skew, truncated/legacy
+/// header, changed grid context), bounded counted quarantine for
+/// checksum-failing records, tolerate-and-count for sealed or trailing
+/// torn fragments. The file is read as *bytes* and decoded line by line:
+/// a torn tail that splits a multi-byte UTF-8 sequence (metrics keys are
+/// not ASCII-only) poisons only its own line, not the whole journal.
+/// Duplicate entries (a crash between append and the next poll can rerun
+/// a job) resolve to the last occurrence.
+///
+/// `verify = false` bypasses every integrity check (trailers are stripped
+/// unchecked, the header is skipped as a comment). It exists *only* so the
+/// crash-consistency checker's deliberately-buggy-recovery self-test can
+/// prove the checker catches what unverified replay silently accepts —
+/// nothing in the product sets it.
 pub(crate) fn load_journal(
     path: &Path,
     fingerprint: &str,
     xs: &[usize],
     seeds: &[u64],
     n_methods: usize,
-) -> BTreeMap<(usize, u64), Vec<MethodRecord>> {
+    verify: bool,
+) -> JournalLoad {
+    // tidy-allow: no-unverified-artifact-read -- this IS the framed journal loader: header and record CRCs are checked below
     let Ok(bytes) = std::fs::read(path) else {
-        return BTreeMap::new();
+        return JournalLoad {
+            done: BTreeMap::new(),
+            rebuild: Some("missing"),
+        };
     };
+    let rebuilt = |reason: &'static str| {
+        if reason != "missing" {
+            evematch_core::fault::note_integrity(&format!("journal_rebuilt.{reason}"));
+        }
+        JournalLoad {
+            done: BTreeMap::new(),
+            rebuild: Some(reason),
+        }
+    };
+    let ends_complete = bytes.last() == Some(&b'\n');
+    let mut lines = bytes.split(|&b| b == b'\n').enumerate().peekable();
+
+    if verify {
+        // Header line: version and context are decided before any record
+        // is parsed.
+        let first = lines.peek().map(|(_, raw)| *raw).unwrap_or_default();
+        match std::str::from_utf8(first)
+            .map_err(|_| IntegrityError::TruncatedHeader)
+            .and_then(integrity::parse_journal_header)
+        {
+            Ok(JournalHeader { ctx, .. }) => {
+                if ctx != integrity::crc64(fingerprint.as_bytes()) {
+                    // A journal from a differently-configured grid: start
+                    // fresh rather than interleaving two configurations.
+                    return rebuilt("context_changed");
+                }
+                lines.next();
+            }
+            Err(IntegrityError::VersionSkew { .. }) => return rebuilt("version_skew"),
+            Err(IntegrityError::ChecksumMismatch { .. }) => return rebuilt("header_damaged"),
+            // No (complete) header: a legacy pre-integrity journal or a
+            // file torn inside the header line.
+            Err(_) => return rebuilt("no_header"),
+        }
+    }
+
     let mut done = BTreeMap::new();
-    for raw in bytes.split(|&b| b == b'\n') {
+    let mut quarantined = 0usize;
+    let quarantine = |kind: &str, n: &mut usize| {
+        *n += 1;
+        evematch_core::fault::note_integrity(&format!("journal_quarantined.{kind}"));
+    };
+    while let Some((_, raw)) = lines.next() {
+        let is_last = lines.peek().is_none();
+        if raw.is_empty() {
+            continue;
+        }
+        if is_last && !ends_complete {
+            // The unterminated trailing fragment a crash mid-append
+            // leaves; the caller seals it before appending.
+            if verify {
+                evematch_core::fault::note_integrity("journal_torn_tail");
+            }
+            continue;
+        }
         let Ok(line) = std::str::from_utf8(raw) else {
+            if verify {
+                quarantine("torn_tail", &mut quarantined);
+            }
             continue;
         };
-        let Some((x, seed, records)) = parse_entry(line, fingerprint, n_methods) else {
+        if line.ends_with(SEAL_MARKER) {
+            // A fragment a previous resume sealed: the documented crash
+            // leftover, tolerated.
+            if verify {
+                evematch_core::fault::note_integrity("journal_sealed_fragment");
+            }
+            continue;
+        }
+        let payload = if verify {
+            match integrity::verify_record(line) {
+                Ok(p) => p,
+                Err(e) => {
+                    quarantine(e.name(), &mut quarantined);
+                    if quarantined > MAX_QUARANTINED_RECORDS {
+                        return rebuilt("too_damaged");
+                    }
+                    continue;
+                }
+            }
+        } else {
+            // Unverified replay: strip a trailer if one is present, skip
+            // header/comment lines, check nothing.
+            if line.starts_with('#') {
+                continue;
+            }
+            line.rsplit_once(" #c=").map_or(line, |(p, _)| p)
+        };
+        let Some((x, seed, records)) = parse_entry(payload, fingerprint, n_methods) else {
+            if verify {
+                quarantine("malformed", &mut quarantined);
+                if quarantined > MAX_QUARANTINED_RECORDS {
+                    return rebuilt("too_damaged");
+                }
+            }
             continue;
         };
         let Some(xi) = xs.iter().position(|&v| v == x) else {
@@ -260,13 +388,20 @@ pub(crate) fn load_journal(
         }
         done.insert((xi, seed), records);
     }
-    done
+    JournalLoad {
+        done,
+        rebuild: None,
+    }
 }
 
 /// If `path` ends in a torn line without a newline (what a crash
-/// mid-append leaves), terminates it, so that subsequent appends start on
-/// a fresh line instead of fusing with the torn fragment — which would
-/// silently discard the first checkpoint written by the resumed run.
+/// mid-append leaves), terminates it with the ` #sealed` marker, so that
+/// subsequent appends start on a fresh line instead of fusing with the
+/// torn fragment — which would silently discard the first checkpoint
+/// written by the resumed run. The marker makes the sealed fragment
+/// recognizable to [`load_journal`] and the offline verifier as the
+/// documented crash leftover rather than corruption (a complete framed
+/// record always ends in its 8-hex-digit trailer, never the marker).
 /// Best-effort, like the appends themselves.
 pub(crate) fn seal_torn_tail(path: &Path) {
     use std::io::{Read, Seek, SeekFrom, Write};
@@ -283,7 +418,7 @@ pub(crate) fn seal_torn_tail(path: &Path) {
     let mut last = [0u8; 1];
     if f.read_exact(&mut last).is_ok() && last[0] != b'\n' {
         // tidy-allow: no-unclassified-io -- best-effort seal: failure means one recomputed job, never wrong numbers
-        let _ = f.write_all(b"\n");
+        let _ = f.write_all(format!("{SEAL_MARKER}\n").as_bytes());
         // tidy-allow: no-unclassified-io -- best-effort seal durability; see above
         let _ = f.sync_all();
     }
@@ -383,20 +518,105 @@ mod tests {
         first.processed = 1;
         let mut second = sample_record();
         second.processed = 2;
-        let full = journal_line(&fp(), 3, 11, &[first]);
-        let dup = journal_line(&fp(), 3, 11, std::slice::from_ref(&second));
-        let foreign_x = journal_line(&fp(), 99, 11, &[sample_record()]);
-        let foreign_seed = journal_line(&fp(), 3, 99, &[sample_record()]);
+        let frame = |l: &str| integrity::frame_record(l);
+        let full = frame(&journal_line(&fp(), 3, 11, &[first]));
+        let dup = frame(&journal_line(&fp(), 3, 11, std::slice::from_ref(&second)));
+        let foreign_x = frame(&journal_line(&fp(), 99, 11, &[sample_record()]));
+        let foreign_seed = frame(&journal_line(&fp(), 3, 99, &[sample_record()]));
         let torn = &dup[..dup.len() / 2];
-        let text = format!("{full}\ngarbage\n{foreign_x}\n{foreign_seed}\n{dup}\n{torn}");
+        let header = integrity::journal_header(&fp());
+        let text = format!("{header}\n{full}\ngarbage\n{foreign_x}\n{foreign_seed}\n{dup}\n{torn}");
         std::fs::write(&path, text).unwrap();
 
-        let done = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1);
-        assert_eq!(done.len(), 1);
-        assert_eq!(done[&(0, 11)][0].processed, 2, "last duplicate wins");
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert!(load.rebuild.is_none());
+        assert_eq!(load.done.len(), 1);
+        assert_eq!(load.done[&(0, 11)][0].processed, 2, "last duplicate wins");
 
-        // A missing journal is just an empty replay.
-        assert!(load_journal(&dir.join("absent"), &fp(), &[3], &[11], 1).is_empty());
+        // A missing journal is the ordinary first-run rebuild.
+        let load = load_journal(&dir.join("absent"), &fp(), &[3], &[11], 1, true);
+        assert!(load.done.is_empty());
+        assert_eq!(load.rebuild, Some("missing"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_journal_rebuilds_on_header_level_damage() {
+        let dir = std::env::temp_dir().join(format!("evematch-ckpt-header-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("FigT.journal");
+        let record = integrity::frame_record(&journal_line(&fp(), 3, 11, &[sample_record()]));
+
+        // A journal from a differently-configured grid: the header context
+        // hash diverges, so the whole file is rebuilt, not appended to.
+        let other = fp().replace("traces=60", "traces=61");
+        std::fs::write(
+            &path,
+            format!("{}\n{record}\n", integrity::journal_header(&other)),
+        )
+        .unwrap();
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert_eq!(load.rebuild, Some("context_changed"));
+        assert!(load.done.is_empty());
+
+        // A legacy pre-integrity journal (no header at all): rebuild.
+        std::fs::write(&path, format!("{record}\n")).unwrap();
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert_eq!(load.rebuild, Some("no_header"));
+
+        // A future format version: typed rebuild, never misparse.
+        let body = format!("#%EVMJ v=9 ctx={:016x}", integrity::crc64(fp().as_bytes()));
+        let future = format!("{body} c={:08x}", integrity::crc32(body.as_bytes()));
+        std::fs::write(&path, format!("{future}\n{record}\n")).unwrap();
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert_eq!(load.rebuild, Some("version_skew"));
+
+        // A header with a flipped byte: typed rebuild.
+        let mut damaged = integrity::journal_header(&fp()).into_bytes();
+        let n = damaged.len();
+        damaged[n - 12] ^= 0x01;
+        let mut bytes = damaged;
+        bytes.push(b'\n');
+        bytes.extend_from_slice(record.as_bytes());
+        bytes.push(b'\n');
+        std::fs::write(&path, &bytes).unwrap();
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert!(load.rebuild.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_is_quarantined_but_unverified_replay_accepts_it() {
+        let dir = std::env::temp_dir().join(format!("evematch-ckpt-flip-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("FigT.journal");
+
+        let mut rec = sample_record();
+        rec.processed = 1111;
+        let line = integrity::frame_record(&journal_line(&fp(), 3, 11, &[rec]));
+        // Flip one digit of the journaled `"proc":1111` payload: the JSON
+        // stays valid, only the checksum knows.
+        let evil = line.replace("\"proc\":1111", "\"proc\":9111");
+        assert_ne!(evil, line, "corruption must hit the payload");
+        std::fs::write(
+            &path,
+            format!("{}\n{evil}\n", integrity::journal_header(&fp())),
+        )
+        .unwrap();
+
+        // Verified replay: the record is quarantined (recomputed), never
+        // silently accepted with the wrong number.
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert!(load.rebuild.is_none());
+        assert!(load.done.is_empty(), "corrupt record must not replay");
+
+        // Unverified replay (the checker's buggy-recovery mode): the same
+        // bytes are accepted with processed = 9111 — exactly the silent
+        // wrong-data failure the crash checker's self-test must catch.
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, false);
+        assert_eq!(load.done[&(0, 11)][0].processed, 9111);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -408,12 +628,14 @@ mod tests {
         let path = dir.join("FigT.journal");
 
         // A crash mid-append can cut anywhere, including inside a
-        // multi-byte UTF-8 sequence. Simulate: one complete entry, then a
-        // torn line ending in the first byte of 'é' (0xC3 without its
-        // continuation byte) — the file as a whole is not valid UTF-8.
-        let good = journal_line(&fp(), 3, 11, &[sample_record()]);
-        let torn = journal_line(&fp(), 4, 23, &[sample_record()]);
+        // multi-byte UTF-8 sequence. Simulate: header, one complete entry,
+        // then a torn line ending in the first byte of 'é' (0xC3 without
+        // its continuation byte) — the file as a whole is not valid UTF-8.
+        let good = integrity::frame_record(&journal_line(&fp(), 3, 11, &[sample_record()]));
+        let torn = integrity::frame_record(&journal_line(&fp(), 4, 23, &[sample_record()]));
         let mut bytes = Vec::new();
+        bytes.extend_from_slice(integrity::journal_header(&fp()).as_bytes());
+        bytes.push(b'\n');
         bytes.extend_from_slice(good.as_bytes());
         bytes.push(b'\n');
         bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
@@ -425,16 +647,17 @@ mod tests {
         );
 
         // The complete entry is still replayed: only the torn line is lost.
-        let done = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1);
-        assert_eq!(done.len(), 1);
-        assert!(done.contains_key(&(0, 11)));
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert!(load.rebuild.is_none(), "torn tail is sealed, not rebuilt");
+        assert_eq!(load.done.len(), 1);
+        assert!(load.done.contains_key(&(0, 11)));
 
         // Sealing terminates the torn bytes; appends then land on a fresh
-        // line and both entries replay.
+        // line and both entries replay, with the sealed fragment tolerated.
         seal_torn_tail(&path);
         evematch_core::persist::append_line_durable(&path, &torn).unwrap();
-        let done = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1);
-        assert_eq!(done.len(), 2);
+        let load = load_journal(&path, &fp(), &[3, 4], &[11, 23], 1, true);
+        assert_eq!(load.done.len(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -485,12 +708,13 @@ mod tests {
         seal_torn_tail(&path);
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"a\":1}\n");
 
-        // Torn tail: terminated, so the next append starts a fresh line.
+        // Torn tail: terminated with the seal marker, so the next append
+        // starts a fresh line and replay recognizes the fragment.
         std::fs::write(&path, "{\"a\":1}\n{\"b\":").unwrap();
         seal_torn_tail(&path);
         assert_eq!(
             std::fs::read_to_string(&path).unwrap(),
-            "{\"a\":1}\n{\"b\":\n"
+            format!("{{\"a\":1}}\n{{\"b\":{SEAL_MARKER}\n")
         );
 
         let _ = std::fs::remove_dir_all(&dir);

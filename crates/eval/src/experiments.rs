@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use evematch_core::fault::{self, FaultClass};
+use evematch_core::persist::integrity;
 use evematch_core::retry::{Clock, RealClock, RetryPolicy};
 use evematch_core::{Budget, Mapping, MetricsSnapshot, ProfileSnapshot, WorkCol};
 use evematch_datagen::{datasets, Dataset};
@@ -51,6 +52,12 @@ pub struct SweepConfig {
     /// exponential backoff, then the cell is quarantined as a typed DNF.
     /// `RetryPolicy::no_retries()` restores the pre-supervisor behavior.
     pub retry: RetryPolicy,
+    /// Verify the checkpoint journal's integrity framing (header and
+    /// per-record checksums) on load. Always `true` in the product; it
+    /// exists solely so the crash-consistency checker's deliberately-buggy
+    /// recovery self-test can demonstrate what unverified replay silently
+    /// accepts (DESIGN.md §14).
+    pub verify_journal: bool,
 }
 
 impl Default for SweepConfig {
@@ -65,6 +72,7 @@ impl Default for SweepConfig {
             traces: 3000,
             checkpoint: None,
             retry: RetryPolicy::io_default(),
+            verify_journal: true,
         }
     }
 }
@@ -272,18 +280,65 @@ pub fn run_grid(
         .checkpoint
         .as_ref()
         .map(|dir| dir.join(format!("{figure}.journal")));
-    let done = match &journal {
-        Some(path) => checkpoint::load_journal(path, &fingerprint, xs, &cfg.seeds, methods.len()),
-        None => BTreeMap::new(),
+    let load = match &journal {
+        Some(path) => checkpoint::load_journal(
+            path,
+            &fingerprint,
+            xs,
+            &cfg.seeds,
+            methods.len(),
+            cfg.verify_journal,
+        ),
+        None => checkpoint::JournalLoad {
+            done: BTreeMap::new(),
+            rebuild: None,
+        },
     };
+    let done = load.done;
     let jobs: Vec<(usize, u64)> = xs
         .iter()
         .enumerate()
         .flat_map(|(xi, _)| cfg.seeds.iter().map(move |&s| (xi, s)))
         .filter(|key| !done.contains_key(key))
         .collect();
-    if let Some(path) = journal.as_ref().filter(|_| !jobs.is_empty()) {
-        checkpoint::seal_torn_tail(path);
+    if let Some(path) = &journal {
+        match load.rebuild {
+            Some(reason) => {
+                if reason != "missing" {
+                    // The typed rebuild warning: the journal existed but
+                    // could not be trusted (version skew, changed grid
+                    // context, damaged header, or past the quarantine
+                    // bound); the counted reason is also in
+                    // `integrity.journal_rebuilt.<reason>` telemetry.
+                    // tidy-allow: no-println -- operator-facing integrity warning; counters carry the typed reason
+                    eprintln!(
+                        "warning: checkpoint journal {} rebuilt from scratch ({reason})",
+                        path.display()
+                    );
+                }
+                // Start a fresh framed journal: header first, atomically,
+                // so every later append lands under a verified context.
+                // Best-effort like the appends — an unwritable journal
+                // must not take down the run.
+                let mut clock = RealClock;
+                let _ = evematch_core::retry::retry_io(
+                    &cfg.retry,
+                    "journal.rebuild",
+                    &mut clock,
+                    || {
+                        evematch_core::persist::atomic_write(
+                            path,
+                            (integrity::journal_header(&fingerprint) + "\n").as_bytes(),
+                        )
+                    },
+                );
+            }
+            None => {
+                if !jobs.is_empty() {
+                    checkpoint::seal_torn_tail(path);
+                }
+            }
+        }
     }
     let results: Mutex<BTreeMap<(usize, u64), Vec<MethodRecord>>> = Mutex::new(done);
     let journal_append = Mutex::new(());
@@ -310,7 +365,12 @@ pub fn run_grid(
                     &make,
                 );
                 if let Some(path) = &journal {
-                    let line = checkpoint::journal_line(&fingerprint, xs[xi], seed, &records);
+                    let line = integrity::frame_record(&checkpoint::journal_line(
+                        &fingerprint,
+                        xs[xi],
+                        seed,
+                        &records,
+                    ));
                     let guard = journal_append
                         .lock()
                         .unwrap_or_else(PoisonError::into_inner);
@@ -643,6 +703,7 @@ mod tests {
             traces: 60,
             checkpoint: None,
             retry: RetryPolicy::io_default(),
+            verify_journal: true,
         }
     }
 
@@ -720,6 +781,7 @@ mod tests {
             traces: 40,
             checkpoint: dir,
             retry: RetryPolicy::io_default(),
+            verify_journal: true,
         }
     }
 
@@ -762,18 +824,21 @@ mod tests {
         // Reference run without any checkpointing.
         let reference = ckpt_grid(&ckpt_cfg(None));
         // Checkpointed run from scratch: same numbers, and a full journal
-        // (4 jobs × one line).
+        // (framed header + 4 jobs × one line).
         let checkpointed = ckpt_grid(&ckpt_cfg(Some(dir.clone())));
         assert_eq!(det_panels(&reference), det_panels(&checkpointed));
         let full = std::fs::read_to_string(&journal).unwrap();
-        assert_eq!(full.lines().count(), 4);
+        assert_eq!(full.lines().count(), 5);
+        assert!(full.starts_with(integrity::JOURNAL_MAGIC));
 
-        // Simulate a kill: only the first appended line survives intact,
-        // followed by a torn half-line — exactly what `append_line_durable`
-        // guarantees at worst — plus some unrelated garbage.
-        let first = full.lines().next().unwrap();
-        let torn = &full.lines().nth(1).unwrap()[..first.len() / 2];
-        std::fs::write(&journal, format!("{first}\nnot json\n{torn}")).unwrap();
+        // Simulate a kill: the header and the first appended line survive
+        // intact, followed by a torn half-line — exactly what
+        // `append_line_durable` guarantees at worst — plus some unrelated
+        // garbage (quarantined, never misread).
+        let header = full.lines().next().unwrap();
+        let first = full.lines().nth(1).unwrap();
+        let torn = &full.lines().nth(2).unwrap()[..first.len() / 2];
+        std::fs::write(&journal, format!("{header}\n{first}\nnot json\n{torn}")).unwrap();
 
         // Resume: one job replays, three recompute; the deterministic
         // panels are byte-identical to the uninterrupted run.
@@ -790,7 +855,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_journal_from_another_config_is_ignored() {
+    fn stale_journal_from_another_config_is_rebuilt() {
         let dir = std::env::temp_dir().join(format!("evematch-ckpt-stale-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
@@ -798,14 +863,21 @@ mod tests {
         let mut cfg = ckpt_cfg(Some(dir.clone()));
         ckpt_grid(&cfg);
         let journal = dir.join("FigT.journal");
-        let lines_before = std::fs::read_to_string(&journal).unwrap().lines().count();
+        let before = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(before.lines().count(), 5, "header + 4 jobs");
 
-        // A different budget changes the fingerprint: the old entries must
-        // not be replayed, and the rerun appends four fresh ones.
+        // A different budget changes the fingerprint: the header context
+        // no longer matches, so the journal is rebuilt from scratch — a
+        // fresh header and four fresh entries, none of the stale ones.
         cfg.budget = Budget::UNLIMITED.with_processed_cap(150_000);
         ckpt_grid(&cfg);
-        let lines_after = std::fs::read_to_string(&journal).unwrap().lines().count();
-        assert_eq!(lines_after, lines_before + 4);
+        let after = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(after.lines().count(), 5, "fresh header + 4 fresh jobs");
+        assert_ne!(
+            before.lines().next(),
+            after.lines().next(),
+            "the rebuilt header carries the new context"
+        );
 
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -822,6 +894,7 @@ mod tests {
             // No retries: the generator panics deterministically, so the
             // test asserts the quarantine outcome without backoff waits.
             retry: RetryPolicy::no_retries(),
+            verify_journal: true,
         };
         let fig = run_grid(
             "FigP",

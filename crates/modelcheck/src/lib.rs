@@ -25,9 +25,17 @@
 //! a deliberately racy implementation — proving the checker can actually
 //! catch the class of bug it guards against. `EVEMATCH_MODEL_PREEMPTIONS`
 //! and `EVEMATCH_MODEL_MAX_SCHEDULES` deepen the exploration (nightly CI).
+//!
+//! The [`crashcheck`] module (and its `crashcheck` binary) is the
+//! *storage* counterpart: an ALICE-style crash-consistency explorer over
+//! the persistence layer's recorded write/fsync/rename traces (DESIGN.md
+//! §14). It needs no special cfg — it drives the real code on a real
+//! filesystem.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+pub mod crashcheck;
 
 /// Whether this build carries the instrumented scheduler (`--cfg
 /// evematch_model`). The stub build returns `false` and exposes nothing

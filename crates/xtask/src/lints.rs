@@ -109,6 +109,17 @@ pub const ORDERING_LOOKBACK: usize = 10;
 /// exactly where artifact writes tend to creep in.
 pub const ARTIFACT_WRITE_CRATES: &[&str] = &["bench", "core", "eval", "evematch"];
 
+/// Crates whose runtime source must read result/journal artifacts
+/// through the verified-read API (lint T15):
+/// `core::persist::integrity::read_verified` (sidecar-checksummed whole
+/// files) or the framed journal loader. A raw `File::open` /
+/// `fs::read_to_string` on an artifact path silently trusts bytes the
+/// integrity layer would have flagged — a flipped bit rides straight into
+/// a resumed run or a plot. Reads of *inputs* (event logs, pattern
+/// files) and of non-artifact scratch are legitimate and carry a waiver
+/// saying what is being read and why it is not a checksummed artifact.
+pub const VERIFIED_READ_CRATES: &[&str] = &["bench", "core", "eval", "evematch"];
+
 /// Crates whose runtime source must classify every swallowed I/O error
 /// (lint T13). A `.ok()` / `let _ =` on an I/O result erases the
 /// [`core::fault`] taxonomy: the caller can no longer tell a transient
@@ -151,6 +162,10 @@ pub enum Lint {
     /// runtime code outside `core::telemetry`; time is attributed through
     /// the phase profiler.
     PhaseDiscipline,
+    /// T15: no raw `File::open`/`fs::read`/`fs::read_to_string` in the
+    /// artifact-consuming crates — result and journal reads go through
+    /// the verified reader API so checksums and versions are checked.
+    UnverifiedArtifactRead,
     /// T4: crate roots carry `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]`.
     CrateAttrs,
     /// T5: every crate manifest inherits `[workspace.lints]`.
@@ -177,6 +192,7 @@ impl Lint {
             Lint::SyncConfinement => "sync-confinement",
             Lint::UnclassifiedIo => "no-unclassified-io",
             Lint::PhaseDiscipline => "phase-discipline",
+            Lint::UnverifiedArtifactRead => "no-unverified-artifact-read",
             Lint::CrateAttrs => "crate-attrs",
             Lint::LintsTable => "lints-table",
             Lint::UnusedWaiver => "unused-waiver",
@@ -200,6 +216,7 @@ impl Lint {
                 | Lint::SyncConfinement
                 | Lint::UnclassifiedIo
                 | Lint::PhaseDiscipline
+                | Lint::UnverifiedArtifactRead
         )
     }
 
@@ -218,6 +235,7 @@ impl Lint {
             "sync-confinement",
             "no-unclassified-io",
             "phase-discipline",
+            "no-unverified-artifact-read",
         ]
     }
 }
@@ -887,6 +905,47 @@ pub fn check_no_unclassified_io(file: &ScannedFile) -> Vec<Violation> {
                      class is irrelevant here>`)"
                 ),
             ));
+        }
+    }
+    out
+}
+
+/// T15: flags raw file reads (`File::open`, `fs::read`,
+/// `fs::read_to_string`) in the artifact-consuming crates.
+///
+/// Every artifact this workspace commits to disk carries integrity
+/// framing — a `.evmi` checksum sidecar for whole files, an in-band
+/// header + per-record trailer for the checkpoint journal. That framing
+/// only protects anything if readers *check* it:
+/// `core::persist::integrity::read_verified` (or `verify_dir`, or the
+/// framed journal loader) classifies a flipped bit into the typed
+/// `IntegrityError` taxonomy; a raw read trusts it. Reads that are not
+/// artifact reads — user-supplied event logs and pattern files, the
+/// persistence layer's own implementation — carry a waiver naming what
+/// is read and why the integrity layer does not cover it.
+pub fn check_no_unverified_artifact_read(file: &ScannedFile) -> Vec<Violation> {
+    const NEEDLES: &[&str] = &["File::open", "fs::read", "fs::read_to_string"];
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for needle in NEEDLES {
+            if find_token(&line.code, needle).is_some() {
+                out.push(Violation::new(
+                    &file.path,
+                    idx + 1,
+                    Lint::UnverifiedArtifactRead,
+                    format!(
+                        "artifact-consuming crates must not call `{needle}` directly \
+                         (a raw read trusts bytes the checksum layer would flag): use \
+                         `core::persist::integrity::read_verified` / the framed journal \
+                         loader (or waive with `// tidy-allow: \
+                         no-unverified-artifact-read -- <what is read and why it is \
+                         not a checksummed artifact>`)"
+                    ),
+                ));
+            }
         }
     }
     out
@@ -1861,6 +1920,38 @@ mod tests {
         let src = "fn f(t: &mut Telemetry) {\n  t.registry.record_timing(\"io\", 7); // tidy-allow: phase-discipline -- mirrors an externally measured duration\n}";
         let f = scanned("crates/evematch/src/bin/evematch.rs", src);
         let v = apply_waivers(&f, check_phase_discipline(&f));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    // ---- T15 ----
+
+    #[test]
+    fn t15_fires_on_raw_artifact_reads() {
+        let src = "fn f() {\n  let file = File::open(&path)?;\n  let bytes = fs::read(&path)?;\n  let text = std::fs::read_to_string(&path)?;\n}";
+        let f = scanned("crates/eval/src/x.rs", src);
+        let v = check_no_unverified_artifact_read(&f);
+        // `fs::read_to_string` is one token, not also an `fs::read` match.
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.lint == Lint::UnverifiedArtifactRead));
+    }
+
+    #[test]
+    fn t15_ignores_lookalikes_tests_comments_and_strings() {
+        let src = "fn f() {\n  let d = fs::read_dir(&p)?;\n  my_fs::reader(&p);\n  // File::open would bypass the checksum\n  let s = \"fs::read\";\n}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { let b = std::fs::read(&p).unwrap(); }\n}";
+        let f = scanned("crates/core/src/x.rs", src);
+        assert!(check_no_unverified_artifact_read(&f).is_empty());
+    }
+
+    #[test]
+    fn t15_covers_binaries_and_respects_waivers() {
+        let bare = scanned(
+            "crates/evematch/src/bin/evematch.rs",
+            "fn f() { let file = std::fs::File::open(path)?; }",
+        );
+        assert_eq!(check_no_unverified_artifact_read(&bare).len(), 1);
+        let src = "fn f() {\n  // tidy-allow: no-unverified-artifact-read -- user-supplied input log, not a checksummed artifact\n  let file = std::fs::File::open(path)?;\n}";
+        let f = scanned("crates/evematch/src/bin/evematch.rs", src);
+        let v = apply_waivers(&f, check_no_unverified_artifact_read(&f));
         assert!(v.is_empty(), "{v:?}");
     }
 

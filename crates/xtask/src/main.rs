@@ -105,6 +105,12 @@ LINTS (see DESIGN.md §6):
                        (core::phase!) so walls stay quarantined in the
                        non-deterministic profile section and the perf gate
                        sees the work they cover
+    no-unverified-artifact-read T15 no raw File::open/fs::read/fs::read_to_string
+                       in the artifact-consuming crates (bench, core, eval,
+                       evematch) INCLUDING src/bin/: read result/journal
+                       artifacts through core::persist::integrity::read_verified
+                       or the framed journal loader so checksums and format
+                       versions are checked (input logs/patterns waive)
     unused-waiver      a tidy-allow waiver lint name that suppressed nothing
                        (tracked per name, so stale names inside multi-lint
                        waivers are caught too)

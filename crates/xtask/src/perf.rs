@@ -275,10 +275,13 @@ fn print_deltas(deltas: &[Delta]) {
 fn check(args: &[String]) -> Result<u8, String> {
     let parsed = parse_args(args)?;
     let history = read_history(&parsed.history)?;
+    for warning in &history.skipped {
+        println!("perf check: warning: {warning}");
+    }
     let mut regressed = false;
     for path in &parsed.paths {
         let current = load_entry(path)?;
-        let Some(baseline) = find_baseline(&history, &current) else {
+        let Some(baseline) = find_baseline(&history.entries, &current) else {
             println!(
                 "perf check: {} — no baseline for bench `{}` with this workload \
                  (first run): pass; record one with `cargo xtask perf append`",
@@ -399,22 +402,56 @@ fn load_entry(path: &Path) -> Result<Entry, String> {
     normalize(&doc).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// The newest `results/perf_history.jsonl` record schema this build
+/// understands. A record stamped with a *newer* schema (written by a
+/// future checkout sharing the same history file) is version skew, not
+/// corruption: [`read_history`] skips it with a typed warning instead of
+/// failing the gate — the same policy the artifact integrity layer
+/// applies to a future journal header (DESIGN.md §14).
+pub const SUPPORTED_SCHEMA: u64 = 1;
+
+/// A parsed perf history: the entries this build can interpret, plus a
+/// warning line for each newer-schema record it skipped.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// Normalized entries, oldest first.
+    pub entries: Vec<Entry>,
+    /// One `version_skew` warning per skipped newer-schema record.
+    pub skipped: Vec<String>,
+}
+
 /// Parses `results/perf_history.jsonl`: one normalized entry per
-/// non-empty line. A missing file is an empty history (first run).
-pub fn read_history(path: &Path) -> Result<Vec<Entry>, String> {
+/// non-empty line. A missing file is an empty history (first run); a
+/// record with a schema newer than [`SUPPORTED_SCHEMA`] is skipped and
+/// reported in [`History::skipped`] rather than failing the whole read.
+/// Malformed records *at a supported schema* are still hard errors —
+/// that is corruption, not skew.
+pub fn read_history(path: &Path) -> Result<History, String> {
     let text = match fs::read_to_string(path) {
         Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(History::default()),
         Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
     };
-    let mut out = Vec::new();
+    let mut out = History::default();
     for (idx, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let doc = Json::parse(line)
             .map_err(|e| format!("{}:{}: not valid JSON: {e}", path.display(), idx + 1))?;
-        out.push(normalize(&doc).map_err(|e| format!("{}:{}: {e}", path.display(), idx + 1))?);
+        let schema = doc.get("schema").and_then(Json::as_u64).unwrap_or(1);
+        if schema > SUPPORTED_SCHEMA {
+            out.skipped.push(format!(
+                "{}:{}: version_skew — record has schema {schema}, this build \
+                 supports up to {SUPPORTED_SCHEMA}; skipping it (newer checkouts \
+                 can still read the whole history)",
+                path.display(),
+                idx + 1
+            ));
+            continue;
+        }
+        out.entries
+            .push(normalize(&doc).map_err(|e| format!("{}:{}: {e}", path.display(), idx + 1))?);
     }
     Ok(out)
 }
@@ -580,6 +617,65 @@ mod tests {
              \"work\":{\"search/pops\":1005},\"wall_nanos\":{\"search\":999}}\n",
         )
         .unwrap();
+        assert_eq!(check(&args), Ok(0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newer_schema_history_records_warn_and_skip_instead_of_failing() {
+        let dir = std::env::temp_dir().join(format!("xtask-perf-skew-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let history = dir.join("perf_history.jsonl");
+        // A supported record, a future-schema record (different shape the
+        // current parser could not even normalize), then another
+        // supported one — only the middle record is skipped.
+        let supported = render_entry(&entry("profile", &[("search/pops", 1000)]));
+        fs::write(
+            &history,
+            format!(
+                "{supported}\n{{\"schema\":9,\"bench\":\"profile\",\
+                 \"counters_v9\":{{\"pops\":1}}}}\n{supported}\n"
+            ),
+        )
+        .unwrap();
+        let parsed = read_history(&history).expect("skew must not fail the read");
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.skipped.len(), 1);
+        assert!(
+            parsed.skipped[0].contains("version_skew"),
+            "{:?}",
+            parsed.skipped
+        );
+        assert!(
+            parsed.skipped[0].contains("schema 9"),
+            "{:?}",
+            parsed.skipped
+        );
+
+        // A malformed record at a *supported* schema is corruption, not
+        // skew: still a hard error.
+        fs::write(&history, "{\"schema\":1,\"bench\":\"profile\"}\n").unwrap();
+        assert!(read_history(&history).is_err());
+
+        // End-to-end: `check` against the skewed history still gates
+        // normally on the records it understands.
+        fs::write(
+            &history,
+            format!("{supported}\n{{\"schema\":9,\"bench\":\"profile\"}}\n"),
+        )
+        .unwrap();
+        let artifact = dir.join("BENCH_profile.json");
+        fs::write(
+            &artifact,
+            "{\"bench\":\"profile\",\"workload\":{\"seed\":11},\"host_parallelism\":8,\
+             \"work\":{\"search/pops\":1005},\"wall_nanos\":{\"search\":999}}\n",
+        )
+        .unwrap();
+        let args = vec![
+            artifact.display().to_string(),
+            "--history".to_string(),
+            history.display().to_string(),
+        ];
         assert_eq!(check(&args), Ok(0));
         fs::remove_dir_all(&dir).unwrap();
     }

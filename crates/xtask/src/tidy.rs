@@ -8,10 +8,11 @@ use crate::lints::{
     apply_waivers, check_crate_attrs, check_lints_table, check_lock_discipline, check_no_float_eq,
     check_no_hash_iter, check_no_panic, check_no_println, check_no_raw_artifact_write,
     check_no_raw_deadline, check_no_raw_thread_spawn, check_no_unclassified_io,
-    check_ordering_justified, check_phase_discipline, check_sync_confinement, is_library_source,
-    is_runtime_source, Violation, ARTIFACT_WRITE_CRATES, DETERMINISTIC_CRATES, FLOAT_ORD_CRATES,
-    IO_CLASSIFIED_CRATES, MODEL_MODULES, PANIC_FREE_CRATES, PHASE_MODULE_DIR, PRINT_FREE_CRATES,
-    RAW_DEADLINE_CRATES, SYNC_SHIM_DIR, THREAD_MODULES,
+    check_no_unverified_artifact_read, check_ordering_justified, check_phase_discipline,
+    check_sync_confinement, is_library_source, is_runtime_source, Violation, ARTIFACT_WRITE_CRATES,
+    DETERMINISTIC_CRATES, FLOAT_ORD_CRATES, IO_CLASSIFIED_CRATES, MODEL_MODULES, PANIC_FREE_CRATES,
+    PHASE_MODULE_DIR, PRINT_FREE_CRATES, RAW_DEADLINE_CRATES, SYNC_SHIM_DIR, THREAD_MODULES,
+    VERIFIED_READ_CRATES,
 };
 use crate::scan::ScannedFile;
 
@@ -54,6 +55,9 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
             }
             if IO_CLASSIFIED_CRATES.contains(&crate_name.as_str()) && is_runtime_source(&rel) {
                 file_violations.extend(check_no_unclassified_io(&scanned));
+            }
+            if VERIFIED_READ_CRATES.contains(&crate_name.as_str()) && is_runtime_source(&rel) {
+                file_violations.extend(check_no_unverified_artifact_read(&scanned));
             }
             if is_runtime_source(&rel) {
                 file_violations.extend(check_no_raw_thread_spawn(&scanned));
@@ -170,6 +174,7 @@ pub fn verify_scopes(root: &Path) -> Result<(), String> {
         .chain(PRINT_FREE_CRATES)
         .chain(ARTIFACT_WRITE_CRATES)
         .chain(IO_CLASSIFIED_CRATES)
+        .chain(VERIFIED_READ_CRATES)
     {
         if !present.iter().any(|p| p == scoped) {
             return Err(format!(

@@ -33,6 +33,7 @@ fn serial() -> MutexGuard<'static, ()> {
 fn grid(workers: usize, checkpoint: Option<PathBuf>) -> FigureResult {
     let cfg = SweepConfig {
         seeds: vec![11, 23],
+        verify_journal: true,
         budget: Budget::UNLIMITED.with_processed_cap(50_000),
         workers,
         eval_threads: 2,
@@ -60,6 +61,7 @@ fn grid(workers: usize, checkpoint: Option<PathBuf>) -> FigureResult {
 fn parpool_grid() -> FigureResult {
     let cfg = SweepConfig {
         seeds: vec![11],
+        verify_journal: true,
         budget: Budget::UNLIMITED.with_processed_cap(5_000),
         workers: 1,
         eval_threads: 2,

@@ -323,6 +323,7 @@ fn heuristic_warms_the_exact_search_through_the_shared_cache() {
 fn grid(eval_threads: usize) -> FigureResult {
     let cfg = SweepConfig {
         seeds: vec![11, 23],
+        verify_journal: true,
         budget: Budget::UNLIMITED.with_processed_cap(100_000),
         workers: 2,
         eval_threads,

@@ -78,6 +78,7 @@ fn det_section_is_byte_identical_under_budget_exhaustion() {
 fn faulted_grid() -> FigureResult {
     let cfg = SweepConfig {
         seeds: vec![11, 23],
+        verify_journal: true,
         budget: Budget::UNLIMITED.with_processed_cap(20_000),
         workers: 1,
         eval_threads: 2,
