@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use evematch_eventlog::{DepGraph, EventLog, TraceIndex};
+use evematch_eventlog::{ColumnarLog, DepGraph, EventLog, TraceIndex};
 use evematch_pattern::{EvaluatedPattern, Pattern, PatternIndex};
 
 /// Errors raised when assembling a [`MatchContext`].
@@ -119,6 +119,7 @@ pub struct MatchContext {
     dep1: DepGraph,
     dep2: DepGraph,
     index2: TraceIndex,
+    columnar2: ColumnarLog,
     patterns: Vec<EvaluatedPattern>,
     pattern_index: PatternIndex,
     complex_count: usize,
@@ -148,6 +149,7 @@ impl MatchContext {
         }
         let index1 = log1.trace_index();
         let index2 = log2.trace_index();
+        let columnar2 = ColumnarLog::from_log(&log2);
         let dep2 = log2.dep_graph();
         let patterns: Vec<EvaluatedPattern> = pattern_list
             .into_iter()
@@ -161,6 +163,7 @@ impl MatchContext {
             dep1,
             dep2,
             index2,
+            columnar2,
             patterns,
             pattern_index,
             complex_count,
@@ -191,6 +194,12 @@ impl MatchContext {
     /// ones evaluated during search).
     pub fn index2(&self) -> &TraceIndex {
         &self.index2
+    }
+
+    /// Struct-of-arrays view of `L2` (built once beside [`Self::index2`])
+    /// — the compiled matcher's scan surface.
+    pub fn columnar2(&self) -> &ColumnarLog {
+        &self.columnar2
     }
 
     /// `|V1|`.

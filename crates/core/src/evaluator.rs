@@ -25,8 +25,9 @@ use std::sync::Arc;
 use evematch_eventlog::EventId;
 use evematch_graph::{IsoStats, MonoSearch};
 use evematch_pattern::{
-    is_realizable, is_realizable_with_fuel, pattern_support_stats, pattern_support_with_fuel_stats,
-    Interrupted, SupportStats,
+    compiled_pattern_support_stats, compiled_pattern_support_with_fuel_stats, is_realizable,
+    is_realizable_with_fuel, pattern_support_stats, pattern_support_with_fuel_stats,
+    CompiledPattern, Interrupted, MatcherEngine, SupportStats,
 };
 
 use crate::bounds::PruneReason;
@@ -257,6 +258,11 @@ pub struct EvalConfig {
     /// heartbeat thread can report the open phase path and charged-work
     /// rate (`evematch --progress`). `None` costs nothing.
     pub beacon: Option<Arc<ProgressBeacon>>,
+    /// Which matching engine support scans use (default: compiled, with
+    /// per-pattern typed fallback to the interpreter). Both engines are
+    /// byte-equivalent on every deterministic output; the choice is
+    /// recorded in the metrics info section as `matcher.engine`.
+    pub engine: MatcherEngine,
 }
 
 impl EvalConfig {
@@ -287,6 +293,13 @@ impl EvalConfig {
     #[must_use]
     pub fn with_beacon(mut self, beacon: Arc<ProgressBeacon>) -> Self {
         self.beacon = Some(beacon);
+        self
+    }
+
+    /// Selects the matching engine (see [`EvalConfig::engine`]).
+    #[must_use]
+    pub fn with_engine(mut self, engine: MatcherEngine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -416,6 +429,18 @@ pub struct Evaluator<'a> {
     counters: EvalCounters,
     parpool_batches: u64,
     parpool_steals: u64,
+    /// Which engine [`Self::mapped_support`] scans with (per-pattern
+    /// fallback aside). Recorded in the metrics info section.
+    engine: MatcherEngine,
+    /// Cache-miss evaluations the compiled engine actually handled.
+    compiled_evals: u64,
+    /// Cache-miss evaluations that fell back to the interpreter because
+    /// the pattern exceeded the automaton state budget.
+    fallback_state_budget: u64,
+    /// Cache-miss evaluations that fell back because the image tuple was
+    /// not pairwise distinct (cannot happen under injective mappings;
+    /// counted so a regression could never hide).
+    fallback_binding: u64,
 }
 
 impl<'a> Evaluator<'a> {
@@ -456,7 +481,16 @@ impl<'a> Evaluator<'a> {
             counters,
             parpool_batches: 0,
             parpool_steals: 0,
+            engine: config.engine,
+            compiled_evals: 0,
+            fallback_state_budget: 0,
+            fallback_binding: 0,
         }
+    }
+
+    /// The engine this evaluator's support scans use.
+    pub fn engine(&self) -> MatcherEngine {
+        self.engine
     }
 
     /// Worker threads available to batched successor evaluation.
@@ -588,6 +622,19 @@ impl<'a> Evaluator<'a> {
         // computed) go in the non-deterministic info section.
         snap.set_info("parpool.batches", self.parpool_batches);
         snap.set_info("parpool.steals", self.parpool_steals);
+        // Engine facts likewise: both engines produce byte-identical
+        // deterministic sections, so *which* engine ran (and how often it
+        // fell back) is an execution-shape fact, never a counter.
+        snap.set_info(
+            "matcher.engine",
+            match self.engine {
+                MatcherEngine::Interpreted => 0,
+                MatcherEngine::Compiled => 1,
+            },
+        );
+        snap.set_info("matcher.compiled_evals", self.compiled_evals);
+        snap.set_info("matcher.fallback.state_budget", self.fallback_state_budget);
+        snap.set_info("matcher.fallback.binding", self.fallback_binding);
         snap
     }
 
@@ -699,6 +746,10 @@ impl<'a> Evaluator<'a> {
         let ep = &ctx.patterns()[p_idx];
         let ids = self.counters;
         self.tele.registry.inc(ids.cache_misses);
+        // Engine dispatch for this evaluation, decided (and its fallbacks
+        // counted) *before* the prefetch-replay branch so replayed
+        // outcomes attribute engine facts exactly like inline ones.
+        let compiled = self.dispatch_engine(ep, images);
         // A realizability check or log scan is the expensive inner unit of
         // work; advance the deadline poll cadence before paying it.
         self.meter.tick();
@@ -760,7 +811,18 @@ impl<'a> Evaluator<'a> {
                 0
             } else {
                 self.tele.registry.inc(ids.log_scans);
-                pattern_support_stats(&mapped, ctx.log2(), ctx.index2(), &mut scan) as u32
+                match compiled {
+                    Some(cp) => compiled_pattern_support_stats(
+                        cp,
+                        images,
+                        ctx.columnar2(),
+                        ctx.index2(),
+                        &mut scan,
+                    ) as u32,
+                    None => {
+                        pattern_support_stats(&mapped, ctx.log2(), ctx.index2(), &mut scan) as u32
+                    }
+                }
             };
             self.absorb_scan(&scan);
             self.cache.insert(key, support, self.owner);
@@ -782,13 +844,24 @@ impl<'a> Evaluator<'a> {
             }
             Ok(true) => {
                 self.tele.registry.inc(ids.log_scans);
-                match pattern_support_with_fuel_stats(
-                    &mapped,
-                    ctx.log2(),
-                    ctx.index2(),
-                    &mut fuel,
-                    &mut scan,
-                ) {
+                let scanned = match compiled {
+                    Some(cp) => compiled_pattern_support_with_fuel_stats(
+                        cp,
+                        images,
+                        ctx.columnar2(),
+                        ctx.index2(),
+                        &mut fuel,
+                        &mut scan,
+                    ),
+                    None => pattern_support_with_fuel_stats(
+                        &mapped,
+                        ctx.log2(),
+                        ctx.index2(),
+                        &mut fuel,
+                        &mut scan,
+                    ),
+                };
+                match scanned {
                     Ok(s) => Some(s as u32),
                     Err(Interrupted) => None,
                 }
@@ -864,6 +937,7 @@ impl<'a> Evaluator<'a> {
         }
         let ctx = self.ctx;
         let meter = &self.meter;
+        let engine = self.engine;
         // The batch is a thread-count-dependent *overlay*: it only exists
         // when threads > 1, so its wall time and worker lanes live in the
         // profile's non-deterministic section, never in the phase tree.
@@ -871,7 +945,7 @@ impl<'a> Evaluator<'a> {
         let t0 = clock.now_nanos();
         let (outcomes, stats, lanes) =
             parpool::run_batch_traced(self.threads, &todo, Some(&clock), |key| {
-                compute_support_outcome(ctx, meter, key.0 as usize, &key.1)
+                compute_support_outcome(ctx, meter, engine, key.0 as usize, &key.1)
             });
         self.tele
             .profile
@@ -884,12 +958,77 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Resolves which engine handles one cache-miss evaluation and
+    /// counts the decision: `Some(cp)` scans with the compiled automaton,
+    /// `None` with the interpreter (either by configuration or by typed
+    /// per-pattern fallback).
+    fn dispatch_engine(
+        &mut self,
+        ep: &'a evematch_pattern::EvaluatedPattern,
+        images: &[EventId],
+    ) -> Option<&'a CompiledPattern> {
+        let cp = select_compiled(self.engine, ep, images)?;
+        match cp {
+            Ok(cp) => {
+                self.compiled_evals += 1;
+                Some(cp)
+            }
+            Err(EngineFallback::StateBudget) => {
+                self.fallback_state_budget += 1;
+                None
+            }
+            Err(EngineFallback::Binding) => {
+                self.fallback_binding += 1;
+                None
+            }
+        }
+    }
+
     /// Folds one support scan's counters into the registry.
     fn absorb_scan(&mut self, scan: &SupportStats) {
         let reg = &mut self.tele.registry;
         reg.add(self.counters.index_probes, scan.index_probes);
         reg.add(self.counters.candidate_traces, scan.candidate_traces);
         reg.add(self.counters.matched_traces, scan.matched_traces);
+    }
+}
+
+/// Why a compiled-engine evaluation must use the interpreter instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EngineFallback {
+    /// The pattern's automaton exceeded the state budget at compile time.
+    StateBudget,
+    /// The image tuple is not pairwise distinct, so the compiled reverse
+    /// lookup would be ambiguous (the interpreter on the mapped AST
+    /// defines the degenerate semantics).
+    Binding,
+}
+
+/// The pure engine-dispatch predicate shared by the driving thread and
+/// the side-effect-free parpool workers: `None` when the engine is the
+/// interpreter by configuration, otherwise the compiled pattern or the
+/// typed reason this evaluation falls back.
+fn select_compiled<'c>(
+    engine: MatcherEngine,
+    ep: &'c evematch_pattern::EvaluatedPattern,
+    images: &[EventId],
+) -> Option<Result<&'c CompiledPattern, EngineFallback>> {
+    match engine {
+        MatcherEngine::Interpreted => None,
+        MatcherEngine::Compiled => Some(match &ep.compiled {
+            Err(_) => Err(EngineFallback::StateBudget),
+            Ok(cp) => {
+                let distinct = images
+                    .iter()
+                    .enumerate()
+                    .all(|(i, a)| !images[i + 1..].contains(a));
+                if distinct {
+                    Ok(cp)
+                } else {
+                    Err(EngineFallback::Binding)
+                }
+            }
+        }),
     }
 }
 
@@ -901,10 +1040,12 @@ impl<'a> Evaluator<'a> {
 fn compute_support_outcome(
     ctx: &MatchContext,
     meter: &BudgetMeter,
+    engine: MatcherEngine,
     p_idx: usize,
     images: &[EventId],
 ) -> PrefetchOutcome {
     let ep = &ctx.patterns()[p_idx];
+    let compiled = select_compiled(engine, ep, images).and_then(Result::ok);
     let dep2 = ctx.dep2();
     let mapped = ep.pattern.map_events(&|e| image_of(ep, e, images));
     let edge_ok = |a: EventId, b: EventId| dep2.has_edge(a, b);
@@ -917,16 +1058,29 @@ fn compute_support_outcome(
     let mut scan = SupportStats::default();
     let (support, existence_pruned) = match is_realizable_with_fuel(&mapped, &edge_ok, &mut fuel) {
         Ok(false) => (Some(0), true),
-        Ok(true) => match pattern_support_with_fuel_stats(
-            &mapped,
-            ctx.log2(),
-            ctx.index2(),
-            &mut fuel,
-            &mut scan,
-        ) {
-            Ok(s) => (Some(s as u32), false),
-            Err(Interrupted) => (None, false),
-        },
+        Ok(true) => {
+            let scanned = match compiled {
+                Some(cp) => compiled_pattern_support_with_fuel_stats(
+                    cp,
+                    images,
+                    ctx.columnar2(),
+                    ctx.index2(),
+                    &mut fuel,
+                    &mut scan,
+                ),
+                None => pattern_support_with_fuel_stats(
+                    &mapped,
+                    ctx.log2(),
+                    ctx.index2(),
+                    &mut fuel,
+                    &mut scan,
+                ),
+            };
+            match scanned {
+                Ok(s) => (Some(s as u32), false),
+                Err(Interrupted) => (None, false),
+            }
+        }
         Err(Interrupted) => (None, false),
     };
     PrefetchOutcome {

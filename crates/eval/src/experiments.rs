@@ -15,7 +15,7 @@ use std::time::Duration;
 use evematch_core::fault::{self, FaultClass};
 use evematch_core::persist::integrity;
 use evematch_core::retry::{Clock, RealClock, RetryPolicy};
-use evematch_core::{Budget, Mapping, MetricsSnapshot, ProfileSnapshot, WorkCol};
+use evematch_core::{Budget, Mapping, MatcherEngine, MetricsSnapshot, ProfileSnapshot, WorkCol};
 use evematch_datagen::{datasets, Dataset};
 
 use crate::checkpoint::{self, MethodRecord};
@@ -58,6 +58,11 @@ pub struct SweepConfig {
     /// recovery self-test can demonstrate what unverified replay silently
     /// accepts (DESIGN.md §14).
     pub verify_journal: bool,
+    /// Support-scan engine for every solver run (`--matcher`). Outputs are
+    /// byte-identical across engines — the grid fingerprint deliberately
+    /// excludes it, so a journal written under one engine replays soundly
+    /// under the other.
+    pub matcher: MatcherEngine,
 }
 
 impl Default for SweepConfig {
@@ -73,6 +78,7 @@ impl Default for SweepConfig {
             checkpoint: None,
             retry: RetryPolicy::io_default(),
             verify_journal: true,
+            matcher: MatcherEngine::default(),
         }
     }
 }
@@ -215,11 +221,10 @@ fn run_job(
     x: usize,
     seed: u64,
     methods: &[Method],
-    budget: Budget,
-    eval_threads: usize,
-    retry: &RetryPolicy,
+    cfg: &SweepConfig,
     make: &(impl Fn(usize, u64) -> Dataset + Sync),
 ) -> Vec<MethodRecord> {
+    let retry = &cfg.retry;
     let ds = match supervise(retry, || make(x, seed)) {
         Ok((ds, _)) => ds,
         Err(rec) => return methods.iter().map(|_| (*rec).clone()).collect(),
@@ -233,7 +238,14 @@ fn run_job(
         .iter()
         .map(|m| {
             match supervise(retry, || {
-                m.run_with(&ds.pair, &ds.patterns, budget, eval_threads, Some(&pool))
+                m.run_with_engine(
+                    &ds.pair,
+                    &ds.patterns,
+                    cfg.budget,
+                    cfg.eval_threads,
+                    Some(&pool),
+                    cfg.matcher,
+                )
             }) {
                 Ok((out, retries)) => {
                     let mut rec = MethodRecord::of(&out);
@@ -355,15 +367,7 @@ pub fn run_grid(
                 let Some(&(xi, seed)) = jobs.get(i) else {
                     break;
                 };
-                let records = run_job(
-                    xs[xi],
-                    seed,
-                    methods,
-                    cfg.budget,
-                    cfg.eval_threads,
-                    &cfg.retry,
-                    &make,
-                );
+                let records = run_job(xs[xi], seed, methods, cfg, &make);
                 if let Some(path) = &journal {
                     let line = integrity::frame_record(&checkpoint::journal_line(
                         &fingerprint,
@@ -704,6 +708,7 @@ mod tests {
             checkpoint: None,
             retry: RetryPolicy::io_default(),
             verify_journal: true,
+            matcher: MatcherEngine::default(),
         }
     }
 
@@ -782,6 +787,7 @@ mod tests {
             checkpoint: dir,
             retry: RetryPolicy::io_default(),
             verify_journal: true,
+            matcher: MatcherEngine::default(),
         }
     }
 
@@ -895,6 +901,7 @@ mod tests {
             // test asserts the quarantine outcome without backoff waits.
             retry: RetryPolicy::no_retries(),
             verify_journal: true,
+            matcher: MatcherEngine::default(),
         };
         let fig = run_grid(
             "FigP",

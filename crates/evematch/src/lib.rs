@@ -63,9 +63,9 @@ pub mod prelude {
     pub use evematch_core::{
         assignment, fault, hardness, persist, retry, score, telemetry, AdvancedHeuristic,
         BoundKind, Budget, Completion, EntropyMatcher, EvalConfig, ExactMatcher, Exhaustion,
-        IterativeMatcher, Mapping, MatchContext, MatchOutcome, MetricsSnapshot, PatternSetBuilder,
-        PhaseProfiler, ProfileSnapshot, ProgressBeacon, SearchError, SharedSupportCache,
-        SimpleHeuristic, Telemetry, TraceBuffer, TraceEvent, WorkCol,
+        IterativeMatcher, Mapping, MatchContext, MatchOutcome, MatcherEngine, MetricsSnapshot,
+        PatternSetBuilder, PhaseProfiler, ProfileSnapshot, ProgressBeacon, SearchError,
+        SharedSupportCache, SimpleHeuristic, Telemetry, TraceBuffer, TraceEvent, WorkCol,
     };
     pub use evematch_datagen::{
         datasets, heterogenize, Block, Dataset, HeterogenizeConfig, LogPair, ProcessModel,
@@ -73,11 +73,13 @@ pub mod prelude {
     pub use evematch_eval::{MatchQuality, Method, RunOutcome, Table, ALL_METHODS};
     pub use evematch_eventlog::{
         read_csv_log, read_csv_log_with, read_log, read_log_with, write_csv_log, write_log,
-        DepGraph, EventId, EventLog, EventSet, Ingest, IngestLimits, IngestMode, IngestOptions,
-        LogBuilder, LogStats, Quarantine, Trace, TraceIndex,
+        ColumnarLog, DepGraph, EventId, EventLog, EventSet, Ingest, IngestLimits, IngestMode,
+        IngestOptions, LogBuilder, LogStats, Quarantine, Trace, TraceIndex,
     };
     pub use evematch_pattern::{
-        discover_patterns, parse_pattern, pattern_freq, pattern_support, DiscoveryConfig, Pattern,
-        PatternGraph,
+        compiled_pattern_support, compiled_pattern_support_stats,
+        compiled_pattern_support_with_fuel, compiled_pattern_support_with_fuel_stats,
+        discover_patterns, parse_pattern, pattern_freq, pattern_support, CompileError,
+        CompiledPattern, DiscoveryConfig, Pattern, PatternGraph, STATE_BUDGET,
     };
 }

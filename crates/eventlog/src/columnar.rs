@@ -1,0 +1,119 @@
+//! Struct-of-arrays trace storage for the hot support-scan path.
+//!
+//! [`crate::EventLog`] stores each trace as its own `Vec<EventId>` — fine
+//! for construction and projection, but a support scan that touches
+//! hundreds of thousands of candidate traces then chases one heap pointer
+//! per trace. [`ColumnarLog`] flattens every trace into a single interned
+//! event-id arena with an offsets column (classic CSR layout), so the
+//! compiled bit-parallel matcher streams contiguous memory. It is built
+//! once beside the existing [`crate::TraceIndex`] and is a pure view: the
+//! `EventLog` remains the source of truth.
+
+use crate::event::EventId;
+use crate::log::EventLog;
+
+/// A struct-of-arrays view of an [`EventLog`]: one flat event-id arena
+/// plus an offsets column (`offsets.len() == trace_count + 1`).
+///
+/// `trace(t)` is the slice `arena[offsets[t]..offsets[t+1]]` — the same
+/// events, in the same order, as `log.traces()[t].events()`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarLog {
+    /// Every trace's events, concatenated in trace order.
+    arena: Vec<EventId>,
+    /// `offsets[t]` = start of trace `t` in `arena`; the final entry is
+    /// `arena.len()`.
+    offsets: Vec<usize>,
+    /// Vocabulary size of the source log (`EventLog::event_count`), kept
+    /// so scans can run the same out-of-vocabulary guards without the
+    /// original log in hand.
+    event_count: usize,
+}
+
+impl ColumnarLog {
+    /// Flattens `log` into columnar form in one pass.
+    pub fn from_log(log: &EventLog) -> Self {
+        let total: usize = log.traces().iter().map(|t| t.events().len()).sum();
+        let mut arena = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(log.len() + 1);
+        offsets.push(0);
+        for t in log.traces() {
+            arena.extend_from_slice(t.events());
+            offsets.push(arena.len());
+        }
+        ColumnarLog {
+            arena,
+            offsets,
+            event_count: log.event_count(),
+        }
+    }
+
+    /// The events of trace `t`, as a contiguous slice of the arena.
+    /// Panics if `t` is out of range (same contract as indexing
+    /// `log.traces()`).
+    #[inline]
+    pub fn trace(&self, t: usize) -> &[EventId] {
+        &self.arena[self.offsets[t]..self.offsets[t + 1]]
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the log holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vocabulary size of the source log.
+    pub fn event_count(&self) -> usize {
+        self.event_count
+    }
+
+    /// Total number of event occurrences across all traces (arena length).
+    pub fn total_events(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogBuilder;
+    use crate::trace::Trace;
+
+    #[test]
+    fn columnar_view_mirrors_the_log() {
+        let mut b = LogBuilder::new();
+        b.push_named_trace(["A", "B", "C"]);
+        b.push_named_trace(["B"]);
+        b.push_named_trace(["C", "A"]);
+        let log = b.build();
+        let col = ColumnarLog::from_log(&log);
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.total_events(), 6);
+        assert_eq!(col.event_count(), log.event_count());
+        for (t, trace) in log.traces().iter().enumerate() {
+            assert_eq!(col.trace(t), trace.events());
+        }
+    }
+
+    #[test]
+    fn empty_log_and_empty_traces_are_representable() {
+        let empty = ColumnarLog::from_log(&LogBuilder::new().build());
+        assert!(empty.is_empty());
+        assert_eq!(empty.total_events(), 0);
+
+        let mut b = LogBuilder::new();
+        b.push_named_trace(["A"]);
+        b.push_trace(Trace::from(Vec::<u32>::new()));
+        b.push_named_trace(["A", "A"]);
+        let log = b.build();
+        let col = ColumnarLog::from_log(&log);
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.trace(0), log.traces()[0].events());
+        assert!(col.trace(1).is_empty());
+        assert_eq!(col.trace(2).len(), 2);
+    }
+}

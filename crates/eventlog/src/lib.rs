@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod columnar;
 mod csv;
 mod depgraph;
 mod event;
@@ -34,6 +35,7 @@ mod log;
 mod stats;
 mod trace;
 
+pub use columnar::ColumnarLog;
 pub use csv::{read_csv_log, read_csv_log_with, write_csv_log, CsvLogError};
 pub use depgraph::DepGraph;
 pub use event::{EventId, EventSet};

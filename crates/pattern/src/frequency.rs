@@ -7,6 +7,7 @@
 use evematch_eventlog::{EventLog, TraceIndex};
 
 use crate::ast::Pattern;
+use crate::compiled::{CompileError, CompiledPattern};
 use crate::graph_form::{edge_groups, PatternGraph};
 use crate::matcher::{trace_matches, Interrupted};
 
@@ -49,6 +50,7 @@ pub fn pattern_support_stats(
     let mut matched = 0usize;
     for t in index.traces_with_all(&events) {
         stats.candidate_traces += 1;
+        // tidy-allow: matcher-confinement -- this IS the interpreter engine's support scan; the compiled engine mirrors this loop verbatim
         if trace_matches(p, &log.traces()[t as usize]) {
             matched += 1;
         }
@@ -93,6 +95,7 @@ pub fn pattern_support_with_fuel_stats(
             return Err(Interrupted);
         }
         stats.candidate_traces += 1;
+        // tidy-allow: matcher-confinement -- this IS the interpreter engine's fueled support scan; the compiled engine mirrors this loop verbatim
         if trace_matches(p, &log.traces()[t as usize]) {
             count += 1;
             stats.matched_traces += 1;
@@ -131,6 +134,10 @@ pub struct EvaluatedPattern {
     pub support: usize,
     /// Normalized frequency `f1(p)`.
     pub freq: f64,
+    /// The bit-parallel compiled form (see [`crate::CompiledPattern`]),
+    /// or the typed reason this pattern must use the interpreter.
+    /// Compiled once here so no evaluation path ever recompiles.
+    pub compiled: Result<CompiledPattern, CompileError>,
 }
 
 impl EvaluatedPattern {
@@ -148,6 +155,7 @@ impl EvaluatedPattern {
             edge_groups: edge_groups(&pattern),
             support,
             freq,
+            compiled: CompiledPattern::compile(&pattern),
             pattern,
         }
     }

@@ -25,6 +25,10 @@
 //! * matching and frequency evaluation ([`matches_window`],
 //!   [`trace_matches`], [`pattern_support`], [`pattern_freq`]) driven by the
 //!   inverted trace index `I_t`;
+//! * a bit-parallel compiled engine ([`CompiledPattern`],
+//!   [`compiled_pattern_support`]) proven byte-equivalent to the
+//!   interpreter, with a typed [`CompileError`] fallback and the
+//!   [`MatcherEngine`] selector;
 //! * the inverted pattern index `I_p` ([`PatternIndex`], Section 3.2.1);
 //! * a frequent-episode-style pattern discovery pass
 //!   ([`discover_patterns`]) implementing the paper's Section-2.2
@@ -34,6 +38,7 @@
 #![deny(missing_docs)]
 
 mod ast;
+mod compiled;
 mod discovery;
 mod frequency;
 mod graph_form;
@@ -42,6 +47,11 @@ mod matcher;
 mod parser;
 
 pub use ast::{Pattern, PatternError, MAX_AND_ARITY, MAX_DEPTH};
+pub use compiled::{
+    compiled_pattern_support, compiled_pattern_support_stats, compiled_pattern_support_with_fuel,
+    compiled_pattern_support_with_fuel_stats, CompileError, CompiledPattern, MatcherEngine,
+    ParseMatcherEngineError, STATE_BUDGET,
+};
 pub use discovery::{discover_patterns, DiscoveryConfig};
 pub use frequency::{
     pattern_freq, pattern_support, pattern_support_stats, pattern_support_with_fuel,

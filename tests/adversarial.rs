@@ -230,6 +230,140 @@ fn truncated_csv_quarantines_the_torn_tail() {
 }
 
 // ---------------------------------------------------------------------
+// Compiled matcher: state-budget, vocabulary, and degenerate-trace edges
+// ---------------------------------------------------------------------
+
+#[test]
+fn and_fan_out_at_the_arity_cap_is_a_typed_compile_fallback() {
+    use evematch::pattern::CompiledPattern;
+    // The widest AND the constructors admit: 32 singleton children. Its
+    // match language is all 32! permutations — inherently 2^32 automaton
+    // states, so compilation must abort with the typed budget error (and
+    // quickly: the config BFS caps at STATE_BUDGET interned states, it
+    // never tries to materialize the exponential automaton).
+    let p = Pattern::and_of_events((0..MAX_AND_ARITY as u32).map(EventId)).unwrap();
+    let err = CompiledPattern::compile(&p).unwrap_err();
+    assert!(
+        matches!(err, CompileError::StateBudgetExceeded { states } if states > STATE_BUDGET),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains(&STATE_BUDGET.to_string()));
+}
+
+#[test]
+fn state_budget_fallback_is_counted_in_telemetry_never_silent() {
+    // A 7-ary AND needs 2^7 = 128 > STATE_BUDGET states, so an evaluator
+    // running the default compiled engine must (a) fall back to the
+    // interpreter for this pattern, (b) count the fallback in the
+    // `matcher.fallback.state_budget` info fact, and (c) return exactly
+    // the interpreter's support contribution.
+    let n = 7u32;
+    let names: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+    let mut b1 = LogBuilder::with_events(EventSet::from_names(names.iter().map(String::as_str)));
+    let mut b2 = LogBuilder::with_events(EventSet::from_names(names.iter().map(String::as_str)));
+    for rot in 0..n {
+        let t: Vec<u32> = (0..n).map(|i| (i + rot) % n).collect();
+        b1.push_trace(Trace::from(t.clone()));
+        b2.push_trace(Trace::from(t));
+    }
+    let p = Pattern::and_of_events((0..n).map(EventId)).unwrap();
+    let ctx =
+        MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().complex(p)).unwrap();
+    let images: Vec<EventId> = (0..n).map(EventId).collect();
+
+    let mut compiled_eval = evematch::core::Evaluator::new(&ctx);
+    let d_compiled = compiled_eval.d_with_images(0, &images);
+    let snap = compiled_eval.metrics_snapshot();
+    assert_eq!(snap.info.get("matcher.engine"), Some(&1));
+    assert_eq!(snap.info.get("matcher.fallback.state_budget"), Some(&1));
+    assert_eq!(snap.info.get("matcher.compiled_evals"), Some(&0));
+
+    let interp_cfg =
+        EvalConfig::from_budget(Budget::UNLIMITED).with_engine(MatcherEngine::Interpreted);
+    let mut interp_eval = evematch::core::Evaluator::with_config(&ctx, &interp_cfg);
+    let d_interp = interp_eval.d_with_images(0, &images);
+    assert_eq!(d_compiled.to_bits(), d_interp.to_bits());
+    let snap = interp_eval.metrics_snapshot();
+    assert_eq!(snap.info.get("matcher.engine"), Some(&0));
+    assert_eq!(snap.info.get("matcher.fallback.state_budget"), Some(&0));
+}
+
+#[test]
+fn compilable_patterns_are_counted_as_compiled_evals() {
+    // The happy-path counterpart: a compilable composite goes through the
+    // bit-parallel engine and says so in telemetry.
+    let mut b1 = LogBuilder::new();
+    b1.push_named_trace(["A", "B", "C"]);
+    b1.push_named_trace(["A", "C", "B"]);
+    let mut b2 = LogBuilder::new();
+    b2.push_named_trace(["x", "y", "z"]);
+    b2.push_named_trace(["x", "z", "y"]);
+    // Three events: a two-event SEQ would take the dependency-edge fast
+    // path and bypass the engine dispatch entirely.
+    let p = Pattern::seq_of_events([EventId(0), EventId(1), EventId(2)]).unwrap();
+    let ctx =
+        MatchContext::new(b1.build(), b2.build(), PatternSetBuilder::new().complex(p)).unwrap();
+    let mut eval = evematch::core::Evaluator::new(&ctx);
+    let _ = eval.d_with_images(0, &[EventId(0), EventId(1), EventId(2)]);
+    let snap = eval.metrics_snapshot();
+    assert_eq!(snap.info.get("matcher.compiled_evals"), Some(&1));
+    assert_eq!(snap.info.get("matcher.fallback.state_budget"), Some(&0));
+    assert_eq!(snap.info.get("matcher.fallback.binding"), Some(&0));
+}
+
+#[test]
+fn out_of_vocabulary_images_yield_zero_support_without_probing() {
+    use evematch::pattern::{CompiledPattern, SupportStats};
+    let mut b = LogBuilder::new();
+    b.push_named_trace(["A", "B"]);
+    let log = b.build();
+    let idx = log.trace_index();
+    let col = ColumnarLog::from_log(&log);
+    let p = Pattern::seq_of_events([EventId(0), EventId(1)]).unwrap();
+    let cp = CompiledPattern::compile(&p).unwrap();
+    // An image outside the log's two-event vocabulary: support 0, and —
+    // exactly like the interpreter's out-of-vocabulary guard — the index
+    // is never probed and no candidate is scanned.
+    let mut stats = SupportStats::default();
+    let support =
+        compiled_pattern_support_stats(&cp, &[EventId(0), EventId(9)], &col, &idx, &mut stats);
+    assert_eq!(support, 0);
+    assert_eq!(stats, SupportStats::default());
+}
+
+#[test]
+fn columnar_log_handles_empty_and_singleton_traces() {
+    use evematch::pattern::CompiledPattern;
+    let mut b = LogBuilder::with_events(EventSet::from_names(["A", "B"]));
+    b.push_trace(Trace::from(Vec::<u32>::new()));
+    b.push_trace(Trace::from(vec![0u32]));
+    b.push_trace(Trace::from(Vec::<u32>::new()));
+    b.push_trace(Trace::from(vec![0u32, 1]));
+    let log = b.build();
+    let col = ColumnarLog::from_log(&log);
+    assert_eq!(col.len(), 4);
+    assert_eq!(col.total_events(), 3);
+    assert_eq!(col.trace(0), &[] as &[EventId]);
+    assert_eq!(col.trace(1), &[EventId(0)]);
+    assert_eq!(col.trace(2), &[] as &[EventId]);
+    assert_eq!(col.trace(3), &[EventId(0), EventId(1)]);
+    let idx = log.trace_index();
+    // A singleton pattern on the degenerate log: matches the singleton
+    // and the pair trace, skips the empty ones — same as the interpreter.
+    let single = Pattern::event(0u32);
+    let cp = CompiledPattern::compile(&single).unwrap();
+    let compiled = compiled_pattern_support(&cp, &[EventId(0)], &col, &idx);
+    assert_eq!(compiled, pattern_support(&single, &log, &idx));
+    assert_eq!(compiled, 2);
+    // And a two-event SEQ: only the pair trace can hold a length-2 window.
+    let pair = Pattern::seq_of_events([EventId(0), EventId(1)]).unwrap();
+    let cp = CompiledPattern::compile(&pair).unwrap();
+    let compiled = compiled_pattern_support(&cp, &[EventId(0), EventId(1)], &col, &idx);
+    assert_eq!(compiled, pattern_support(&pair, &log, &idx));
+    assert_eq!(compiled, 1);
+}
+
+// ---------------------------------------------------------------------
 // Properties: lenient ingestion is total and deterministic
 // ---------------------------------------------------------------------
 

@@ -9,7 +9,14 @@
 //!   detail, never an output detail: for every method, every budget shape
 //!   and the whole experiment grid, mappings, score bits, gap-certificate
 //!   bits and the deterministic telemetry section are byte-identical
-//!   across `N ∈ {1, 2, 8}`.
+//!   across `N ∈ {1, 2, 8}`;
+//! * **Engine transparency** — `--matcher {interpreted,compiled}` is an
+//!   execution detail too. The bit-parallel compiled NFA is proven
+//!   byte-equivalent to the interpreter three ways: against the
+//!   linearization ground truth on random patterns, support-for-support
+//!   on random logs (verdicts, `SupportStats` and fuel-interruption
+//!   boundaries), and end-to-end (every method, every thread count, the
+//!   whole grid).
 
 use proptest::prelude::*;
 
@@ -320,7 +327,7 @@ fn heuristic_warms_the_exact_search_through_the_shared_cache() {
 // Grid-level regression: worker-local deltas reduce deterministically
 // ---------------------------------------------------------------------
 
-fn grid(eval_threads: usize) -> FigureResult {
+fn grid(eval_threads: usize, matcher: MatcherEngine) -> FigureResult {
     let cfg = SweepConfig {
         seeds: vec![11, 23],
         verify_journal: true,
@@ -330,6 +337,7 @@ fn grid(eval_threads: usize) -> FigureResult {
         traces: 40,
         checkpoint: None,
         retry: retry::RetryPolicy::io_default(),
+        matcher,
     };
     run_grid(
         "FigDiff",
@@ -357,8 +365,8 @@ fn csv(t: &Table) -> String {
 /// worker interleavings would diverge here.
 #[test]
 fn grid_csvs_and_merged_metrics_are_identical_across_eval_threads() {
-    let seq = grid(1);
-    let par = grid(8);
+    let seq = grid(1, MatcherEngine::Compiled);
+    let par = grid(8, MatcherEngine::Compiled);
     assert_eq!(csv(&seq.f_measure), csv(&par.f_measure), "f-measure CSV");
     assert_eq!(csv(&seq.anytime_f), csv(&par.anytime_f), "anytime CSV");
     assert_eq!(csv(&seq.processed), csv(&par.processed), "processed CSV");
@@ -368,6 +376,233 @@ fn grid_csvs_and_merged_metrics_are_identical_across_eval_threads() {
         assert_eq!(
             snap.deterministic_json(),
             par_snap.deterministic_json(),
+            "merged deterministic metrics diverged for {name}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matcher-engine differential: compiled NFA vs interpreter vs ground truth
+// ---------------------------------------------------------------------
+
+/// Structural shape of a pattern; leaves get distinct events later
+/// (mirrors `tests/proptests.rs`).
+#[derive(Clone, Debug)]
+enum Shape {
+    Leaf,
+    Seq(Vec<Shape>),
+    And(Vec<Shape>),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = Just(Shape::Leaf);
+    leaf.prop_recursive(3, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..=3).prop_map(Shape::Seq),
+            prop::collection::vec(inner, 2..=3).prop_map(Shape::And),
+        ]
+    })
+}
+
+fn leaves(shape: &Shape) -> usize {
+    match shape {
+        Shape::Leaf => 1,
+        Shape::Seq(cs) | Shape::And(cs) => cs.iter().map(leaves).sum(),
+    }
+}
+
+fn to_pattern(shape: &Shape, next: &mut u32) -> Pattern {
+    match shape {
+        Shape::Leaf => {
+            let e = Pattern::event(*next);
+            *next += 1;
+            e
+        }
+        Shape::Seq(cs) => Pattern::seq(cs.iter().map(|c| to_pattern(c, next)).collect())
+            .expect("distinct fresh events"),
+        Shape::And(cs) => Pattern::and(cs.iter().map(|c| to_pattern(c, next)).collect())
+            .expect("distinct fresh events"),
+    }
+}
+
+/// Random pattern within the linearization-enumeration bound, so the
+/// ground truth `I(p)` is materializable.
+fn enumerable_pattern_strategy() -> impl Strategy<Value = Pattern> {
+    shape_strategy()
+        .prop_filter("enumerable event count", |s| {
+            leaves(s) <= evematch::pattern::MAX_ENUMERABLE_EVENTS
+        })
+        .prop_map(|s| to_pattern(&s, &mut 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three-way differential: on random patterns and random traces,
+    /// the linearization ground truth (`I(p)` membership as a contiguous
+    /// substring), the interpreter (`trace_matches` via `matches_window`)
+    /// and the compiled bit-parallel NFA agree on every verdict.
+    #[test]
+    fn compiled_nfa_agrees_with_interpreter_and_linearizations(
+        p in enumerable_pattern_strategy(),
+        raw in prop::collection::vec(0u32..12, 0..20),
+    ) {
+        use evematch::pattern::{linearizations, trace_matches};
+        let cp = match CompiledPattern::compile(&p) {
+            Ok(cp) => cp,
+            // Deeply nested ANDs can exceed the 64-state budget; the typed
+            // fallback contract is covered by `tests/adversarial.rs`.
+            Err(CompileError::StateBudgetExceeded { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected {e}"))),
+        };
+        let lins = linearizations(&p);
+        let trace_events: Vec<EventId> = raw.iter().copied().map(EventId).collect();
+        let truth = lins.iter().any(|lin| {
+            trace_events.windows(lin.len()).any(|w| w == lin.as_slice())
+        });
+        let interpreted = trace_matches(&p, &Trace::from(raw.clone()));
+        // Identity binding: symbol i is the i-th sorted event of `p`.
+        let compiled = cp.matches_trace(&p.events(), &trace_events);
+        prop_assert_eq!(interpreted, truth, "interpreter vs ground truth on {:?}", p);
+        prop_assert_eq!(compiled, truth, "compiled NFA vs ground truth on {:?}", p);
+    }
+
+    /// Support-for-support equality on random logs: both engines return
+    /// the same count AND the same `SupportStats` (index probes, candidate
+    /// traces, matches), out-of-vocabulary patterns included.
+    #[test]
+    fn compiled_support_equals_interpreted_support(
+        log in log_strategy(6, 12),
+        p in enumerable_pattern_strategy(),
+    ) {
+        use evematch::pattern::{pattern_support_stats, SupportStats};
+        let Ok(cp) = CompiledPattern::compile(&p) else {
+            return Ok(());
+        };
+        let idx = log.trace_index();
+        let col = ColumnarLog::from_log(&log);
+        let mut int_stats = SupportStats::default();
+        let mut cmp_stats = SupportStats::default();
+        let interpreted = pattern_support_stats(&p, &log, &idx, &mut int_stats);
+        let compiled = compiled_pattern_support_stats(&cp, &p.events(), &col, &idx, &mut cmp_stats);
+        prop_assert_eq!(interpreted, compiled, "support diverged on {:?}", p);
+        prop_assert_eq!(int_stats, cmp_stats, "work counters diverged on {:?}", p);
+    }
+
+    /// Fuel parity: under any fuel cap, both engines stop at exactly the
+    /// same candidate-trace boundary — the same `Ok`/`Interrupted`
+    /// verdict and the same `SupportStats` deltas at the moment of
+    /// interruption.
+    #[test]
+    fn compiled_fuel_interrupts_at_the_same_boundary(
+        log in log_strategy(6, 12),
+        p in enumerable_pattern_strategy(),
+        cap in 0u64..16,
+    ) {
+        use evematch::pattern::{pattern_support_with_fuel_stats, SupportStats};
+        let Ok(cp) = CompiledPattern::compile(&p) else {
+            return Ok(());
+        };
+        let idx = log.trace_index();
+        let col = ColumnarLog::from_log(&log);
+        let mut int_stats = SupportStats::default();
+        let mut cmp_stats = SupportStats::default();
+        let mut int_left = cap;
+        let mut cmp_left = cap;
+        let interpreted = pattern_support_with_fuel_stats(
+            &p,
+            &log,
+            &idx,
+            &mut || {
+                let go = int_left > 0;
+                int_left = int_left.saturating_sub(1);
+                go
+            },
+            &mut int_stats,
+        );
+        let compiled = compiled_pattern_support_with_fuel_stats(
+            &cp,
+            &p.events(),
+            &col,
+            &idx,
+            &mut || {
+                let go = cmp_left > 0;
+                cmp_left = cmp_left.saturating_sub(1);
+                go
+            },
+            &mut cmp_stats,
+        );
+        prop_assert_eq!(interpreted, compiled, "fueled verdict diverged on {:?}", p);
+        prop_assert_eq!(int_stats, cmp_stats, "fueled counters diverged on {:?}", p);
+        prop_assert_eq!(int_left, cmp_left, "fuel consumption diverged on {:?}", p);
+    }
+}
+
+/// End-to-end engine transparency: every registered method, finished and
+/// budget-exhausted alike, produces byte-identical mappings, score bits,
+/// gap bits and deterministic metrics under `--matcher interpreted` and
+/// `--matcher compiled`, at 1, 2 and 8 evaluation threads.
+#[test]
+fn every_method_is_byte_identical_across_engines() {
+    let ds = project_dataset(&datasets::real_like_sized(60, 60, 31), 6);
+    for budget in [
+        Budget::UNLIMITED.with_processed_cap(50_000),
+        Budget::UNLIMITED.with_processed_cap(9),
+    ] {
+        for m in ALL_METHODS {
+            let reference = run_fp(&m.run_with_engine(
+                &ds.pair,
+                &ds.patterns,
+                budget,
+                1,
+                None,
+                MatcherEngine::Interpreted,
+            ));
+            for engine in MatcherEngine::ALL {
+                for &t in &THREADS {
+                    let run =
+                        run_fp(&m.run_with_engine(&ds.pair, &ds.patterns, budget, t, None, engine));
+                    assert_eq!(
+                        run,
+                        reference,
+                        "{} under {engine} at {t} threads diverged (budget {budget:?})",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The whole experiment grid is engine-transparent: the deterministic
+/// panels and the merged per-method deterministic metrics are
+/// byte-identical between `--matcher interpreted` (sequential) and
+/// `--matcher compiled` (8 eval threads) — the two engines may only
+/// differ in wall-clock time and the `matcher.*` info facts.
+#[test]
+fn grid_csvs_and_merged_metrics_are_identical_across_engines() {
+    let interpreted = grid(1, MatcherEngine::Interpreted);
+    let compiled = grid(8, MatcherEngine::Compiled);
+    assert_eq!(
+        csv(&interpreted.f_measure),
+        csv(&compiled.f_measure),
+        "f-measure CSV"
+    );
+    assert_eq!(
+        csv(&interpreted.anytime_f),
+        csv(&compiled.anytime_f),
+        "anytime CSV"
+    );
+    assert_eq!(
+        csv(&interpreted.processed),
+        csv(&compiled.processed),
+        "processed CSV"
+    );
+    for ((name, snap), (c_name, c_snap)) in interpreted.metrics.iter().zip(&compiled.metrics) {
+        assert_eq!(name, c_name);
+        assert_eq!(
+            snap.deterministic_json(),
+            c_snap.deterministic_json(),
             "merged deterministic metrics diverged for {name}"
         );
     }
